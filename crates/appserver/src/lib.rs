@@ -1,0 +1,49 @@
+//! A J2EE application-server substrate: the WebSphere-like tier of the
+//! ISPASS 2007 J2EE characterization study.
+//!
+//! The crate provides:
+//!
+//! * bounded resource [`pool`]s (web-container threads, ORB threads, JDBC
+//!   connections, JMS sessions) with FIFO admission,
+//! * a FIFO message [`Broker`] driving the asynchronous manufacturing leg,
+//! * the [`TxPlan`]/[`PlanStep`] vocabulary that containers compile
+//!   requests into, and
+//! * [`containers`] — plan-fragment builders for the HTTP front end,
+//!   servlet dispatch, EJB session/entity beans (container-managed
+//!   persistence over `jas-db` queries), RMI marshalling, JMS, and JTA
+//!   two-phase commit.
+//!
+//! The heavy container path lengths are what make the benchmark's own code
+//! a ~2% sliver of CPU time in the paper's Figure 4.
+//!
+//! # Example
+//!
+//! ```
+//! use jas_appserver::{containers, AppServer, AppServerConfig, TxPlan};
+//! use jas_db::TableId;
+//!
+//! let server = AppServer::new(AppServerConfig::default());
+//! let mut plan = TxPlan::new();
+//! plan.extend(containers::http_frontend(512));
+//! plan.extend(containers::servlet_dispatch(2048));
+//! plan.extend(containers::entity_find(TableId(0), 42));
+//! plan.extend(containers::jta_commit(1));
+//! assert!(plan.db_steps() == 1);
+//! # let _ = server;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod containers;
+mod mq;
+mod plan;
+mod pool;
+#[cfg(test)]
+mod proptests;
+mod server;
+
+pub use mq::{Broker, BrokerStats, Message, QueueId};
+pub use plan::{PlanStep, TxPlan};
+pub use pool::{Admission, BoundedPool, PoolUsage};
+pub use server::{AppServer, AppServerConfig, PoolKind};

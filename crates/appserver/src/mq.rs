@@ -1,0 +1,149 @@
+//! The message-queue broker (the "MQ" library of the paper's software
+//! stack).
+//!
+//! SPECjAppServer2004's manufacturing domain is driven by JMS work orders;
+//! the broker here is a set of FIFO queues with depth statistics so the
+//! workload can run its asynchronous leg for real.
+
+use std::collections::VecDeque;
+
+/// Identifier of a queue within the broker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct QueueId(pub u32);
+
+/// A queued message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Opaque correlation id chosen by the sender.
+    pub correlation: u64,
+    /// Payload size in bytes (drives marshalling cost).
+    pub payload_bytes: u32,
+}
+
+/// Broker statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Messages enqueued.
+    pub sent: u64,
+    /// Messages dequeued.
+    pub received: u64,
+    /// High-water mark of total queued messages.
+    pub peak_depth: usize,
+}
+
+/// A FIFO message broker.
+#[derive(Clone, Debug, Default)]
+pub struct Broker {
+    queues: Vec<VecDeque<Message>>,
+    stats: BrokerStats,
+}
+
+impl Broker {
+    /// Creates a broker with no queues.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a new queue.
+    pub fn declare_queue(&mut self) -> QueueId {
+        self.queues.push(VecDeque::new());
+        QueueId((self.queues.len() - 1) as u32)
+    }
+
+    /// Enqueues a message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue does not exist.
+    pub fn send(&mut self, queue: QueueId, message: Message) {
+        self.queues
+            .get_mut(queue.0 as usize)
+            .expect("unknown queue")
+            .push_back(message);
+        self.stats.sent += 1;
+        let depth: usize = self.queues.iter().map(VecDeque::len).sum();
+        self.stats.peak_depth = self.stats.peak_depth.max(depth);
+    }
+
+    /// Dequeues the oldest message, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue does not exist.
+    pub fn receive(&mut self, queue: QueueId) -> Option<Message> {
+        let m = self
+            .queues
+            .get_mut(queue.0 as usize)
+            .expect("unknown queue")
+            .pop_front();
+        if m.is_some() {
+            self.stats.received += 1;
+        }
+        m
+    }
+
+    /// Current depth of one queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue does not exist.
+    #[must_use]
+    pub fn depth(&self, queue: QueueId) -> usize {
+        self.queues.get(queue.0 as usize).expect("unknown queue").len()
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> BrokerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut b = Broker::new();
+        let q = b.declare_queue();
+        b.send(q, Message { correlation: 1, payload_bytes: 100 });
+        b.send(q, Message { correlation: 2, payload_bytes: 100 });
+        assert_eq!(b.receive(q).unwrap().correlation, 1);
+        assert_eq!(b.receive(q).unwrap().correlation, 2);
+        assert_eq!(b.receive(q), None);
+    }
+
+    #[test]
+    fn queues_are_independent() {
+        let mut b = Broker::new();
+        let q1 = b.declare_queue();
+        let q2 = b.declare_queue();
+        b.send(q1, Message { correlation: 1, payload_bytes: 10 });
+        assert_eq!(b.depth(q1), 1);
+        assert_eq!(b.depth(q2), 0);
+        assert_eq!(b.receive(q2), None);
+    }
+
+    #[test]
+    fn stats_track_peak_depth() {
+        let mut b = Broker::new();
+        let q = b.declare_queue();
+        for i in 0..5 {
+            b.send(q, Message { correlation: i, payload_bytes: 10 });
+        }
+        b.receive(q);
+        let s = b.stats();
+        assert_eq!(s.sent, 5);
+        assert_eq!(s.received, 1);
+        assert_eq!(s.peak_depth, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown queue")]
+    fn unknown_queue_panics() {
+        let mut b = Broker::new();
+        b.send(QueueId(3), Message { correlation: 0, payload_bytes: 0 });
+    }
+}

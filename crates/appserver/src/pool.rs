@@ -1,0 +1,199 @@
+//! Bounded resource pools: worker threads, ORB threads, JDBC connections.
+//!
+//! Pool sizing is the heart of application-server tuning (the paper spent
+//! substantial effort tuning WebSphere before measuring). The pool is
+//! non-blocking in the discrete-event style: an exhausted pool queues the
+//! requester and hands the resource over on release.
+
+use std::collections::VecDeque;
+
+/// What happened when a requester asked for a resource.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// A resource was granted immediately.
+    Granted,
+    /// The pool is exhausted; the requester is queued at this position
+    /// (0 = next in line).
+    Queued {
+        /// Position in the wait queue.
+        position: usize,
+    },
+}
+
+/// Pool statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolUsage {
+    /// Total acquisition requests.
+    pub requests: u64,
+    /// Requests that had to queue.
+    pub queued: u64,
+    /// High-water mark of concurrently used resources.
+    pub peak_in_use: usize,
+    /// High-water mark of the wait queue.
+    pub peak_waiters: usize,
+}
+
+/// A bounded pool of identical resources, with FIFO admission of waiters.
+///
+/// Requesters are identified by an opaque `u64` token chosen by the caller
+/// (typically a request id).
+#[derive(Clone, Debug)]
+pub struct BoundedPool {
+    name: &'static str,
+    capacity: usize,
+    in_use: usize,
+    waiters: VecDeque<u64>,
+    usage: PoolUsage,
+}
+
+impl BoundedPool {
+    /// Creates a pool of `capacity` resources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(name: &'static str, capacity: usize) -> Self {
+        assert!(capacity > 0, "pool {name} needs capacity");
+        BoundedPool {
+            name,
+            capacity,
+            in_use: 0,
+            waiters: VecDeque::new(),
+            usage: PoolUsage::default(),
+        }
+    }
+
+    /// The pool's name (for reports).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resources currently held.
+    #[must_use]
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Requests a resource for `token`.
+    pub fn acquire(&mut self, token: u64) -> Admission {
+        self.usage.requests += 1;
+        if self.in_use < self.capacity {
+            self.in_use += 1;
+            self.usage.peak_in_use = self.usage.peak_in_use.max(self.in_use);
+            Admission::Granted
+        } else {
+            self.waiters.push_back(token);
+            self.usage.queued += 1;
+            self.usage.peak_waiters = self.usage.peak_waiters.max(self.waiters.len());
+            Admission::Queued {
+                position: self.waiters.len() - 1,
+            }
+        }
+    }
+
+    /// Releases one resource. If a waiter was queued, the resource passes
+    /// directly to it and its token is returned so the caller can resume it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool has no resources outstanding.
+    pub fn release(&mut self) -> Option<u64> {
+        assert!(self.in_use > 0, "pool {} released more than acquired", self.name);
+        match self.waiters.pop_front() {
+            Some(token) => Some(token), // resource passes straight through
+            None => {
+                self.in_use -= 1;
+                None
+            }
+        }
+    }
+
+    /// Removes `token` from the wait queue (request timed out / abandoned).
+    /// Returns `true` if it was queued.
+    pub fn cancel(&mut self, token: u64) -> bool {
+        if let Some(pos) = self.waiters.iter().position(|&t| t == token) {
+            self.waiters.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Usage statistics.
+    #[must_use]
+    pub fn usage(&self) -> PoolUsage {
+        self.usage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_until_capacity() {
+        let mut p = BoundedPool::new("web", 2);
+        assert_eq!(p.acquire(1), Admission::Granted);
+        assert_eq!(p.acquire(2), Admission::Granted);
+        assert_eq!(p.acquire(3), Admission::Queued { position: 0 });
+        assert_eq!(p.acquire(4), Admission::Queued { position: 1 });
+        assert_eq!(p.in_use(), 2);
+    }
+
+    #[test]
+    fn release_hands_resource_to_waiter_fifo() {
+        let mut p = BoundedPool::new("web", 1);
+        p.acquire(1);
+        p.acquire(2);
+        p.acquire(3);
+        assert_eq!(p.release(), Some(2));
+        assert_eq!(p.release(), Some(3));
+        assert_eq!(p.release(), None);
+        assert_eq!(p.in_use(), 0);
+    }
+
+    #[test]
+    fn cancel_removes_waiter() {
+        let mut p = BoundedPool::new("jdbc", 1);
+        p.acquire(1);
+        p.acquire(2);
+        p.acquire(3);
+        assert!(p.cancel(2));
+        assert!(!p.cancel(2));
+        assert_eq!(p.release(), Some(3));
+    }
+
+    #[test]
+    fn usage_tracks_peaks() {
+        let mut p = BoundedPool::new("orb", 2);
+        p.acquire(1);
+        p.acquire(2);
+        p.acquire(3);
+        let u = p.usage();
+        assert_eq!(u.requests, 3);
+        assert_eq!(u.queued, 1);
+        assert_eq!(u.peak_in_use, 2);
+        assert_eq!(u.peak_waiters, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "released more than acquired")]
+    fn over_release_panics() {
+        let mut p = BoundedPool::new("web", 1);
+        p.release();
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedPool::new("x", 0);
+    }
+}

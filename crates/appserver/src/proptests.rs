@@ -1,0 +1,98 @@
+//! Property-based tests for the pools and broker: conservation laws that
+//! must hold under any acquire/release/cancel interleaving.
+
+use crate::mq::{Broker, Message};
+use crate::pool::{Admission, BoundedPool};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Clone, Copy, Debug)]
+enum PoolOp {
+    Acquire(u64),
+    Release,
+    Cancel(u64),
+}
+
+fn pool_ops() -> impl Strategy<Value = Vec<PoolOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..50).prop_map(PoolOp::Acquire),
+            Just(PoolOp::Release),
+            (0u64..50).prop_map(PoolOp::Cancel),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    /// Pool conservation: `in_use` never exceeds capacity; every granted
+    /// resource is accounted; handed-over tokens were actually waiting.
+    #[test]
+    fn pool_conserves_resources(capacity in 1usize..8, ops in pool_ops()) {
+        let mut pool = BoundedPool::new("prop", capacity);
+        let mut waiting: VecDeque<u64> = VecDeque::new();
+        let mut outstanding = 0usize; // resources held by *someone*
+        for op in ops {
+            match op {
+                PoolOp::Acquire(token) => match pool.acquire(token) {
+                    Admission::Granted => {
+                        outstanding += 1;
+                        prop_assert!(outstanding <= capacity);
+                    }
+                    Admission::Queued { position } => {
+                        prop_assert_eq!(position, waiting.len());
+                        waiting.push_back(token);
+                        prop_assert_eq!(outstanding, capacity, "queued only when full");
+                    }
+                },
+                PoolOp::Release => {
+                    if outstanding == 0 {
+                        continue; // releasing nothing would be a caller bug
+                    }
+                    match pool.release() {
+                        Some(token) => {
+                            // FIFO handover to the oldest waiter.
+                            prop_assert_eq!(Some(token), waiting.pop_front());
+                        }
+                        None => {
+                            prop_assert!(waiting.is_empty());
+                            outstanding -= 1;
+                        }
+                    }
+                }
+                PoolOp::Cancel(token) => {
+                    let was_waiting = waiting.iter().any(|&t| t == token);
+                    prop_assert_eq!(pool.cancel(token), was_waiting);
+                    if was_waiting {
+                        let pos = waiting.iter().position(|&t| t == token).unwrap();
+                        waiting.remove(pos);
+                    }
+                }
+            }
+            prop_assert_eq!(pool.in_use(), outstanding);
+        }
+    }
+
+    /// The broker preserves messages exactly: FIFO per queue, nothing lost
+    /// or duplicated.
+    #[test]
+    fn broker_is_a_perfect_fifo(
+        sends in proptest::collection::vec((0u8..3, any::<u64>()), 0..200),
+        receives in proptest::collection::vec(0u8..3, 0..220),
+    ) {
+        let mut broker = Broker::new();
+        let queues = [broker.declare_queue(), broker.declare_queue(), broker.declare_queue()];
+        let mut model: [VecDeque<u64>; 3] = Default::default();
+        for (q, corr) in sends {
+            broker.send(queues[q as usize], Message { correlation: corr, payload_bytes: 1 });
+            model[q as usize].push_back(corr);
+        }
+        for q in receives {
+            let got = broker.receive(queues[q as usize]).map(|m| m.correlation);
+            prop_assert_eq!(got, model[q as usize].pop_front());
+        }
+        for (q, m) in model.iter().enumerate() {
+            prop_assert_eq!(broker.depth(queues[q]), m.len());
+        }
+    }
+}

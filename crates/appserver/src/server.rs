@@ -1,0 +1,165 @@
+//! The application-server facade: admission control through the standard
+//! WebSphere-style pools plus the message broker.
+
+use crate::mq::{Broker, QueueId};
+use crate::pool::{Admission, BoundedPool, PoolUsage};
+
+/// Which pool a request needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolKind {
+    /// Web-container worker threads (HTTP requests).
+    WebContainer,
+    /// ORB threads (RMI requests).
+    Orb,
+    /// JDBC connections.
+    Jdbc,
+    /// JMS listener sessions.
+    JmsListener,
+}
+
+/// Pool sizing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppServerConfig {
+    /// Web-container thread pool size.
+    pub web_threads: usize,
+    /// ORB thread pool size.
+    pub orb_threads: usize,
+    /// JDBC connection pool size.
+    pub jdbc_connections: usize,
+    /// JMS listener sessions.
+    pub jms_sessions: usize,
+}
+
+impl Default for AppServerConfig {
+    /// Sizes in the neighbourhood of tuned SPECjAppServer submissions.
+    fn default() -> Self {
+        AppServerConfig {
+            web_threads: 50,
+            orb_threads: 30,
+            jdbc_connections: 40,
+            jms_sessions: 10,
+        }
+    }
+}
+
+/// The application server: pools + broker.
+#[derive(Clone, Debug)]
+pub struct AppServer {
+    web: BoundedPool,
+    orb: BoundedPool,
+    jdbc: BoundedPool,
+    jms: BoundedPool,
+    broker: Broker,
+    work_order_queue: QueueId,
+}
+
+impl AppServer {
+    /// Boots an application server.
+    #[must_use]
+    pub fn new(cfg: AppServerConfig) -> Self {
+        let mut broker = Broker::new();
+        let work_order_queue = broker.declare_queue();
+        AppServer {
+            web: BoundedPool::new("WebContainer", cfg.web_threads),
+            orb: BoundedPool::new("ORB", cfg.orb_threads),
+            jdbc: BoundedPool::new("JDBC", cfg.jdbc_connections),
+            jms: BoundedPool::new("JMSListener", cfg.jms_sessions),
+            broker,
+            work_order_queue,
+        }
+    }
+
+    /// The manufacturing work-order queue.
+    #[must_use]
+    pub fn work_order_queue(&self) -> QueueId {
+        self.work_order_queue
+    }
+
+    /// The message broker.
+    pub fn broker_mut(&mut self) -> &mut Broker {
+        &mut self.broker
+    }
+
+    /// Read-only broker access.
+    #[must_use]
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    fn pool_mut(&mut self, kind: PoolKind) -> &mut BoundedPool {
+        match kind {
+            PoolKind::WebContainer => &mut self.web,
+            PoolKind::Orb => &mut self.orb,
+            PoolKind::Jdbc => &mut self.jdbc,
+            PoolKind::JmsListener => &mut self.jms,
+        }
+    }
+
+    /// Requests a resource from `kind` for request `token`.
+    pub fn acquire(&mut self, kind: PoolKind, token: u64) -> Admission {
+        self.pool_mut(kind).acquire(token)
+    }
+
+    /// Releases one resource of `kind`; returns the token of a queued
+    /// request that should now resume, if any.
+    pub fn release(&mut self, kind: PoolKind) -> Option<u64> {
+        self.pool_mut(kind).release()
+    }
+
+    /// Removes `token` from `kind`'s wait queue (abandoned request).
+    /// Returns `true` if it was queued.
+    pub fn cancel_wait(&mut self, kind: PoolKind, token: u64) -> bool {
+        self.pool_mut(kind).cancel(token)
+    }
+
+    /// Usage statistics for `kind`.
+    #[must_use]
+    pub fn usage(&self, kind: PoolKind) -> PoolUsage {
+        match kind {
+            PoolKind::WebContainer => self.web.usage(),
+            PoolKind::Orb => self.orb.usage(),
+            PoolKind::Jdbc => self.jdbc.usage(),
+            PoolKind::JmsListener => self.jms.usage(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mq::Message;
+
+    #[test]
+    fn pools_admit_and_queue_independently() {
+        let mut s = AppServer::new(AppServerConfig {
+            web_threads: 1,
+            orb_threads: 1,
+            jdbc_connections: 1,
+            jms_sessions: 1,
+        });
+        assert_eq!(s.acquire(PoolKind::WebContainer, 1), Admission::Granted);
+        assert_eq!(s.acquire(PoolKind::Orb, 2), Admission::Granted);
+        assert!(matches!(
+            s.acquire(PoolKind::WebContainer, 3),
+            Admission::Queued { .. }
+        ));
+        assert_eq!(s.release(PoolKind::WebContainer), Some(3));
+    }
+
+    #[test]
+    fn work_order_queue_round_trips() {
+        let mut s = AppServer::new(AppServerConfig::default());
+        let q = s.work_order_queue();
+        s.broker_mut().send(q, Message { correlation: 7, payload_bytes: 256 });
+        assert_eq!(s.broker().depth(q), 1);
+        assert_eq!(s.broker_mut().receive(q).unwrap().correlation, 7);
+    }
+
+    #[test]
+    fn usage_is_per_pool() {
+        let mut s = AppServer::new(AppServerConfig::default());
+        s.acquire(PoolKind::Jdbc, 1);
+        assert_eq!(s.usage(PoolKind::Jdbc).requests, 1);
+        assert_eq!(s.usage(PoolKind::Orb).requests, 0);
+    }
+}

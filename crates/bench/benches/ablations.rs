@@ -1,0 +1,115 @@
+//! Ablations of the design choices the paper calls out as optimization
+//! opportunities (DESIGN.md Section 5):
+//!
+//! 1. large pages for the Java heap (paper: in use; +25% DTLB hits),
+//! 2. large pages for executable/JIT code (paper's proposal),
+//! 3. a doubled L2 (paper: working set exceeds the L2),
+//! 4. GC mark traversal order (paper: locality-respecting marking),
+//! 5. heap size vs GC overhead (paper: the "GC is slow" myth comes from
+//!    small heaps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jas2004::{figures, run_experiment, SutConfig};
+use jas_bench::sweep_plan;
+use jas_jvm::Traversal;
+
+fn run(cfg: SutConfig) -> jas2004::RunArtifacts {
+    run_experiment(cfg, sweep_plan())
+}
+
+fn page_ablation() {
+    println!("Ablation: page size policy (paper Section 4.2.2)");
+    println!("  config                    DTLB/instr   ITLB/instr   CPI");
+    let mut small = SutConfig::at_ir(40);
+    small.machine.addr_map.heap_large_pages = false;
+    let mut code_too = SutConfig::at_ir(40);
+    code_too.machine.addr_map.code_large_pages = true;
+    for (name, cfg) in [
+        ("4K everywhere", small),
+        ("16M heap (baseline)", SutConfig::at_ir(40)),
+        ("16M heap + code", code_too),
+    ] {
+        let art = run(cfg);
+        let f = figures::fig7_tlb(&art);
+        let cpi = figures::fig5_cpi(&art).cpi;
+        println!(
+            "  {:<24}  {:>9.2e}   {:>9.2e}   {:.2}",
+            name, f.dtlb_per_instr, f.itlb_per_instr, cpi
+        );
+    }
+}
+
+fn l2_ablation() {
+    println!("Ablation: L2 capacity (paper: a bigger L2 could help)");
+    println!("  L2 size    L2 hit of L1 misses   CPI");
+    for (name, bytes) in [("1.44 MB", 1440u64 * 1024), ("2.88 MB", 2880 * 1024)] {
+        let mut cfg = SutConfig::at_ir(40);
+        cfg.machine.l2.size_bytes = bytes;
+        let art = run(cfg);
+        let f9 = figures::fig9_data_from(&art);
+        let cpi = figures::fig5_cpi(&art).cpi;
+        println!("  {:<9}  {:>8.1}%             {:.2}", name, f9.l2_fraction * 100.0, cpi);
+    }
+}
+
+fn traversal_ablation() {
+    println!("Ablation: GC mark traversal order (paper Section 4.1.1)");
+    println!("  order            mean pause ms   mark jump (bytes)");
+    for t in [Traversal::DepthFirst, Traversal::BreadthFirst, Traversal::AddressOrdered] {
+        let mut cfg = SutConfig::at_ir(40);
+        cfg.jvm.gc.traversal = t;
+        let art = run(cfg);
+        let pause = art
+            .gc_summary
+            .map_or(f64::NAN, |s| s.mean_pause_ms);
+        let jump = art
+            .gc_entries
+            .last()
+            .map_or(f64::NAN, |e| e.cycle.report.mark_jump_mean);
+        println!("  {t:<16?} {pause:>10.0}      {jump:>12.0}");
+    }
+}
+
+fn heap_size_ablation() {
+    // The live set stays FIXED while the heap shrinks — exactly how small
+    // heaps made past GC studies look bad (headroom vanishes, collections
+    // become frequent).
+    println!("Ablation: heap size vs GC overhead (paper Section 6)");
+    println!("  heap (scaled)  GC interval s  GC % of runtime");
+    for (name, capacity) in [("20 MB", 20u64 << 20), ("32 MB", 32 << 20), ("64 MB", 64 << 20)] {
+        let mut cfg = SutConfig::at_ir(40);
+        cfg.jvm.heap.capacity = capacity;
+        cfg.jvm.live_target = (64u64 << 20) / 5;
+        let art = run(cfg);
+        match art.gc_summary {
+            Some(s) => println!(
+                "  {:<13}  {:>8.1}       {:>6.2}%",
+                name,
+                s.mean_interval_s,
+                s.runtime_fraction * 100.0
+            ),
+            None => println!("  {name:<13}  (fewer than two GCs)"),
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    page_ablation();
+    l2_ablation();
+    traversal_ablation();
+    heap_size_ablation();
+    let art = jas_bench::baseline();
+    c.bench_function("ablations_analysis", |b| {
+        b.iter(|| figures::fig7_tlb(std::hint::black_box(art)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

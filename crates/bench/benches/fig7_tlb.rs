@@ -1,0 +1,21 @@
+//! Regenerates Figure 7 (translation miss frequency) and benchmarks its analysis routine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jas2004::{figures, report};
+use jas_bench::baseline;
+
+fn bench(c: &mut Criterion) {
+    let art = baseline();
+    println!("{}", report::render_fig7(&figures::fig7_tlb(art)));
+    c.bench_function("fig7_tlb", |b| b.iter(|| figures::fig7_tlb(std::hint::black_box(art))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates Figure 9 (data loaded from) and benchmarks its analysis routine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jas2004::{figures, report};
+use jas_bench::baseline;
+
+fn bench(c: &mut Criterion) {
+    let art = baseline();
+    println!("{}", report::render_fig9(&figures::fig9_data_from(art)));
+    c.bench_function("fig9_data_from", |b| b.iter(|| figures::fig9_data_from(std::hint::black_box(art))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates the locking/SYNC table (Section 4.2.4) and benchmarks its analysis routine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jas2004::{figures, report};
+use jas_bench::baseline;
+
+fn bench(c: &mut Criterion) {
+    let art = baseline();
+    println!("{}", report::render_locking(&figures::locking_table(art)));
+    c.bench_function("tbl_locking", |b| b.iter(|| figures::locking_table(std::hint::black_box(art))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

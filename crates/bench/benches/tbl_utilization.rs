@@ -1,0 +1,43 @@
+//! Regenerates the utilization / run-rules table across an injection-rate
+//! sweep: the paper's "~100% CPU at IR47, 80/20 user/system, 1.6 JOPS/IR"
+//! observations, plus where the response-time rules stop passing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jas2004::{figures, run_experiment, SutConfig};
+use jas_bench::sweep_plan;
+
+fn bench(c: &mut Criterion) {
+    println!("Utilization sweep (paper: ~90% at IR40, saturation near IR47)");
+    println!("  IR   busy%  user%  sys%  iowait%  JOPS  JOPS/IR  web p90  verdict");
+    for ir in [10, 25, 40, 47, 55] {
+        let art = run_experiment(SutConfig::at_ir(ir), sweep_plan());
+        let t = figures::utilization_table(&art);
+        println!(
+            "  {:>2}   {:>4.0}   {:>4.0}  {:>4.0}   {:>5.1}   {:>5.1}  {:>6.2}  {:>6.2}s  {}",
+            ir,
+            (t.user + t.system) * 100.0,
+            t.user * 100.0,
+            t.system * 100.0,
+            t.iowait * 100.0,
+            t.jops,
+            t.jops_per_ir,
+            t.web_p90,
+            if t.passed { "PASSED" } else { "FAILED" }
+        );
+    }
+    // Criterion times the cheap analysis step over the cached baseline.
+    let art = jas_bench::baseline();
+    c.bench_function("tbl_utilization", |b| {
+        b.iter(|| figures::utilization_table(std::hint::black_box(art)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

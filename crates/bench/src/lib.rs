@@ -1,0 +1,42 @@
+//! Shared support for the figure-regeneration benches.
+//!
+//! Each bench target regenerates one table or figure of the paper from a
+//! cached baseline run (printed to stdout alongside Criterion's timing of
+//! the corresponding analysis routine), so `cargo bench` both re-derives
+//! the paper's evaluation and tracks the analysis-path performance.
+
+use jas2004::{run_experiment, RunArtifacts, RunPlan, SutConfig};
+use jas_simkernel::SimDuration;
+use std::sync::OnceLock;
+
+/// The baseline run every figure bench reads (IR 40, tuned system).
+///
+/// Executed once per bench binary; the steady window is shortened relative
+/// to the paper's 30-60 minutes (steady state arrives quickly — paper
+/// Section 4.1) to keep `cargo bench --workspace` reasonable.
+pub fn baseline() -> &'static RunArtifacts {
+    static RUN: OnceLock<RunArtifacts> = OnceLock::new();
+    RUN.get_or_init(|| run_experiment(SutConfig::at_ir(40), bench_plan()))
+}
+
+/// The timing plan used by the benches.
+#[must_use]
+pub fn bench_plan() -> RunPlan {
+    RunPlan {
+        ramp_up: SimDuration::from_secs(10),
+        steady: SimDuration::from_secs(60),
+        hpm_period: SimDuration::from_millis(500),
+        throughput_bin: SimDuration::from_secs(10),
+    }
+}
+
+/// A shorter plan for sweeps (ablations, utilization table).
+#[must_use]
+pub fn sweep_plan() -> RunPlan {
+    RunPlan {
+        ramp_up: SimDuration::from_secs(10),
+        steady: SimDuration::from_secs(45),
+        hpm_period: SimDuration::from_millis(500),
+        throughput_bin: SimDuration::from_secs(10),
+    }
+}

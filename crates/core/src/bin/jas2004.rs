@@ -1,0 +1,80 @@
+//! The `jas2004` command-line front end: run a configuration of the
+//! simulated system and print the paper's figures.
+//!
+//! ```sh
+//! cargo run --release --bin jas2004 -- --ir 40 --figure 9
+//! jas2004 --scenario trade --figure 3
+//! ```
+
+use jas2004::cli::{parse_args, CliOptions, FigureSelect};
+use jas2004::{figures, report, run_experiment};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let options = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    run(options);
+    ExitCode::SUCCESS
+}
+
+fn run(options: CliOptions) {
+    let CliOptions {
+        config,
+        plan,
+        select,
+    } = options;
+    eprintln!(
+        "running IR{} ({:?}), {:.0}s steady after {:.0}s ramp-up...",
+        config.ir,
+        config.scenario,
+        plan.steady.as_secs_f64(),
+        plan.ramp_up.as_secs_f64()
+    );
+    let art = run_experiment(config, plan);
+    let want = |n: u8| match select {
+        FigureSelect::All => true,
+        FigureSelect::Figure(x) => x == n,
+        _ => false,
+    };
+    if want(2) {
+        print!("{}", report::render_fig2(&figures::fig2_throughput(&art)));
+    }
+    if want(3) {
+        print!("{}", report::render_fig3(&figures::fig3_gc(&art)));
+    }
+    if want(4) {
+        print!("{}", report::render_fig4(&figures::fig4_profile(&art)));
+    }
+    if want(5) {
+        print!("{}", report::render_fig5(&figures::fig5_cpi(&art)));
+    }
+    if want(6) {
+        print!("{}", report::render_fig6(&figures::fig6_branch(&art)));
+    }
+    if want(7) {
+        print!("{}", report::render_fig7(&figures::fig7_tlb(&art)));
+    }
+    if want(8) {
+        print!("{}", report::render_fig8(&figures::fig8_l1d(&art)));
+    }
+    if want(9) {
+        print!("{}", report::render_fig9(&figures::fig9_data_from(&art)));
+    }
+    if want(10) {
+        print!("{}", report::render_fig10(&figures::fig10_correlation(&art)));
+    }
+    if matches!(select, FigureSelect::All | FigureSelect::Locking) {
+        print!("{}", report::render_locking(&figures::locking_table(&art)));
+    }
+    if matches!(select, FigureSelect::All | FigureSelect::Utilization) {
+        print!(
+            "{}",
+            report::render_utilization(&figures::utilization_table(&art))
+        );
+    }
+}

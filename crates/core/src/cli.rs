@@ -1,0 +1,233 @@
+//! Command-line options for the `jas2004` binary.
+//!
+//! A deliberately dependency-free parser: the simulator's public surface is
+//! a library, and the binary is a thin convenience wrapper (run a
+//! configuration, print selected figures).
+
+use crate::config::{RunPlan, ScenarioKind, SutConfig};
+use jas_simkernel::SimDuration;
+
+/// Which outputs to print.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FigureSelect {
+    /// Every figure and table.
+    All,
+    /// One figure by number (2–10).
+    Figure(u8),
+    /// The locking table.
+    Locking,
+    /// The utilization table.
+    Utilization,
+}
+
+/// Parsed command line.
+#[derive(Clone, Debug)]
+pub struct CliOptions {
+    /// SUT configuration derived from the flags.
+    pub config: SutConfig,
+    /// Run timing.
+    pub plan: RunPlan,
+    /// Output selection.
+    pub select: FigureSelect,
+}
+
+/// A CLI parsing error with a user-facing message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl core::fmt::Display for CliError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage text.
+pub const USAGE: &str = "\
+jas2004 — regenerate the ISPASS 2007 J2EE characterization figures
+
+USAGE:
+    jas2004 [OPTIONS]
+
+OPTIONS:
+    --ir <N>             injection rate (default 40)
+    --steady <SECONDS>   steady-state window (default 180)
+    --ramp <SECONDS>     ramp-up excluded from statistics (default 20)
+    --seed <N>           RNG seed (default: fixed project seed)
+    --scenario <NAME>    jas | trade (default jas)
+    --no-large-pages     back the Java heap with 4 KB pages
+    --code-large-pages   put JIT/native code on 16 MB pages
+    --generational <MB>  minor collections every <MB> allocated
+    --figure <SEL>       all | 2..10 | locking | utilization (default all)
+    --help               print this help
+";
+
+fn parse_u64(flag: &str, value: Option<&str>) -> Result<u64, CliError> {
+    let v = value.ok_or_else(|| CliError(format!("{flag} requires a value")))?;
+    v.parse()
+        .map_err(|_| CliError(format!("{flag}: '{v}' is not a number")))
+}
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message on unknown flags,
+/// missing values, or out-of-range selections. `--help` surfaces as an
+/// error whose message is the usage text.
+pub fn parse_args<I, S>(args: I) -> Result<CliOptions, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let args: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
+    let mut config = SutConfig::at_ir(40);
+    let mut plan = RunPlan::default();
+    let mut select = FigureSelect::All;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1).map(String::as_str);
+        match flag {
+            "--help" | "-h" => return Err(CliError(USAGE.to_string())),
+            "--ir" => {
+                config.ir = parse_u64(flag, value)? as u32;
+                if config.ir == 0 {
+                    return Err(CliError("--ir must be positive".into()));
+                }
+                i += 1;
+            }
+            "--steady" => {
+                plan.steady = SimDuration::from_secs(parse_u64(flag, value)?);
+                i += 1;
+            }
+            "--ramp" => {
+                plan.ramp_up = SimDuration::from_secs(parse_u64(flag, value)?);
+                i += 1;
+            }
+            "--seed" => {
+                config.seed = parse_u64(flag, value)?;
+                i += 1;
+            }
+            "--scenario" => {
+                config.scenario = match value {
+                    Some("jas") => ScenarioKind::JAppServer,
+                    Some("trade") => ScenarioKind::TradeLike,
+                    Some(other) => {
+                        return Err(CliError(format!("unknown scenario '{other}' (jas|trade)")))
+                    }
+                    None => return Err(CliError("--scenario requires a value".into())),
+                };
+                i += 1;
+            }
+            "--no-large-pages" => config.machine.addr_map.heap_large_pages = false,
+            "--code-large-pages" => config.machine.addr_map.code_large_pages = true,
+            "--generational" => {
+                config.jvm.minor_every_bytes = Some(parse_u64(flag, value)? << 20);
+                i += 1;
+            }
+            "--figure" => {
+                select = match value {
+                    Some("all") => FigureSelect::All,
+                    Some("locking") => FigureSelect::Locking,
+                    Some("utilization") => FigureSelect::Utilization,
+                    Some(n) => {
+                        let n: u8 = n
+                            .parse()
+                            .map_err(|_| CliError(format!("--figure: bad selector '{n}'")))?;
+                        if !(2..=10).contains(&n) {
+                            return Err(CliError("--figure: figures are 2..=10".into()));
+                        }
+                        FigureSelect::Figure(n)
+                    }
+                    None => return Err(CliError("--figure requires a value".into())),
+                };
+                i += 1;
+            }
+            other => return Err(CliError(format!("unknown flag '{other}'\n\n{USAGE}"))),
+        }
+        i += 1;
+    }
+    if plan.steady.is_zero() {
+        return Err(CliError("--steady must be positive".into()));
+    }
+    Ok(CliOptions {
+        config,
+        plan,
+        select,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliOptions, CliError> {
+        parse_args(args.iter().copied())
+    }
+
+    #[test]
+    fn defaults_with_no_flags() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.config.ir, 40);
+        assert_eq!(o.select, FigureSelect::All);
+        assert_eq!(o.config.scenario, ScenarioKind::JAppServer);
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let o = parse(&[
+            "--ir", "47",
+            "--steady", "60",
+            "--ramp", "5",
+            "--seed", "7",
+            "--scenario", "trade",
+            "--no-large-pages",
+            "--code-large-pages",
+            "--generational", "4",
+            "--figure", "7",
+        ])
+        .unwrap();
+        assert_eq!(o.config.ir, 47);
+        assert_eq!(o.plan.steady.as_secs_f64(), 60.0);
+        assert_eq!(o.plan.ramp_up.as_secs_f64(), 5.0);
+        assert_eq!(o.config.seed, 7);
+        assert_eq!(o.config.scenario, ScenarioKind::TradeLike);
+        assert!(!o.config.machine.addr_map.heap_large_pages);
+        assert!(o.config.machine.addr_map.code_large_pages);
+        assert_eq!(o.config.jvm.minor_every_bytes, Some(4 << 20));
+        assert_eq!(o.select, FigureSelect::Figure(7));
+    }
+
+    #[test]
+    fn figure_selectors() {
+        assert_eq!(parse(&["--figure", "all"]).unwrap().select, FigureSelect::All);
+        assert_eq!(
+            parse(&["--figure", "locking"]).unwrap().select,
+            FigureSelect::Locking
+        );
+        assert_eq!(
+            parse(&["--figure", "utilization"]).unwrap().select,
+            FigureSelect::Utilization
+        );
+        assert!(parse(&["--figure", "1"]).is_err());
+        assert!(parse(&["--figure", "11"]).is_err());
+        assert!(parse(&["--figure", "xyz"]).is_err());
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(&["--ir"]).unwrap_err().0.contains("requires a value"));
+        assert!(parse(&["--ir", "abc"]).unwrap_err().0.contains("not a number"));
+        assert!(parse(&["--ir", "0"]).unwrap_err().0.contains("positive"));
+        assert!(parse(&["--scenario", "weblogic"]).unwrap_err().0.contains("unknown scenario"));
+        assert!(parse(&["--bogus"]).unwrap_err().0.contains("unknown flag"));
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        let err = parse(&["--help"]).unwrap_err();
+        assert!(err.0.contains("USAGE"));
+    }
+}

@@ -1,0 +1,1001 @@
+//! The execution engine: couples the workload, application server, JVM,
+//! database, and CPU model on a shared simulated timeline.
+//!
+//! Time advances in fixed scheduler quanta. Each quantum, every core runs
+//! either the garbage collector (stop-the-world), a request task's current
+//! plan step, background JIT compilation, or idles. Compute steps are
+//! executed as real micro-op streams on the machine model, so transaction
+//! service time feeds back from achieved IPC: more cache misses → higher
+//! CPI → longer service → deeper queues → higher response times. This
+//! closed loop is what lets one simulation regenerate every figure of the
+//! paper at once.
+
+use crate::config::{RunPlan, ScenarioKind, SutConfig};
+use crate::profiles::{profile_for, FootprintConfig};
+use jas_appserver::{Admission, AppServer, Message, PlanStep, PoolKind, TxPlan};
+use jas_cpu::{Machine, StreamGen};
+use jas_db::{Database, DbError};
+use jas_hpm::{CpuState, GcLogEntry, OmniscientHpm, Tprof, VerboseGc, Vmstat};
+use jas_jvm::{Component, GcCycle, Jvm, LockOutcome, MethodId, TxHandle};
+use jas_simkernel::{Rng, SimDuration, SimTime};
+use jas_workload::{JasScenario, Metrics, RequestKind, Scenario, TradeScenario};
+use std::collections::VecDeque;
+
+fn comp_index(c: Component) -> usize {
+    Component::ALL
+        .iter()
+        .position(|&x| x == c)
+        .expect("component is in ALL")
+}
+
+/// Per-component GC work-cost constants (full-scale instructions), chosen
+/// so a ~200 MB live set marks in the paper's 300–400 ms band.
+const MARK_INSTR_PER_OBJECT: f64 = 255.0;
+const MARK_INSTR_PER_EDGE: f64 = 56.0;
+const MARK_INSTR_PER_BYTE: f64 = 0.32;
+const SWEEP_INSTR_PER_OBJECT: f64 = 14.0;
+const SWEEP_INSTR_PER_BYTE: f64 = 0.06;
+const COMPACT_INSTR_PER_BYTE: f64 = 1.0;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TaskState {
+    Ready,
+    BlockedUntil(SimTime),
+    WaitingPool,
+    Done,
+}
+
+#[derive(Debug)]
+struct Task {
+    kind: RequestKind,
+    plan: TxPlan,
+    step: usize,
+    remaining_modeled: f64,
+    extra: VecDeque<(Component, f64)>,
+    issued: SimTime,
+    jvm_tx: Option<TxHandle>,
+    pool: Option<PoolKind>,
+    state: TaskState,
+    /// Whether the current `BlockedUntil` wait is a disk I/O (drives the
+    /// vmstat I/O-wait classification).
+    io_blocked: bool,
+    /// Quantum stamp preventing one task from running on two cores within
+    /// the same quantum.
+    last_run_quantum: u64,
+}
+
+struct GcPause {
+    remaining_modeled: f64,
+    mark_fraction: f64,
+    start: SimTime,
+    cycle: GcCycle,
+}
+
+/// The coupled system-under-test simulation.
+pub struct Engine {
+    cfg: SutConfig,
+    run: RunPlan,
+    machine: Machine,
+    jvm: Jvm,
+    db: Database,
+    appserver: AppServer,
+    scenario: Box<dyn Scenario>,
+    rng: Rng,
+    clock: SimTime,
+    next_arrival: (SimTime, RequestKind),
+    tasks: Vec<Task>,
+    /// Per-core ready queues: tasks have core affinity (idx % cores) so
+    /// their hot cache state stays on one L1; idle cores steal.
+    ready: Vec<VecDeque<usize>>,
+    pending_workorders: u64,
+    gc: Option<GcPause>,
+    jit_backlog_modeled: f64,
+    /// One generator per `(component, core)` pair: cores carry distinct
+    /// salts so their thread-local data does not falsely share.
+    gens: Vec<Vec<StreamGen>>,
+    method_cdf: Vec<(Vec<MethodId>, Vec<f64>)>,
+    correlation_seq: u64,
+    outstanding_io: u32,
+    quantum_counter: u64,
+    steady_base: Option<jas_cpu::CounterFile>,
+    // Instruments.
+    hpm: OmniscientHpm,
+    tprof: Tprof,
+    vmstat: Vmstat,
+    vgc: VerboseGc,
+    metrics: Metrics,
+    completed_requests: u64,
+    aborted_requests: u64,
+}
+
+impl Engine {
+    /// Builds the system under test and its instruments.
+    #[must_use]
+    pub fn new(cfg: SutConfig, run: RunPlan) -> Self {
+        let mut rng = Rng::new(cfg.seed);
+        let machine = Machine::new(cfg.machine.clone());
+        let jvm = Jvm::new(cfg.jvm);
+        let mut db = Database::new(cfg.db);
+        let scenario: Box<dyn Scenario> = match cfg.scenario {
+            ScenarioKind::JAppServer => Box::new(JasScenario::new(&mut db, cfg.ir, cfg.seed)),
+            ScenarioKind::TradeLike => Box::new(TradeScenario::new(&mut db, cfg.ir, cfg.seed)),
+        };
+        let appserver = AppServer::new(cfg.appserver);
+        let fp = FootprintConfig {
+            heap_bytes: cfg.jvm.heap.capacity,
+            jit_code_bytes: 10 << 20,
+            buffer_pool_bytes: cfg.db.pool_pages as u64 * cfg.db.page_bytes,
+        };
+        let cores = cfg.machine.topology.cores();
+        let gens = Component::ALL
+            .iter()
+            .map(|&c| {
+                (0..cores)
+                    .map(|core| {
+                        StreamGen::new(
+                            profile_for(c, &fp),
+                            rng.fork(&format!("{}/{core}", c.name())),
+                            core as u64 + 1,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let method_cdf = Component::ALL
+            .iter()
+            .map(|&c| {
+                let ids = jvm.registry().of_component(c);
+                let mut acc = 0.0;
+                let cdf = ids
+                    .iter()
+                    .map(|&id| {
+                        acc += jvm.registry().get(id).weight;
+                        acc
+                    })
+                    .collect();
+                (ids, cdf)
+            })
+            .collect();
+        let steady_start = run.steady_start();
+        let end = run.end();
+        let hpm = OmniscientHpm::new(run.hpm_period);
+        let metrics = Metrics::new(run.throughput_bin, steady_start, end);
+        let mut engine = Engine {
+            cfg,
+            run,
+            machine,
+            jvm,
+            db,
+            appserver,
+            scenario,
+            rng,
+            clock: SimTime::ZERO,
+            next_arrival: (SimTime::ZERO, RequestKind::Browse),
+            tasks: Vec::new(),
+            ready: vec![VecDeque::new(); cores],
+            pending_workorders: 0,
+            gc: None,
+            jit_backlog_modeled: 0.0,
+            gens,
+            method_cdf,
+            correlation_seq: 0,
+            outstanding_io: 0,
+            quantum_counter: 0,
+            steady_base: None,
+            hpm,
+            tprof: Tprof::new(),
+            vmstat: Vmstat::new(steady_start),
+            vgc: VerboseGc::new(),
+            metrics,
+            completed_requests: 0,
+            aborted_requests: 0,
+        };
+        // Pre-warm the session store so the live set starts near its
+        // steady-state target (the paper measures after a long warm-up; a
+        // cold live set would make used-heap growth reflect session ramp
+        // rather than dark matter).
+        let target = engine.cfg.jvm.live_target * 4 / 5;
+        let mut warm_rng = engine.rng.fork("session-warmup");
+        while engine.jvm.heap().live_bytes() < target {
+            engine.jvm.touch_session(&mut warm_rng);
+        }
+        let _ = engine.jvm.take_gc_cycles(); // warm-up GCs are not measured
+        let (gap, kind) = engine.scenario.next_arrival();
+        engine.next_arrival = (SimTime::ZERO + gap, kind);
+        engine
+    }
+
+    /// The simulation clock.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Runs the whole configured plan (ramp-up + steady state).
+    pub fn run_to_end(&mut self) {
+        let end = self.run.end();
+        while self.clock < end {
+            self.step_quantum();
+        }
+        self.hpm.finish(end);
+    }
+
+    /// Enqueues a task on its affinity core's ready queue.
+    fn enqueue(&mut self, task_idx: usize) {
+        let core = task_idx % self.ready.len();
+        self.ready[core].push_back(task_idx);
+    }
+
+    /// Pops the next task for `core`: own queue first, else steal from the
+    /// deepest other queue.
+    fn dequeue_for(&mut self, core: usize) -> Option<usize> {
+        if let Some(t) = self.ready[core].pop_front() {
+            return Some(t);
+        }
+        let victim = (0..self.ready.len())
+            .filter(|&q| q != core)
+            .max_by_key(|&q| self.ready[q].len())?;
+        self.ready[victim].pop_front()
+    }
+
+    fn sample_method(&mut self, component: Component) -> Option<MethodId> {
+        let (ids, cdf) = &self.method_cdf[comp_index(component)];
+        let total = *cdf.last()?;
+        if total <= 0.0 {
+            return None;
+        }
+        let x = self.rng.next_f64() * total;
+        let i = cdf.partition_point(|&c| c < x).min(ids.len() - 1);
+        Some(ids[i])
+    }
+
+    /// Advances exactly one scheduler quantum.
+    pub fn step_quantum(&mut self) {
+        let quantum = self.cfg.quantum;
+        let quantum_end = self.clock + quantum;
+
+        // 1. Admit arrivals due in this quantum.
+        while self.next_arrival.0 < quantum_end {
+            let (at, kind) = self.next_arrival;
+            self.admit(kind, at.max(self.clock));
+            let (gap, next_kind) = self.scenario.next_arrival();
+            self.next_arrival = (self.next_arrival.0 + gap, next_kind);
+        }
+
+        // 2. Unblock tasks whose waits expired.
+        for i in 0..self.tasks.len() {
+            if let TaskState::BlockedUntil(t) = self.tasks[i].state {
+                if t <= self.clock {
+                    self.tasks[i].state = TaskState::Ready;
+                    if self.tasks[i].io_blocked {
+                        self.tasks[i].io_blocked = false;
+                        self.outstanding_io = self.outstanding_io.saturating_sub(1);
+                    }
+                    self.enqueue(i);
+                }
+            }
+        }
+
+        // 3. Run each core for the quantum.
+        let cores = self.machine.cores();
+        let budget = self.cfg.machine.frequency_hz * quantum.as_secs_f64();
+        let freq = self.cfg.machine.frequency_hz;
+        let in_steady = self.clock >= self.run.steady_start();
+        for core in 0..cores {
+            let mut cycles_left = budget;
+            let mut user_cycles = 0.0;
+            let mut sys_cycles = 0.0;
+            if self.gc.is_some() {
+                let used = self.run_gc_slice(core, cycles_left, in_steady);
+                user_cycles += used;
+                cycles_left -= used;
+            }
+            // Task execution (only when no stop-the-world pause is active).
+            while self.gc.is_none() && cycles_left > budget * 0.02 {
+                let Some(task_idx) = self.dequeue_for(core) else { break };
+                if self.tasks[task_idx].last_run_quantum == self.quantum_counter {
+                    // Already ran this quantum on another core; keep it for
+                    // the next quantum rather than spreading one request
+                    // over several cores.
+                    let q = core % self.ready.len();
+                    self.ready[q].push_front(task_idx);
+                    break;
+                }
+                self.tasks[task_idx].last_run_quantum = self.quantum_counter;
+                let (used_user, used_sys) =
+                    self.run_task_slice(task_idx, core, cycles_left, in_steady);
+                user_cycles += used_user;
+                sys_cycles += used_sys;
+                cycles_left -= used_user + used_sys;
+                // A GC may have been triggered mid-task.
+                if self.gc.is_some() {
+                    let used = self.run_gc_slice(core, cycles_left, in_steady);
+                    user_cycles += used;
+                    cycles_left -= used;
+                    break;
+                }
+            }
+            // Idle capacity goes to background JIT compilation.
+            if self.gc.is_none() && cycles_left > budget * 0.05 && self.jit_backlog_modeled > 1.0 {
+                let used = self.run_jit_slice(core, cycles_left, in_steady);
+                user_cycles += used;
+            }
+            if in_steady {
+                let user_t = SimDuration::from_secs_f64(user_cycles / freq);
+                let sys_t = SimDuration::from_secs_f64(sys_cycles / freq);
+                self.vmstat.account(CpuState::User, user_t);
+                self.vmstat.account(CpuState::System, sys_t);
+                let busy = user_t + sys_t;
+                let idle = if busy >= quantum { SimDuration::ZERO } else { quantum - busy };
+                if self.outstanding_io > 0 {
+                    self.vmstat.account(CpuState::IoWait, idle);
+                } else {
+                    self.vmstat.account(CpuState::Idle, idle);
+                }
+            }
+        }
+
+        // 4. Advance the clock and feed the samplers.
+        self.clock = quantum_end;
+        self.quantum_counter += 1;
+        self.hpm.observe(self.clock, &self.machine.total_counters());
+        if self.steady_base.is_none() && self.clock >= self.run.steady_start() {
+            self.steady_base = Some(self.machine.total_counters());
+        }
+    }
+
+    fn admit(&mut self, kind: RequestKind, at: SimTime) {
+        let plan = self
+            .scenario
+            .build(kind, self.appserver.work_order_queue());
+        let pool = if kind.is_web() {
+            PoolKind::WebContainer
+        } else {
+            PoolKind::Orb
+        };
+        let idx = self.spawn_task(kind, plan, Some(pool), at);
+        match self.appserver.acquire(pool, idx as u64) {
+            Admission::Granted => {
+                self.tasks[idx].state = TaskState::Ready;
+                self.enqueue(idx);
+            }
+            Admission::Queued { .. } => {
+                self.tasks[idx].state = TaskState::WaitingPool;
+            }
+        }
+    }
+
+    fn spawn_task(
+        &mut self,
+        kind: RequestKind,
+        plan: TxPlan,
+        pool: Option<PoolKind>,
+        at: SimTime,
+    ) -> usize {
+        // Kernel-mode wrapper: network receive before, response send after.
+        let total = plan.compute_instructions();
+        let kernel_each = total * self.cfg.kernel_overhead / 2.0;
+        let mut wrapped = TxPlan::new();
+        wrapped.push(PlanStep::Compute {
+            component: Component::Kernel,
+            instructions: kernel_each,
+        });
+        wrapped.extend(plan.steps);
+        wrapped.push(PlanStep::Compute {
+            component: Component::Kernel,
+            instructions: kernel_each,
+        });
+        self.tasks.push(Task {
+            kind,
+            plan: wrapped,
+            step: 0,
+            remaining_modeled: 0.0,
+            extra: VecDeque::new(),
+            issued: at,
+            jvm_tx: None,
+            pool,
+            state: TaskState::Ready,
+            io_blocked: false,
+            last_run_quantum: u64::MAX,
+        });
+        self.tasks.len() - 1
+    }
+
+    /// Executes GC work on `core`; returns cycles used.
+    fn run_gc_slice(&mut self, core: usize, cycles_budget: f64, in_steady: bool) -> f64 {
+        let (used, executed, remaining) = {
+            let Some(gc) = self.gc.as_mut() else { return 0.0 };
+            let mut used = 0.0;
+            let mut executed = 0.0;
+            let gen = &mut self.gens[comp_index(Component::Gc)][core];
+            while used < cycles_budget && gc.remaining_modeled > executed {
+                let (ia, op) = gen.next_op();
+                used += self.machine.exec(core, ia, op);
+                executed += 1.0;
+            }
+            gc.remaining_modeled -= executed;
+            (used, executed, gc.remaining_modeled)
+        };
+        if in_steady && executed >= 1.0 {
+            if let Some(m) = self.sample_method(Component::Gc) {
+                self.tprof.record(self.jvm.registry(), m, executed as u64);
+            }
+        }
+        if remaining <= 0.0 {
+            let gc = self.gc.take().expect("gc pause active");
+            let pause = self.clock + self.cfg.quantum - gc.start;
+            let mark = SimDuration::from_secs_f64(pause.as_secs_f64() * gc.mark_fraction);
+            self.vgc.push(GcLogEntry {
+                at: gc.start,
+                pause,
+                mark,
+                sweep: pause - mark,
+                compacted: gc.cycle.report.compacted,
+                free_after: gc.cycle.report.free_after,
+                used_after: gc.cycle.used_after,
+                cycle: gc.cycle,
+            });
+        }
+        used
+    }
+
+    /// Executes background JIT compilation on `core`; returns cycles used.
+    fn run_jit_slice(&mut self, core: usize, cycles_budget: f64, in_steady: bool) -> f64 {
+        let mut used = 0.0;
+        let mut executed = 0.0;
+        let gen = &mut self.gens[comp_index(Component::JitCompiler)][core];
+        while used < cycles_budget && self.jit_backlog_modeled > executed {
+            let (ia, op) = gen.next_op();
+            used += self.machine.exec(core, ia, op);
+            executed += 1.0;
+        }
+        self.jit_backlog_modeled -= executed;
+        if in_steady && executed >= 1.0 {
+            if let Some(m) = self.sample_method(Component::JitCompiler) {
+                self.tprof.record(self.jvm.registry(), m, executed as u64);
+            }
+        }
+        used
+    }
+
+    /// Runs one task on `core` within `cycles_budget`; returns
+    /// `(user_cycles, system_cycles)` consumed.
+    fn run_task_slice(
+        &mut self,
+        task_idx: usize,
+        core: usize,
+        cycles_budget: f64,
+        in_steady: bool,
+    ) -> (f64, f64) {
+        let mut user = 0.0;
+        let mut sys = 0.0;
+        loop {
+            let budget_left = cycles_budget - user - sys;
+            if budget_left <= cycles_budget * 0.02 {
+                // Quantum exhausted; task stays ready.
+                self.enqueue(task_idx);
+                return (user, sys);
+            }
+            // Run pending compute (from the current step or extra work).
+            if self.tasks[task_idx].remaining_modeled > 0.0 {
+                let component = self.current_component(task_idx);
+                let (used, executed) = self.exec_stream(core, component, budget_left, {
+                    self.tasks[task_idx].remaining_modeled
+                });
+                self.tasks[task_idx].remaining_modeled -= executed;
+                if in_steady {
+                    if let Some(m) = self.sample_method(component) {
+                        self.tprof.record(self.jvm.registry(), m, executed as u64);
+                        let work = self.jvm.record_invocations(m, 10);
+                        self.jit_backlog_modeled += work / self.cfg.instruction_scale();
+                    }
+                }
+                if component == Component::Kernel {
+                    sys += used;
+                } else {
+                    user += used;
+                }
+                if self.tasks[task_idx].remaining_modeled > 0.0 {
+                    continue; // budget ran out mid-step
+                }
+                self.advance_past_compute(task_idx);
+            }
+            // Interpret steps until the next compute (or completion/block).
+            match self.interpret_until_compute(task_idx) {
+                StepOutcome::Compute => {}
+                StepOutcome::Blocked => return (user, sys),
+                StepOutcome::Finished => {
+                    self.complete_task(task_idx);
+                    return (user, sys);
+                }
+            }
+        }
+    }
+
+    fn current_component(&self, task_idx: usize) -> Component {
+        let t = &self.tasks[task_idx];
+        if let Some(&(c, _)) = t.extra.front() {
+            return c;
+        }
+        match t.plan.steps.get(t.step) {
+            Some(PlanStep::Compute { component, .. }) => *component,
+            _ => Component::AppServer,
+        }
+    }
+
+    /// Executes up to `max_instr` modeled instructions of `component`'s
+    /// stream, bounded by `cycles_budget`. Returns `(cycles, instructions)`.
+    fn exec_stream(
+        &mut self,
+        core: usize,
+        component: Component,
+        cycles_budget: f64,
+        max_instr: f64,
+    ) -> (f64, f64) {
+        let gen = &mut self.gens[comp_index(component)][core];
+        let mut used = 0.0;
+        let mut executed = 0.0;
+        while used < cycles_budget && executed < max_instr {
+            let (ia, op) = gen.next_op();
+            used += self.machine.exec(core, ia, op);
+            executed += 1.0;
+        }
+        (used, executed)
+    }
+
+    /// Moves past a completed compute step (either an `extra` entry or the
+    /// plan's current step).
+    fn advance_past_compute(&mut self, task_idx: usize) {
+        let t = &mut self.tasks[task_idx];
+        if t.extra.pop_front().is_none() {
+            t.step += 1;
+        }
+        // Load the next pending compute if it is an extra entry.
+        if let Some(&(_, instr)) = t.extra.front() {
+            t.remaining_modeled = instr;
+        }
+    }
+
+    /// Walks plan steps, applying side effects, until hitting a compute
+    /// step (which is loaded into `remaining_modeled`), a blocking
+    /// condition, or the end of the plan.
+    fn interpret_until_compute(&mut self, task_idx: usize) -> StepOutcome {
+        loop {
+            if let Some(&(_, instr)) = self.tasks[task_idx].extra.front() {
+                self.tasks[task_idx].remaining_modeled = instr;
+                return StepOutcome::Compute;
+            }
+            let step = {
+                let t = &self.tasks[task_idx];
+                match t.plan.steps.get(t.step) {
+                    Some(s) => s.clone(),
+                    None => return StepOutcome::Finished,
+                }
+            };
+            match step {
+                PlanStep::Compute { instructions, .. } => {
+                    self.tasks[task_idx].remaining_modeled =
+                        instructions / self.cfg.instruction_scale();
+                    return StepOutcome::Compute;
+                }
+                PlanStep::Allocate { class, count } => {
+                    let tx = self.ensure_jvm_tx(task_idx);
+                    let n = count * self.cfg.alloc_multiplier;
+                    for _ in 0..n {
+                        self.jvm.alloc_in_tx(tx, class, &mut self.rng);
+                    }
+                    self.drain_gc_cycles();
+                    self.tasks[task_idx].step += 1;
+                    if self.gc.is_some() {
+                        // Stop-the-world: the task pauses with everyone else
+                        // but stays ready.
+                        self.enqueue(task_idx);
+                        return StepOutcome::Blocked;
+                    }
+                }
+                PlanStep::SessionTouch => {
+                    self.jvm.touch_session(&mut self.rng);
+                    self.drain_gc_cycles();
+                    self.tasks[task_idx].step += 1;
+                    if self.gc.is_some() {
+                        self.enqueue(task_idx);
+                        return StepOutcome::Blocked;
+                    }
+                }
+                PlanStep::Lock { monitor } => {
+                    let outcome = self.jvm.lock(monitor, &mut self.rng);
+                    self.tasks[task_idx].step += 1;
+                    if let LockOutcome::OsBlock = outcome {
+                        // Futex path: kernel work plus a short block.
+                        self.tasks[task_idx].extra.push_back((
+                            Component::Kernel,
+                            12_000.0 / self.cfg.instruction_scale(),
+                        ));
+                        let until = self.clock + SimDuration::from_micros(500);
+                        self.tasks[task_idx].state = TaskState::BlockedUntil(until);
+                        return StepOutcome::Blocked;
+                    }
+                }
+                PlanStep::Db { query } => {
+                    // Each statement runs in its own short transaction:
+                    // holding row locks across a whole multi-quantum plan
+                    // under no-wait locking would livelock on hot rows (the
+                    // real system holds row latches for microseconds, far
+                    // below our scheduling resolution).
+                    let txn = self.db.begin();
+                    let result = self.db.execute(txn, query, self.clock);
+                    match result {
+                        Ok(report) => {
+                            self.db.commit(txn);
+                            let scale = self.cfg.instruction_scale();
+                            let t = &mut self.tasks[task_idx];
+                            t.step += 1;
+                            t.extra.push_back((
+                                Component::Database,
+                                report.cpu_instructions / scale,
+                            ));
+                            if report.pool_misses > 0 {
+                                t.extra.push_back((
+                                    Component::Kernel,
+                                    f64::from(report.pool_misses) * 8_000.0 / scale,
+                                ));
+                            }
+                            if let Some(done) = report.io_done {
+                                // RAM-disk I/O (tens of microseconds)
+                                // completes within the slice; spinning-disk
+                                // service times block the task, surfacing
+                                // as I/O wait exactly as in the paper's
+                                // hard-disk runs.
+                                if done > self.clock + SimDuration::from_millis(2) {
+                                    t.state = TaskState::BlockedUntil(done);
+                                    t.io_blocked = true;
+                                    self.outstanding_io += 1;
+                                    return StepOutcome::Blocked;
+                                }
+                            }
+                        }
+                        Err(DbError::Conflict(_)) => {
+                            // No-wait locking: release and retry shortly.
+                            self.db.abort(txn);
+                            let until = self.clock + SimDuration::from_millis(1);
+                            self.tasks[task_idx].state = TaskState::BlockedUntil(until);
+                            return StepOutcome::Blocked;
+                        }
+                        Err(_) => {
+                            // Business-level anomaly (duplicate key on a
+                            // retried insert, vanished row): abort the
+                            // request.
+                            self.db.abort(txn);
+                            self.abort_task(task_idx);
+                            return StepOutcome::Finished;
+                        }
+                    }
+                }
+                PlanStep::MqSend { queue, payload_bytes } => {
+                    self.correlation_seq += 1;
+                    let correlation = self.correlation_seq;
+                    self.appserver.broker_mut().send(
+                        queue,
+                        Message {
+                            correlation,
+                            payload_bytes,
+                        },
+                    );
+                    self.tasks[task_idx].step += 1;
+                    self.maybe_spawn_workorders();
+                }
+                PlanStep::MqReceive { queue } => {
+                    let _ = self.appserver.broker_mut().receive(queue);
+                    self.pending_workorders = self.pending_workorders.saturating_sub(1);
+                    self.tasks[task_idx].step += 1;
+                }
+            }
+        }
+    }
+
+    fn ensure_jvm_tx(&mut self, task_idx: usize) -> TxHandle {
+        if let Some(tx) = self.tasks[task_idx].jvm_tx {
+            tx
+        } else {
+            let tx = self.jvm.begin_tx();
+            self.tasks[task_idx].jvm_tx = Some(tx);
+            tx
+        }
+    }
+
+    fn drain_gc_cycles(&mut self) {
+        for cycle in self.jvm.take_gc_cycles() {
+            let scale = self.jvm.config().heap_scale as f64;
+            let r = &cycle.report;
+            let mark = (r.marked_objects as f64 * MARK_INSTR_PER_OBJECT
+                + r.edges_traversed as f64 * MARK_INSTR_PER_EDGE
+                + r.marked_bytes as f64 * MARK_INSTR_PER_BYTE)
+                * scale;
+            let sweep = ((r.marked_objects + r.swept_objects) as f64 * SWEEP_INSTR_PER_OBJECT
+                + r.freed_bytes as f64 * SWEEP_INSTR_PER_BYTE)
+                * scale;
+            let compact = r.compact_moved_bytes as f64 * COMPACT_INSTR_PER_BYTE * scale;
+            let total_real = mark + sweep + compact;
+            let total_modeled = total_real / self.cfg.instruction_scale();
+            self.gc = Some(GcPause {
+                remaining_modeled: total_modeled,
+                mark_fraction: mark / total_real.max(1.0),
+                start: self.clock,
+                cycle,
+            });
+        }
+    }
+
+    fn maybe_spawn_workorders(&mut self) {
+        let queue = self.appserver.work_order_queue();
+        while (self.appserver.broker().depth(queue) as u64) > self.pending_workorders {
+            let idx = self.tasks.len();
+            match self.appserver.acquire(PoolKind::JmsListener, idx as u64) {
+                Admission::Granted => {
+                    let plan = self.scenario.build(RequestKind::WorkOrder, queue);
+                    let at = self.clock;
+                    let idx = self.spawn_task(RequestKind::WorkOrder, plan, Some(PoolKind::JmsListener), at);
+                    self.pending_workorders += 1;
+                    self.enqueue(idx);
+                }
+                Admission::Queued { .. } => {
+                    // Pool exhausted: cancel the reservation and try again
+                    // when a listener frees up.
+                    self.appserver.cancel_wait(PoolKind::JmsListener, idx as u64);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn complete_task(&mut self, task_idx: usize) {
+        self.finish_task(task_idx, true);
+    }
+
+    fn abort_task(&mut self, task_idx: usize) {
+        self.finish_task(task_idx, false);
+    }
+
+    fn finish_task(&mut self, task_idx: usize, committed: bool) {
+        let kind;
+        let issued;
+        {
+            let t = &mut self.tasks[task_idx];
+            kind = t.kind;
+            issued = t.issued;
+            t.state = TaskState::Done;
+        }
+        if let Some(tx) = self.tasks[task_idx].jvm_tx.take() {
+            self.jvm.end_tx(tx);
+        }
+        if let Some(pool) = self.tasks[task_idx].pool.take() {
+            if let Some(token) = self.appserver.release(pool) {
+                let waiter = token as usize;
+                if self.tasks[waiter].state == TaskState::WaitingPool {
+                    self.tasks[waiter].state = TaskState::Ready;
+                    self.enqueue(waiter);
+                }
+            }
+            if pool == PoolKind::JmsListener {
+                self.maybe_spawn_workorders();
+            }
+        }
+        if committed {
+            self.completed_requests += 1;
+            self.metrics.record(kind, issued, self.clock);
+        } else {
+            self.aborted_requests += 1;
+        }
+    }
+
+    // ---- Read-out accessors for the experiment layer. ----
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &SutConfig {
+        &self.cfg
+    }
+
+    /// The run plan in force.
+    #[must_use]
+    pub fn run_plan(&self) -> &RunPlan {
+        &self.run
+    }
+
+    /// The machine model.
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The JVM.
+    #[must_use]
+    pub fn jvm(&self) -> &Jvm {
+        &self.jvm
+    }
+
+    /// The database.
+    #[must_use]
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The application server.
+    #[must_use]
+    pub fn appserver(&self) -> &AppServer {
+        &self.appserver
+    }
+
+    /// The running scenario's name.
+    #[must_use]
+    pub fn scenario_name(&self) -> &'static str {
+        self.scenario.name()
+    }
+
+    /// The scenario's business label for a request slot.
+    #[must_use]
+    pub fn scenario_label(&self, kind: RequestKind) -> &'static str {
+        self.scenario.label(kind)
+    }
+
+    /// The omniscient HPM sampler.
+    #[must_use]
+    pub fn hpm(&self) -> &OmniscientHpm {
+        &self.hpm
+    }
+
+    /// The tick profiler.
+    #[must_use]
+    pub fn tprof(&self) -> &Tprof {
+        &self.tprof
+    }
+
+    /// The utilization monitor.
+    #[must_use]
+    pub fn vmstat(&self) -> &Vmstat {
+        &self.vmstat
+    }
+
+    /// The verbose-GC log.
+    #[must_use]
+    pub fn vgc(&self) -> &VerboseGc {
+        &self.vgc
+    }
+
+    /// The workload metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Requests completed (committed) so far.
+    #[must_use]
+    pub fn completed_requests(&self) -> u64 {
+        self.completed_requests
+    }
+
+    /// Requests aborted so far.
+    #[must_use]
+    pub fn aborted_requests(&self) -> u64 {
+        self.aborted_requests
+    }
+
+    /// Consumes the engine, handing out the owned instruments that the
+    /// artifact layer keeps (the rest is summarized before calling this).
+    #[must_use]
+    pub fn into_instruments(self) -> (OmniscientHpm, Tprof) {
+        (self.hpm, self.tprof)
+    }
+
+    /// Machine-wide counter deltas accumulated during the steady-state
+    /// window (machine totals minus the snapshot taken at steady start).
+    /// Falls back to run totals before the window opens.
+    #[must_use]
+    pub fn steady_counters(&self) -> jas_cpu::CounterFile {
+        let total = self.machine.total_counters();
+        match &self.steady_base {
+            Some(base) => total.delta_since(base),
+            None => total,
+        }
+    }
+
+    /// Fraction of a GC pause spent marking, from the most recent pause
+    /// composition (`None` before the first completed GC).
+    #[must_use]
+    pub fn last_gc_mark_fraction(&self) -> Option<f64> {
+        self.vgc.entries().last().map(|e| {
+            e.mark.as_secs_f64() / (e.mark.as_secs_f64() + e.sweep.as_secs_f64()).max(1e-12)
+        })
+    }
+}
+
+enum StepOutcome {
+    Compute,
+    Blocked,
+    Finished,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_engine() -> Engine {
+        let mut cfg = SutConfig::at_ir(10);
+        cfg.machine.frequency_hz = 100_000.0;
+        // Shrink the heap so GC cycles fit inside the quick run.
+        cfg.jvm.heap.capacity = 8 << 20;
+        cfg.jvm.live_target = 2 << 20;
+        Engine::new(cfg, RunPlan::quick())
+    }
+
+    #[test]
+    fn engine_completes_requests() {
+        let mut e = quick_engine();
+        e.run_to_end();
+        assert!(e.completed_requests() > 100, "completed {}", e.completed_requests());
+        assert!(e.metrics().jops() > 0.0);
+    }
+
+    #[test]
+    fn all_request_kinds_complete() {
+        let mut e = quick_engine();
+        e.run_to_end();
+        for kind in RequestKind::ALL {
+            assert!(
+                e.metrics().completed(kind) > 0,
+                "no completions of {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hpm_sees_instructions() {
+        let mut e = quick_engine();
+        e.run_to_end();
+        let total = e.machine().total_counters();
+        assert!(total.get(jas_cpu::HpmEvent::InstCompleted) > 100_000);
+        assert!(total.cpi().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn gc_happens_and_is_logged() {
+        let mut e = quick_engine();
+        e.run_to_end();
+        assert!(e.jvm().gc_count() > 0, "no GC in the run");
+        assert_eq!(e.vgc().entries().len() as u64, e.jvm().gc_count());
+    }
+
+    #[test]
+    fn tprof_covers_components() {
+        let mut e = quick_engine();
+        e.run_to_end();
+        assert!(e.tprof().total_ticks() > 0);
+        assert!(e.tprof().component_share(Component::Kernel) > 0.0);
+        assert!(e.tprof().component_share(Component::Database) > 0.0);
+    }
+
+    #[test]
+    fn vmstat_accounts_the_steady_window() {
+        let mut e = quick_engine();
+        e.run_to_end();
+        let u = e.vmstat().utilization();
+        let total = u.user + u.system + u.iowait + u.idle;
+        assert!((total - 1.0).abs() < 0.02, "fractions {total}");
+        assert!(u.user > 0.0);
+        assert!(u.system > 0.0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_results() {
+        let mut a = quick_engine();
+        let mut b = quick_engine();
+        a.run_to_end();
+        b.run_to_end();
+        assert_eq!(a.completed_requests(), b.completed_requests());
+        assert_eq!(
+            a.machine().total_counters().get(jas_cpu::HpmEvent::Cycles),
+            b.machine().total_counters().get(jas_cpu::HpmEvent::Cycles)
+        );
+        assert_eq!(a.jvm().gc_count(), b.jvm().gc_count());
+    }
+}

@@ -1,0 +1,144 @@
+//! Experiment runner: executes a configured run and packages every
+//! instrument's output into [`RunArtifacts`] for the figure layer.
+
+use crate::config::{RunPlan, SutConfig};
+use crate::engine::Engine;
+use jas_appserver::PoolKind;
+use jas_cpu::CounterFile;
+use jas_db::{DeviceStats, PoolStats, TxnStats};
+use jas_hpm::{Flatness, GcLogEntry, GcLogSummary, OmniscientHpm, Tprof, Utilization};
+use jas_jvm::LockStats;
+use jas_workload::{RequestKind, Verdict};
+
+/// Everything one run produced.
+#[derive(Debug)]
+pub struct RunArtifacts {
+    /// The configuration that ran.
+    pub config: SutConfig,
+    /// The timing plan that ran.
+    pub plan: RunPlan,
+    /// Steady-state machine counter deltas.
+    pub counters: CounterFile,
+    /// Full sampled counter series (all events, aligned).
+    pub hpm: OmniscientHpm,
+    /// Tick profile.
+    pub tprof: Tprof,
+    /// Profile flatness over JIT'd methods.
+    pub flatness: Flatness,
+    /// CPU utilization breakdown.
+    pub utilization: Utilization,
+    /// Verbose-GC entries.
+    pub gc_entries: Vec<GcLogEntry>,
+    /// Figure 3 summary (when at least two GCs happened in the window).
+    pub gc_summary: Option<GcLogSummary>,
+    /// Rendered verbose-GC log text.
+    pub gc_log_text: String,
+    /// Per-kind throughput series (Figure 2), completions/s per bin.
+    pub throughput: Vec<(RequestKind, Vec<f64>)>,
+    /// Completed operations per second over the steady window.
+    pub jops: f64,
+    /// Response-time verdict.
+    pub verdict: Verdict,
+    /// Completed requests (whole run).
+    pub completed: u64,
+    /// Aborted requests (whole run).
+    pub aborted: u64,
+    /// Java monitor statistics.
+    pub locks: LockStats,
+    /// DB buffer-pool statistics.
+    pub db_pool: PoolStats,
+    /// Storage-device statistics.
+    pub device: DeviceStats,
+    /// DB transaction statistics.
+    pub db_txns: TxnStats,
+    /// JIT'd code bytes at end of run.
+    pub jit_code_bytes: u64,
+    /// JIT compilations performed.
+    pub jit_compilations: u64,
+    /// Web-container pool usage.
+    pub web_pool: jas_appserver::PoolUsage,
+}
+
+/// Runs `cfg` under `plan` to completion and collects the artifacts.
+#[must_use]
+pub fn run_experiment(cfg: SutConfig, plan: RunPlan) -> RunArtifacts {
+    let mut engine = Engine::new(cfg.clone(), plan);
+    engine.run_to_end();
+    run_artifacts_from(cfg, plan, engine)
+}
+
+/// Packages a finished engine's instruments into [`RunArtifacts`] (for
+/// callers that drove the engine themselves).
+#[must_use]
+pub fn run_artifacts_from(config: SutConfig, plan: RunPlan, engine: Engine) -> RunArtifacts {
+    let counters = engine.steady_counters();
+    let flatness = engine.tprof().flatness(engine.jvm().registry());
+    let utilization = engine.vmstat().utilization();
+    let gc_entries = engine.vgc().entries().to_vec();
+    let gc_summary = engine.vgc().summarize(plan.steady_start(), plan.end());
+    let gc_log_text = engine.vgc().render();
+    let throughput = RequestKind::ALL
+        .iter()
+        .map(|&k| (k, engine.metrics().throughput_series(k)))
+        .collect();
+    let jops = engine.metrics().jops();
+    let verdict = engine.metrics().verdict();
+    let completed = engine.completed_requests();
+    let aborted = engine.aborted_requests();
+    let locks = engine.jvm().monitors_stats();
+    let db_pool = engine.db().pool_stats();
+    let device = engine.db().device_stats();
+    let db_txns = engine.db().txn_stats();
+    let jit_code_bytes = engine.jvm().jit().compiled_bytes();
+    let jit_compilations = engine.jvm().jit().compilations();
+    let web_pool = engine.appserver().usage(PoolKind::WebContainer);
+    let (hpm, tprof) = engine.into_instruments();
+    RunArtifacts {
+        config,
+        plan,
+        counters,
+        hpm,
+        tprof,
+        flatness,
+        utilization,
+        gc_entries,
+        gc_summary,
+        gc_log_text,
+        throughput,
+        jops,
+        verdict,
+        completed,
+        aborted,
+        locks,
+        db_pool,
+        device,
+        db_txns,
+        jit_code_bytes,
+        jit_compilations,
+        web_pool,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_experiment_produces_coherent_artifacts() {
+        let mut cfg = SutConfig::at_ir(10);
+        cfg.machine.frequency_hz = 100_000.0;
+        cfg.jvm.heap.capacity = 8 << 20;
+        cfg.jvm.live_target = 2 << 20;
+        let art = run_experiment(cfg, RunPlan::quick());
+        assert!(art.completed > 100);
+        assert!(art.jops > 0.0);
+        assert!(art.counters.cpi().unwrap() > 1.0);
+        assert!(!art.gc_entries.is_empty());
+        assert!(art.tprof.total_ticks() > 0);
+        assert!(art.jit_code_bytes > 0, "hot methods must have compiled");
+        assert_eq!(art.throughput.len(), RequestKind::ALL.len());
+        assert!(art.locks.acquisitions > 0);
+        assert!(art.db_pool.accesses > 0);
+        assert!(!art.gc_log_text.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! `jas2004` — a full-system simulation reproducing *"Characterizing a
+//! Complex J2EE Workload: A Comprehensive Analysis and Opportunities for
+//! Optimizations"* (Shuf & Steiner, ISPASS 2007).
+//!
+//! The paper is a measurement study of SPECjAppServer2004 on a POWER4
+//! server. This crate assembles the whole measured system from the
+//! substrate crates — CPU/memory hierarchy (`jas-cpu`), JVM (`jas-jvm`),
+//! database (`jas-db`), application server (`jas-appserver`), workload
+//! driver (`jas-workload`), measurement tools (`jas-hpm`) — couples them
+//! on one simulated timeline ([`Engine`]), runs experiments
+//! ([`run_experiment`]), and regenerates every figure and in-text table of
+//! the paper's evaluation ([`figures`]).
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use jas2004::{figures, report, run_experiment, RunPlan, SutConfig};
+//!
+//! let artifacts = run_experiment(SutConfig::at_ir(40), RunPlan::default());
+//! let fig5 = figures::fig5_cpi(&artifacts);
+//! println!("{}", report::render_fig5(&fig5));
+//! ```
+//!
+//! See `DESIGN.md` for the substitution map (what the paper used → what is
+//! built here) and `EXPERIMENTS.md` for paper-vs-measured values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod config;
+pub mod engine;
+pub mod experiment;
+pub mod figures;
+pub mod profiles;
+pub mod report;
+
+pub use config::{RunPlan, ScenarioKind, SutConfig};
+pub use engine::Engine;
+pub use experiment::{run_artifacts_from, run_experiment, RunArtifacts};

@@ -1,0 +1,334 @@
+//! Plain-text rendering of figure data, used by the benches and examples.
+
+use crate::figures::{
+    Fig10Correlation, Fig2Throughput, Fig3Gc, Fig4Profile, Fig5Cpi, Fig6Branch, Fig7Tlb,
+    Fig8L1d, Fig9DataFrom, LockingTable, UtilizationTable,
+};
+use std::fmt::Write as _;
+
+fn bar(r: f64, width: usize) -> String {
+    let n = ((r.abs().min(1.0)) * width as f64).round() as usize;
+    let mut s = String::new();
+    if r < 0.0 {
+        s.push('-');
+    }
+    s.extend(std::iter::repeat('#').take(n));
+    s
+}
+
+/// Renders Figure 2.
+#[must_use]
+pub fn render_fig2(f: &Fig2Throughput) -> String {
+    let mut out = String::from("Figure 2: Benchmark Throughput (completions/s per bin)\n");
+    for (kind, series) in &f.series {
+        let preview: Vec<String> = series.iter().take(12).map(|v| format!("{v:5.1}")).collect();
+        let _ = writeln!(out, "  {:<14} {}", kind.name(), preview.join(" "));
+    }
+    for (kind, cv) in &f.stability_cv {
+        let _ = writeln!(out, "  stability cv {:<12} {:.3}", kind.name(), cv);
+    }
+    let _ = writeln!(out, "  JOPS = {:.1} ({:.2} per IR)", f.jops, f.jops_per_ir);
+    out
+}
+
+/// Renders Figure 3.
+#[must_use]
+pub fn render_fig3(f: &Fig3Gc) -> String {
+    let mut out = String::from("Figure 3: Garbage Collection Statistics\n");
+    match &f.summary {
+        Some(s) => {
+            let _ = writeln!(out, "  collections        {}", s.collections);
+            let _ = writeln!(out, "  time between GC    {:.1} s", s.mean_interval_s);
+            let _ = writeln!(out, "  GC pause           {:.0} ms", s.mean_pause_ms);
+            let _ = writeln!(out, "  % of runtime       {:.2}%", s.runtime_fraction * 100.0);
+            let _ = writeln!(out, "  mark share of GC   {:.0}%", s.mark_fraction * 100.0);
+            let _ = writeln!(out, "  compactions        {}", s.compactions);
+            let _ = writeln!(
+                out,
+                "  used-heap growth   {:.2} MB/min (full-scale {:.2})",
+                s.used_growth_bytes_per_min / 1e6,
+                s.used_growth_bytes_per_min * f.heap_scale as f64 / 1e6
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  (fewer than two GCs in the window)");
+        }
+    }
+    out
+}
+
+/// Renders Figure 4.
+#[must_use]
+pub fn render_fig4(f: &Fig4Profile) -> String {
+    let mut out = String::from("Figure 4: Profile Breakdown (% of runtime)\n");
+    for (component, share) in &f.breakdown {
+        if *share > 0.0005 {
+            let _ = writeln!(out, "  {:<28} {:5.1}%", component.name(), share * 100.0);
+        }
+    }
+    let _ = writeln!(out, "  JIT-compiled code share       {:5.1}%", f.jitted_share * 100.0);
+    let _ = writeln!(
+        out,
+        "  benchmark application share   {:5.1}%",
+        f.application_share * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  hottest method {:.2}% of JITed time; {} methods for 50% (of {})",
+        f.flatness.hottest_share * 100.0,
+        f.flatness.methods_for_half,
+        f.flatness.methods_profiled
+    );
+    out
+}
+
+/// Renders Figure 5.
+#[must_use]
+pub fn render_fig5(f: &Fig5Cpi) -> String {
+    let mut out = String::from("Figure 5: CPI, Speculation Rate, L1 Miss Rate\n");
+    let _ = writeln!(out, "  CPI                      {:.2}", f.cpi);
+    let _ = writeln!(out, "  dispatched / completed   {:.2}", f.speculation);
+    let _ = writeln!(out, "  L1D miss rate            {:.1}%", f.l1d_miss_rate * 100.0);
+    if let Some(r) = f.cpi_vs_speculation {
+        let _ = writeln!(out, "  corr(CPI, speculation)   {r:.2}");
+    }
+    out
+}
+
+/// Renders Figure 6.
+#[must_use]
+pub fn render_fig6(f: &Fig6Branch) -> String {
+    let mut out = String::from("Figure 6: Branch Prediction\n");
+    let _ = writeln!(
+        out,
+        "  conditional mispredict rate   {:.1}%",
+        f.cond_mispredict_rate * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  indirect target mispredict    {:.1}%",
+        f.target_mispredict_rate * 100.0
+    );
+    out
+}
+
+/// Renders Figure 7.
+#[must_use]
+pub fn render_fig7(f: &Fig7Tlb) -> String {
+    let mut out = String::from("Figure 7: Translation Miss Frequency (per instruction)\n");
+    let _ = writeln!(out, "  DERAT {:.2e}   IERAT {:.2e}", f.derat_per_instr, f.ierat_per_instr);
+    let _ = writeln!(out, "  DTLB  {:.2e}   ITLB  {:.2e}", f.dtlb_per_instr, f.itlb_per_instr);
+    let _ = writeln!(out, "  instructions between DERAT misses: {:.0}", f.instr_between_derat);
+    let _ = writeln!(
+        out,
+        "  TLB satisfies {:.0}% of DERAT misses",
+        f.tlb_satisfaction * 100.0
+    );
+    out
+}
+
+/// Renders Figure 8.
+#[must_use]
+pub fn render_fig8(f: &Fig8L1d) -> String {
+    let mut out = String::from("Figure 8: L1 Data Cache Performance\n");
+    let _ = writeln!(
+        out,
+        "  load miss rate  {:.1}% (1 per {:.1} loads)",
+        f.load_miss_rate * 100.0,
+        1.0 / f.load_miss_rate.max(1e-12)
+    );
+    let _ = writeln!(
+        out,
+        "  store miss rate {:.1}% (1 per {:.1} stores)",
+        f.store_miss_rate * 100.0,
+        1.0 / f.store_miss_rate.max(1e-12)
+    );
+    let _ = writeln!(out, "  overall miss    {:.1}%", f.overall_miss_rate * 100.0);
+    let _ = writeln!(
+        out,
+        "  instr/load {:.2}  instr/store {:.2}  instr/L1-ref {:.2}",
+        f.instr_per_load, f.instr_per_store, f.instr_per_ref
+    );
+    out
+}
+
+/// Renders Figure 9.
+#[must_use]
+pub fn render_fig9(f: &Fig9DataFrom) -> String {
+    let mut out = String::from("Figure 9: Data Loaded From (after an L1 miss)\n");
+    for (name, frac) in &f.fractions {
+        let _ = writeln!(out, "  {:<16} {:5.1}%  {}", name, frac * 100.0, bar(*frac, 40));
+    }
+    let _ = writeln!(
+        out,
+        "  modified cache-to-cache transfers: {:.2}%",
+        f.modified_fraction * 100.0
+    );
+    out
+}
+
+/// Renders Figure 10.
+#[must_use]
+pub fn render_fig10(f: &Fig10Correlation) -> String {
+    let mut out = String::from("Figure 10: CPI Statistical Correlation (r)\n");
+    for (name, r) in &f.correlations {
+        let _ = writeln!(out, "  {name:<26} {r:+.2} {}", bar(*r, 25));
+    }
+    if let Some(r) = f.speculation_vs_l1 {
+        let _ = writeln!(out, "  speculation vs L1D miss    {r:+.2}");
+    }
+    if let Some(r) = f.branches_vs_target_mispred {
+        let _ = writeln!(out, "  branches vs TA mispred     {r:+.2}");
+    }
+    if let Some(r) = f.cond_misses_vs_branches {
+        let _ = writeln!(out, "  cond misses vs branches    {r:+.2}");
+    }
+    out
+}
+
+/// Renders the locking table.
+#[must_use]
+pub fn render_locking(t: &LockingTable) -> String {
+    let mut out = String::from("Locking and SYNC (Section 4.2.4)\n");
+    let _ = writeln!(out, "  instructions per LARX        {:.0}", t.instr_per_larx);
+    let _ = writeln!(
+        out,
+        "  lock acquisition instr share {:.1}%",
+        t.lock_acquisition_fraction * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  SYNC-in-SRQ cycle fraction   {:.2}%",
+        t.sync_srq_cycle_fraction * 100.0
+    );
+    let _ = writeln!(out, "  STCX failure rate            {:.2}%", t.stcx_fail_rate * 100.0);
+    let _ = writeln!(out, "  monitor contention           {:.2}%", t.monitor_contention * 100.0);
+    out
+}
+
+/// Renders the utilization table.
+#[must_use]
+pub fn render_utilization(t: &UtilizationTable) -> String {
+    let mut out = String::from("Utilization and Run Rules\n");
+    let _ = writeln!(
+        out,
+        "  user {:.0}%  system {:.0}%  iowait {:.0}%  idle {:.0}%",
+        t.user * 100.0,
+        t.system * 100.0,
+        t.iowait * 100.0,
+        t.idle * 100.0
+    );
+    let _ = writeln!(out, "  JOPS {:.1} ({:.2} per IR)", t.jops, t.jops_per_ir);
+    let _ = writeln!(
+        out,
+        "  web p90 {:.2}s (limit 2s)   rmi p90 {:.2}s (limit 5s)   {}",
+        t.web_p90,
+        t.rmi_p90,
+        if t.passed { "PASSED" } else { "FAILED" }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{Fig6Branch, Fig8L1d, Fig9DataFrom, LockingTable, UtilizationTable};
+
+    #[test]
+    fn bar_scales_and_signs() {
+        assert_eq!(bar(0.0, 10), "");
+        assert_eq!(bar(1.0, 10), "##########");
+        assert_eq!(bar(0.5, 10), "#####");
+        assert_eq!(bar(-0.5, 10), "-#####");
+        // Out-of-range r clamps rather than overflowing.
+        assert_eq!(bar(2.0, 4), "####");
+    }
+
+    #[test]
+    fn render_fig6_mentions_both_rates() {
+        let text = render_fig6(&Fig6Branch {
+            cond_mispredict_rate: 0.06,
+            target_mispredict_rate: 0.05,
+            cond_series: vec![],
+            branch_series: vec![],
+        });
+        assert!(text.contains("6.0%"));
+        assert!(text.contains("5.0%"));
+    }
+
+    #[test]
+    fn render_fig8_shows_one_in_n() {
+        let text = render_fig8(&Fig8L1d {
+            load_miss_rate: 1.0 / 12.0,
+            store_miss_rate: 1.0 / 5.0,
+            overall_miss_rate: 0.14,
+            instr_per_load: 3.2,
+            instr_per_store: 4.5,
+            instr_per_ref: 1.87,
+        });
+        assert!(text.contains("1 per 12.0 loads"));
+        assert!(text.contains("1 per 5.0 stores"));
+        assert!(text.contains("instr/load 3.20"));
+    }
+
+    #[test]
+    fn render_fig9_lists_all_sources() {
+        let f = Fig9DataFrom {
+            fractions: vec![
+                ("L2", 0.75),
+                ("L2.5 shared", 0.0),
+                ("L2.5 modified", 0.0),
+                ("L2.75 shared", 0.01),
+                ("L2.75 modified", 0.001),
+                ("L3", 0.15),
+                ("L3.5", 0.02),
+                ("Memory", 0.069),
+            ],
+            l2_fraction: 0.75,
+            modified_fraction: 0.001,
+        };
+        let text = render_fig9(&f);
+        for name in ["L2", "L2.75 shared", "L3.5", "Memory"] {
+            assert!(text.contains(name), "missing {name}");
+        }
+        assert!(text.contains("75.0%"));
+    }
+
+    #[test]
+    fn render_locking_and_utilization() {
+        let lock_text = render_locking(&LockingTable {
+            instr_per_larx: 600.0,
+            lock_acquisition_fraction: 0.03,
+            sync_srq_cycle_fraction: 0.008,
+            stcx_fail_rate: 0.02,
+            monitor_contention: 0.04,
+        });
+        assert!(lock_text.contains("600"));
+        assert!(lock_text.contains("3.0%"));
+        let util_text = render_utilization(&UtilizationTable {
+            user: 0.8,
+            system: 0.2,
+            iowait: 0.0,
+            idle: 0.0,
+            jops: 64.0,
+            jops_per_ir: 1.6,
+            web_p90: 0.4,
+            rmi_p90: 0.3,
+            passed: true,
+        });
+        assert!(util_text.contains("user 80%"));
+        assert!(util_text.contains("PASSED"));
+        let failed = render_utilization(&UtilizationTable {
+            user: 0.9,
+            system: 0.1,
+            iowait: 0.0,
+            idle: 0.0,
+            jops: 10.0,
+            jops_per_ir: 0.2,
+            web_p90: 12.0,
+            rmi_p90: 9.0,
+            passed: false,
+        });
+        assert!(failed.contains("FAILED"));
+    }
+}

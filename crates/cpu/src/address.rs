@@ -1,0 +1,208 @@
+//! Effective-address space layout and page-size mapping.
+//!
+//! The PowerPC architecture translates effective → virtual → real addresses;
+//! what the performance model needs from that machinery is *page
+//! granularity*: which page a reference touches and whether that page is a
+//! standard 4 KB page or a 16 MB large page (the AIX/JVM tuning studied in
+//! the paper). [`AddressMap`] carries that mapping for the whole simulated
+//! system: each functional region (kernel, native libraries, JIT code cache,
+//! Java heap, DB buffer pool, stacks) is a contiguous range with a page
+//! size.
+
+/// Page size of a mapped region.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PageSize {
+    /// Standard 4 KB page.
+    #[default]
+    Small4K,
+    /// 16 MB large page (AIX `lgpg` support used for the Java heap).
+    Large16M,
+}
+
+impl PageSize {
+    /// Page size in bytes.
+    #[must_use]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            PageSize::Small4K => 4 * 1024,
+            PageSize::Large16M => 16 * 1024 * 1024,
+        }
+    }
+
+    /// Base address of the page containing `addr`.
+    #[must_use]
+    pub const fn page_base(self, addr: u64) -> u64 {
+        addr & !(self.bytes() - 1)
+    }
+}
+
+/// A named region of the effective address space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Operating-system kernel code and data.
+    Kernel,
+    /// Native code: web server, DB engine, JVM runtime, libraries.
+    NativeCode,
+    /// JIT-compiled Java code (the code cache).
+    JitCode,
+    /// The Java heap.
+    JavaHeap,
+    /// Database buffer pool.
+    DbBufferPool,
+    /// Thread stacks.
+    Stacks,
+    /// Message-queue buffers and miscellaneous shared data.
+    MqData,
+}
+
+impl Region {
+    /// All regions, in layout order.
+    pub const ALL: [Region; 7] = [
+        Region::Kernel,
+        Region::NativeCode,
+        Region::JitCode,
+        Region::JavaHeap,
+        Region::DbBufferPool,
+        Region::Stacks,
+        Region::MqData,
+    ];
+
+    /// Base effective address of the region. Regions are spaced 2^44 apart
+    /// so any plausible size fits without overlap.
+    #[must_use]
+    pub const fn base(self) -> u64 {
+        let idx = match self {
+            Region::Kernel => 0,
+            Region::NativeCode => 1,
+            Region::JitCode => 2,
+            Region::JavaHeap => 3,
+            Region::DbBufferPool => 4,
+            Region::Stacks => 5,
+            Region::MqData => 6,
+        };
+        (idx as u64) << 44
+    }
+
+    /// The region containing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` lies beyond the last region's window.
+    #[must_use]
+    pub fn of(addr: u64) -> Region {
+        let idx = (addr >> 44) as usize;
+        assert!(idx < Region::ALL.len(), "address {addr:#x} outside mapped space");
+        Region::ALL[idx]
+    }
+}
+
+/// Page-size policy for the whole address space.
+///
+/// The paper's baseline uses 16 MB pages for the Java heap (and selected GC
+/// structures) and 4 KB pages everywhere else; one of its proposed
+/// optimizations is moving executable/JIT code to large pages as well. Both
+/// switches are modeled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AddressMap {
+    /// Use 16 MB pages for the Java heap (paper baseline: `true`).
+    pub heap_large_pages: bool,
+    /// Use 16 MB pages for JIT-compiled and native code (paper's proposed
+    /// optimization: default `false`).
+    pub code_large_pages: bool,
+}
+
+impl Default for AddressMap {
+    fn default() -> Self {
+        AddressMap {
+            heap_large_pages: true,
+            code_large_pages: false,
+        }
+    }
+}
+
+impl AddressMap {
+    /// Page size backing `addr`.
+    #[must_use]
+    pub fn page_size(&self, addr: u64) -> PageSize {
+        match Region::of(addr) {
+            Region::JavaHeap if self.heap_large_pages => PageSize::Large16M,
+            Region::JitCode | Region::NativeCode if self.code_large_pages => PageSize::Large16M,
+            _ => PageSize::Small4K,
+        }
+    }
+
+    /// Base address of the page containing `addr` under this map.
+    #[must_use]
+    pub fn page_base(&self, addr: u64) -> u64 {
+        self.page_size(addr).page_base(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_bytes() {
+        assert_eq!(PageSize::Small4K.bytes(), 4096);
+        assert_eq!(PageSize::Large16M.bytes(), 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn page_base_masks_offset() {
+        assert_eq!(PageSize::Small4K.page_base(0x1234), 0x1000);
+        assert_eq!(PageSize::Large16M.page_base(0x0123_4567), 0x0100_0000);
+    }
+
+    #[test]
+    fn regions_partition_the_space() {
+        for r in Region::ALL {
+            assert_eq!(Region::of(r.base()), r);
+            assert_eq!(Region::of(r.base() + 0xFFFF_FFFF), r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mapped space")]
+    fn out_of_range_address_panics() {
+        let _ = Region::of(u64::MAX);
+    }
+
+    #[test]
+    fn default_map_matches_paper_baseline() {
+        let m = AddressMap::default();
+        assert_eq!(m.page_size(Region::JavaHeap.base()), PageSize::Large16M);
+        assert_eq!(m.page_size(Region::JitCode.base()), PageSize::Small4K);
+        assert_eq!(m.page_size(Region::Kernel.base()), PageSize::Small4K);
+        assert_eq!(m.page_size(Region::DbBufferPool.base()), PageSize::Small4K);
+    }
+
+    #[test]
+    fn code_large_pages_flag() {
+        let m = AddressMap {
+            heap_large_pages: true,
+            code_large_pages: true,
+        };
+        assert_eq!(m.page_size(Region::JitCode.base() + 42), PageSize::Large16M);
+        assert_eq!(m.page_size(Region::NativeCode.base() + 42), PageSize::Large16M);
+        assert_eq!(m.page_size(Region::Stacks.base() + 42), PageSize::Small4K);
+    }
+
+    #[test]
+    fn small_heap_pages_when_disabled() {
+        let m = AddressMap {
+            heap_large_pages: false,
+            code_large_pages: false,
+        };
+        assert_eq!(m.page_size(Region::JavaHeap.base() + 123), PageSize::Small4K);
+    }
+
+    #[test]
+    fn page_base_respects_region_policy() {
+        let m = AddressMap::default();
+        let heap_addr = Region::JavaHeap.base() + 0x0123_4567;
+        assert_eq!(m.page_base(heap_addr), Region::JavaHeap.base() + 0x0100_0000);
+        let stack_addr = Region::Stacks.base() + 0x1234;
+        assert_eq!(m.page_base(stack_addr), Region::Stacks.base() + 0x1000);
+    }
+}

@@ -1,0 +1,325 @@
+//! Branch prediction: conditional direction and indirect-target prediction.
+//!
+//! The paper (Section 4.2.1) reports ~6% misprediction on branch conditions
+//! and ~5% on indirect-branch targets, attributing the latter to Java's
+//! virtual-method dispatch. We model POWER4's predictor in the usual
+//! abstracted form: a gshare direction predictor (global history XOR'd into
+//! a table of 2-bit saturating counters) and a direct-mapped BTB holding the
+//! last observed target per indirect-branch site.
+
+/// Configuration for [`BranchUnit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BranchConfig {
+    /// Entries in the direction-prediction table (power of two).
+    pub pht_entries: usize,
+    /// Global-history bits folded into the index.
+    pub history_bits: u32,
+    /// Entries in the branch-target buffer (power of two).
+    pub btb_entries: usize,
+}
+
+impl Default for BranchConfig {
+    fn default() -> Self {
+        // Short history: the synthetic branch streams carry per-site bias
+        // rather than history-correlated patterns, so a long global history
+        // only aliases the table (see DESIGN.md). Two bits keep the gshare
+        // structure while letting per-site bias dominate.
+        // Tables are sized up relative to the real POWER4 because the
+        // synthetic site space is flatter than real static code (DESIGN.md
+        // documents the deviation); what is reproduced is the *rate*.
+        BranchConfig {
+            pht_entries: 64 * 1024,
+            history_bits: 0,
+            btb_entries: 16 * 1024,
+        }
+    }
+}
+
+/// Outcome of one predicted branch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Prediction {
+    /// Whether the prediction was correct.
+    pub correct: bool,
+}
+
+/// A return-address link stack (POWER4 keeps one per thread).
+///
+/// Calls push the return address; returns pop and compare. Overflow wraps
+/// (oldest entries are lost), underflow and mismatches mispredict — which
+/// is how deep recursion and context switches cost return mispredictions
+/// on real hardware.
+#[derive(Clone, Debug)]
+pub struct LinkStack {
+    entries: Vec<u64>,
+    capacity: usize,
+}
+
+impl LinkStack {
+    /// Creates a link stack holding `capacity` return addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "link stack needs capacity");
+        LinkStack {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Records a call returning to `ret`.
+    pub fn push(&mut self, ret: u64) {
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0); // oldest entry falls off the bottom
+        }
+        self.entries.push(ret);
+    }
+
+    /// Resolves a return to `to`; `true` when the stack predicted it.
+    pub fn resolve_return(&mut self, to: u64) -> bool {
+        match self.entries.pop() {
+            Some(predicted) => predicted == to,
+            None => false,
+        }
+    }
+
+    /// Current depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// The branch-prediction unit of one core.
+#[derive(Clone, Debug)]
+pub struct BranchUnit {
+    pht: Vec<u8>, // 2-bit saturating counters
+    history: u64,
+    history_mask: u64,
+    btb: Vec<(u64, u64)>, // (site tag, last target)
+    cond_seen: u64,
+    cond_mispredicted: u64,
+    ind_seen: u64,
+    ind_mispredicted: u64,
+}
+
+impl BranchUnit {
+    /// Builds a branch unit from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if table sizes are not powers of two or are zero.
+    #[must_use]
+    pub fn new(cfg: BranchConfig) -> Self {
+        assert!(cfg.pht_entries.is_power_of_two() && cfg.pht_entries > 0);
+        assert!(cfg.btb_entries.is_power_of_two() && cfg.btb_entries > 0);
+        BranchUnit {
+            pht: vec![1; cfg.pht_entries], // weakly not-taken
+            history: 0,
+            history_mask: (1u64 << cfg.history_bits) - 1,
+            btb: vec![(u64::MAX, 0); cfg.btb_entries],
+            cond_seen: 0,
+            cond_mispredicted: 0,
+            ind_seen: 0,
+            ind_mispredicted: 0,
+        }
+    }
+
+    #[inline]
+    fn pht_index(&self, site: u64) -> usize {
+        let h = self.history & self.history_mask;
+        ((site ^ h.wrapping_mul(0x9E37_79B9)) % self.pht.len() as u64) as usize
+    }
+
+    /// Resolves a conditional branch at `site` with actual direction
+    /// `taken`, returning whether the predictor got it right and training
+    /// the tables.
+    pub fn resolve_conditional(&mut self, site: u64, taken: bool) -> Prediction {
+        self.cond_seen += 1;
+        let idx = self.pht_index(site);
+        let predicted_taken = self.pht[idx] >= 2;
+        let correct = predicted_taken == taken;
+        if !correct {
+            self.cond_mispredicted += 1;
+        }
+        // Train the 2-bit counter.
+        if taken {
+            self.pht[idx] = (self.pht[idx] + 1).min(3);
+        } else {
+            self.pht[idx] = self.pht[idx].saturating_sub(1);
+        }
+        // Shift global history.
+        self.history = (self.history << 1) | u64::from(taken);
+        Prediction { correct }
+    }
+
+    /// Resolves an indirect branch at `site` jumping to `target`, returning
+    /// whether the BTB predicted the target and updating it.
+    pub fn resolve_indirect(&mut self, site: u64, target: u64) -> Prediction {
+        self.ind_seen += 1;
+        let idx = (site % self.btb.len() as u64) as usize;
+        let (tag, predicted) = self.btb[idx];
+        let correct = tag == site && predicted == target;
+        if !correct {
+            self.ind_mispredicted += 1;
+        }
+        self.btb[idx] = (site, target);
+        Prediction { correct }
+    }
+
+    /// `(seen, mispredicted)` for conditional branches.
+    #[must_use]
+    pub fn conditional_stats(&self) -> (u64, u64) {
+        (self.cond_seen, self.cond_mispredicted)
+    }
+
+    /// `(seen, mispredicted)` for indirect branches.
+    #[must_use]
+    pub fn indirect_stats(&self) -> (u64, u64) {
+        (self.ind_seen, self.ind_mispredicted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> BranchUnit {
+        BranchUnit::new(BranchConfig::default())
+    }
+
+    #[test]
+    fn learns_always_taken_branch() {
+        let mut b = unit();
+        // After warm-up, an always-taken branch should be predicted ~always.
+        for _ in 0..16 {
+            b.resolve_conditional(0x400, true);
+        }
+        let miss_before = b.conditional_stats().1;
+        for _ in 0..100 {
+            b.resolve_conditional(0x400, true);
+        }
+        assert_eq!(b.conditional_stats().1, miss_before, "no further misses");
+    }
+
+    #[test]
+    fn learns_simple_alternation_via_history() {
+        // Alternation needs history bits; enable them explicitly.
+        let mut b = BranchUnit::new(BranchConfig {
+            history_bits: 11,
+            ..BranchConfig::default()
+        });
+        // T,N,T,N... is perfectly predictable with global history.
+        let mut taken = false;
+        for _ in 0..2000 {
+            taken = !taken;
+            b.resolve_conditional(0x500, taken);
+        }
+        let (seen, miss) = b.conditional_stats();
+        assert!(seen == 2000);
+        assert!(
+            (miss as f64) / (seen as f64) < 0.1,
+            "alternation should be learnable, miss rate {}",
+            miss as f64 / seen as f64
+        );
+    }
+
+    #[test]
+    fn random_branch_mispredicts_heavily() {
+        let mut b = unit();
+        let mut rng = jas_simkernel::Rng::new(1);
+        for _ in 0..10_000 {
+            b.resolve_conditional(0x600, rng.chance(0.5));
+        }
+        let (seen, miss) = b.conditional_stats();
+        let rate = miss as f64 / seen as f64;
+        assert!((0.4..0.6).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn monomorphic_indirect_site_predicts_after_first() {
+        let mut b = unit();
+        assert!(!b.resolve_indirect(0x900, 0xAAAA).correct); // cold
+        for _ in 0..50 {
+            assert!(b.resolve_indirect(0x900, 0xAAAA).correct);
+        }
+    }
+
+    #[test]
+    fn polymorphic_indirect_site_mispredicts_on_change() {
+        let mut b = unit();
+        b.resolve_indirect(0x900, 0xAAAA);
+        assert!(!b.resolve_indirect(0x900, 0xBBBB).correct);
+        assert!(!b.resolve_indirect(0x900, 0xAAAA).correct); // flipped back
+        assert!(b.resolve_indirect(0x900, 0xAAAA).correct);
+    }
+
+    #[test]
+    fn btb_conflict_between_sites() {
+        let cfg = BranchConfig {
+            btb_entries: 1, // force a conflict
+            ..BranchConfig::default()
+        };
+        let mut b = BranchUnit::new(cfg);
+        b.resolve_indirect(1, 0x111);
+        assert!(b.resolve_indirect(1, 0x111).correct);
+        b.resolve_indirect(2, 0x222); // evicts site 1's entry
+        assert!(!b.resolve_indirect(1, 0x111).correct);
+    }
+
+    #[test]
+    fn stats_start_zero() {
+        let b = unit();
+        assert_eq!(b.conditional_stats(), (0, 0));
+        assert_eq!(b.indirect_stats(), (0, 0));
+    }
+
+    #[test]
+    fn link_stack_predicts_balanced_calls() {
+        let mut ls = LinkStack::new(16);
+        for depth in 0..8u64 {
+            ls.push(0x1000 + depth * 4);
+        }
+        for depth in (0..8u64).rev() {
+            assert!(ls.resolve_return(0x1000 + depth * 4), "depth {depth}");
+        }
+        assert_eq!(ls.depth(), 0);
+    }
+
+    #[test]
+    fn link_stack_underflow_mispredicts() {
+        let mut ls = LinkStack::new(4);
+        assert!(!ls.resolve_return(0x2000));
+    }
+
+    #[test]
+    fn link_stack_overflow_loses_oldest() {
+        let mut ls = LinkStack::new(2);
+        ls.push(1);
+        ls.push(2);
+        ls.push(3); // 1 falls off
+        assert!(ls.resolve_return(3));
+        assert!(ls.resolve_return(2));
+        assert!(!ls.resolve_return(1), "oldest entry was evicted");
+    }
+
+    #[test]
+    fn link_stack_mismatch_mispredicts() {
+        let mut ls = LinkStack::new(4);
+        ls.push(0xAAAA);
+        assert!(!ls.resolve_return(0xBBBB));
+        // The wrong pop still consumed the entry.
+        assert_eq!(ls.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_pht_rejected() {
+        let _ = BranchUnit::new(BranchConfig {
+            pht_entries: 1000,
+            ..BranchConfig::default()
+        });
+    }
+}

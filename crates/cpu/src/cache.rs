@@ -1,0 +1,398 @@
+//! Set-associative cache model with MESI line states.
+//!
+//! One structure serves every level: the 2-way FIFO write-through L1 D-cache,
+//! the direct-mapped L1 I-cache, the 8-way shared L2 (the system's coherence
+//! point), and the MCM-attached L3. Caches operate on *line addresses*
+//! (`addr >> line_shift`); coherence state is kept per line so the hierarchy
+//! can classify remote hits as shared vs. modified interventions the way the
+//! POWER4 HPM does.
+
+/// MESI coherence state of a cached line.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Mesi {
+    /// Not present.
+    #[default]
+    Invalid,
+    /// Present, clean, possibly also cached elsewhere.
+    Shared,
+    /// Present, clean, only copy.
+    Exclusive,
+    /// Present, dirty, only copy.
+    Modified,
+}
+
+/// Replacement policy for a cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Replacement {
+    /// First-in-first-out (POWER4's L1 D-cache).
+    Fifo,
+    /// Least-recently-used (approximated; used for L2/L3/I-cache).
+    Lru,
+}
+
+/// Static configuration of one cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// POWER4 L1 D-cache: 32 KB, 2-way, FIFO, 128 B lines.
+    #[must_use]
+    pub fn power4_l1d() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 128,
+            ways: 2,
+            replacement: Replacement::Fifo,
+        }
+    }
+
+    /// POWER4 L1 I-cache: 64 KB, direct-mapped, 128 B lines.
+    #[must_use]
+    pub fn power4_l1i() -> Self {
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            line_bytes: 128,
+            ways: 1,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    /// POWER4 shared L2: ~1.4 MB, 8-way, 128 B lines.
+    #[must_use]
+    pub fn power4_l2() -> Self {
+        CacheConfig {
+            size_bytes: 1440 * 1024,
+            line_bytes: 128,
+            ways: 8,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    /// POWER4 MCM-attached L3: 32 MB, 8-way, 512 B lines.
+    #[must_use]
+    pub fn power4_l3() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024 * 1024,
+            line_bytes: 512,
+            ways: 8,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    /// Number of sets implied by the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is not internally consistent (sizes not
+    /// powers of two, capacity not divisible by `line_bytes * ways`, or any
+    /// field zero).
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.ways > 0, "need at least one way");
+        let lines = self.size_bytes / self.line_bytes;
+        assert!(
+            lines % self.ways as u64 == 0 && lines > 0,
+            "capacity must be a whole number of sets"
+        );
+        // POWER4's L2 has 1440 sets, so set counts need not be powers of two;
+        // indexing uses modulo rather than a mask.
+        (lines / self.ways as u64) as usize
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    tag: u64, // full line address; simpler than split tag/index and just as fast here
+    state: Mesi,
+    stamp: u64, // LRU timestamp or FIFO insertion order
+}
+
+/// A set-associative cache over line addresses.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    sets: u64,
+    lines: Vec<Line>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Builds a cache from its configuration.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        SetAssocCache {
+            cfg,
+            sets: sets as u64,
+            lines: vec![Line::default(); sets * cfg.ways],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache's configuration.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Line address (cache-line granule) of a byte address.
+    #[inline]
+    #[must_use]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / self.cfg.line_bytes
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> core::ops::Range<usize> {
+        let set = (line % self.sets) as usize;
+        let start = set * self.cfg.ways;
+        start..start + self.cfg.ways
+    }
+
+    /// Looks up `line`; on a hit updates recency and returns the state.
+    /// Counts toward hit/miss statistics.
+    pub fn access(&mut self, line: u64) -> Option<Mesi> {
+        self.tick += 1;
+        let tick = self.tick;
+        let is_lru = self.cfg.replacement == Replacement::Lru;
+        let range = self.set_range(line);
+        for l in &mut self.lines[range] {
+            if l.state != Mesi::Invalid && l.tag == line {
+                if is_lru {
+                    l.stamp = tick;
+                }
+                self.hits += 1;
+                return Some(l.state);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Looks up `line` without disturbing recency or statistics (a coherence
+    /// snoop from another cache).
+    #[must_use]
+    pub fn probe(&self, line: u64) -> Option<Mesi> {
+        let range = self.set_range(line);
+        self.lines[range]
+            .iter()
+            .find(|l| l.state != Mesi::Invalid && l.tag == line)
+            .map(|l| l.state)
+    }
+
+    /// Inserts `line` in `state`, evicting the replacement victim if the set
+    /// is full. Returns the evicted `(line, state)` if a valid line was
+    /// displaced.
+    ///
+    /// Inserting a line that is already present just updates its state.
+    pub fn insert(&mut self, line: u64, state: Mesi) -> Option<(u64, Mesi)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line);
+        // Already present: refresh state.
+        for l in &mut self.lines[range.clone()] {
+            if l.state != Mesi::Invalid && l.tag == line {
+                l.state = state;
+                l.stamp = tick;
+                return None;
+            }
+        }
+        // Free way?
+        for l in &mut self.lines[range.clone()] {
+            if l.state == Mesi::Invalid {
+                *l = Line { tag: line, state, stamp: tick };
+                return None;
+            }
+        }
+        // Evict: lowest stamp is both LRU victim and FIFO head (FIFO never
+        // refreshes stamps on access, so the lowest stamp is oldest-inserted).
+        let victim_idx = {
+            let lines = &self.lines[range.clone()];
+            let mut best = 0;
+            for (i, l) in lines.iter().enumerate() {
+                if l.stamp < lines[best].stamp {
+                    best = i;
+                }
+            }
+            range.start + best
+        };
+        let victim = self.lines[victim_idx];
+        self.lines[victim_idx] = Line { tag: line, state, stamp: tick };
+        Some((victim.tag, victim.state))
+    }
+
+    /// Changes the state of a present line (coherence downgrade/upgrade).
+    /// No-op when the line is absent.
+    pub fn set_state(&mut self, line: u64, state: Mesi) {
+        let range = self.set_range(line);
+        for l in &mut self.lines[range] {
+            if l.state != Mesi::Invalid && l.tag == line {
+                l.state = state;
+                return;
+            }
+        }
+    }
+
+    /// Invalidates a line. Returns its former state if it was present.
+    pub fn invalidate(&mut self, line: u64) -> Option<Mesi> {
+        let range = self.set_range(line);
+        for l in &mut self.lines[range] {
+            if l.state != Mesi::Invalid && l.tag == line {
+                let s = l.state;
+                l.state = Mesi::Invalid;
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    /// `(hits, misses)` counted by [`SetAssocCache::access`].
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of valid lines currently held.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.state != Mesi::Invalid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(ways: usize, replacement: Replacement) -> SetAssocCache {
+        // 4 sets when 2-way x 128B lines: 1 KB.
+        SetAssocCache::new(CacheConfig {
+            size_bytes: (128 * ways * 4) as u64,
+            line_bytes: 128,
+            ways,
+            replacement,
+        })
+    }
+
+    #[test]
+    fn power4_shapes_are_consistent() {
+        assert_eq!(CacheConfig::power4_l1d().sets(), 128);
+        assert_eq!(CacheConfig::power4_l1i().sets(), 512);
+        assert_eq!(CacheConfig::power4_l2().sets(), 1440);
+        assert_eq!(CacheConfig::power4_l3().sets(), 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_line_rejected() {
+        let _ = CacheConfig {
+            size_bytes: 300,
+            line_bytes: 100,
+            ways: 1,
+            replacement: Replacement::Lru,
+        }
+        .sets();
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = tiny(2, Replacement::Lru);
+        let line = c.line_of(0x1000);
+        assert_eq!(c.access(line), None);
+        c.insert(line, Mesi::Exclusive);
+        assert_eq!(c.access(line), Some(Mesi::Exclusive));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(2, Replacement::Lru);
+        // Three lines mapping to the same set (stride = sets * line).
+        let a = 0u64;
+        let b = 4; // same set in a 4-set cache (line addresses)
+        let d = 8;
+        c.insert(a, Mesi::Shared);
+        c.insert(b, Mesi::Shared);
+        assert!(c.access(a).is_some()); // a is now most recent
+        let evicted = c.insert(d, Mesi::Shared).expect("must evict");
+        assert_eq!(evicted.0, b);
+        assert!(c.probe(a).is_some());
+        assert!(c.probe(b).is_none());
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let mut c = tiny(2, Replacement::Fifo);
+        let (a, b, d) = (0u64, 4, 8);
+        c.insert(a, Mesi::Shared);
+        c.insert(b, Mesi::Shared);
+        assert!(c.access(a).is_some()); // touching a must NOT save it under FIFO
+        let evicted = c.insert(d, Mesi::Shared).expect("must evict");
+        assert_eq!(evicted.0, a, "FIFO evicts oldest insertion");
+    }
+
+    #[test]
+    fn insert_existing_updates_state() {
+        let mut c = tiny(2, Replacement::Lru);
+        c.insert(3, Mesi::Shared);
+        assert_eq!(c.insert(3, Mesi::Modified), None);
+        assert_eq!(c.probe(3), Some(Mesi::Modified));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn set_state_and_invalidate() {
+        let mut c = tiny(2, Replacement::Lru);
+        c.insert(5, Mesi::Modified);
+        c.set_state(5, Mesi::Shared);
+        assert_eq!(c.probe(5), Some(Mesi::Shared));
+        assert_eq!(c.invalidate(5), Some(Mesi::Shared));
+        assert_eq!(c.probe(5), None);
+        assert_eq!(c.invalidate(5), None);
+    }
+
+    #[test]
+    fn probe_does_not_affect_lru_or_stats() {
+        let mut c = tiny(2, Replacement::Lru);
+        let (a, b, d) = (0u64, 4, 8);
+        c.insert(a, Mesi::Shared);
+        c.insert(b, Mesi::Shared);
+        let _ = c.probe(a); // must not refresh a
+        let evicted = c.insert(d, Mesi::Shared).expect("must evict");
+        assert_eq!(evicted.0, a);
+        assert_eq!(c.stats(), (0, 0));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = tiny(1, Replacement::Lru); // direct-mapped, 4 sets
+        for line in 0..4u64 {
+            assert_eq!(c.insert(line, Mesi::Shared), None);
+        }
+        assert_eq!(c.occupancy(), 4);
+        for line in 0..4u64 {
+            assert!(c.access(line).is_some());
+        }
+    }
+
+    #[test]
+    fn line_of_uses_configured_line_size() {
+        let c = tiny(2, Replacement::Lru);
+        assert_eq!(c.line_of(0), 0);
+        assert_eq!(c.line_of(127), 0);
+        assert_eq!(c.line_of(128), 1);
+    }
+}

@@ -1,0 +1,357 @@
+//! The hardware-performance-monitor (HPM) event set and counter file.
+//!
+//! POWER4's HPM exposes hundreds of events through eight physical counters.
+//! We model the subset the paper uses: completion/dispatch, L1 and memory
+//! hierarchy sources for data and instructions, address translation
+//! (ERAT/TLB), branch prediction, prefetching, and synchronization. Every
+//! simulated core owns a [`CounterFile`]; the measurement tools read either
+//! a single core or the machine-wide sum.
+
+use core::fmt;
+
+/// A hardware event trackable by the simulated performance monitor.
+///
+/// Names follow the POWER4 `PM_*` vocabulary loosely; [`HpmEvent::name`]
+/// returns the tool-facing mnemonic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum HpmEvent {
+    /// Processor cycles.
+    Cycles,
+    /// Instructions completed (retired).
+    InstCompleted,
+    /// Instructions dispatched (includes wrong-path and reissued work).
+    InstDispatched,
+    /// Cycles in which at least one instruction completed.
+    CyclesWithCompletion,
+    /// Loads that accessed the L1 D-cache.
+    LoadRefs,
+    /// Stores that accessed the L1 D-cache.
+    StoreRefs,
+    /// Loads that missed the L1 D-cache.
+    LoadMissL1,
+    /// Stores that missed the L1 D-cache (write-through, no L1 allocate).
+    StoreMissL1,
+    /// L1 D-cache load misses satisfied from the local (on-chip) L2.
+    DataFromL2,
+    /// ... from an off-chip L2 on the same MCM, line in Shared state.
+    DataFromL25Shr,
+    /// ... from an off-chip L2 on the same MCM, line in Modified state.
+    DataFromL25Mod,
+    /// ... from an L2 on a different MCM, line in Shared state.
+    DataFromL275Shr,
+    /// ... from an L2 on a different MCM, line in Modified state.
+    DataFromL275Mod,
+    /// ... from the local MCM's L3.
+    DataFromL3,
+    /// ... from a different MCM's L3.
+    DataFromL35,
+    /// ... from memory.
+    DataFromMem,
+    /// Instruction fetches satisfied by the L1 I-cache.
+    InstFromL1,
+    /// Instruction fetches satisfied from L2.
+    InstFromL2,
+    /// Instruction fetches satisfied from L3 (any MCM).
+    InstFromL3,
+    /// Instruction fetches satisfied from memory.
+    InstFromMem,
+    /// Data ERAT (effective-to-real translation) misses.
+    DeratMiss,
+    /// Instruction ERAT misses.
+    IeratMiss,
+    /// Data TLB misses (ERAT miss that also missed the unified TLB).
+    DtlbMiss,
+    /// Instruction TLB misses.
+    ItlbMiss,
+    /// Conditional branches executed.
+    Branches,
+    /// Indirect (register-target) branches executed.
+    IndirectBranches,
+    /// Conditional branches whose direction was mispredicted.
+    BrMpredCond,
+    /// Indirect branches whose target was mispredicted (BTB miss).
+    BrMpredTarget,
+    /// LARX (load-and-reserve) instructions.
+    Larx,
+    /// STCX (store-conditional) instructions.
+    Stcx,
+    /// STCX instructions that failed (lost reservation).
+    StcxFail,
+    /// SYNC/LWSYNC/ISYNC instructions executed.
+    SyncCount,
+    /// Cycles during which a SYNC request occupied the store-reorder queue.
+    SyncSrqCycles,
+    /// Lines prefetched into the L1 D-cache by the sequential prefetcher.
+    L1Prefetch,
+    /// Lines prefetched into the L2 by the sequential prefetcher.
+    L2Prefetch,
+    /// New prefetch streams allocated.
+    StreamAllocs,
+    /// Instruction groups reissued after a dispatch reject (ERAT retry etc.).
+    GroupReissues,
+    /// Subroutine returns executed.
+    Returns,
+    /// Returns whose target the link stack mispredicted.
+    RetMpred,
+}
+
+/// Number of distinct [`HpmEvent`]s.
+pub const EVENT_COUNT: usize = 39;
+
+impl HpmEvent {
+    /// All events, in discriminant order.
+    pub const ALL: [HpmEvent; EVENT_COUNT] = [
+        HpmEvent::Cycles,
+        HpmEvent::InstCompleted,
+        HpmEvent::InstDispatched,
+        HpmEvent::CyclesWithCompletion,
+        HpmEvent::LoadRefs,
+        HpmEvent::StoreRefs,
+        HpmEvent::LoadMissL1,
+        HpmEvent::StoreMissL1,
+        HpmEvent::DataFromL2,
+        HpmEvent::DataFromL25Shr,
+        HpmEvent::DataFromL25Mod,
+        HpmEvent::DataFromL275Shr,
+        HpmEvent::DataFromL275Mod,
+        HpmEvent::DataFromL3,
+        HpmEvent::DataFromL35,
+        HpmEvent::DataFromMem,
+        HpmEvent::InstFromL1,
+        HpmEvent::InstFromL2,
+        HpmEvent::InstFromL3,
+        HpmEvent::InstFromMem,
+        HpmEvent::DeratMiss,
+        HpmEvent::IeratMiss,
+        HpmEvent::DtlbMiss,
+        HpmEvent::ItlbMiss,
+        HpmEvent::Branches,
+        HpmEvent::IndirectBranches,
+        HpmEvent::BrMpredCond,
+        HpmEvent::BrMpredTarget,
+        HpmEvent::Larx,
+        HpmEvent::Stcx,
+        HpmEvent::StcxFail,
+        HpmEvent::SyncCount,
+        HpmEvent::SyncSrqCycles,
+        HpmEvent::L1Prefetch,
+        HpmEvent::L2Prefetch,
+        HpmEvent::StreamAllocs,
+        HpmEvent::GroupReissues,
+        HpmEvent::Returns,
+        HpmEvent::RetMpred,
+    ];
+
+    /// Tool-facing mnemonic in the POWER4 `PM_*` style.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            HpmEvent::Cycles => "PM_CYC",
+            HpmEvent::InstCompleted => "PM_INST_CMPL",
+            HpmEvent::InstDispatched => "PM_INST_DISP",
+            HpmEvent::CyclesWithCompletion => "PM_CYC_GRP_CMPL",
+            HpmEvent::LoadRefs => "PM_LD_REF_L1",
+            HpmEvent::StoreRefs => "PM_ST_REF_L1",
+            HpmEvent::LoadMissL1 => "PM_LD_MISS_L1",
+            HpmEvent::StoreMissL1 => "PM_ST_MISS_L1",
+            HpmEvent::DataFromL2 => "PM_DATA_FROM_L2",
+            HpmEvent::DataFromL25Shr => "PM_DATA_FROM_L25_SHR",
+            HpmEvent::DataFromL25Mod => "PM_DATA_FROM_L25_MOD",
+            HpmEvent::DataFromL275Shr => "PM_DATA_FROM_L275_SHR",
+            HpmEvent::DataFromL275Mod => "PM_DATA_FROM_L275_MOD",
+            HpmEvent::DataFromL3 => "PM_DATA_FROM_L3",
+            HpmEvent::DataFromL35 => "PM_DATA_FROM_L35",
+            HpmEvent::DataFromMem => "PM_DATA_FROM_MEM",
+            HpmEvent::InstFromL1 => "PM_INST_FROM_L1",
+            HpmEvent::InstFromL2 => "PM_INST_FROM_L2",
+            HpmEvent::InstFromL3 => "PM_INST_FROM_L3",
+            HpmEvent::InstFromMem => "PM_INST_FROM_MEM",
+            HpmEvent::DeratMiss => "PM_DERAT_MISS",
+            HpmEvent::IeratMiss => "PM_IERAT_MISS",
+            HpmEvent::DtlbMiss => "PM_DTLB_MISS",
+            HpmEvent::ItlbMiss => "PM_ITLB_MISS",
+            HpmEvent::Branches => "PM_BR_CMPL",
+            HpmEvent::IndirectBranches => "PM_BR_IND",
+            HpmEvent::BrMpredCond => "PM_BR_MPRED_CR",
+            HpmEvent::BrMpredTarget => "PM_BR_MPRED_TA",
+            HpmEvent::Larx => "PM_LARX",
+            HpmEvent::Stcx => "PM_STCX",
+            HpmEvent::StcxFail => "PM_STCX_FAIL",
+            HpmEvent::SyncCount => "PM_SYNC",
+            HpmEvent::SyncSrqCycles => "PM_SYNC_SRQ_CYC",
+            HpmEvent::L1Prefetch => "PM_L1_PREF",
+            HpmEvent::L2Prefetch => "PM_L2_PREF",
+            HpmEvent::StreamAllocs => "PM_PREF_STREAM_ALLOC",
+            HpmEvent::GroupReissues => "PM_GRP_DISP_REJECT",
+            HpmEvent::Returns => "PM_RET",
+            HpmEvent::RetMpred => "PM_RET_MPRED",
+        }
+    }
+
+    /// Index of the event within a [`CounterFile`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for HpmEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A full set of cumulative event counters for one core (or a machine-wide
+/// aggregate).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterFile {
+    counts: [u64; EVENT_COUNT],
+}
+
+impl Default for CounterFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CounterFile {
+    /// Creates a zeroed counter file.
+    #[must_use]
+    pub fn new() -> Self {
+        CounterFile {
+            counts: [0; EVENT_COUNT],
+        }
+    }
+
+    /// Adds `n` occurrences of `event`.
+    #[inline]
+    pub fn add(&mut self, event: HpmEvent, n: u64) {
+        self.counts[event.index()] += n;
+    }
+
+    /// Increments `event` by one.
+    #[inline]
+    pub fn bump(&mut self, event: HpmEvent) {
+        self.counts[event.index()] += 1;
+    }
+
+    /// Cumulative count of `event`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, event: HpmEvent) -> u64 {
+        self.counts[event.index()]
+    }
+
+    /// Adds every counter of `other` into `self` (machine-wide aggregation).
+    pub fn merge(&mut self, other: &CounterFile) {
+        for i in 0..EVENT_COUNT {
+            self.counts[i] += other.counts[i];
+        }
+    }
+
+    /// Per-event difference `self - earlier` (for interval sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter of `earlier` exceeds `self`'s —
+    /// counters are cumulative and must not run backwards.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &CounterFile) -> CounterFile {
+        let mut out = CounterFile::new();
+        for i in 0..EVENT_COUNT {
+            debug_assert!(self.counts[i] >= earlier.counts[i], "counter ran backwards");
+            out.counts[i] = self.counts[i] - earlier.counts[i];
+        }
+        out
+    }
+
+    /// Cycles per completed instruction over this counter file; `None` when
+    /// no instructions completed.
+    #[must_use]
+    pub fn cpi(&self) -> Option<f64> {
+        let inst = self.get(HpmEvent::InstCompleted);
+        if inst == 0 {
+            None
+        } else {
+            Some(self.get(HpmEvent::Cycles) as f64 / inst as f64)
+        }
+    }
+
+    /// `event` count per completed instruction; `None` when no instructions
+    /// completed.
+    #[must_use]
+    pub fn per_instruction(&self, event: HpmEvent) -> Option<f64> {
+        let inst = self.get(HpmEvent::InstCompleted);
+        if inst == 0 {
+            None
+        } else {
+            Some(self.get(event) as f64 / inst as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_unique_sequential_indices() {
+        for (i, e) in HpmEvent::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i, "event {e} out of order");
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_pm_prefixed() {
+        let mut names: Vec<&str> = HpmEvent::ALL.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate event names");
+        for n in names {
+            assert!(n.starts_with("PM_"), "{n}");
+        }
+    }
+
+    #[test]
+    fn add_get_merge() {
+        let mut a = CounterFile::new();
+        a.add(HpmEvent::Cycles, 100);
+        a.bump(HpmEvent::Cycles);
+        let mut b = CounterFile::new();
+        b.add(HpmEvent::Cycles, 9);
+        b.add(HpmEvent::InstCompleted, 50);
+        a.merge(&b);
+        assert_eq!(a.get(HpmEvent::Cycles), 110);
+        assert_eq!(a.get(HpmEvent::InstCompleted), 50);
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let mut early = CounterFile::new();
+        early.add(HpmEvent::LoadRefs, 10);
+        let mut late = early.clone();
+        late.add(HpmEvent::LoadRefs, 5);
+        late.add(HpmEvent::StoreRefs, 3);
+        let d = late.delta_since(&early);
+        assert_eq!(d.get(HpmEvent::LoadRefs), 5);
+        assert_eq!(d.get(HpmEvent::StoreRefs), 3);
+    }
+
+    #[test]
+    fn cpi_and_per_instruction() {
+        let mut c = CounterFile::new();
+        assert_eq!(c.cpi(), None);
+        c.add(HpmEvent::Cycles, 300);
+        c.add(HpmEvent::InstCompleted, 100);
+        c.add(HpmEvent::LoadMissL1, 10);
+        assert_eq!(c.cpi(), Some(3.0));
+        assert_eq!(c.per_instruction(HpmEvent::LoadMissL1), Some(0.1));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(HpmEvent::DeratMiss.to_string(), "PM_DERAT_MISS");
+    }
+}

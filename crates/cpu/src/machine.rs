@@ -1,0 +1,562 @@
+//! The machine model: cores, their private structures, and the shared
+//! memory hierarchy, executing [`MicroOp`] streams and maintaining HPM
+//! counters.
+
+use crate::address::AddressMap;
+use crate::branch::{BranchConfig, BranchUnit, LinkStack};
+use crate::cache::{CacheConfig, Mesi, SetAssocCache};
+use crate::counters::{CounterFile, HpmEvent};
+use crate::hierarchy::{DataSource, InstSource, MemorySystem, Topology};
+use crate::pipeline::{CostModel, FracCounter};
+use crate::prefetch::{PrefetchConfig, Prefetcher};
+use crate::tlb::{Mmu, MmuConfig, TranslationOutcome};
+use crate::uop::MicroOp;
+
+/// Complete configuration of the simulated machine.
+///
+/// Defaults model the paper's 4-core, 2-MCM POWER4 system. `frequency_hz`
+/// is the *modeled* clock used to convert cycles to simulated time; it is
+/// deliberately far below 1.3 GHz (see DESIGN.md "instruction-rate
+/// scaling") — all reported quantities are per-instruction ratios, which
+/// are scale-invariant.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Core/chip/MCM topology.
+    pub topology: Topology,
+    /// L1 D-cache shape (per core).
+    pub l1d: CacheConfig,
+    /// L1 I-cache shape (per core).
+    pub l1i: CacheConfig,
+    /// L2 shape (per chip, shared by its cores).
+    pub l2: CacheConfig,
+    /// L3 shape (per MCM).
+    pub l3: CacheConfig,
+    /// ERAT/TLB shapes.
+    pub mmu: MmuConfig,
+    /// Branch-predictor shapes.
+    pub branch: BranchConfig,
+    /// Sequential-prefetcher shape.
+    pub prefetch: PrefetchConfig,
+    /// Stall/dispatch cost constants.
+    pub cost: CostModel,
+    /// Page-size policy of the address space.
+    pub addr_map: AddressMap,
+    /// Modeled clock frequency (cycles per simulated second).
+    pub frequency_hz: f64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            topology: Topology::default(),
+            l1d: CacheConfig::power4_l1d(),
+            l1i: CacheConfig::power4_l1i(),
+            l2: CacheConfig::power4_l2(),
+            l3: CacheConfig::power4_l3(),
+            mmu: MmuConfig::default(),
+            branch: BranchConfig::default(),
+            prefetch: PrefetchConfig::default(),
+            cost: CostModel::default(),
+            addr_map: AddressMap::default(),
+            frequency_hz: 2_000_000.0,
+        }
+    }
+}
+
+/// Per-core private state.
+#[derive(Clone, Debug)]
+struct Core {
+    l1i: SetAssocCache,
+    l1d: SetAssocCache,
+    mmu: Mmu,
+    branch: BranchUnit,
+    link_stack: LinkStack,
+    prefetch: Prefetcher,
+    counters: CounterFile,
+    cyc: FracCounter,
+    disp: FracCounter,
+    cmpl_cyc: FracCounter,
+    srq: FracCounter,
+    op_index: u64,
+    last_l1d_miss_op: u64,
+    last_fetch_line: u64,
+    // Cheap deterministic per-core noise source for probabilistic model
+    // events (group reissues), independent of the workload RNG.
+    noise: u64,
+}
+
+impl Core {
+    fn new(cfg: &MachineConfig, id: usize) -> Self {
+        Core {
+            l1i: SetAssocCache::new(cfg.l1i),
+            l1d: SetAssocCache::new(cfg.l1d),
+            mmu: Mmu::new(cfg.mmu),
+            branch: BranchUnit::new(cfg.branch),
+            link_stack: LinkStack::new(16), // POWER4-class depth
+            prefetch: Prefetcher::new(cfg.prefetch),
+            counters: CounterFile::new(),
+            cyc: FracCounter::default(),
+            disp: FracCounter::default(),
+            cmpl_cyc: FracCounter::default(),
+            srq: FracCounter::default(),
+            op_index: 0,
+            last_l1d_miss_op: u64::MAX / 2,
+            last_fetch_line: u64::MAX,
+            noise: 0x9E37_79B9_7F4A_7C15 ^ (id as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+        }
+    }
+
+    #[inline]
+    fn noise_f64(&mut self) -> f64 {
+        // SplitMix64 step — deterministic, core-local.
+        self.noise = self.noise.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.noise;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The simulated multiprocessor.
+///
+/// # Example
+///
+/// ```
+/// use jas_cpu::{Machine, MachineConfig, MicroOp, Region};
+///
+/// let mut m = Machine::new(MachineConfig::default());
+/// let ia = Region::JitCode.base();
+/// let cycles = m.exec(0, ia, MicroOp::Load { ea: Region::JavaHeap.base() });
+/// assert!(cycles > 0.0);
+/// assert_eq!(m.counters(0).get(jas_cpu::HpmEvent::LoadRefs), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    cores: Vec<Core>,
+    mem: MemorySystem,
+}
+
+impl Machine {
+    /// Builds the machine from its configuration.
+    #[must_use]
+    pub fn new(cfg: MachineConfig) -> Self {
+        let cores = (0..cfg.topology.cores())
+            .map(|id| Core::new(&cfg, id))
+            .collect();
+        let mem = MemorySystem::new(cfg.topology, cfg.l2, cfg.l3);
+        Machine { cfg, cores, mem }
+    }
+
+    /// The machine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Cumulative counters of one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn counters(&self, core: usize) -> &CounterFile {
+        &self.cores[core].counters
+    }
+
+    /// Machine-wide counter aggregate (sum over cores).
+    #[must_use]
+    pub fn total_counters(&self) -> CounterFile {
+        let mut total = CounterFile::new();
+        for c in &self.cores {
+            total.merge(&c.counters);
+        }
+        total
+    }
+
+    /// Executes one instruction on `core`: instruction fetch from `ia`,
+    /// then the op's architectural effect. Returns the cycles consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn exec(&mut self, core: usize, ia: u64, op: MicroOp) -> f64 {
+        let chip = self.cfg.topology.chip_of_core(core);
+        let cost = self.cfg.cost;
+        let addr_map = self.cfg.addr_map;
+        let c = &mut self.cores[core];
+        let mem = &mut self.mem;
+        c.op_index += 1;
+
+        let mut cycles = cost.base_cpi;
+        let mut dispatched = 1.0 + cost.baseline_overdispatch;
+
+        // ---- Instruction side: one fetch per new cache line. ----
+        let fetch_line = c.l1i.line_of(ia);
+        if fetch_line != c.last_fetch_line {
+            c.last_fetch_line = fetch_line;
+            // Translate the fetch address.
+            let page = addr_map.page_size(ia);
+            match c.mmu.translate_inst(ia, page) {
+                TranslationOutcome::EratHit => {}
+                TranslationOutcome::EratMissTlbHit => {
+                    c.counters.bump(HpmEvent::IeratMiss);
+                    cycles += cost.erat_miss_cycles * cost.inst_overlap;
+                }
+                TranslationOutcome::TlbMiss => {
+                    c.counters.bump(HpmEvent::IeratMiss);
+                    c.counters.bump(HpmEvent::ItlbMiss);
+                    cycles += cost.tlb_walk_cycles * cost.inst_overlap;
+                }
+            }
+            if c.l1i.access(fetch_line).is_some() {
+                c.counters.bump(HpmEvent::InstFromL1);
+            } else {
+                let (event, latency) = match mem.fetch_inst(chip, ia) {
+                    InstSource::L2 => (HpmEvent::InstFromL2, cost.l2_latency),
+                    InstSource::L3 => (HpmEvent::InstFromL3, cost.l3_latency),
+                    InstSource::Memory => (HpmEvent::InstFromMem, cost.mem_latency),
+                };
+                c.counters.bump(event);
+                cycles += latency * cost.inst_overlap;
+                c.l1i.insert(fetch_line, Mesi::Shared);
+            }
+        } else {
+            c.counters.bump(HpmEvent::InstFromL1);
+        }
+
+        // ---- Op effect. ----
+        match op {
+            MicroOp::Alu => {}
+            MicroOp::Load { ea } | MicroOp::Larx { ea } => {
+                if matches!(op, MicroOp::Larx { .. }) {
+                    c.counters.bump(HpmEvent::Larx);
+                }
+                c.counters.bump(HpmEvent::LoadRefs);
+                Self::data_translate(c, &cost, ea, addr_map, &mut cycles, &mut dispatched);
+                let line = c.l1d.line_of(ea);
+                let l1_hit = c.l1d.access(line).is_some();
+                // The prefetch engine observes every load: stream
+                // confirmations ride on prefetch hits, allocations on misses.
+                let decision = c.prefetch.on_l1_load(line, !l1_hit);
+                if decision.allocated {
+                    c.counters.bump(HpmEvent::StreamAllocs);
+                }
+                for &pl in &decision.l1_lines {
+                    c.counters.bump(HpmEvent::L1Prefetch);
+                    c.l1d.insert(pl, Mesi::Shared);
+                    mem.prefetch_into_l2(chip, pl * c.l1d.config().line_bytes);
+                }
+                for &pl in &decision.l2_lines {
+                    c.counters.bump(HpmEvent::L2Prefetch);
+                    mem.prefetch_into_l2(chip, pl * c.l1d.config().line_bytes);
+                }
+                if !l1_hit {
+                    c.counters.bump(HpmEvent::LoadMissL1);
+                    let burst =
+                        c.op_index.wrapping_sub(c.last_l1d_miss_op) <= cost.burst_window_ops;
+                    c.last_l1d_miss_op = c.op_index;
+                    // Demand miss walks the hierarchy.
+                    let source = mem.load_miss(chip, ea);
+                    let (event, latency) = match source {
+                        DataSource::L2 => (HpmEvent::DataFromL2, cost.l2_latency),
+                        DataSource::L25Shared => (HpmEvent::DataFromL25Shr, cost.l25_latency),
+                        DataSource::L25Modified => (HpmEvent::DataFromL25Mod, cost.l25_latency),
+                        DataSource::L275Shared => (HpmEvent::DataFromL275Shr, cost.l275_latency),
+                        DataSource::L275Modified => (HpmEvent::DataFromL275Mod, cost.l275_latency),
+                        DataSource::L3 => (HpmEvent::DataFromL3, cost.l3_latency),
+                        DataSource::L35 => (HpmEvent::DataFromL35, cost.l35_latency),
+                        DataSource::Memory => (HpmEvent::DataFromMem, cost.mem_latency),
+                    };
+                    c.counters.bump(event);
+                    let overlap = if burst { cost.overlap_burst } else { cost.overlap_isolated };
+                    cycles += latency * overlap;
+                    // Dispatch rejects: some misses cause group reissue.
+                    if c.noise_f64() < cost.reissue_on_miss_prob {
+                        c.counters.bump(HpmEvent::GroupReissues);
+                        dispatched += cost.group_reissue_dispatch;
+                    }
+                    c.l1d.insert(line, Mesi::Shared);
+                }
+            }
+            MicroOp::Store { ea } | MicroOp::Stcx { ea, .. } => {
+                if let MicroOp::Stcx { fail, .. } = op {
+                    c.counters.bump(HpmEvent::Stcx);
+                    if fail {
+                        c.counters.bump(HpmEvent::StcxFail);
+                    }
+                    cycles += cost.stcx_cycles;
+                }
+                c.counters.bump(HpmEvent::StoreRefs);
+                Self::data_translate(c, &cost, ea, addr_map, &mut cycles, &mut dispatched);
+                let line = c.l1d.line_of(ea);
+                // Write-through: the store goes to L2 either way; an L1 miss
+                // does NOT allocate in L1 (paper Section 4.2.3).
+                if c.l1d.access(line).is_none() {
+                    c.counters.bump(HpmEvent::StoreMissL1);
+                    cycles += cost.store_miss_cycles;
+                }
+                let _l2_hit = mem.store(chip, ea);
+            }
+            MicroOp::CondBranch { site, taken } => {
+                c.counters.bump(HpmEvent::Branches);
+                if !c.branch.resolve_conditional(site, taken).correct {
+                    c.counters.bump(HpmEvent::BrMpredCond);
+                    cycles += cost.mispredict_cycles;
+                    dispatched += cost.wrong_path_dispatch;
+                }
+            }
+            MicroOp::IndBranch { site, target } => {
+                c.counters.bump(HpmEvent::Branches);
+                c.counters.bump(HpmEvent::IndirectBranches);
+                if !c.branch.resolve_indirect(site, target).correct {
+                    c.counters.bump(HpmEvent::BrMpredTarget);
+                    cycles += cost.mispredict_cycles;
+                    dispatched += cost.wrong_path_dispatch;
+                    // A target misprediction redirects fetch: the next op
+                    // fetches from the (new) target line.
+                    c.last_fetch_line = u64::MAX;
+                }
+            }
+            MicroOp::Sync => {
+                c.counters.bump(HpmEvent::SyncCount);
+                cycles += cost.sync_srq_cycles;
+                c.srq.add(&mut c.counters, HpmEvent::SyncSrqCycles, cost.sync_srq_cycles);
+            }
+            MicroOp::Call { ret } => {
+                // Direct calls are perfectly target-predicted; the link
+                // stack records the return address. (PM_BR_CMPL counts
+                // conditional branches only, as used by Figure 6.)
+                c.link_stack.push(ret);
+            }
+            MicroOp::Return { to } => {
+                c.counters.bump(HpmEvent::Returns);
+                if !c.link_stack.resolve_return(to) {
+                    c.counters.bump(HpmEvent::RetMpred);
+                    cycles += cost.mispredict_cycles;
+                    dispatched += cost.wrong_path_dispatch;
+                    c.last_fetch_line = u64::MAX;
+                }
+            }
+        }
+
+        // ---- Completion accounting. ----
+        c.counters.bump(HpmEvent::InstCompleted);
+        c.cyc.add(&mut c.counters, HpmEvent::Cycles, cycles);
+        c.disp.add(&mut c.counters, HpmEvent::InstDispatched, dispatched);
+        c.cmpl_cyc.add(
+            &mut c.counters,
+            HpmEvent::CyclesWithCompletion,
+            1.0 / cost.completion_group_width,
+        );
+        cycles
+    }
+
+    fn data_translate(
+        c: &mut Core,
+        cost: &CostModel,
+        ea: u64,
+        addr_map: AddressMap,
+        cycles: &mut f64,
+        dispatched: &mut f64,
+    ) {
+        let page = addr_map.page_size(ea);
+        match c.mmu.translate_data(ea, page) {
+            TranslationOutcome::EratHit => {}
+            TranslationOutcome::EratMissTlbHit => {
+                c.counters.bump(HpmEvent::DeratMiss);
+                *cycles += cost.erat_miss_cycles;
+                // The load is retried every `reject_retry_cycles` until the
+                // translation arrives — each retry is a dispatch.
+                *dispatched += cost.erat_miss_cycles / cost.reject_retry_cycles;
+            }
+            TranslationOutcome::TlbMiss => {
+                c.counters.bump(HpmEvent::DeratMiss);
+                c.counters.bump(HpmEvent::DtlbMiss);
+                *cycles += cost.tlb_walk_cycles;
+                *dispatched += cost.tlb_walk_cycles / cost.reject_retry_cycles;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::Region;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::default())
+    }
+
+    #[test]
+    fn default_machine_has_four_cores() {
+        assert_eq!(machine().cores(), 4);
+    }
+
+    #[test]
+    fn load_counts_refs_and_misses() {
+        let mut m = machine();
+        let ia = Region::JitCode.base();
+        let ea = Region::JavaHeap.base();
+        m.exec(0, ia, MicroOp::Load { ea });
+        let c = m.counters(0);
+        assert_eq!(c.get(HpmEvent::LoadRefs), 1);
+        assert_eq!(c.get(HpmEvent::LoadMissL1), 1);
+        assert_eq!(c.get(HpmEvent::DataFromMem), 1);
+        // Second access to the same address hits L1.
+        m.exec(0, ia + 4, MicroOp::Load { ea });
+        let c = m.counters(0);
+        assert_eq!(c.get(HpmEvent::LoadRefs), 2);
+        assert_eq!(c.get(HpmEvent::LoadMissL1), 1);
+    }
+
+    #[test]
+    fn store_miss_does_not_allocate_l1() {
+        let mut m = machine();
+        let ia = Region::JitCode.base();
+        let ea = Region::JavaHeap.base() + 64 * 1024;
+        m.exec(0, ia, MicroOp::Store { ea });
+        assert_eq!(m.counters(0).get(HpmEvent::StoreMissL1), 1);
+        // Store missed; line must STILL not be in L1 (no allocate), so a
+        // following load misses L1 but hits L2 (store allocated there).
+        m.exec(0, ia + 4, MicroOp::Load { ea });
+        let c = m.counters(0);
+        assert_eq!(c.get(HpmEvent::LoadMissL1), 1);
+        assert_eq!(c.get(HpmEvent::DataFromL2), 1);
+    }
+
+    #[test]
+    fn store_then_remote_load_is_modified_transfer() {
+        let mut m = machine();
+        let ia = Region::JitCode.base();
+        let ea = Region::JavaHeap.base() + 1024 * 1024;
+        m.exec(0, ia, MicroOp::Store { ea });
+        // Core 2 is on the other chip/MCM.
+        m.exec(2, ia, MicroOp::Load { ea });
+        assert_eq!(m.counters(2).get(HpmEvent::DataFromL275Mod), 1);
+    }
+
+    #[test]
+    fn heap_large_pages_reduce_dtlb_misses() {
+        let run = |large: bool| -> u64 {
+            let mut cfg = MachineConfig::default();
+            cfg.addr_map.heap_large_pages = large;
+            let mut m = Machine::new(cfg);
+            let ia = Region::JitCode.base();
+            // Touch 1024 distinct 4 KB-spaced heap addresses, twice.
+            for round in 0..2 {
+                for i in 0..1024u64 {
+                    let _ = round;
+                    m.exec(0, ia, MicroOp::Load { ea: Region::JavaHeap.base() + i * 4096 });
+                }
+            }
+            m.counters(0).get(HpmEvent::DtlbMiss)
+        };
+        let small = run(false);
+        let large = run(true);
+        assert!(
+            large * 10 < small,
+            "large pages should slash DTLB misses: {large} vs {small}"
+        );
+    }
+
+    #[test]
+    fn mispredicted_branch_charges_flush_and_wrong_path() {
+        let mut m = machine();
+        let ia = Region::JitCode.base();
+        // Train, then violate.
+        for _ in 0..16 {
+            m.exec(0, ia, MicroOp::CondBranch { site: 0x10, taken: true });
+        }
+        let before = m.counters(0).clone();
+        let cycles = m.exec(0, ia, MicroOp::CondBranch { site: 0x10, taken: false });
+        let d = m.counters(0).delta_since(&before);
+        assert_eq!(d.get(HpmEvent::BrMpredCond), 1);
+        assert!(cycles > m.config().cost.mispredict_cycles);
+        assert!(d.get(HpmEvent::InstDispatched) as f64 >= m.config().cost.wrong_path_dispatch);
+    }
+
+    #[test]
+    fn sync_occupies_srq() {
+        let mut m = machine();
+        let ia = Region::NativeCode.base();
+        m.exec(0, ia, MicroOp::Sync);
+        let c = m.counters(0);
+        assert_eq!(c.get(HpmEvent::SyncCount), 1);
+        assert!(c.get(HpmEvent::SyncSrqCycles) >= 29);
+    }
+
+    #[test]
+    fn stcx_failure_counted() {
+        let mut m = machine();
+        let ia = Region::NativeCode.base();
+        let ea = Region::JavaHeap.base();
+        m.exec(0, ia, MicroOp::Larx { ea });
+        m.exec(0, ia + 4, MicroOp::Stcx { ea, fail: true });
+        m.exec(0, ia + 8, MicroOp::Stcx { ea, fail: false });
+        let c = m.counters(0);
+        assert_eq!(c.get(HpmEvent::Larx), 1);
+        assert_eq!(c.get(HpmEvent::Stcx), 2);
+        assert_eq!(c.get(HpmEvent::StcxFail), 1);
+    }
+
+    #[test]
+    fn sequential_loads_trigger_prefetch_streams() {
+        let mut m = machine();
+        let ia = Region::JitCode.base();
+        let base = Region::DbBufferPool.base();
+        // March sequentially across 64 cache lines.
+        for i in 0..64u64 {
+            m.exec(0, ia, MicroOp::Load { ea: base + i * 128 });
+        }
+        let c = m.counters(0);
+        assert!(c.get(HpmEvent::StreamAllocs) >= 1);
+        assert!(c.get(HpmEvent::L1Prefetch) > 0);
+        assert!(c.get(HpmEvent::L2Prefetch) > 0);
+        // Prefetching must shrink demand misses well below 64.
+        assert!(
+            c.get(HpmEvent::LoadMissL1) < 32,
+            "prefetcher should hide sequential misses, got {}",
+            c.get(HpmEvent::LoadMissL1)
+        );
+    }
+
+    #[test]
+    fn cpi_of_pure_alu_is_base_cpi() {
+        let mut m = machine();
+        let ia = Region::JitCode.base();
+        for i in 0..10_000u64 {
+            m.exec(0, ia + (i % 32) * 4, MicroOp::Alu);
+        }
+        let cpi = m.counters(0).cpi().unwrap();
+        let base = m.config().cost.base_cpi;
+        assert!((cpi - base).abs() < 0.1, "cpi {cpi} vs base {base}");
+    }
+
+    #[test]
+    fn total_counters_sum_cores() {
+        let mut m = machine();
+        let ia = Region::JitCode.base();
+        m.exec(0, ia, MicroOp::Alu);
+        m.exec(3, ia, MicroOp::Alu);
+        assert_eq!(m.total_counters().get(HpmEvent::InstCompleted), 2);
+    }
+
+    #[test]
+    fn dispatch_exceeds_completion() {
+        let mut m = machine();
+        let ia = Region::JitCode.base();
+        for i in 0..1000u64 {
+            m.exec(0, ia + (i % 512) * 4, MicroOp::Alu);
+        }
+        let c = m.counters(0);
+        assert!(c.get(HpmEvent::InstDispatched) > c.get(HpmEvent::InstCompleted));
+    }
+}

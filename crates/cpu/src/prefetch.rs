@@ -1,0 +1,271 @@
+//! POWER4-style sequential hardware prefetcher.
+//!
+//! POWER4 detects sequences of cache-line misses at ascending or descending
+//! addresses, allocates one of eight prefetch streams, and runs ahead of the
+//! demand stream — ramping from one line ahead up to several, staging lines
+//! from memory into L2 and from L2 into L1. The paper's Figure 10 finds
+//! prefetch activity (stream allocations, L1/L2 prefetches) among the events
+//! most strongly correlated with CPI, because streams are allocated exactly
+//! when the workload suffers *bursts* of L1 misses.
+
+/// Configuration for [`Prefetcher`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrefetchConfig {
+    /// Number of concurrently tracked streams (POWER4: 8).
+    pub streams: usize,
+    /// Maximum run-ahead depth in lines (POWER4 ramps to ~8 for L2).
+    pub max_depth: u32,
+    /// Entries in the allocation-guess filter of recent miss lines.
+    pub guess_entries: usize,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        PrefetchConfig {
+            streams: 8,
+            max_depth: 8,
+            guess_entries: 16,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Stream {
+    next_line: u64,
+    dir: i64, // +1 ascending, -1 descending
+    depth: u32,
+    last_use: u64,
+    valid: bool,
+}
+
+/// What the prefetcher decided on one L1 D-cache miss.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PrefetchDecision {
+    /// A new stream was allocated for this miss.
+    pub allocated: bool,
+    /// The miss advanced an existing stream (stream hit).
+    pub advanced: bool,
+    /// Lines to stage into the L1 (near run-ahead).
+    pub l1_lines: Vec<u64>,
+    /// Lines to stage into the L2 (far run-ahead).
+    pub l2_lines: Vec<u64>,
+}
+
+/// The per-core sequential prefetch engine.
+#[derive(Clone, Debug)]
+pub struct Prefetcher {
+    cfg: PrefetchConfig,
+    streams: Vec<Stream>,
+    recent_misses: Vec<u64>,
+    recent_head: usize,
+    tick: u64,
+}
+
+impl Prefetcher {
+    /// Builds a prefetcher from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` or `guess_entries` is zero.
+    #[must_use]
+    pub fn new(cfg: PrefetchConfig) -> Self {
+        assert!(cfg.streams > 0 && cfg.guess_entries > 0);
+        Prefetcher {
+            cfg,
+            streams: vec![
+                Stream {
+                    next_line: 0,
+                    dir: 1,
+                    depth: 0,
+                    last_use: 0,
+                    valid: false,
+                };
+                cfg.streams
+            ],
+            recent_misses: vec![u64::MAX; cfg.guess_entries],
+            recent_head: 0,
+            tick: 0,
+        }
+    }
+
+    /// Reports an L1 D-cache load access at `line` (`miss` says whether it
+    /// missed) and returns the prefetch decision.
+    ///
+    /// Stream *confirmation* happens on any access that reaches the
+    /// stream's expected next line — prefetched lines hit in the L1, and the
+    /// engine must keep running ahead of those hits. Stream *allocation*
+    /// only ever happens on demand misses.
+    pub fn on_l1_load(&mut self, line: u64, miss: bool) -> PrefetchDecision {
+        self.tick += 1;
+        let tick = self.tick;
+        let mut decision = PrefetchDecision::default();
+
+        // 1. Does the access confirm an active stream? Real stream engines
+        // tolerate small skips (interleaved stores, stride jitter), so a
+        // line up to two ahead of the expected one still confirms.
+        if let Some(s) = self.streams.iter_mut().find(|s| {
+            s.valid && {
+                let delta = (line.wrapping_sub(s.next_line)) as i64 * s.dir;
+                (0..=2).contains(&delta)
+            }
+        }) {
+            s.last_use = tick;
+            s.depth = (s.depth + 1).min(self.cfg.max_depth);
+            s.next_line = line.wrapping_add_signed(s.dir);
+            decision.advanced = true;
+            // Near lines into L1, the deeper run-ahead into L2.
+            let near = s.depth.min(2);
+            for k in 1..=s.depth {
+                let target = line.wrapping_add_signed(s.dir * i64::from(k));
+                if k <= near {
+                    decision.l1_lines.push(target);
+                } else {
+                    decision.l2_lines.push(target);
+                }
+            }
+            return decision;
+        }
+        if !miss {
+            return decision;
+        }
+
+        // 2. Does a recent miss at an adjacent line suggest a new stream?
+        let ascending = self.recent_misses.contains(&line.wrapping_sub(1));
+        let descending = self.recent_misses.contains(&line.wrapping_add(1));
+        if ascending || descending {
+            let dir: i64 = if ascending { 1 } else { -1 };
+            let slot = self.victim_slot();
+            self.streams[slot] = Stream {
+                next_line: line.wrapping_add_signed(dir),
+                dir,
+                depth: 1,
+                last_use: tick,
+                valid: true,
+            };
+            decision.allocated = true;
+            decision.l1_lines.push(line.wrapping_add_signed(dir));
+        }
+
+        // 3. Remember the miss for future allocation guesses.
+        self.recent_misses[self.recent_head] = line;
+        self.recent_head = (self.recent_head + 1) % self.recent_misses.len();
+        decision
+    }
+
+    fn victim_slot(&self) -> usize {
+        // Prefer an invalid slot, else the least recently used stream.
+        if let Some(i) = self.streams.iter().position(|s| !s.valid) {
+            return i;
+        }
+        self.streams
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.last_use)
+            .map(|(i, _)| i)
+            .expect("streams is non-empty")
+    }
+
+    /// Number of currently active streams.
+    #[must_use]
+    pub fn active_streams(&self) -> usize {
+        self.streams.iter().filter(|s| s.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_miss_allocates_nothing() {
+        let mut p = Prefetcher::new(PrefetchConfig::default());
+        let d = p.on_l1_load(1000, true);
+        assert!(!d.allocated && !d.advanced);
+        assert!(d.l1_lines.is_empty() && d.l2_lines.is_empty());
+        assert_eq!(p.active_streams(), 0);
+    }
+
+    #[test]
+    fn two_sequential_misses_allocate_ascending_stream() {
+        let mut p = Prefetcher::new(PrefetchConfig::default());
+        p.on_l1_load(1000, true);
+        let d = p.on_l1_load(1001, true);
+        assert!(d.allocated);
+        assert_eq!(d.l1_lines, vec![1002]);
+        assert_eq!(p.active_streams(), 1);
+    }
+
+    #[test]
+    fn descending_stream_detected() {
+        let mut p = Prefetcher::new(PrefetchConfig::default());
+        p.on_l1_load(2000, true);
+        let d = p.on_l1_load(1999, true);
+        assert!(d.allocated);
+        assert_eq!(d.l1_lines, vec![1998]);
+    }
+
+    #[test]
+    fn stream_ramps_depth_on_confirmation() {
+        let mut p = Prefetcher::new(PrefetchConfig::default());
+        p.on_l1_load(100, true);
+        p.on_l1_load(101, true); // allocate, next = 102
+        let d = p.on_l1_load(102, true); // confirm
+        assert!(d.advanced);
+        assert_eq!(d.l1_lines.len() + d.l2_lines.len(), 2); // depth ramped to 2
+        let d = p.on_l1_load(103, true);
+        assert_eq!(d.l1_lines.len() + d.l2_lines.len(), 3);
+        // Near lines go to L1, the rest to L2.
+        assert!(d.l1_lines.len() <= 2);
+    }
+
+    #[test]
+    fn depth_saturates_at_max() {
+        let mut p = Prefetcher::new(PrefetchConfig {
+            max_depth: 3,
+            ..PrefetchConfig::default()
+        });
+        p.on_l1_load(100, true);
+        p.on_l1_load(101, true);
+        for next in 102..120 {
+            let d = p.on_l1_load(next, true);
+            assert!(d.l1_lines.len() + d.l2_lines.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn streams_are_replaced_lru() {
+        let mut p = Prefetcher::new(PrefetchConfig {
+            streams: 2,
+            ..PrefetchConfig::default()
+        });
+        // Allocate streams A (base 100) and B (base 200).
+        p.on_l1_load(100, true);
+        p.on_l1_load(101, true);
+        p.on_l1_load(200, true);
+        p.on_l1_load(201, true);
+        assert_eq!(p.active_streams(), 2);
+        // Confirm stream B so A becomes LRU.
+        p.on_l1_load(202, true);
+        // Allocate stream C; it must displace A.
+        p.on_l1_load(300, true);
+        p.on_l1_load(301, true);
+        assert_eq!(p.active_streams(), 2);
+        // A no longer advances.
+        let d = p.on_l1_load(102, true);
+        assert!(!d.advanced);
+    }
+
+    #[test]
+    fn random_misses_rarely_allocate() {
+        let mut p = Prefetcher::new(PrefetchConfig::default());
+        let mut rng = jas_simkernel::Rng::new(9);
+        let mut allocs = 0;
+        for _ in 0..10_000 {
+            let line = rng.next_below(1 << 30);
+            if p.on_l1_load(line, true).allocated {
+                allocs += 1;
+            }
+        }
+        assert!(allocs < 10, "random traffic allocated {allocs} streams");
+    }
+}

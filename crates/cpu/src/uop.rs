@@ -1,0 +1,106 @@
+//! The abstract instruction ("micro-op") vocabulary executed by the core
+//! model.
+//!
+//! The simulator does not interpret PowerPC encodings; it executes a stream
+//! of architectural *effects*: memory references with effective addresses,
+//! branches with resolution information, the LARX/STCX reservation pair and
+//! SYNC barriers (paper Section 4.2.4), and plain ALU work. Each op models
+//! one completed instruction.
+
+/// One modeled instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MicroOp {
+    /// A non-memory, non-branch instruction.
+    Alu,
+    /// A load from effective address `ea`.
+    Load {
+        /// Effective address referenced.
+        ea: u64,
+    },
+    /// A store to effective address `ea`.
+    Store {
+        /// Effective address referenced.
+        ea: u64,
+    },
+    /// A conditional branch at call-site `site` resolving to `taken`.
+    CondBranch {
+        /// Static identity of the branch (its instruction address class).
+        site: u64,
+        /// Actual resolved direction.
+        taken: bool,
+    },
+    /// An indirect branch (virtual call, computed goto) at `site` jumping to
+    /// `target`.
+    IndBranch {
+        /// Static identity of the branch.
+        site: u64,
+        /// Actual resolved target address.
+        target: u64,
+    },
+    /// Load-and-reserve (LWARX/LDARX): a load that opens a reservation.
+    Larx {
+        /// Effective address reserved.
+        ea: u64,
+    },
+    /// Store-conditional (STWCX/STDCX): succeeds only if the reservation
+    /// held; `fail` carries the resolved outcome from the lock model.
+    Stcx {
+        /// Effective address stored.
+        ea: u64,
+        /// Whether the store-conditional failed (reservation lost).
+        fail: bool,
+    },
+    /// A SYNC/LWSYNC/ISYNC barrier draining the store-reorder queue.
+    Sync,
+    /// A (direct) subroutine call: pushes `ret` onto the link stack and
+    /// transfers control; direct-call targets are perfectly predicted.
+    Call {
+        /// Return address recorded for the matching [`MicroOp::Return`].
+        ret: u64,
+    },
+    /// A subroutine return to `to`, predicted by the link stack.
+    Return {
+        /// Actual return target.
+        to: u64,
+    },
+}
+
+impl MicroOp {
+    /// `true` for ops that reference data memory.
+    #[must_use]
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            MicroOp::Load { .. } | MicroOp::Store { .. } | MicroOp::Larx { .. } | MicroOp::Stcx { .. }
+        )
+    }
+
+    /// `true` for branch ops (control transfers).
+    #[must_use]
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            MicroOp::CondBranch { .. }
+                | MicroOp::IndBranch { .. }
+                | MicroOp::Call { .. }
+                | MicroOp::Return { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helpers() {
+        assert!(MicroOp::Load { ea: 0 }.is_memory());
+        assert!(MicroOp::Stcx { ea: 0, fail: false }.is_memory());
+        assert!(!MicroOp::Alu.is_memory());
+        assert!(MicroOp::CondBranch { site: 1, taken: true }.is_branch());
+        assert!(MicroOp::IndBranch { site: 1, target: 2 }.is_branch());
+        assert!(MicroOp::Call { ret: 4 }.is_branch());
+        assert!(MicroOp::Return { to: 4 }.is_branch());
+        assert!(!MicroOp::Sync.is_branch());
+    }
+}

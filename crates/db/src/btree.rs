@@ -1,0 +1,481 @@
+//! A real B-tree index (order-configurable, keys `u64`, values `u64`).
+//!
+//! The database substrate indexes every table's primary key through this
+//! structure; lookups report the number of nodes touched so the query
+//! engine can charge realistic CPU and buffer-pool work per traversal.
+
+/// A B-tree mapping `u64` keys to `u64` values.
+///
+/// ```
+/// use jas_db::BTree;
+/// let mut t = BTree::new(16);
+/// t.insert(5, 50);
+/// t.insert(3, 30);
+/// assert_eq!(t.get(5), Some(50));
+/// assert_eq!(t.get(4), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BTree {
+    order: usize,
+    root: usize,
+    nodes: Vec<Node>,
+    len: u64,
+    depth: u32,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Node {
+    keys: Vec<u64>,
+    values: Vec<u64>,   // leaf payloads (parallel to keys when leaf)
+    children: Vec<usize>, // empty for leaves
+}
+
+impl Node {
+    fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// Result of a lookup with traversal accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lookup {
+    /// The found value, if any.
+    pub value: Option<u64>,
+    /// Nodes visited on the root-to-leaf path.
+    pub nodes_touched: u32,
+}
+
+impl BTree {
+    /// Creates an empty tree where nodes hold at most `order` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order < 3`.
+    #[must_use]
+    pub fn new(order: usize) -> Self {
+        assert!(order >= 3, "order must be at least 3");
+        BTree {
+            order,
+            root: 0,
+            nodes: vec![Node::default()],
+            len: 0,
+            depth: 1,
+        }
+    }
+
+    /// Number of keys stored.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` when the tree holds no keys.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (number of levels).
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Looks up `key`.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.lookup(key).value
+    }
+
+    /// Looks up `key` with traversal accounting.
+    #[must_use]
+    pub fn lookup(&self, key: u64) -> Lookup {
+        let mut idx = self.root;
+        let mut touched = 1;
+        loop {
+            let node = &self.nodes[idx];
+            match node.keys.binary_search(&key) {
+                Ok(i) => {
+                    if node.is_leaf() {
+                        return Lookup {
+                            value: Some(node.values[i]),
+                            nodes_touched: touched,
+                        };
+                    }
+                    // Routers are max-of-left-subtree: an equal key lives in
+                    // the child at the router's own index.
+                    idx = node.children[i];
+                }
+                Err(i) => {
+                    if node.is_leaf() {
+                        return Lookup {
+                            value: None,
+                            nodes_touched: touched,
+                        };
+                    }
+                    idx = node.children[i];
+                }
+            }
+            touched += 1;
+        }
+    }
+
+    /// Inserts `key -> value`, replacing any existing binding. Returns the
+    /// previous value if the key was present.
+    pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+        // Split-on-the-way-down insertion (preemptive splitting keeps the
+        // code single-pass).
+        if self.nodes[self.root].keys.len() >= self.order {
+            let old_root = self.root;
+            let new_root = self.alloc(Node {
+                keys: Vec::new(),
+                values: Vec::new(),
+                children: vec![old_root],
+            });
+            self.root = new_root;
+            self.split_child(new_root, 0);
+            self.depth += 1;
+        }
+        let mut idx = self.root;
+        loop {
+            if self.nodes[idx].is_leaf() {
+                let node = &mut self.nodes[idx];
+                return match node.keys.binary_search(&key) {
+                    Ok(i) => Some(core::mem::replace(&mut node.values[i], value)),
+                    Err(i) => {
+                        node.keys.insert(i, key);
+                        node.values.insert(i, value);
+                        self.len += 1;
+                        None
+                    }
+                };
+            }
+            let child_pos = match self.nodes[idx].keys.binary_search(&key) {
+                Ok(i) | Err(i) => i, // max-of-left routing
+            };
+            let child = self.nodes[idx].children[child_pos];
+            if self.nodes[child].keys.len() >= self.order {
+                self.split_child(idx, child_pos);
+                // Re-route after the split.
+                continue;
+            }
+            idx = child;
+        }
+    }
+
+    /// Removes `key`, returning its value if present.
+    ///
+    /// Deletion is *lazy* (no node merging or rebalancing): removing a key
+    /// from a leaf never restructures the tree. Routers remain valid upper
+    /// bounds for their subtrees, so lookups and ranges stay correct; space
+    /// in underfull leaves is reclaimed by later inserts. This mirrors the
+    /// tombstone-style deletes common in real engines.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        let mut idx = self.root;
+        loop {
+            let node = &self.nodes[idx];
+            match node.keys.binary_search(&key) {
+                Ok(i) => {
+                    if node.is_leaf() {
+                        let node = &mut self.nodes[idx];
+                        node.keys.remove(i);
+                        let v = node.values.remove(i);
+                        self.len -= 1;
+                        return Some(v);
+                    }
+                    idx = node.children[i];
+                }
+                Err(i) => {
+                    if node.is_leaf() {
+                        return None;
+                    }
+                    idx = node.children[i];
+                }
+            }
+        }
+    }
+
+    /// Collects all values with keys in `[lo, hi]`, returning them in key
+    /// order along with the number of nodes touched.
+    #[must_use]
+    pub fn range(&self, lo: u64, hi: u64) -> (Vec<u64>, u32) {
+        let mut out = Vec::new();
+        let mut touched = 0;
+        self.range_walk(self.root, lo, hi, &mut out, &mut touched);
+        (out, touched)
+    }
+
+    fn range_walk(&self, idx: usize, lo: u64, hi: u64, out: &mut Vec<u64>, touched: &mut u32) {
+        *touched += 1;
+        let node = &self.nodes[idx];
+        if node.is_leaf() {
+            for (k, v) in node.keys.iter().zip(&node.values) {
+                if (lo..=hi).contains(k) {
+                    out.push(*v);
+                }
+            }
+            return;
+        }
+        // Visit children whose key ranges can intersect [lo, hi].
+        let start = match node.keys.binary_search(&lo) {
+            Ok(i) | Err(i) => i, // max-of-left routing
+        };
+        let mut i = start;
+        loop {
+            self.range_walk(node.children[i], lo, hi, out, touched);
+            if i >= node.keys.len() || node.keys[i] > hi {
+                break;
+            }
+            i += 1;
+        }
+    }
+
+    fn alloc(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Splits the full child at `child_pos` of `parent`, hoisting the median
+    /// key.
+    fn split_child(&mut self, parent: usize, child_pos: usize) {
+        let child_idx = self.nodes[parent].children[child_pos];
+        let mid = self.nodes[child_idx].keys.len() / 2;
+        let child = &mut self.nodes[child_idx];
+        let right_keys = child.keys.split_off(mid + usize::from(!child.is_leaf()));
+        let median = if child.is_leaf() {
+            // Leaf split: median stays in the left leaf, the parent gets a
+            // copy as a router (B+-tree style, keeps values in leaves).
+            *child.keys.last().expect("non-empty left half")
+        } else {
+            child.keys.pop().expect("non-empty left half")
+        };
+        let right_values = if child.is_leaf() {
+            child.values.split_off(child.keys.len())
+        } else {
+            Vec::new()
+        };
+        let right_children = if child.is_leaf() {
+            Vec::new()
+        } else {
+            child.children.split_off(mid + 1)
+        };
+        let right = self.alloc(Node {
+            keys: right_keys,
+            values: right_values,
+            children: right_children,
+        });
+        let parent_node = &mut self.nodes[parent];
+        parent_node.keys.insert(child_pos, median);
+        parent_node.children.insert(child_pos + 1, right);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jas_simkernel::Rng;
+
+    #[test]
+    fn insert_and_get_small() {
+        let mut t = BTree::new(4);
+        for k in [5u64, 1, 9, 3, 7] {
+            assert_eq!(t.insert(k, k * 10), None);
+        }
+        for k in [5u64, 1, 9, 3, 7] {
+            assert_eq!(t.get(k), Some(k * 10), "key {k}");
+        }
+        assert_eq!(t.get(2), None);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn replace_returns_old_value() {
+        let mut t = BTree::new(4);
+        t.insert(1, 10);
+        assert_eq!(t.insert(1, 20), Some(10));
+        assert_eq!(t.get(1), Some(20));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn many_sequential_inserts() {
+        let mut t = BTree::new(8);
+        for k in 0..10_000u64 {
+            t.insert(k, k + 1);
+        }
+        assert_eq!(t.len(), 10_000);
+        for k in (0..10_000u64).step_by(97) {
+            assert_eq!(t.get(k), Some(k + 1));
+        }
+        assert!(t.depth() > 2, "tree must actually grow, depth {}", t.depth());
+    }
+
+    #[test]
+    fn many_random_inserts() {
+        let mut t = BTree::new(16);
+        let mut rng = Rng::new(11);
+        let mut keys = Vec::new();
+        for _ in 0..20_000 {
+            let k = rng.next_below(1 << 40);
+            t.insert(k, k ^ 0xFF);
+            keys.push(k);
+        }
+        for &k in keys.iter().step_by(53) {
+            assert_eq!(t.get(k), Some(k ^ 0xFF));
+        }
+    }
+
+    #[test]
+    fn lookup_depth_is_logarithmic() {
+        let mut t = BTree::new(64);
+        for k in 0..100_000u64 {
+            t.insert(k, k);
+        }
+        let l = t.lookup(54_321);
+        assert_eq!(l.value, Some(54_321));
+        assert!(l.nodes_touched <= 4, "touched {}", l.nodes_touched);
+        assert_eq!(u32::from(t.depth()), u32::from(t.depth()));
+    }
+
+    #[test]
+    fn range_returns_sorted_window() {
+        let mut t = BTree::new(8);
+        for k in (0..1000u64).rev() {
+            t.insert(k, k * 2);
+        }
+        let (vals, touched) = t.range(100, 110);
+        assert_eq!(vals, (100..=110).map(|k| k * 2).collect::<Vec<_>>());
+        assert!(touched >= 1);
+    }
+
+    #[test]
+    fn range_outside_keyspace_is_empty() {
+        let mut t = BTree::new(8);
+        for k in 0..100u64 {
+            t.insert(k, k);
+        }
+        let (vals, _) = t.range(1000, 2000);
+        assert!(vals.is_empty());
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t = BTree::new(8);
+        assert!(t.is_empty());
+        assert_eq!(t.get(1), None);
+        assert_eq!(t.range(0, u64::MAX).0, Vec::<u64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be at least 3")]
+    fn tiny_order_rejected() {
+        let _ = BTree::new(2);
+    }
+
+    #[test]
+    fn remove_round_trips() {
+        let mut t = BTree::new(4);
+        for k in 0..100u64 {
+            t.insert(k, k * 2);
+        }
+        assert_eq!(t.remove(50), Some(100));
+        assert_eq!(t.get(50), None);
+        assert_eq!(t.remove(50), None);
+        assert_eq!(t.len(), 99);
+        // Neighbours unaffected.
+        assert_eq!(t.get(49), Some(98));
+        assert_eq!(t.get(51), Some(102));
+        // Re-insert works.
+        assert_eq!(t.insert(50, 7), None);
+        assert_eq!(t.get(50), Some(7));
+    }
+
+    #[test]
+    fn remove_all_then_reuse() {
+        let mut t = BTree::new(5);
+        for k in 0..500u64 {
+            t.insert(k, k);
+        }
+        for k in 0..500u64 {
+            assert_eq!(t.remove(k), Some(k), "key {k}");
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.range(0, u64::MAX).0, Vec::<u64>::new());
+        for k in 0..500u64 {
+            t.insert(k, k + 1);
+        }
+        assert_eq!(t.len(), 500);
+        assert_eq!(t.get(123), Some(124));
+    }
+
+    #[test]
+    fn range_skips_removed_keys() {
+        let mut t = BTree::new(6);
+        for k in 0..50u64 {
+            t.insert(k, k);
+        }
+        for k in (0..50u64).step_by(2) {
+            t.remove(k);
+        }
+        let (vals, _) = t.range(0, 49);
+        assert_eq!(vals, (1..50u64).step_by(2).collect::<Vec<_>>());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    proptest! {
+        #[test]
+        fn behaves_like_btreemap(ops in proptest::collection::vec((any::<u16>(), any::<u16>()), 1..400)) {
+            let mut model = BTreeMap::new();
+            let mut tree = BTree::new(5);
+            for (k, v) in ops {
+                let (k, v) = (u64::from(k), u64::from(v));
+                prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+            }
+            for (&k, &v) in &model {
+                prop_assert_eq!(tree.get(k), Some(v));
+            }
+            prop_assert_eq!(tree.len(), model.len() as u64);
+        }
+
+        #[test]
+        fn behaves_like_btreemap_with_removals(
+            ops in proptest::collection::vec((any::<bool>(), 0u16..256, any::<u16>()), 1..500),
+        ) {
+            let mut model = BTreeMap::new();
+            let mut tree = BTree::new(4);
+            for (is_remove, k, v) in ops {
+                let (k, v) = (u64::from(k), u64::from(v));
+                if is_remove {
+                    prop_assert_eq!(tree.remove(k), model.remove(&k));
+                } else {
+                    prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+                }
+                prop_assert_eq!(tree.len(), model.len() as u64);
+            }
+            let expected: Vec<u64> = model.values().copied().collect();
+            prop_assert_eq!(tree.range(0, u64::MAX).0, expected);
+        }
+
+        #[test]
+        fn range_matches_model(keys in proptest::collection::btree_set(any::<u16>(), 1..300), lo in any::<u16>(), hi in any::<u16>()) {
+            let (lo, hi) = (u64::from(lo.min(hi)), u64::from(lo.max(hi)));
+            let mut tree = BTree::new(7);
+            for &k in &keys {
+                tree.insert(u64::from(k), u64::from(k) + 1);
+            }
+            let expected: Vec<u64> = keys
+                .iter()
+                .map(|&k| u64::from(k))
+                .filter(|k| (lo..=hi).contains(k))
+                .map(|k| k + 1)
+                .collect();
+            prop_assert_eq!(tree.range(lo, hi).0, expected);
+        }
+    }
+}

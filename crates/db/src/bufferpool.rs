@@ -1,0 +1,220 @@
+//! The database buffer pool: an LRU cache of data pages in front of the
+//! storage device.
+//!
+//! Buffer-pool hits cost only CPU; misses cost a device round trip. The
+//! pool also assigns each cached page a slot address inside the
+//! `DbBufferPool` region of the simulated address space, which is how
+//! database work contributes realistic data references to the CPU model's
+//! cache hierarchy.
+
+use std::collections::HashMap;
+
+/// Identifier of an 8 KB data page: `(table, page_number)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PageId {
+    /// Owning table.
+    pub table: u32,
+    /// Page ordinal within the table.
+    pub page: u64,
+}
+
+/// Result of touching a page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageAccess {
+    /// `true` when the page was already resident.
+    pub hit: bool,
+    /// Byte offset of the page's slot within the buffer-pool region.
+    pub slot_offset: u64,
+}
+
+/// Buffer-pool statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page touches.
+    pub accesses: u64,
+    /// Touches satisfied without device I/O.
+    pub hits: u64,
+}
+
+impl PoolStats {
+    /// Hit fraction (1.0 when never accessed).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// An LRU buffer pool of fixed page capacity.
+#[derive(Clone, Debug)]
+pub struct BufferPool {
+    page_bytes: u64,
+    capacity: usize,
+    resident: HashMap<PageId, (usize, u64)>, // page -> (slot, last-use tick)
+    slot_of: Vec<Option<PageId>>,
+    free_slots: Vec<usize>,
+    tick: u64,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// Creates a pool holding `capacity_pages` pages of `page_bytes` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    #[must_use]
+    pub fn new(capacity_pages: usize, page_bytes: u64) -> Self {
+        assert!(capacity_pages > 0 && page_bytes > 0);
+        BufferPool {
+            page_bytes,
+            capacity: capacity_pages,
+            resident: HashMap::with_capacity(capacity_pages),
+            slot_of: vec![None; capacity_pages],
+            free_slots: (0..capacity_pages).rev().collect(),
+            tick: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Page size in bytes.
+    #[must_use]
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    /// Configured capacity in pages.
+    #[must_use]
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity
+    }
+
+    /// Touches `page`: returns whether it was resident and the region
+    /// offset of its slot. On a miss the page is brought in, evicting the
+    /// least recently used page if the pool is full.
+    pub fn touch(&mut self, page: PageId) -> PageAccess {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        if let Some((slot, stamp)) = self.resident.get_mut(&page) {
+            *stamp = self.tick;
+            self.stats.hits += 1;
+            return PageAccess {
+                hit: true,
+                slot_offset: *slot as u64 * self.page_bytes,
+            };
+        }
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                // Evict the LRU page.
+                let (&victim, _) = self
+                    .resident
+                    .iter()
+                    .min_by_key(|(_, (_, stamp))| *stamp)
+                    .expect("pool is full, so non-empty");
+                let (slot, _) = self.resident.remove(&victim).expect("victim resident");
+                self.slot_of[slot] = None;
+                slot
+            }
+        };
+        self.resident.insert(page, (slot, self.tick));
+        self.slot_of[slot] = Some(page);
+        PageAccess {
+            hit: false,
+            slot_offset: slot as u64 * self.page_bytes,
+        }
+    }
+
+    /// Number of resident pages.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(p: u64) -> PageId {
+        PageId { table: 0, page: p }
+    }
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let mut bp = BufferPool::new(4, 8192);
+        assert!(!bp.touch(page(1)).hit);
+        assert!(bp.touch(page(1)).hit);
+        assert_eq!(bp.stats().accesses, 2);
+        assert_eq!(bp.stats().hits, 1);
+    }
+
+    #[test]
+    fn same_page_keeps_its_slot() {
+        let mut bp = BufferPool::new(4, 8192);
+        let a = bp.touch(page(1)).slot_offset;
+        let b = bp.touch(page(1)).slot_offset;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_pages_get_distinct_slots() {
+        let mut bp = BufferPool::new(4, 8192);
+        let a = bp.touch(page(1)).slot_offset;
+        let b = bp.touch(page(2)).slot_offset;
+        assert_ne!(a, b);
+        assert_eq!(a % 8192, 0);
+        assert_eq!(b % 8192, 0);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut bp = BufferPool::new(2, 8192);
+        bp.touch(page(1));
+        bp.touch(page(2));
+        bp.touch(page(1)); // 2 is now LRU
+        bp.touch(page(3)); // evicts 2
+        assert!(bp.touch(page(1)).hit);
+        assert!(!bp.touch(page(2)).hit, "page 2 must have been evicted");
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut bp = BufferPool::new(8, 8192);
+        for p in 0..100 {
+            bp.touch(page(p));
+        }
+        assert_eq!(bp.resident_pages(), 8);
+    }
+
+    #[test]
+    fn hit_rate_reflects_locality() {
+        let mut bp = BufferPool::new(16, 8192);
+        // Working set fits: after warm-up everything hits.
+        for round in 0..10 {
+            for p in 0..16 {
+                let access = bp.touch(page(p));
+                if round > 0 {
+                    assert!(access.hit);
+                }
+            }
+        }
+        assert!(bp.stats().hit_rate() > 0.85);
+    }
+
+    #[test]
+    fn tables_namespace_pages() {
+        let mut bp = BufferPool::new(4, 8192);
+        bp.touch(PageId { table: 1, page: 7 });
+        assert!(!bp.touch(PageId { table: 2, page: 7 }).hit);
+    }
+}

@@ -1,0 +1,49 @@
+//! An in-memory relational database substrate modeling the DB2 tier of the
+//! ISPASS 2007 J2EE characterization study.
+//!
+//! Everything a transaction-processing engine needs to exhibit the paper's
+//! behaviours is implemented for real:
+//!
+//! * a [`BTree`] primary-key index with traversal accounting,
+//! * [`Table`]s of fixed-size rows packed into pages,
+//! * an LRU [`BufferPool`] whose slots map into the simulated address space
+//!   (so DB work produces genuine cache/TLB traffic in the CPU model),
+//! * a no-wait row-locking [`TxnManager`],
+//! * a [`StorageDevice`] model distinguishing the paper's RAM-disk
+//!   configuration from spinning disks (whose queueing produces the I/O
+//!   wait that made hard-disk runs fail),
+//! * and the [`Database`] facade tying it together with per-query
+//!   [`WorkReport`]s.
+//!
+//! # Example
+//!
+//! ```
+//! use jas_db::{Database, DbConfig, Query};
+//! use jas_simkernel::SimTime;
+//!
+//! let mut db = Database::new(DbConfig::default());
+//! let orders = db.create_table("orders", 256);
+//! db.bulk_load(orders, 0, 1000);
+//! let txn = db.begin();
+//! let report = db.execute(txn, Query::SelectByKey { table: orders, key: 42 }, SimTime::ZERO)?;
+//! assert_eq!(report.rows, 1);
+//! db.commit(txn);
+//! # Ok::<(), jas_db::DbError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btree;
+mod bufferpool;
+mod engine;
+mod storage;
+mod table;
+mod txn;
+
+pub use btree::{BTree, Lookup};
+pub use bufferpool::{BufferPool, PageAccess, PageId, PoolStats};
+pub use engine::{Database, DbConfig, DbError, Query, WorkReport};
+pub use storage::{DeviceKind, DeviceStats, StorageDevice};
+pub use table::{Table, TableId};
+pub use txn::{LockConflict, LockMode, TxnId, TxnManager, TxnStats};

@@ -1,0 +1,165 @@
+//! Tables: schema, row storage layout, and the primary-key index.
+
+use crate::btree::BTree;
+
+/// Identifier of a table within a [`crate::Database`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TableId(pub u32);
+
+/// A table: fixed-size rows packed into pages, indexed by primary key.
+#[derive(Clone, Debug)]
+pub struct Table {
+    name: String,
+    row_bytes: u64,
+    page_bytes: u64,
+    rows: u64,
+    index: BTree,
+}
+
+impl Table {
+    /// Creates an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_bytes` is zero or exceeds `page_bytes`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, row_bytes: u64, page_bytes: u64) -> Self {
+        assert!(row_bytes > 0 && row_bytes <= page_bytes, "invalid row size");
+        Table {
+            name: name.into(),
+            row_bytes,
+            page_bytes,
+            rows: 0,
+            index: BTree::new(64),
+        }
+    }
+
+    /// Table name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Rows that fit in one page.
+    #[must_use]
+    pub fn rows_per_page(&self) -> u64 {
+        (self.page_bytes / self.row_bytes).max(1)
+    }
+
+    /// Number of data pages in use.
+    #[must_use]
+    pub fn pages(&self) -> u64 {
+        self.rows.div_ceil(self.rows_per_page())
+    }
+
+    /// Inserts a row with primary key `key`, returning its page number.
+    /// Returns `None` (and stores nothing) when the key already exists.
+    pub fn insert(&mut self, key: u64) -> Option<u64> {
+        if self.index.get(key).is_some() {
+            return None;
+        }
+        let ordinal = self.rows;
+        self.index.insert(key, ordinal);
+        self.rows += 1;
+        Some(ordinal / self.rows_per_page())
+    }
+
+    /// Deletes the row with primary key `key`, returning its page number if
+    /// it existed. Row ordinals are not reused (tombstone semantics), so
+    /// `rows()` reflects the high-water row count.
+    pub fn delete(&mut self, key: u64) -> Option<u64> {
+        self.index.remove(key).map(|ordinal| ordinal / self.rows_per_page())
+    }
+
+    /// Looks up `key`, returning `(page_number, index_nodes_touched)` when
+    /// present.
+    #[must_use]
+    pub fn find(&self, key: u64) -> (Option<u64>, u32) {
+        let l = self.index.lookup(key);
+        (
+            l.value.map(|ordinal| ordinal / self.rows_per_page()),
+            l.nodes_touched,
+        )
+    }
+
+    /// Finds all rows with keys in `[lo, hi]`, returning their page numbers
+    /// (deduplicated, in order) and the index nodes touched.
+    #[must_use]
+    pub fn find_range(&self, lo: u64, hi: u64) -> (Vec<u64>, u32) {
+        let (ordinals, touched) = self.index.range(lo, hi);
+        let rpp = self.rows_per_page();
+        let mut pages: Vec<u64> = ordinals.iter().map(|o| o / rpp).collect();
+        pages.dedup();
+        (pages, touched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_find() {
+        let mut t = Table::new("orders", 256, 8192);
+        assert_eq!(t.rows_per_page(), 32);
+        let page = t.insert(42).unwrap();
+        assert_eq!(page, 0);
+        let (found, touched) = t.find(42);
+        assert_eq!(found, Some(0));
+        assert!(touched >= 1);
+        assert_eq!(t.find(43).0, None);
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut t = Table::new("orders", 256, 8192);
+        assert!(t.insert(1).is_some());
+        assert!(t.insert(1).is_none());
+        assert_eq!(t.rows(), 1);
+    }
+
+    #[test]
+    fn rows_fill_pages_sequentially() {
+        let mut t = Table::new("items", 1024, 8192); // 8 rows/page
+        for k in 0..20u64 {
+            let page = t.insert(k).unwrap();
+            assert_eq!(page, k / 8);
+        }
+        assert_eq!(t.pages(), 3);
+    }
+
+    #[test]
+    fn range_returns_page_list() {
+        let mut t = Table::new("items", 1024, 8192);
+        for k in 0..64u64 {
+            t.insert(k);
+        }
+        let (pages, _) = t.find_range(0, 15);
+        assert_eq!(pages, vec![0, 1]);
+        let (pages, _) = t.find_range(100, 200);
+        assert!(pages.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid row size")]
+    fn oversized_row_rejected() {
+        let _ = Table::new("bad", 10_000, 8192);
+    }
+
+    #[test]
+    fn delete_removes_from_index() {
+        let mut t = Table::new("orders", 256, 8192);
+        t.insert(5);
+        assert_eq!(t.delete(5), Some(0));
+        assert_eq!(t.find(5).0, None);
+        assert_eq!(t.delete(5), None);
+        // The key can be re-inserted afterwards.
+        assert!(t.insert(5).is_some());
+    }
+}

@@ -1,0 +1,275 @@
+//! The `hpmstat`-like sampling tool.
+//!
+//! Samples a [`CounterGroup`]'s events on a fixed period (the paper used
+//! 0.1 s) from a cumulative [`CounterFile`], producing per-interval deltas.
+//! Exactly one group can be active per instrument — re-running the workload
+//! per group is the caller's job, as it was the paper authors'. For
+//! methodology comparisons an [`OmniscientHpm`] samples *all* events at
+//! once (a luxury the simulator affords; deviations are documented in
+//! EXPERIMENTS.md).
+
+use crate::groups::CounterGroup;
+use jas_cpu::{CounterFile, HpmEvent};
+use jas_simkernel::{SimDuration, SimTime};
+
+/// Sampled series for one event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventSeries {
+    /// The event.
+    pub event: HpmEvent,
+    /// Per-interval counts (deltas, not cumulative).
+    pub values: Vec<f64>,
+}
+
+/// An `hpmstat` instrument bound to one counter group.
+#[derive(Clone, Debug)]
+pub struct Hpmstat {
+    group: CounterGroup,
+    period: SimDuration,
+    window_start: SimTime,
+    last: CounterFile,
+    window_base: CounterFile,
+    series: Vec<EventSeries>,
+}
+
+impl Hpmstat {
+    /// Creates an instrument sampling `group` every `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn new(group: CounterGroup, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "sampling period must be positive");
+        let series = group
+            .events()
+            .iter()
+            .map(|&event| EventSeries {
+                event,
+                values: Vec::new(),
+            })
+            .collect();
+        Hpmstat {
+            group,
+            period,
+            window_start: SimTime::ZERO,
+            last: CounterFile::new(),
+            window_base: CounterFile::new(),
+            series,
+        }
+    }
+
+    /// The active group.
+    #[must_use]
+    pub fn group(&self) -> &CounterGroup {
+        &self.group
+    }
+
+    /// Feeds the current cumulative machine counters at time `now`. Call as
+    /// often as convenient; whole sampling windows are closed as `now`
+    /// crosses period boundaries.
+    pub fn observe(&mut self, now: SimTime, counters: &CounterFile) {
+        while now >= self.window_start + self.period {
+            self.close_window();
+        }
+        self.last = counters.clone();
+    }
+
+    fn close_window(&mut self) {
+        let delta = self.last.delta_since(&self.window_base);
+        for s in &mut self.series {
+            s.values.push(delta.get(s.event) as f64);
+        }
+        self.window_base = self.last.clone();
+        self.window_start += self.period;
+    }
+
+    /// Finishes sampling at `end`, closing any whole windows left plus one
+    /// final partial window if observations accumulated past the last
+    /// boundary (so totals are conserved).
+    pub fn finish(&mut self, end: SimTime) {
+        while end >= self.window_start + self.period {
+            self.close_window();
+        }
+        let residual = self.last.delta_since(&self.window_base);
+        if HpmEvent::ALL.iter().any(|&e| residual.get(e) > 0) {
+            self.close_window();
+        }
+    }
+
+    /// The sampled series for `event`.
+    ///
+    /// Returns `None` when the event is not in the active group — the
+    /// hardware limitation the paper works around by re-running.
+    #[must_use]
+    pub fn series(&self, event: HpmEvent) -> Option<&[f64]> {
+        self.series
+            .iter()
+            .find(|s| s.event == event)
+            .map(|s| s.values.as_slice())
+    }
+
+    /// Per-interval CPI, when the group carries both cycles and completed
+    /// instructions.
+    #[must_use]
+    pub fn cpi_series(&self) -> Option<Vec<f64>> {
+        let cyc = self.series(HpmEvent::Cycles)?;
+        let inst = self.series(HpmEvent::InstCompleted)?;
+        Some(
+            cyc.iter()
+                .zip(inst)
+                .map(|(&c, &i)| if i > 0.0 { c / i } else { 0.0 })
+                .collect(),
+        )
+    }
+}
+
+/// An all-events sampler (not possible on the real HPM; used for the
+/// cross-group correlation study with the deviation documented).
+#[derive(Clone, Debug)]
+pub struct OmniscientHpm {
+    period: SimDuration,
+    window_start: SimTime,
+    last: CounterFile,
+    window_base: CounterFile,
+    values: Vec<Vec<f64>>, // indexed by event discriminant
+}
+
+impl OmniscientHpm {
+    /// Creates a sampler for all events every `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn new(period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "sampling period must be positive");
+        OmniscientHpm {
+            period,
+            window_start: SimTime::ZERO,
+            last: CounterFile::new(),
+            window_base: CounterFile::new(),
+            values: vec![Vec::new(); jas_cpu::EVENT_COUNT],
+        }
+    }
+
+    /// Feeds cumulative counters at `now`.
+    pub fn observe(&mut self, now: SimTime, counters: &CounterFile) {
+        while now >= self.window_start + self.period {
+            self.close_window();
+        }
+        self.last = counters.clone();
+    }
+
+    fn close_window(&mut self) {
+        let delta = self.last.delta_since(&self.window_base);
+        for e in HpmEvent::ALL {
+            self.values[e.index()].push(delta.get(e) as f64);
+        }
+        self.window_base = self.last.clone();
+        self.window_start += self.period;
+    }
+
+    /// Finishes sampling at `end`, conserving any residual counts in one
+    /// final partial window.
+    pub fn finish(&mut self, end: SimTime) {
+        while end >= self.window_start + self.period {
+            self.close_window();
+        }
+        let residual = self.last.delta_since(&self.window_base);
+        if HpmEvent::ALL.iter().any(|&e| residual.get(e) > 0) {
+            self.close_window();
+        }
+    }
+
+    /// The full series of `event`.
+    #[must_use]
+    pub fn series(&self, event: HpmEvent) -> &[f64] {
+        &self.values[event.index()]
+    }
+
+    /// Per-interval CPI.
+    #[must_use]
+    pub fn cpi_series(&self) -> Vec<f64> {
+        self.series(HpmEvent::Cycles)
+            .iter()
+            .zip(self.series(HpmEvent::InstCompleted))
+            .map(|(&c, &i)| if i > 0.0 { c / i } else { 0.0 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basic_group() -> CounterGroup {
+        CounterGroup::standard_groups().remove(0)
+    }
+
+    fn feed(h: &mut Hpmstat) {
+        let mut c = CounterFile::new();
+        for step in 1..=10u64 {
+            c.add(HpmEvent::Cycles, 300);
+            c.add(HpmEvent::InstCompleted, 100);
+            h.observe(SimTime::from_millis(step * 50), &c);
+        }
+        h.finish(SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn samples_deltas_per_period() {
+        let mut h = Hpmstat::new(basic_group(), SimDuration::from_millis(100));
+        feed(&mut h);
+        let cyc = h.series(HpmEvent::Cycles).unwrap();
+        // Five whole windows plus one final partial window carrying the
+        // last observation's residual.
+        assert_eq!(cyc.len(), 6);
+        let total: f64 = cyc.iter().sum();
+        assert_eq!(total, 3000.0);
+    }
+
+    #[test]
+    fn events_outside_group_are_unavailable() {
+        let h = Hpmstat::new(basic_group(), SimDuration::from_millis(100));
+        assert!(h.series(HpmEvent::DtlbMiss).is_none(), "one group at a time!");
+        assert!(h.series(HpmEvent::Cycles).is_some());
+    }
+
+    #[test]
+    fn cpi_series_from_basic_group() {
+        let mut h = Hpmstat::new(basic_group(), SimDuration::from_millis(100));
+        feed(&mut h);
+        let cpi = h.cpi_series().unwrap();
+        for (i, v) in cpi.iter().enumerate() {
+            if *v > 0.0 {
+                assert!((v - 3.0).abs() < 1e-9, "window {i}: cpi {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn omniscient_covers_everything() {
+        let mut o = OmniscientHpm::new(SimDuration::from_millis(100));
+        let mut c = CounterFile::new();
+        c.add(HpmEvent::DtlbMiss, 7);
+        c.add(HpmEvent::Cycles, 100);
+        o.observe(SimTime::from_millis(150), &c);
+        o.finish(SimTime::from_millis(200));
+        assert_eq!(o.series(HpmEvent::DtlbMiss), &[0.0, 7.0]);
+        assert_eq!(o.series(HpmEvent::Cycles), &[0.0, 100.0]);
+    }
+
+    #[test]
+    fn series_align_across_events() {
+        let mut o = OmniscientHpm::new(SimDuration::from_millis(10));
+        let mut c = CounterFile::new();
+        for step in 1..=20u64 {
+            c.add(HpmEvent::LoadRefs, step);
+            o.observe(SimTime::from_millis(step * 5), &c);
+        }
+        o.finish(SimTime::from_millis(100));
+        let lens: Vec<usize> = HpmEvent::ALL.iter().map(|&e| o.series(e).len()).collect();
+        assert!(lens.iter().all(|&l| l == lens[0]));
+    }
+}

@@ -1,0 +1,32 @@
+//! Measurement tools over the simulated system — the reproduction of the
+//! paper's data-collection suite (Section 3.2):
+//!
+//! * [`Hpmstat`] — samples one [`CounterGroup`] of at most eight hardware
+//!   events per run at a fixed period, faithfully reproducing the
+//!   "one group at a time, cannot correlate across groups" limitation of
+//!   the POWER4 HPM. [`OmniscientHpm`] lifts the limitation for the
+//!   correlation study (deviation documented in EXPERIMENTS.md).
+//! * [`Tprof`] — tick-based function/component profiling behind Figure 4
+//!   and the flat-profile statistics.
+//! * [`Vmstat`] — user/system/iowait/idle utilization.
+//! * [`VerboseGc`] — the GC log and its Figure 3 summary statistics.
+//! * [`VerticalProfiler`] — cross-layer (vertical) correlation of series
+//!   from different tools, including lagged correlation (the methodology
+//!   the paper's future work points at).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod groups;
+mod hpmstat;
+mod tprof;
+mod verbosegc;
+mod vertical;
+mod vmstat;
+
+pub use groups::CounterGroup;
+pub use hpmstat::{EventSeries, Hpmstat, OmniscientHpm};
+pub use tprof::{ComponentShare, Flatness, Tprof};
+pub use verbosegc::{GcLogEntry, GcLogSummary, VerboseGc};
+pub use vertical::VerticalProfiler;
+pub use vmstat::{CpuState, Utilization, Vmstat};

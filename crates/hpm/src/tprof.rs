@@ -1,0 +1,271 @@
+//! The `tprof`-like tick profiler.
+//!
+//! `tprof` attributes timer ticks to the function at the interrupted PC;
+//! combined with the JIT's method-address map it yields the paper's
+//! Figure 4 component breakdown and the flat method profile of
+//! Section 4.1.2. Here the execution engine reports each executed quantum's
+//! component and method; the profiler aggregates ticks.
+
+use jas_jvm::{Component, MethodId, MethodRegistry};
+use std::collections::HashMap;
+
+/// Tick-based profile over components and methods.
+#[derive(Clone, Debug, Default)]
+pub struct Tprof {
+    component_ticks: HashMap<Component, u64>,
+    method_ticks: HashMap<MethodId, u64>,
+    jitted_ticks: u64,
+    total_ticks: u64,
+}
+
+/// One row of the component breakdown (Figure 4).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ComponentShare {
+    /// The component.
+    pub component: Component,
+    /// Fraction of all ticks.
+    pub share: f64,
+}
+
+/// Flatness statistics of the JIT'd-method profile (Section 4.1.2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Flatness {
+    /// Share of JIT'd-code ticks taken by the hottest method.
+    pub hottest_share: f64,
+    /// Number of methods needed to cover half the JIT'd-code ticks.
+    pub methods_for_half: usize,
+    /// Number of distinct methods that received any ticks.
+    pub methods_profiled: usize,
+}
+
+impl Tprof {
+    /// Creates an empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `ticks` of execution in `method` (looked up in `registry`
+    /// for its component and JIT status).
+    pub fn record(&mut self, registry: &MethodRegistry, method: MethodId, ticks: u64) {
+        let m = registry.get(method);
+        *self.component_ticks.entry(m.component).or_default() += ticks;
+        *self.method_ticks.entry(method).or_default() += ticks;
+        if m.jitted {
+            self.jitted_ticks += ticks;
+        }
+        self.total_ticks += ticks;
+    }
+
+    /// Total ticks recorded.
+    #[must_use]
+    pub fn total_ticks(&self) -> u64 {
+        self.total_ticks
+    }
+
+    /// Fraction of ticks spent in `component`.
+    #[must_use]
+    pub fn component_share(&self, component: Component) -> f64 {
+        if self.total_ticks == 0 {
+            return 0.0;
+        }
+        *self.component_ticks.get(&component).unwrap_or(&0) as f64 / self.total_ticks as f64
+    }
+
+    /// The full component breakdown, largest share first.
+    #[must_use]
+    pub fn breakdown(&self) -> Vec<ComponentShare> {
+        let mut rows: Vec<ComponentShare> = Component::ALL
+            .iter()
+            .map(|&component| ComponentShare {
+                component,
+                share: self.component_share(component),
+            })
+            .collect();
+        rows.sort_by(|a, b| b.share.partial_cmp(&a.share).expect("shares are finite"));
+        rows
+    }
+
+    /// Fraction of all ticks spent in JIT-compiled code.
+    #[must_use]
+    pub fn jitted_share(&self) -> f64 {
+        if self.total_ticks == 0 {
+            0.0
+        } else {
+            self.jitted_ticks as f64 / self.total_ticks as f64
+        }
+    }
+
+    /// Top methods by ticks: `(method, share_of_total)`.
+    #[must_use]
+    pub fn top_methods(&self, n: usize) -> Vec<(MethodId, f64)> {
+        let mut v: Vec<(MethodId, u64)> =
+            self.method_ticks.iter().map(|(&m, &t)| (m, t)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v.into_iter()
+            .map(|(m, t)| (m, t as f64 / self.total_ticks.max(1) as f64))
+            .collect()
+    }
+
+    /// Renders an AIX-`tprof`-style report: the component summary followed
+    /// by the hottest `top` symbols with tick counts and shares.
+    #[must_use]
+    pub fn render(&self, registry: &MethodRegistry, top: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("Process/Component Ticks    %\n");
+        for row in self.breakdown() {
+            if row.share == 0.0 {
+                continue;
+            }
+            let ticks = (row.share * self.total_ticks as f64).round() as u64;
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>10} {:>5.1}",
+                row.component.name(),
+                ticks,
+                row.share * 100.0
+            );
+        }
+        let _ = writeln!(out, "\nSubroutine Ticks (top {top})");
+        for (method, share) in self.top_methods(top) {
+            let m = registry.get(method);
+            let ticks = (share * self.total_ticks as f64).round() as u64;
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>10} {:>5.2} {}",
+                m.name,
+                ticks,
+                share * 100.0,
+                if m.jitted { "[JIT]" } else { "" }
+            );
+        }
+        out
+    }
+
+    /// Flatness statistics over JIT'd methods only.
+    #[must_use]
+    pub fn flatness(&self, registry: &MethodRegistry) -> Flatness {
+        let mut jit_ticks: Vec<u64> = self
+            .method_ticks
+            .iter()
+            .filter(|(m, _)| registry.get(**m).jitted)
+            .map(|(_, &t)| t)
+            .collect();
+        jit_ticks.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = jit_ticks.iter().sum();
+        if total == 0 {
+            return Flatness {
+                hottest_share: 0.0,
+                methods_for_half: 0,
+                methods_profiled: 0,
+            };
+        }
+        let hottest_share = jit_ticks[0] as f64 / total as f64;
+        let mut acc = 0u64;
+        let mut methods_for_half = 0;
+        for (i, &t) in jit_ticks.iter().enumerate() {
+            acc += t;
+            if acc * 2 >= total {
+                methods_for_half = i + 1;
+                break;
+            }
+        }
+        Flatness {
+            hottest_share,
+            methods_for_half,
+            methods_profiled: jit_ticks.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry_with_jitted() -> (MethodRegistry, Vec<MethodId>) {
+        let mut reg = MethodRegistry::standard_stack();
+        let java: Vec<MethodId> = reg
+            .iter()
+            .filter(|(_, m)| m.component.is_java())
+            .map(|(id, _)| id)
+            .take(100)
+            .collect();
+        // Mark them JIT'd through the real JIT.
+        let mut jit = jas_jvm::Jit::new(reg.len(), 64 << 20);
+        for &m in &java {
+            jit.record_invocations(&mut reg, m, 100);
+        }
+        (reg, java)
+    }
+
+    #[test]
+    fn component_shares_sum_to_one() {
+        let (reg, java) = registry_with_jitted();
+        let mut t = Tprof::new();
+        for (i, &m) in java.iter().enumerate() {
+            t.record(&reg, m, (i as u64 % 7) + 1);
+        }
+        let total: f64 = t.breakdown().iter().map(|r| r.share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitted_share_tracks_jitted_methods() {
+        let (reg, java) = registry_with_jitted();
+        let kernel = reg.of_component(Component::Kernel)[0];
+        let mut t = Tprof::new();
+        t.record(&reg, java[0], 75);
+        t.record(&reg, kernel, 25);
+        assert!((t.jitted_share() - 0.75).abs() < 1e-9);
+        assert!((t.component_share(Component::Kernel) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_methods_ordered_by_ticks() {
+        let (reg, java) = registry_with_jitted();
+        let mut t = Tprof::new();
+        t.record(&reg, java[0], 10);
+        t.record(&reg, java[1], 30);
+        t.record(&reg, java[2], 20);
+        let top = t.top_methods(2);
+        assert_eq!(top[0].0, java[1]);
+        assert_eq!(top[1].0, java[2]);
+        assert!((top[0].1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flatness_of_uniform_profile() {
+        let (reg, java) = registry_with_jitted();
+        let mut t = Tprof::new();
+        for &m in &java {
+            t.record(&reg, m, 10);
+        }
+        let f = t.flatness(&reg);
+        assert_eq!(f.methods_profiled, 100);
+        assert!((f.hottest_share - 0.01).abs() < 1e-9);
+        assert_eq!(f.methods_for_half, 50);
+    }
+
+    #[test]
+    fn render_lists_components_and_symbols() {
+        let (reg, java) = registry_with_jitted();
+        let mut t = Tprof::new();
+        t.record(&reg, java[0], 60);
+        t.record(&reg, java[1], 40);
+        let text = t.render(&reg, 2);
+        assert!(text.contains("Process/Component Ticks"));
+        assert!(text.contains("Subroutine Ticks (top 2)"));
+        assert!(text.contains("[JIT]"), "JIT'd methods are tagged");
+        assert!(text.contains(&reg.get(java[0]).name));
+    }
+
+    #[test]
+    fn empty_profile_is_safe() {
+        let (reg, _) = registry_with_jitted();
+        let t = Tprof::new();
+        assert_eq!(t.total_ticks(), 0);
+        assert_eq!(t.flatness(&reg).methods_profiled, 0);
+        assert_eq!(t.jitted_share(), 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! The `-verbose:gc`-like log: formatting GC cycles as log lines and
+//! parsing them back into the statistics of the paper's Figure 3.
+
+use jas_jvm::GcCycle;
+use jas_simkernel::{SimDuration, SimTime};
+use jas_stats::Summary;
+
+/// One timestamped GC record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GcLogEntry {
+    /// When the collection started.
+    pub at: SimTime,
+    /// The stop-the-world pause.
+    pub pause: SimDuration,
+    /// Time spent marking (within the pause).
+    pub mark: SimDuration,
+    /// Time spent sweeping.
+    pub sweep: SimDuration,
+    /// Whether compaction ran.
+    pub compacted: bool,
+    /// Heap bytes free after the cycle.
+    pub free_after: u64,
+    /// Heap bytes reported used after the cycle (includes dark matter).
+    pub used_after: u64,
+    /// The collector's cycle data.
+    pub cycle: GcCycle,
+}
+
+/// Summary statistics over a GC log (the paper's Figure 3 table).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GcLogSummary {
+    /// Number of collections.
+    pub collections: usize,
+    /// Mean seconds between consecutive collections.
+    pub mean_interval_s: f64,
+    /// Mean pause in milliseconds.
+    pub mean_pause_ms: f64,
+    /// Fraction of wall time spent collecting.
+    pub runtime_fraction: f64,
+    /// Mean fraction of the pause spent marking.
+    pub mark_fraction: f64,
+    /// Number of compactions.
+    pub compactions: usize,
+    /// Least-squares growth rate of reported used-heap, bytes per minute
+    /// (the "dark matter" creep).
+    pub used_growth_bytes_per_min: f64,
+}
+
+/// The verbose-GC log.
+#[derive(Clone, Debug, Default)]
+pub struct VerboseGc {
+    entries: Vec<GcLogEntry>,
+}
+
+impl VerboseGc {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, entry: GcLogEntry) {
+        self.entries.push(entry);
+    }
+
+    /// All entries.
+    #[must_use]
+    pub fn entries(&self) -> &[GcLogEntry] {
+        &self.entries
+    }
+
+    /// Formats the log in the style of J9's `-verbose:gc`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut last: Option<SimTime> = None;
+        for e in &self.entries {
+            let interval_ms = last.map_or(0.0, |t| e.at.saturating_since(t).as_millis_f64());
+            last = Some(e.at);
+            out.push_str(&format!(
+                "<gc type=\"{}\" id=\"{}\" intervalms=\"{:.1}\" pausems=\"{:.1}\" markms=\"{:.1}\" sweepms=\"{:.1}\" compact=\"{}\" free=\"{}\" used=\"{}\" />\n",
+                if e.cycle.minor { "scavenge" } else { "global" },
+                e.cycle.index,
+                interval_ms,
+                e.pause.as_millis_f64(),
+                e.mark.as_millis_f64(),
+                e.sweep.as_millis_f64(),
+                u8::from(e.compacted),
+                e.free_after,
+                e.used_after,
+            ));
+        }
+        out
+    }
+
+    /// Computes Figure 3-style statistics over the window `[start, end]`.
+    ///
+    /// Returns `None` with fewer than two collections (intervals are then
+    /// undefined).
+    #[must_use]
+    pub fn summarize(&self, start: SimTime, end: SimTime) -> Option<GcLogSummary> {
+        let window: Vec<&GcLogEntry> = self
+            .entries
+            .iter()
+            .filter(|e| e.at >= start && e.at <= end)
+            .collect();
+        if window.len() < 2 {
+            return None;
+        }
+        let intervals: Vec<f64> = window
+            .windows(2)
+            .map(|p| p[1].at.saturating_since(p[0].at).as_secs_f64())
+            .collect();
+        let pauses: Vec<f64> = window.iter().map(|e| e.pause.as_millis_f64()).collect();
+        let mark_fracs: Vec<f64> = window
+            .iter()
+            .map(|e| {
+                let total = e.mark.as_secs_f64() + e.sweep.as_secs_f64();
+                if total > 0.0 {
+                    e.mark.as_secs_f64() / total
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let wall = end.saturating_since(start).as_secs_f64();
+        let pause_total: f64 = window.iter().map(|e| e.pause.as_secs_f64()).sum();
+        // Used-heap growth by least squares over (minutes, bytes).
+        let xs: Vec<f64> = window
+            .iter()
+            .map(|e| e.at.saturating_since(start).as_secs_f64() / 60.0)
+            .collect();
+        let ys: Vec<f64> = window.iter().map(|e| e.used_after as f64).collect();
+        let growth = jas_stats::linear_fit(&xs, &ys).map_or(0.0, |(slope, _)| slope);
+        Some(GcLogSummary {
+            collections: window.len(),
+            mean_interval_s: Summary::of(&intervals).mean,
+            mean_pause_ms: Summary::of(&pauses).mean,
+            runtime_fraction: if wall > 0.0 { pause_total / wall } else { 0.0 },
+            mark_fraction: Summary::of(&mark_fracs).mean,
+            compactions: window.iter().filter(|e| e.compacted).count(),
+            used_growth_bytes_per_min: growth,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jas_jvm::GcReport;
+
+    fn entry(at_s: u64, pause_ms: u64, used: u64) -> GcLogEntry {
+        GcLogEntry {
+            at: SimTime::from_secs(at_s),
+            pause: SimDuration::from_millis(pause_ms),
+            mark: SimDuration::from_millis(pause_ms * 8 / 10),
+            sweep: SimDuration::from_millis(pause_ms * 2 / 10),
+            compacted: false,
+            free_after: 1000,
+            used_after: used,
+            cycle: GcCycle {
+                index: at_s,
+                minor: false,
+                trigger_bytes: 96,
+                report: GcReport::default(),
+                used_after: used,
+                allocated_since_last: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let mut log = VerboseGc::new();
+        for i in 0..10u64 {
+            log.push(entry(100 + i * 26, 350, 200_000_000 + i * 450_000));
+        }
+        let s = log
+            .summarize(SimTime::from_secs(100), SimTime::from_secs(400))
+            .unwrap();
+        assert_eq!(s.collections, 10);
+        assert!((s.mean_interval_s - 26.0).abs() < 1e-9);
+        assert!((s.mean_pause_ms - 350.0).abs() < 1e-9);
+        assert!((s.mark_fraction - 0.8).abs() < 1e-9);
+        assert_eq!(s.compactions, 0);
+        // 450 KB per 26 s → ~1.04 MB/min.
+        assert!(
+            (s.used_growth_bytes_per_min - 450_000.0 * 60.0 / 26.0).abs() < 2_000.0,
+            "growth {}",
+            s.used_growth_bytes_per_min
+        );
+    }
+
+    #[test]
+    fn runtime_fraction_is_pause_over_wall() {
+        let mut log = VerboseGc::new();
+        log.push(entry(100, 500, 0));
+        log.push(entry(150, 500, 0));
+        let s = log
+            .summarize(SimTime::from_secs(100), SimTime::from_secs(200))
+            .unwrap();
+        assert!((s.runtime_fraction - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_few_entries_yield_none() {
+        let mut log = VerboseGc::new();
+        log.push(entry(100, 300, 0));
+        assert!(log.summarize(SimTime::ZERO, SimTime::from_secs(1000)).is_none());
+    }
+
+    #[test]
+    fn render_produces_one_line_per_gc() {
+        let mut log = VerboseGc::new();
+        log.push(entry(100, 300, 5));
+        log.push(entry(126, 320, 6));
+        let text = log.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("intervalms=\"26000.0\""));
+        assert!(text.contains("pausems=\"300.0\""));
+    }
+
+    #[test]
+    fn window_filtering_applies() {
+        let mut log = VerboseGc::new();
+        for i in 0..10u64 {
+            log.push(entry(i * 100, 300, 0));
+        }
+        let s = log
+            .summarize(SimTime::from_secs(250), SimTime::from_secs(650))
+            .unwrap();
+        assert_eq!(s.collections, 4); // at 300, 400, 500, 600
+    }
+}

@@ -1,0 +1,236 @@
+//! Vertical profiling: correlating series from *different* layers of the
+//! execution stack.
+//!
+//! The paper's future work (Section 7) points at Hauswirth et al.'s
+//! vertical-profiling methodology — aligning measurements from hardware
+//! counters, the JVM (GC events), and the application (throughput) on a
+//! common timeline, then using correlation (including *lagged* correlation,
+//! to discover which metric leads which) to explain behaviour. This module
+//! implements that: series from any tool are resampled onto one period and
+//! cross-correlated at configurable lags.
+
+use jas_simkernel::{SimDuration, SimTime};
+use jas_stats::pearson;
+
+/// A collection of aligned time series from different tools.
+#[derive(Clone, Debug)]
+pub struct VerticalProfiler {
+    period: SimDuration,
+    series: Vec<(String, Vec<f64>)>,
+}
+
+impl VerticalProfiler {
+    /// Creates a profiler whose series share `period` per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn new(period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "period must be positive");
+        VerticalProfiler {
+            period,
+            series: Vec::new(),
+        }
+    }
+
+    /// The common sampling period.
+    #[must_use]
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Adds an already-aligned series (one value per period).
+    pub fn add_series(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        self.series.push((name.into(), values));
+    }
+
+    /// Adds a point-event source (e.g. GC start times) as an impulse
+    /// series: each sample counts the events falling in its window, over
+    /// `[SimTime::ZERO, end)`.
+    pub fn add_events(&mut self, name: impl Into<String>, times: &[SimTime], end: SimTime) {
+        let n = (end.as_nanos() / self.period.as_nanos()) as usize;
+        let mut values = vec![0.0; n];
+        for &t in times {
+            let bin = (t.as_nanos() / self.period.as_nanos()) as usize;
+            if bin < n {
+                values[bin] += 1.0;
+            }
+        }
+        self.series.push((name.into(), values));
+    }
+
+    /// Names of the registered series.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.series.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    fn get(&self, name: &str) -> Option<&[f64]> {
+        self.series
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Pearson correlation of two registered series at lag 0 (truncated to
+    /// the shorter length). `None` when a series is missing or degenerate.
+    #[must_use]
+    pub fn correlate(&self, a: &str, b: &str) -> Option<f64> {
+        let (x, y) = (self.get(a)?, self.get(b)?);
+        let n = x.len().min(y.len());
+        pearson(&x[..n], &y[..n])
+    }
+
+    /// Correlation of `a` against `b` shifted by each lag in
+    /// `-max_lag..=max_lag` samples. A *positive* lag means `a` leads `b`
+    /// (`a[t]` is compared with `b[t + lag]`).
+    #[must_use]
+    pub fn lagged_correlation(&self, a: &str, b: &str, max_lag: usize) -> Vec<(i64, Option<f64>)> {
+        let Some(x) = self.get(a) else { return Vec::new() };
+        let Some(y) = self.get(b) else { return Vec::new() };
+        let n = x.len().min(y.len());
+        let mut out = Vec::new();
+        for lag in -(max_lag as i64)..=(max_lag as i64) {
+            let r = if lag >= 0 {
+                let l = lag as usize;
+                if l >= n {
+                    None
+                } else {
+                    pearson(&x[..n - l], &y[l..n])
+                }
+            } else {
+                let l = (-lag) as usize;
+                if l >= n {
+                    None
+                } else {
+                    pearson(&x[l..n], &y[..n - l])
+                }
+            };
+            out.push((lag, r));
+        }
+        out
+    }
+
+    /// The lag (in samples) at which `|r|` is maximal, with that `r`.
+    #[must_use]
+    pub fn best_lag(&self, a: &str, b: &str, max_lag: usize) -> Option<(i64, f64)> {
+        self.lagged_correlation(a, b, max_lag)
+            .into_iter()
+            .filter_map(|(lag, r)| r.map(|r| (lag, r)))
+            .max_by(|x, y| x.1.abs().partial_cmp(&y.1.abs()).expect("finite"))
+    }
+
+    /// Full lag-0 correlation matrix over all registered series, `NaN` for
+    /// undefined pairs.
+    #[must_use]
+    pub fn matrix(&self) -> Vec<Vec<f64>> {
+        let n = self.series.len();
+        let mut m = vec![vec![f64::NAN; n]; n];
+        for i in 0..n {
+            for j in i..n {
+                let r = self
+                    .correlate(&self.series[i].0.clone(), &self.series[j].0.clone())
+                    .unwrap_or(f64::NAN);
+                m[i][j] = r;
+                m[j][i] = r;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiler() -> VerticalProfiler {
+        VerticalProfiler::new(SimDuration::from_millis(100))
+    }
+
+    #[test]
+    fn correlate_aligned_series() {
+        let mut v = profiler();
+        v.add_series("a", vec![1.0, 2.0, 3.0, 4.0]);
+        v.add_series("b", vec![2.0, 4.0, 6.0, 8.0]);
+        assert!((v.correlate("a", "b").unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(v.correlate("a", "missing"), None);
+    }
+
+    #[test]
+    fn best_lag_recovers_a_shift() {
+        // b is a copy of a delayed by 3 samples: a leads b by +3.
+        let a: Vec<f64> = (0..64).map(|i| ((i as f64) * 0.7).sin()).collect();
+        let mut b = vec![0.0; 3];
+        b.extend_from_slice(&a[..61]);
+        let mut v = profiler();
+        v.add_series("a", a);
+        v.add_series("b", b);
+        let (lag, r) = v.best_lag("a", "b", 6).unwrap();
+        assert_eq!(lag, 3, "expected a to lead b by 3 samples");
+        assert!(r > 0.99);
+    }
+
+    #[test]
+    fn event_series_bins_timestamps() {
+        let mut v = profiler();
+        v.add_events(
+            "gc",
+            &[
+                SimTime::from_millis(50),
+                SimTime::from_millis(60),
+                SimTime::from_millis(250),
+            ],
+            SimTime::from_millis(400),
+        );
+        let gc = v.get("gc").unwrap();
+        assert_eq!(gc, &[2.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn gc_impulses_explain_counter_dips() {
+        // A counter that dips exactly in GC windows anticorrelates with the
+        // GC impulse series — the vertical-profiling use case.
+        let mut v = profiler();
+        let gc_times: Vec<SimTime> = (0..5).map(|i| SimTime::from_millis(100 * (2 * i + 1))).collect();
+        v.add_events("gc", &gc_times, SimTime::from_millis(1000));
+        let counter: Vec<f64> = (0..10).map(|i| if i % 2 == 1 { 1.0 } else { 9.0 }).collect();
+        v.add_series("itlb_misses", counter);
+        let r = v.correlate("gc", "itlb_misses").unwrap();
+        assert!(r < -0.99, "r {r}");
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let mut v = profiler();
+        v.add_series("a", vec![1.0, 3.0, 2.0, 5.0]);
+        v.add_series("b", vec![2.0, 1.0, 4.0, 3.0]);
+        v.add_events("e", &[SimTime::from_millis(150)], SimTime::from_millis(400));
+        let m = v.matrix();
+        for i in 0..3 {
+            assert!((m[i][i] - 1.0).abs() < 1e-12 || m[i][i].is_nan());
+            for j in 0..3 {
+                assert!(
+                    (m[i][j] - m[j][i]).abs() < 1e-12 || (m[i][j].is_nan() && m[j][i].is_nan())
+                );
+            }
+        }
+        assert_eq!(v.names(), vec!["a", "b", "e"]);
+    }
+
+    #[test]
+    fn lag_window_larger_than_series_is_safe() {
+        let mut v = profiler();
+        v.add_series("a", vec![1.0, 2.0]);
+        v.add_series("b", vec![2.0, 1.0]);
+        let lags = v.lagged_correlation("a", "b", 10);
+        assert_eq!(lags.len(), 21);
+        for (lag, r) in lags {
+            if lag == 0 {
+                assert!((r.unwrap() + 1.0).abs() < 1e-12, "lag 0 is fully defined");
+            } else {
+                assert!(r.is_none(), "lag {lag} leaves <2 overlapping samples");
+            }
+        }
+    }
+}

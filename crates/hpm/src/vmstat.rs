@@ -1,0 +1,134 @@
+//! The `vmstat`-like utilization monitor.
+//!
+//! Tracks how each simulated core's time divides into user, system (kernel),
+//! idle, and I/O-wait — the high-level view the paper tuned against
+//! (Section 4.1: ~100% utilization at IR47 with 80% user / 20% system on a
+//! RAM disk; I/O wait exploding with two hard disks).
+
+use jas_simkernel::{SimDuration, SimTime};
+
+/// Where a slice of core time went.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CpuState {
+    /// User-level work (application server, DB engine, JVM, benchmark).
+    User,
+    /// Kernel work.
+    System,
+    /// Idle with an outstanding I/O request ("wa" in vmstat).
+    IoWait,
+    /// Truly idle.
+    Idle,
+}
+
+/// Accumulated utilization.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Utilization {
+    /// User fraction.
+    pub user: f64,
+    /// System fraction.
+    pub system: f64,
+    /// I/O-wait fraction.
+    pub iowait: f64,
+    /// Idle fraction.
+    pub idle: f64,
+}
+
+impl Utilization {
+    /// Busy fraction (user + system).
+    #[must_use]
+    pub fn busy(&self) -> f64 {
+        self.user + self.system
+    }
+}
+
+/// The utilization monitor.
+#[derive(Clone, Debug)]
+pub struct Vmstat {
+    user: SimDuration,
+    system: SimDuration,
+    iowait: SimDuration,
+    idle: SimDuration,
+    start: SimTime,
+}
+
+impl Vmstat {
+    /// Creates a monitor whose window opens at `start`.
+    #[must_use]
+    pub fn new(start: SimTime) -> Self {
+        Vmstat {
+            user: SimDuration::ZERO,
+            system: SimDuration::ZERO,
+            iowait: SimDuration::ZERO,
+            idle: SimDuration::ZERO,
+            start,
+        }
+    }
+
+    /// Accounts `span` of one core's time to `state`.
+    pub fn account(&mut self, state: CpuState, span: SimDuration) {
+        match state {
+            CpuState::User => self.user += span,
+            CpuState::System => self.system += span,
+            CpuState::IoWait => self.iowait += span,
+            CpuState::Idle => self.idle += span,
+        }
+    }
+
+    /// The window's opening time.
+    #[must_use]
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// Fraction breakdown of all accounted time.
+    #[must_use]
+    pub fn utilization(&self) -> Utilization {
+        let total = (self.user + self.system + self.iowait + self.idle).as_secs_f64();
+        if total == 0.0 {
+            return Utilization::default();
+        }
+        Utilization {
+            user: self.user.as_secs_f64() / total,
+            system: self.system.as_secs_f64() / total,
+            iowait: self.iowait.as_secs_f64() / total,
+            idle: self.idle.as_secs_f64() / total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut v = Vmstat::new(SimTime::ZERO);
+        v.account(CpuState::User, SimDuration::from_secs(8));
+        v.account(CpuState::System, SimDuration::from_secs(2));
+        v.account(CpuState::IoWait, SimDuration::from_secs(1));
+        v.account(CpuState::Idle, SimDuration::from_secs(1));
+        let u = v.utilization();
+        assert!((u.user + u.system + u.iowait + u.idle - 1.0).abs() < 1e-12);
+        assert!((u.user - 8.0 / 12.0).abs() < 1e-12);
+        assert!((u.busy() - 10.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_monitor_reports_zero() {
+        let v = Vmstat::new(SimTime::from_secs(5));
+        assert_eq!(v.utilization(), Utilization::default());
+        assert_eq!(v.start(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn tuned_shape_80_20() {
+        // The paper's tuned system: 80% user, 20% system, ~0 idle/iowait.
+        let mut v = Vmstat::new(SimTime::ZERO);
+        v.account(CpuState::User, SimDuration::from_secs(80));
+        v.account(CpuState::System, SimDuration::from_secs(20));
+        let u = v.utilization();
+        assert!((u.user - 0.8).abs() < 1e-12);
+        assert!((u.system - 0.2).abs() < 1e-12);
+        assert!(u.busy() > 0.99);
+    }
+}

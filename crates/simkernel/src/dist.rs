@@ -1,0 +1,301 @@
+//! Probability distributions used by the workload and service-time models.
+//!
+//! Each distribution is a small value type with a `sample(&mut Rng)` method.
+//! Request inter-arrival times are exponential (the SPECjAppServer driver is
+//! an open Poisson-like source at a fixed injection rate), service-time
+//! jitter is lognormal, and data references follow Zipf-like popularity —
+//! the standard choices for transaction-processing models.
+
+use crate::Rng;
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+///
+/// ```
+/// use jas_simkernel::{dist::Exponential, Rng};
+/// let exp = Exponential::new(10.0);
+/// let mut rng = Rng::new(1);
+/// let x = exp.sample(&mut rng);
+/// assert!(x >= 0.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "lambda must be positive and finite, got {lambda}"
+        );
+        Exponential { lambda }
+    }
+
+    /// Mean of the distribution (`1/lambda`).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        // Inverse CDF; (1 - u) avoids ln(0).
+        -(1.0 - rng.next_f64()).ln() / self.lambda
+    }
+}
+
+/// Lognormal distribution parameterized by the mean and coefficient of
+/// variation of the *resulting* distribution (more convenient for service
+/// times than mu/sigma of the underlying normal).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Lognormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Lognormal {
+    /// Creates a lognormal with the given mean and coefficient of variation
+    /// (`cv = stddev / mean`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0` or `cv < 0`, or either is non-finite.
+    #[must_use]
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive, got {mean}");
+        assert!(cv.is_finite() && cv >= 0.0, "cv must be non-negative, got {cv}");
+        let sigma2 = (1.0 + cv * cv).ln();
+        Lognormal {
+            mu: mean.ln() - sigma2 / 2.0,
+            sigma: sigma2.sqrt(),
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        (self.mu + self.sigma * sample_standard_normal(rng)).exp()
+    }
+}
+
+/// Draws from the standard normal via Box–Muller (one value per call; the
+/// second value is discarded to keep the generator state simple and the
+/// stream deterministic regardless of call interleaving).
+fn sample_standard_normal(rng: &mut Rng) -> f64 {
+    let u1 = 1.0 - rng.next_f64(); // (0, 1]
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+/// Normal distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    stddev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stddev` is negative or either parameter is non-finite.
+    #[must_use]
+    pub fn new(mean: f64, stddev: f64) -> Self {
+        assert!(mean.is_finite(), "mean must be finite");
+        assert!(
+            stddev.is_finite() && stddev >= 0.0,
+            "stddev must be non-negative and finite, got {stddev}"
+        );
+        Normal { mean, stddev }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        self.mean + self.stddev * sample_standard_normal(rng)
+    }
+}
+
+/// Zipf distribution over ranks `0..n` with exponent `s`.
+///
+/// Used for data-popularity skew: rank 0 is the most popular item. Sampling
+/// uses a precomputed cumulative table, so construction is `O(n)` and
+/// sampling is `O(log n)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be non-negative, got {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` if there is exactly one rank (degenerate but allowed).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        // Construction guarantees n > 0, so this is always false; provided
+        // for API symmetry with `len`.
+        false
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.next_f64();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Bounded Pareto distribution (heavy-tailed sizes such as response bodies).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoundedPareto {
+    lo: f64,
+    hi: f64,
+    alpha: f64,
+}
+
+impl BoundedPareto {
+    /// Creates a bounded Pareto on `[lo, hi]` with shape `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo <= 0`, `hi <= lo`, or `alpha <= 0`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, alpha: f64) -> Self {
+        assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi, got [{lo}, {hi}]");
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive, got {alpha}");
+        BoundedPareto { lo, hi, alpha }
+    }
+
+    /// Draws one sample in `[lo, hi]`.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        let u = rng.next_f64();
+        let la = self.lo.powf(self.alpha);
+        let ha = self.hi.powf(self.alpha);
+        // Inverse CDF of the bounded Pareto.
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(n: usize, mut f: impl FnMut() -> f64) -> f64 {
+        (0..n).map(|_| f()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let exp = Exponential::new(4.0);
+        let mut rng = Rng::new(1);
+        let m = mean_of(200_000, || exp.sample(&mut rng));
+        assert!((m - 0.25).abs() < 0.01, "mean {m}");
+        assert!((exp.mean() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn exponential_rejects_zero_rate() {
+        let _ = Exponential::new(0.0);
+    }
+
+    #[test]
+    fn lognormal_mean_and_cv_converge() {
+        let ln = Lognormal::from_mean_cv(2.0, 0.5);
+        let mut rng = Rng::new(2);
+        let xs: Vec<f64> = (0..200_000).map(|_| ln.sample(&mut rng)).collect();
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        let cv = var.sqrt() / m;
+        assert!((m - 2.0).abs() < 0.05, "mean {m}");
+        assert!((cv - 0.5).abs() < 0.05, "cv {cv}");
+    }
+
+    #[test]
+    fn normal_mean_and_stddev_converge() {
+        let n = Normal::new(-3.0, 2.0);
+        let mut rng = Rng::new(3);
+        let xs: Vec<f64> = (0..200_000).map(|_| n.sample(&mut rng)).collect();
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        assert!((m + 3.0).abs() < 0.03, "mean {m}");
+        assert!((var.sqrt() - 2.0).abs() < 0.03, "stddev {}", var.sqrt());
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_popular() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = Rng::new(4);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // Rank 0 share for s=1, n=100 is 1/H(100) ≈ 0.1928.
+        let share = f64::from(counts[0]) / 100_000.0;
+        assert!((0.17..0.22).contains(&share), "share {share}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_is_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = Rng::new(5);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let p = BoundedPareto::new(1.0, 100.0, 1.2);
+        let mut rng = Rng::new(6);
+        for _ in 0..10_000 {
+            let x = p.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&x), "sample {x}");
+        }
+    }
+
+    #[test]
+    fn zipf_len_reports_ranks() {
+        let z = Zipf::new(7, 0.8);
+        assert_eq!(z.len(), 7);
+        assert!(!z.is_empty());
+    }
+}

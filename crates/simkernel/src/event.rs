@@ -1,0 +1,289 @@
+//! The discrete-event queue and scheduler.
+//!
+//! Events are boxed closures ordered by firing time with a monotonically
+//! increasing sequence number as the tie-breaker, so two events scheduled
+//! for the same instant fire in scheduling order. That FIFO guarantee is
+//! what makes the whole simulation deterministic.
+
+use crate::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+type BoxedEvent = Box<dyn FnOnce(&mut Scheduler)>;
+
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    run: BoxedEvent,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then lowest-seq)
+        // entry is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timed events.
+///
+/// This is the storage layer underneath [`Scheduler`]; most code uses the
+/// scheduler directly. It is exposed for tests and for callers that need to
+/// drive event dispatch themselves.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl std::fmt::Debug for EventQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Firing time of the earliest pending event, if any.
+    #[must_use]
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    fn push(&mut self, at: SimTime, run: BoxedEvent) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, run });
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, BoxedEvent)> {
+        self.heap.pop().map(|e| (e.at, e.run))
+    }
+}
+
+/// The simulation scheduler: a clock plus an event queue.
+///
+/// Events receive `&mut Scheduler` so they can read the clock and schedule
+/// follow-up events. State shared between events lives outside the
+/// scheduler (typically in `Rc<RefCell<_>>` or captured by the closures).
+///
+/// # Example
+///
+/// ```
+/// use jas_simkernel::{Scheduler, SimTime, SimDuration};
+/// use std::{cell::Cell, rc::Rc};
+///
+/// let fired = Rc::new(Cell::new(0u32));
+/// let mut sched = Scheduler::new();
+/// let f = fired.clone();
+/// sched.schedule_in(SimDuration::from_millis(1), move |_| f.set(f.get() + 1));
+/// sched.run_until(SimTime::from_secs(1));
+/// assert_eq!(fired.get(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Scheduler {
+    now: SimTime,
+    queue: EventQueue,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler {
+    /// Creates a scheduler with the clock at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — the simulation clock is monotonic.
+    pub fn schedule(&mut self, at: SimTime, event: impl FnOnce(&mut Scheduler) + 'static) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, Box::new(event));
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: impl FnOnce(&mut Scheduler) + 'static) {
+        let at = self.now + delay;
+        self.queue.push(at, Box::new(event));
+    }
+
+    /// Fires the next event, advancing the clock to its firing time.
+    ///
+    /// Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((at, run)) => {
+                debug_assert!(at >= self.now);
+                self.now = at;
+                run(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs all events with firing time `<= deadline`, then advances the
+    /// clock to exactly `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.next_time() {
+            if t > deadline {
+                break;
+            }
+            let fired = self.step();
+            debug_assert!(fired);
+        }
+        if deadline > self.now {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs until the event queue drains completely.
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut s = Scheduler::new();
+        for &ms in &[30u64, 10, 20] {
+            let log = log.clone();
+            s.schedule(SimTime::from_millis(ms), move |_| log.borrow_mut().push(ms));
+        }
+        s.run_to_completion();
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+        assert_eq!(s.now(), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut s = Scheduler::new();
+        for i in 0..5 {
+            let log = log.clone();
+            s.schedule(SimTime::from_millis(1), move |_| log.borrow_mut().push(i));
+        }
+        s.run_to_completion();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let count = Rc::new(RefCell::new(0u32));
+        let mut s = Scheduler::new();
+        fn tick(s: &mut Scheduler, count: Rc<RefCell<u32>>) {
+            *count.borrow_mut() += 1;
+            if *count.borrow() < 10 {
+                let c = count.clone();
+                s.schedule_in(SimDuration::from_millis(10), move |s| tick(s, c));
+            }
+        }
+        let c = count.clone();
+        s.schedule(SimTime::ZERO, move |s| tick(s, c));
+        s.run_to_completion();
+        assert_eq!(*count.borrow(), 10);
+        assert_eq!(s.now(), SimTime::from_millis(90));
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(10), |_| {});
+        s.run_until(SimTime::from_secs(1));
+        assert_eq!(s.now(), SimTime::from_secs(1));
+        assert_eq!(s.pending(), 1);
+        s.run_until(SimTime::from_secs(20));
+        assert_eq!(s.pending(), 0);
+        assert_eq!(s.now(), SimTime::from_secs(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(1), |_| {});
+        s.run_to_completion();
+        s.schedule(SimTime::from_millis(1), |_| {});
+    }
+
+    #[test]
+    fn step_on_empty_queue_returns_false() {
+        let mut s = Scheduler::new();
+        assert!(!s.step());
+    }
+
+    #[test]
+    fn queue_debug_is_nonempty() {
+        let q = EventQueue::new();
+        assert!(!format!("{q:?}").is_empty());
+    }
+}

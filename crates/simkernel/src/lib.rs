@@ -1,0 +1,48 @@
+//! Discrete-event simulation kernel used by every layer of the `jas2004`
+//! full-system simulator.
+//!
+//! The kernel provides four things and nothing else:
+//!
+//! * **Simulated time** ([`SimTime`], [`SimDuration`]) — nanosecond-resolution
+//!   newtypes so wall-clock and simulated time can never be confused.
+//! * **An event queue** ([`EventQueue`], [`Scheduler`]) — a monotonic
+//!   priority queue of closures with deterministic FIFO tie-breaking.
+//! * **Deterministic randomness** ([`Rng`]) and the distributions the
+//!   workload model needs ([`dist`]).
+//! * **Time-series recording** ([`SeriesRecorder`]) — fixed-interval sampling
+//!   used by the measurement tools to mimic `hpmstat`-style output.
+//!
+//! Everything is single-threaded and bit-reproducible: the same seed and
+//! configuration always produce the same simulation, which is what lets the
+//! figure-reproduction tests assert quantitative bands.
+//!
+//! # Example
+//!
+//! ```
+//! use jas_simkernel::{Scheduler, SimTime, SimDuration};
+//!
+//! let mut sched = Scheduler::new();
+//! sched.schedule(SimTime::ZERO + SimDuration::from_millis(5), |s| {
+//!     // events may schedule further events
+//!     let now = s.now();
+//!     s.schedule(now + SimDuration::from_millis(5), |_| {});
+//! });
+//! sched.run_until(SimTime::from_secs(1));
+//! assert_eq!(sched.now(), SimTime::from_secs(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+mod event;
+#[cfg(test)]
+mod proptests;
+mod rng;
+mod series;
+mod time;
+
+pub use event::{EventQueue, Scheduler};
+pub use rng::Rng;
+pub use series::{SeriesRecorder, SeriesSample};
+pub use time::{SimDuration, SimTime};

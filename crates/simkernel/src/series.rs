@@ -1,0 +1,194 @@
+//! Fixed-interval time-series recording.
+//!
+//! The paper's measurement tools (`hpmstat` in particular) sample counters
+//! on a fixed period (0.1 s). [`SeriesRecorder`] reproduces that pattern: a
+//! caller feeds it cumulative counter values tagged with simulated time, and
+//! the recorder emits one [`SeriesSample`] per elapsed interval containing
+//! the *delta* over that interval.
+
+use crate::{SimDuration, SimTime};
+
+/// One sample of a recorded series: the interval it covers and the value
+/// accumulated within it.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SeriesSample {
+    /// Start of the sampling interval.
+    pub start: SimTime,
+    /// Value accumulated during the interval (delta, not cumulative).
+    pub value: f64,
+}
+
+/// Records deltas of a cumulative quantity on a fixed sampling period.
+///
+/// ```
+/// use jas_simkernel::{SeriesRecorder, SimDuration, SimTime};
+///
+/// let mut rec = SeriesRecorder::new(SimDuration::from_millis(100));
+/// rec.observe(SimTime::from_millis(50), 10.0);
+/// rec.observe(SimTime::from_millis(150), 25.0);
+/// rec.finish(SimTime::from_millis(200));
+/// let samples = rec.samples();
+/// assert_eq!(samples.len(), 2);
+/// assert_eq!(samples[0].value, 10.0); // delta in [0, 100ms)
+/// assert_eq!(samples[1].value, 15.0); // delta in [100ms, 200ms)
+/// ```
+#[derive(Clone, Debug)]
+pub struct SeriesRecorder {
+    period: SimDuration,
+    window_start: SimTime,
+    last_cumulative: f64,
+    window_base: f64,
+    samples: Vec<SeriesSample>,
+    finished: bool,
+}
+
+impl SeriesRecorder {
+    /// Creates a recorder with the given sampling period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn new(period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "sampling period must be positive");
+        SeriesRecorder {
+            period,
+            window_start: SimTime::ZERO,
+            last_cumulative: 0.0,
+            window_base: 0.0,
+            samples: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Sampling period.
+    #[must_use]
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Feeds the recorder a new cumulative value observed at `now`.
+    ///
+    /// Observations must be fed in non-decreasing time order. Whenever `now`
+    /// crosses one or more period boundaries the recorder closes the
+    /// intervening windows (attributing the whole delta since the last
+    /// observation to the window in which `now` falls — adequate because the
+    /// simulator observes counters far more often than the sampling period).
+    ///
+    /// # Panics
+    ///
+    /// Panics if time moves backwards or the recorder is already finished.
+    pub fn observe(&mut self, now: SimTime, cumulative: f64) {
+        assert!(!self.finished, "recorder already finished");
+        assert!(now >= self.window_start, "observations must move forward in time");
+        while now >= self.window_start + self.period {
+            self.close_window();
+        }
+        self.last_cumulative = cumulative;
+    }
+
+    fn close_window(&mut self) {
+        self.samples.push(SeriesSample {
+            start: self.window_start,
+            value: self.last_cumulative - self.window_base,
+        });
+        self.window_base = self.last_cumulative;
+        self.window_start += self.period;
+    }
+
+    /// Closes any window in progress at `end` and stops recording.
+    pub fn finish(&mut self, end: SimTime) {
+        if self.finished {
+            return;
+        }
+        while end >= self.window_start + self.period {
+            self.close_window();
+        }
+        // Emit a final partial window only if it saw any accumulation.
+        if (self.last_cumulative - self.window_base).abs() > 0.0 {
+            self.samples.push(SeriesSample {
+                start: self.window_start,
+                value: self.last_cumulative - self.window_base,
+            });
+        }
+        self.finished = true;
+    }
+
+    /// The recorded samples.
+    #[must_use]
+    pub fn samples(&self) -> &[SeriesSample] {
+        &self.samples
+    }
+
+    /// Consumes the recorder and returns just the per-interval values.
+    #[must_use]
+    pub fn into_values(self) -> Vec<f64> {
+        self.samples.into_iter().map(|s| s.value).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_per_window() {
+        let mut rec = SeriesRecorder::new(SimDuration::from_millis(100));
+        rec.observe(SimTime::from_millis(10), 1.0);
+        rec.observe(SimTime::from_millis(90), 4.0);
+        rec.observe(SimTime::from_millis(110), 9.0);
+        rec.observe(SimTime::from_millis(210), 10.0);
+        rec.finish(SimTime::from_millis(300));
+        let v: Vec<f64> = rec.samples().iter().map(|s| s.value).collect();
+        assert_eq!(v, vec![4.0, 5.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_windows_emit_zero() {
+        let mut rec = SeriesRecorder::new(SimDuration::from_millis(10));
+        rec.observe(SimTime::from_millis(35), 7.0);
+        rec.finish(SimTime::from_millis(40));
+        let v: Vec<f64> = rec.samples().iter().map(|s| s.value).collect();
+        // Windows [0,10), [10,20), [20,30) closed with zero until the
+        // observation lands in [30,40).
+        assert_eq!(v, vec![0.0, 0.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut rec = SeriesRecorder::new(SimDuration::from_millis(10));
+        rec.observe(SimTime::from_millis(5), 2.0);
+        rec.finish(SimTime::from_millis(10));
+        let n = rec.samples().len();
+        rec.finish(SimTime::from_millis(50));
+        assert_eq!(rec.samples().len(), n);
+    }
+
+    #[test]
+    fn sample_starts_are_aligned() {
+        let mut rec = SeriesRecorder::new(SimDuration::from_millis(100));
+        rec.observe(SimTime::from_millis(250), 1.0);
+        rec.finish(SimTime::from_millis(300));
+        let starts: Vec<u64> = rec
+            .samples()
+            .iter()
+            .map(|s| s.start.as_nanos() / 1_000_000)
+            .collect();
+        assert_eq!(starts, vec![0, 100, 200]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_period_rejected() {
+        let _ = SeriesRecorder::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn into_values_returns_all() {
+        let mut rec = SeriesRecorder::new(SimDuration::from_millis(10));
+        rec.observe(SimTime::from_millis(5), 3.0);
+        rec.observe(SimTime::from_millis(15), 5.0);
+        rec.finish(SimTime::from_millis(20));
+        assert_eq!(rec.into_values(), vec![3.0, 2.0]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Pearson correlation — the statistical tool of the paper's Section 4.3.
+//!
+//! The paper computes
+//!
+//! ```text
+//!         Σ (x - x̄)(y - ȳ)
+//! r = ─────────────────────────
+//!     √( Σ(x - x̄)² Σ(y - ȳ)² )
+//! ```
+//!
+//! over aligned hardware-counter samples and reads the sign and magnitude of
+//! `r` as evidence for which events drive CPI. We implement the same formula
+//! (numerically stabilized) plus a convenience full-matrix version.
+
+/// Pearson correlation coefficient of two equally long series.
+///
+/// Returns a value in `[-1, 1]`, or `None` when the series differ in
+/// length, have fewer than two points, or either has zero variance (the
+/// coefficient is undefined in those cases).
+///
+/// ```
+/// use jas_stats::pearson;
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.0, 4.0, 6.0, 8.0];
+/// assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    // Clamp defends against floating-point drift just over ±1.
+    Some((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Full correlation matrix over a set of equally long series.
+///
+/// Entry `[i][j]` is `pearson(series[i], series[j])`, with `NaN` standing in
+/// for undefined coefficients so the matrix stays rectangular. The diagonal
+/// is 1 wherever defined.
+///
+/// # Panics
+///
+/// Panics if the series are not all the same length.
+#[must_use]
+pub fn correlation_matrix(series: &[&[f64]]) -> Vec<Vec<f64>> {
+    if let Some(first) = series.first() {
+        for s in series {
+            assert_eq!(s.len(), first.len(), "all series must have equal length");
+        }
+    }
+    let n = series.len();
+    let mut m = vec![vec![f64::NAN; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            let r = pearson(series[i], series[j]).unwrap_or(f64::NAN);
+            m[i][j] = r;
+            m[j][i] = r;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0];
+        let up = [10.0, 20.0, 30.0];
+        let down = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        // Orthogonal patterns.
+        let x = [1.0, -1.0, 1.0, -1.0];
+        let y = [1.0, 1.0, -1.0, -1.0];
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn undefined_cases_return_none() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None); // too short
+        assert_eq!(pearson(&[1.0, 2.0], &[2.0]), None); // length mismatch
+        assert_eq!(pearson(&[5.0, 5.0, 5.0], &[1.0, 2.0, 3.0]), None); // zero variance
+    }
+
+    #[test]
+    fn invariant_under_affine_transform() {
+        let x = [1.0, 4.0, 2.0, 8.0, 5.0];
+        let y = [2.0, 3.0, 9.0, 1.0, 4.0];
+        let r0 = pearson(&x, &y).unwrap();
+        let x2: Vec<f64> = x.iter().map(|v| 3.0 * v + 7.0).collect();
+        let r1 = pearson(&x2, &y).unwrap();
+        assert!((r0 - r1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let a = [1.0, 2.0, 4.0, 3.0];
+        let b = [4.0, 3.0, 1.0, 2.0];
+        let c = [1.0, 1.0, 2.0, 2.0];
+        let m = correlation_matrix(&[&a, &b, &c]);
+        for i in 0..3 {
+            assert!((m[i][i] - 1.0).abs() < 1e-12);
+            for j in 0..3 {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_marks_undefined_as_nan() {
+        let a = [1.0, 2.0, 3.0];
+        let flat = [5.0, 5.0, 5.0];
+        let m = correlation_matrix(&[&a, &flat]);
+        assert!(m[0][1].is_nan());
+        assert!(m[1][1].is_nan()); // flat against itself is undefined too
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn matrix_rejects_ragged_input() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.0];
+        let _ = correlation_matrix(&[&a, &b]);
+    }
+}

@@ -1,0 +1,262 @@
+//! Histograms and percentile estimation.
+//!
+//! SPECjAppServer2004's pass criteria are percentile-based (90% of web
+//! requests under 2 s, 90% of RMI requests under 5 s — paper Section 2), so
+//! the driver needs streaming percentile tracking. [`Histogram`] provides a
+//! log-bucketed streaming histogram; [`Percentiles`] gives exact percentiles
+//! over a retained sample vector when precision matters.
+
+/// A streaming histogram with logarithmically spaced buckets.
+///
+/// Values are assigned to buckets of geometrically increasing width, which
+/// gives a bounded relative error on percentile estimates over many orders
+/// of magnitude — appropriate for response times from microseconds to
+/// seconds.
+///
+/// ```
+/// use jas_stats::Histogram;
+/// let mut h = Histogram::new(1e-6, 100.0, 2048);
+/// for i in 1..=1000 { h.record(i as f64 / 1000.0); }
+/// let p50 = h.quantile(0.5).unwrap();
+/// assert!((p50 - 0.5).abs() < 0.02);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    ratio: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[lo, hi]` with `buckets` log-spaced
+    /// buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo <= 0`, `hi <= lo`, or `buckets == 0`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi, got [{lo}, {hi}]");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            lo,
+            ratio: (hi / lo).powf(1.0 / buckets as f64),
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        if value < self.lo {
+            self.underflow += 1;
+        } else {
+            let idx = ((value / self.lo).ln() / self.ratio.ln()) as usize;
+            if idx >= self.buckets.len() {
+                self.overflow += 1;
+            } else {
+                self.buckets[idx] += 1;
+            }
+        }
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) as the upper edge of the
+    /// bucket containing it. Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return Some(self.lo);
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.lo * self.ratio.powi(i as i32 + 1));
+            }
+        }
+        // Target falls into the overflow bucket: report the histogram's top.
+        Some(self.lo * self.ratio.powi(self.buckets.len() as i32))
+    }
+
+    /// Fraction of recorded values `<= threshold` (the pass-criterion check).
+    #[must_use]
+    pub fn fraction_at_or_below(&self, threshold: f64) -> f64 {
+        if self.count == 0 {
+            return 1.0;
+        }
+        let mut seen = if threshold >= self.lo { self.underflow } else { 0 };
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let upper = self.lo * self.ratio.powi(i as i32 + 1);
+            if upper <= threshold * (1.0 + 1e-12) {
+                seen += c;
+            } else {
+                break;
+            }
+        }
+        // Values at or above the configured top land in the overflow bucket;
+        // count them once the threshold covers the whole histogram range.
+        let top = self.lo * self.ratio.powi(self.buckets.len() as i32);
+        if threshold >= top * (1.0 - 1e-12) {
+            seen += self.overflow;
+        }
+        seen as f64 / self.count as f64
+    }
+}
+
+/// Exact percentiles over a retained, sorted copy of the samples.
+#[derive(Clone, Debug, Default)]
+pub struct Percentiles {
+    sorted: Vec<f64>,
+}
+
+impl Percentiles {
+    /// Builds from any iterator of samples.
+    #[must_use]
+    pub fn from_iter(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        Percentiles { sorted }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when no samples were provided.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `q`-quantile by the nearest-rank method; `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
+        Some(self.sorted[rank.min(self.sorted.len() - 1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_approximate_uniform() {
+        let mut h = Histogram::new(1e-3, 10.0, 4096);
+        for i in 1..=10_000 {
+            h.record(i as f64 / 1000.0);
+        }
+        for &(q, expect) in &[(0.1, 1.0), (0.5, 5.0), (0.9, 9.0)] {
+            let got = h.quantile(q).unwrap();
+            assert!((got - expect).abs() / expect < 0.02, "q={q}: got {got}");
+        }
+    }
+
+    #[test]
+    fn histogram_mean_and_count() {
+        let mut h = Histogram::new(0.1, 10.0, 64);
+        h.record(1.0);
+        h.record(3.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), 2.0);
+    }
+
+    #[test]
+    fn histogram_handles_out_of_range() {
+        let mut h = Histogram::new(1.0, 2.0, 8);
+        h.record(0.5); // underflow
+        h.record(5.0); // overflow
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.25).unwrap() <= 1.0);
+        assert!(h.quantile(1.0).unwrap() >= 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn fraction_at_or_below_monotone() {
+        let mut h = Histogram::new(1e-3, 10.0, 512);
+        for i in 1..=100 {
+            h.record(i as f64 / 10.0);
+        }
+        let f1 = h.fraction_at_or_below(1.0);
+        let f5 = h.fraction_at_or_below(5.0);
+        let f10 = h.fraction_at_or_below(10.0);
+        assert!(f1 <= f5 && f5 <= f10);
+        assert!((f5 - 0.5).abs() < 0.05, "f5={f5}");
+        assert!(f10 > 0.99);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_none() {
+        let h = Histogram::new(1.0, 2.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.fraction_at_or_below(1.5), 1.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let p = Percentiles::from_iter([5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(p.quantile(0.0), Some(1.0));
+        assert_eq!(p.quantile(0.5), Some(3.0));
+        assert_eq!(p.quantile(0.9), Some(5.0));
+        assert_eq!(p.quantile(1.0), Some(5.0));
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn percentiles_empty() {
+        let p = Percentiles::from_iter([]);
+        assert!(p.is_empty());
+        assert_eq!(p.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn quantile_range_checked() {
+        let p = Percentiles::from_iter([1.0]);
+        let _ = p.quantile(1.5);
+    }
+}

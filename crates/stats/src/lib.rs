@@ -1,0 +1,24 @@
+//! Statistics used by the workload-characterization methodology of the
+//! ISPASS 2007 paper.
+//!
+//! The paper's analytical core (Section 4.3) is Pearson correlation between
+//! sampled hardware-event series and CPI; its figures additionally use
+//! summary statistics, percentiles (response-time pass criteria) and Bezier
+//! smoothing (Figure 7's presentation). This crate implements exactly those
+//! tools over plain `&[f64]` slices so every layer of the simulator can use
+//! them without conversion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod correlation;
+mod histogram;
+mod smoothing;
+mod summary;
+#[cfg(test)]
+mod proptests;
+
+pub use correlation::{correlation_matrix, pearson};
+pub use histogram::{Histogram, Percentiles};
+pub use smoothing::{bezier_smooth, moving_average};
+pub use summary::{linear_fit, Summary};

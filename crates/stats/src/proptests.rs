@@ -1,0 +1,119 @@
+//! Property-based tests for the statistics primitives.
+
+use crate::{bezier_smooth, linear_fit, moving_average, pearson, Histogram, Percentiles, Summary};
+use proptest::prelude::*;
+
+fn finite_series(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e6..1.0e6f64, 2..max_len)
+}
+
+proptest! {
+    /// Pearson r is always within [-1, 1] when defined, symmetric, and
+    /// exactly 1 against the series itself (when non-constant).
+    #[test]
+    fn pearson_is_bounded_and_symmetric(xs in finite_series(64), ys in finite_series(64)) {
+        let n = xs.len().min(ys.len());
+        let (x, y) = (&xs[..n], &ys[..n]);
+        if let Some(r) = pearson(x, y) {
+            prop_assert!((-1.0..=1.0).contains(&r), "r={r}");
+            let r2 = pearson(y, x).expect("symmetric definedness");
+            prop_assert!((r - r2).abs() < 1e-12);
+        }
+        if let Some(rs) = pearson(x, x) {
+            prop_assert!((rs - 1.0).abs() < 1e-9, "self-correlation {rs}");
+        }
+    }
+
+    /// Pearson is invariant under positive affine transforms and flips sign
+    /// under negation.
+    #[test]
+    fn pearson_affine_invariance(xs in finite_series(48), a in 0.1..10.0f64, b in -100.0..100.0f64) {
+        let ys: Vec<f64> = xs.iter().rev().copied().collect();
+        if let Some(r) = pearson(&xs, &ys) {
+            let scaled: Vec<f64> = xs.iter().map(|v| a * v + b).collect();
+            if let Some(r2) = pearson(&scaled, &ys) {
+                prop_assert!((r - r2).abs() < 1e-6, "{r} vs {r2}");
+            }
+            let negated: Vec<f64> = xs.iter().map(|v| -v).collect();
+            if let Some(r3) = pearson(&negated, &ys) {
+                prop_assert!((r + r3).abs() < 1e-6, "{r} vs {r3}");
+            }
+        }
+    }
+
+    /// Bezier smoothing interpolates the endpoints and stays within the
+    /// data's bounding box (convex-hull property of Bezier curves).
+    #[test]
+    fn bezier_endpoints_and_hull(ys in proptest::collection::vec(-1.0e3..1.0e3f64, 2..32), out in 2usize..64) {
+        let s = bezier_smooth(&ys, out);
+        prop_assert_eq!(s.len(), out);
+        prop_assert!((s[0] - ys[0]).abs() < 1e-9);
+        prop_assert!((s[out - 1] - ys[ys.len() - 1]).abs() < 1e-9);
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in s {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// A moving average never exceeds the data's range and preserves length.
+    #[test]
+    fn moving_average_bounded(ys in finite_series(64), w in 1usize..10) {
+        let m = moving_average(&ys, w);
+        prop_assert_eq!(m.len(), ys.len());
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in m {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    /// Histogram quantiles are monotone in q and bracket the recorded data.
+    #[test]
+    fn histogram_quantiles_monotone(values in proptest::collection::vec(0.001..100.0f64, 1..200)) {
+        let mut h = Histogram::new(1e-3, 1e3, 512);
+        for &v in &values {
+            h.record(v);
+        }
+        let mut last = 0.0f64;
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let x = h.quantile(q).expect("non-empty");
+            prop_assert!(x >= last, "quantiles must not decrease");
+            last = x;
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    /// Exact percentiles agree with a sorted-vector definition.
+    #[test]
+    fn percentiles_match_sorted_definition(values in proptest::collection::vec(-1.0e3..1.0e3f64, 1..100), q in 0.0..=1.0f64) {
+        let p = Percentiles::from_iter(values.iter().copied());
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+        prop_assert_eq!(p.quantile(q), Some(sorted[rank.min(sorted.len() - 1)]));
+    }
+
+    /// Summary invariants: min <= mean <= max; stddev >= 0; affine shift
+    /// moves the mean and not the stddev.
+    #[test]
+    fn summary_invariants(values in finite_series(128), shift in -1000.0..1000.0f64) {
+        let s = Summary::of(&values);
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.stddev >= 0.0);
+        let shifted: Vec<f64> = values.iter().map(|v| v + shift).collect();
+        let s2 = Summary::of(&shifted);
+        prop_assert!((s2.mean - (s.mean + shift)).abs() < 1e-6);
+        prop_assert!((s2.stddev - s.stddev).abs() < 1e-6);
+    }
+
+    /// A least-squares fit of exactly-linear data recovers the line.
+    #[test]
+    fn linear_fit_recovers_lines(slope in -100.0..100.0f64, intercept in -100.0..100.0f64, n in 2usize..50) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let (m, b) = linear_fit(&xs, &ys).expect("x has variance");
+        prop_assert!((m - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((b - intercept).abs() < 1e-4 * (1.0 + intercept.abs()));
+    }
+}

@@ -1,0 +1,118 @@
+//! Series smoothing for presentation.
+//!
+//! Figure 7 of the paper is explicitly "fitted using Bezier smoothing", with
+//! the caveat that the GC spikes it shows really last 0.2–0.3 s. We provide
+//! the same Bezier smoothing (a Bernstein-weighted blend of all control
+//! points, the classic gnuplot `smooth bezier`) plus a plain moving average.
+
+/// Smooths `ys` with a Bezier curve through the points, evaluated at `out`
+/// evenly spaced parameter values.
+///
+/// This matches gnuplot's `smooth bezier`: the data points act as control
+/// points of a single Bezier curve of degree `ys.len() - 1`, evaluated with
+/// De Casteljau's algorithm for numerical stability.
+///
+/// Returns an empty vector when `ys` is empty; returns `ys.to_vec()` when
+/// `out <= 1` would be degenerate (i.e. `out == 0` yields empty, `out == 1`
+/// yields the first point).
+#[must_use]
+pub fn bezier_smooth(ys: &[f64], out: usize) -> Vec<f64> {
+    if ys.is_empty() || out == 0 {
+        return Vec::new();
+    }
+    let mut result = Vec::with_capacity(out);
+    let mut scratch = vec![0.0; ys.len()];
+    for k in 0..out {
+        let t = if out == 1 { 0.0 } else { k as f64 / (out - 1) as f64 };
+        scratch.copy_from_slice(ys);
+        // De Casteljau: repeatedly lerp adjacent control points.
+        for level in (1..ys.len()).rev() {
+            for i in 0..level {
+                scratch[i] = scratch[i] * (1.0 - t) + scratch[i + 1] * t;
+            }
+        }
+        result.push(scratch[0]);
+    }
+    result
+}
+
+/// Centered moving average with the given window size (clamped at the series
+/// edges, so the output has the same length as the input).
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+#[must_use]
+pub fn moving_average(ys: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "window must be positive");
+    let half = window / 2;
+    (0..ys.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(ys.len());
+            ys[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bezier_interpolates_endpoints() {
+        let ys = [1.0, 9.0, 2.0, 8.0];
+        let s = bezier_smooth(&ys, 50);
+        assert!((s[0] - 1.0).abs() < 1e-12);
+        assert!((s[49] - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bezier_smooths_spikes_below_peak() {
+        // A single huge spike: the smoothed curve must stay strictly below it
+        // away from the spike's parameter location.
+        let mut ys = vec![1.0; 9];
+        ys[4] = 100.0;
+        let s = bezier_smooth(&ys, 9);
+        let peak = s.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(peak < 100.0, "peak {peak}");
+        assert!(peak > 1.0);
+    }
+
+    #[test]
+    fn bezier_of_constant_is_constant() {
+        let s = bezier_smooth(&[3.0; 12], 24);
+        for v in s {
+            assert!((v - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bezier_degenerate_inputs() {
+        assert!(bezier_smooth(&[], 10).is_empty());
+        assert!(bezier_smooth(&[1.0, 2.0], 0).is_empty());
+        assert_eq!(bezier_smooth(&[7.0], 3), vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn moving_average_flattens_alternation() {
+        let ys = [0.0, 2.0, 0.0, 2.0, 0.0, 2.0];
+        let m = moving_average(&ys, 3);
+        assert_eq!(m.len(), ys.len());
+        for v in &m[1..5] {
+            assert!((v - 2.0 / 1.5).abs() < 1.0, "v={v}");
+        }
+    }
+
+    #[test]
+    fn moving_average_window_one_is_identity() {
+        let ys = [1.0, 5.0, 2.0];
+        assert_eq!(moving_average(&ys, 1), ys.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn moving_average_rejects_zero_window() {
+        let _ = moving_average(&[1.0], 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Summary statistics and simple linear fitting.
+
+use core::fmt;
+
+/// Summary statistics of a series: count, mean, standard deviation, min, max.
+///
+/// ```
+/// use jas_stats::Summary;
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.count, 4);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Population standard deviation (0 when fewer than two samples).
+    pub stddev: f64,
+    /// Minimum (`+inf` when empty).
+    pub min: f64,
+    /// Maximum (`-inf` when empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `xs`.
+    #[must_use]
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            };
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Summary {
+            count: xs.len(),
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Coefficient of variation (`stddev / mean`); `NaN` when the mean is 0.
+    #[must_use]
+    pub fn cv(&self) -> f64 {
+        self.stddev / self.mean
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.count, self.mean, self.stddev, self.min, self.max
+        )
+    }
+}
+
+/// Least-squares line `y = slope * x + intercept` through `(x, y)` pairs.
+///
+/// Used to measure trends such as the paper's "live heap grows at roughly
+/// 1 MB per minute". Returns `None` for fewer than two points or zero
+/// x-variance.
+#[must_use]
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<(f64, f64)> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxx += (a - mx) * (a - mx);
+        sxy += (a - mx) * (b - my);
+    }
+    if sxx <= 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    Some((slope, my - slope * mx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_series() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.stddev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.cv() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_is_safe() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert!(s.min.is_infinite());
+    }
+
+    #[test]
+    fn summary_display_nonempty() {
+        assert!(Summary::of(&[1.0]).to_string().contains("n=1"));
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y: Vec<f64> = x.iter().map(|v| 2.5 * v - 1.0).collect();
+        let (slope, intercept) = linear_fit(&x, &y).unwrap();
+        assert!((slope - 2.5).abs() < 1e-12);
+        assert!((intercept + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_cases() {
+        assert_eq!(linear_fit(&[1.0], &[2.0]), None);
+        assert_eq!(linear_fit(&[1.0, 1.0], &[2.0, 3.0]), None);
+        assert_eq!(linear_fit(&[1.0, 2.0], &[2.0]), None);
+    }
+}

@@ -1,0 +1,138 @@
+//! The benchmark's business domains and database schema.
+//!
+//! SPECjAppServer2004 models an automobile manufacturer: *dealers* browse
+//! and purchase vehicles (web), large fleet buyers use RMI, and purchases
+//! drive the *manufacturing* domain (work orders over JMS) and *supplier*
+//! domain (parts procurement). The initial database size scales with the
+//! injection rate, as required by the benchmark's run rules (paper
+//! Section 2: "busier servers tend to have larger data sets").
+
+use jas_db::{Database, TableId};
+
+/// Table handles for the benchmark schema.
+#[derive(Clone, Copy, Debug)]
+pub struct Schema {
+    /// Registered customers (dealers and fleet buyers).
+    pub customers: TableId,
+    /// Vehicle catalogue + inventory.
+    pub vehicles: TableId,
+    /// Customer orders.
+    pub orders: TableId,
+    /// Order line items.
+    pub order_lines: TableId,
+    /// Manufacturing work orders.
+    pub work_orders: TableId,
+    /// Parts catalogue (bill of materials).
+    pub parts: TableId,
+    /// Supplier purchase orders.
+    pub purchase_orders: TableId,
+    /// Rows preloaded per table, for key-space sizing.
+    pub initial_rows: InitialRows,
+}
+
+/// Initial row counts (scaled by injection rate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InitialRows {
+    /// Customers.
+    pub customers: u64,
+    /// Vehicles.
+    pub vehicles: u64,
+    /// Orders.
+    pub orders: u64,
+    /// Order lines.
+    pub order_lines: u64,
+    /// Work orders.
+    pub work_orders: u64,
+    /// Parts.
+    pub parts: u64,
+    /// Purchase orders.
+    pub purchase_orders: u64,
+}
+
+impl InitialRows {
+    /// The benchmark's scaling rule: row counts proportional to the
+    /// injection rate (constants follow the spirit of the official scaling
+    /// table).
+    #[must_use]
+    pub fn for_injection_rate(ir: u32) -> Self {
+        let ir = u64::from(ir);
+        InitialRows {
+            customers: ir * 750,
+            vehicles: ir * 100,
+            orders: ir * 375,
+            order_lines: ir * 1_875,
+            work_orders: ir * 150,
+            parts: 10_000, // catalogue size is IR-independent
+            purchase_orders: ir * 100,
+        }
+    }
+
+    /// Total preloaded rows.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.customers
+            + self.vehicles
+            + self.orders
+            + self.order_lines
+            + self.work_orders
+            + self.parts
+            + self.purchase_orders
+    }
+}
+
+impl Schema {
+    /// Creates and populates the schema for the given injection rate.
+    pub fn create(db: &mut Database, ir: u32) -> Schema {
+        let initial_rows = InitialRows::for_injection_rate(ir);
+        let customers = db.create_table("customers", 512);
+        let vehicles = db.create_table("vehicles", 384);
+        let orders = db.create_table("orders", 256);
+        let order_lines = db.create_table("order_lines", 128);
+        let work_orders = db.create_table("work_orders", 256);
+        let parts = db.create_table("parts", 192);
+        let purchase_orders = db.create_table("purchase_orders", 256);
+        db.bulk_load(customers, 0, initial_rows.customers);
+        db.bulk_load(vehicles, 0, initial_rows.vehicles);
+        db.bulk_load(orders, 0, initial_rows.orders);
+        db.bulk_load(order_lines, 0, initial_rows.order_lines);
+        db.bulk_load(work_orders, 0, initial_rows.work_orders);
+        db.bulk_load(parts, 0, initial_rows.parts);
+        db.bulk_load(purchase_orders, 0, initial_rows.purchase_orders);
+        Schema {
+            customers,
+            vehicles,
+            orders,
+            order_lines,
+            work_orders,
+            parts,
+            purchase_orders,
+            initial_rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jas_db::DbConfig;
+
+    #[test]
+    fn rows_scale_with_ir() {
+        let a = InitialRows::for_injection_rate(10);
+        let b = InitialRows::for_injection_rate(40);
+        assert_eq!(b.customers, a.customers * 4);
+        assert_eq!(b.order_lines, a.order_lines * 4);
+        assert_eq!(a.parts, b.parts, "catalogue does not scale");
+        assert!(b.total() > a.total());
+    }
+
+    #[test]
+    fn create_populates_all_tables() {
+        let mut db = Database::new(DbConfig::default());
+        let s = Schema::create(&mut db, 5);
+        assert_eq!(db.row_count(s.customers), 5 * 750);
+        assert_eq!(db.row_count(s.vehicles), 500);
+        assert_eq!(db.row_count(s.parts), 10_000);
+        assert_eq!(db.row_count(s.order_lines), 5 * 1875);
+    }
+}

@@ -1,0 +1,138 @@
+//! The load driver.
+//!
+//! The benchmark driver runs on a separate machine and injects requests at
+//! a preconfigured, constant **injection rate** (IR). Arrivals are an open
+//! Poisson-like process (users do not wait for each other), with the
+//! request kind drawn from the dealer-domain mix. The driver never
+//! throttles on SUT load — which is exactly why an overloaded SUT fails
+//! response times instead of slowing the offered load.
+
+use crate::requests::{injection_mix, RequestKind};
+use jas_simkernel::dist::Exponential;
+use jas_simkernel::{Rng, SimDuration};
+
+/// Driver configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriverConfig {
+    /// The injection rate.
+    pub ir: u32,
+    /// External request arrivals per second per IR unit. The default is
+    /// calibrated so completed operations land near the paper's ~1.6
+    /// JOPS/IR.
+    pub arrivals_per_ir: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DriverConfig {
+    /// Driver at injection rate `ir` with calibrated defaults.
+    #[must_use]
+    pub fn at_ir(ir: u32) -> Self {
+        DriverConfig {
+            ir,
+            arrivals_per_ir: 1.3,
+            seed: 0x6A73_3230_3034, // "jas2004"
+        }
+    }
+
+    /// Mean total arrival rate in requests per second.
+    #[must_use]
+    pub fn arrival_rate(&self) -> f64 {
+        f64::from(self.ir) * self.arrivals_per_ir
+    }
+}
+
+/// The open-loop request source.
+#[derive(Clone, Debug)]
+pub struct Driver {
+    interarrival: Exponential,
+    rng: Rng,
+    kinds: Vec<RequestKind>,
+    weights: Vec<f64>,
+}
+
+impl Driver {
+    /// Creates a driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured rate is not positive.
+    #[must_use]
+    pub fn new(cfg: DriverConfig) -> Self {
+        let mix = injection_mix();
+        Driver {
+            interarrival: Exponential::new(cfg.arrival_rate()),
+            rng: Rng::new(cfg.seed ^ u64::from(cfg.ir)),
+            kinds: mix.iter().map(|(k, _)| *k).collect(),
+            weights: mix.iter().map(|(_, w)| *w).collect(),
+        }
+    }
+
+    /// Draws the next arrival: time until it occurs and its kind.
+    pub fn next_arrival(&mut self) -> (SimDuration, RequestKind) {
+        let gap = SimDuration::from_secs_f64(self.interarrival.sample(&mut self.rng));
+        let idx = self
+            .rng
+            .pick_weighted(&self.weights)
+            .expect("mix weights are positive");
+        (gap, self.kinds[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_rate_matches_configuration() {
+        let cfg = DriverConfig::at_ir(40);
+        let mut d = Driver::new(cfg);
+        let n = 50_000;
+        let total: f64 = (0..n)
+            .map(|_| d.next_arrival().0.as_secs_f64())
+            .sum();
+        let rate = f64::from(n) / total;
+        let expect = cfg.arrival_rate();
+        assert!(
+            (rate - expect).abs() / expect < 0.03,
+            "rate {rate} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn mix_fractions_respected() {
+        let mut d = Driver::new(DriverConfig::at_ir(10));
+        let mut browse = 0u32;
+        let mut rmi = 0u32;
+        let n = 100_000;
+        for _ in 0..n {
+            match d.next_arrival().1 {
+                RequestKind::Browse => browse += 1,
+                RequestKind::CreateVehicle => rmi += 1,
+                _ => {}
+            }
+        }
+        let bf = f64::from(browse) / f64::from(n);
+        let rf = f64::from(rmi) / f64::from(n);
+        assert!((bf - 0.45).abs() < 0.01, "browse {bf}");
+        assert!((rf - 0.10).abs() < 0.01, "rmi {rf}");
+    }
+
+    #[test]
+    fn driver_never_emits_work_orders() {
+        // Work orders arrive via JMS, not the driver.
+        let mut d = Driver::new(DriverConfig::at_ir(5));
+        for _ in 0..10_000 {
+            assert_ne!(d.next_arrival().1, RequestKind::WorkOrder);
+        }
+    }
+
+    #[test]
+    fn same_config_same_sequence() {
+        let mut a = Driver::new(DriverConfig::at_ir(20));
+        let mut b = Driver::new(DriverConfig::at_ir(20));
+        for _ in 0..100 {
+            assert_eq!(a.next_arrival(), b.next_arrival());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! A SPECjAppServer2004-like benchmark workload: the driver, business
+//! domains, request mix, and metrics of the ISPASS 2007 characterization
+//! study — rebuilt as an open model (the original benchmark kit is
+//! proprietary; see DESIGN.md for the substitution argument).
+//!
+//! * [`Schema`] creates the dealer/manufacturing/supplier tables, sized by
+//!   injection rate per the benchmark's scaling rules.
+//! * [`Driver`] injects Purchase/Manage/Browse (web) and CreateVehicle
+//!   (RMI) requests as an open Poisson process at a constant IR.
+//! * [`build_plan`] compiles each request into a [`jas_appserver::TxPlan`]
+//!   through the container fragments; purchases enqueue JMS work orders
+//!   that drive the manufacturing domain asynchronously.
+//! * [`Metrics`] tracks per-kind throughput (Figure 2), JOPS (~1.6 x IR on
+//!   a tuned system), and the 90%-under-2s/5s pass criteria.
+//! * [`Scenario`] abstracts the benchmark application so the same SUT can
+//!   run the dealer workload ([`JasScenario`]) or the Trade6-like brokerage
+//!   ([`TradeScenario`]) the paper cross-checks GC overhead on.
+//!
+//! # Example
+//!
+//! ```
+//! use jas_workload::{Driver, DriverConfig, RequestKind};
+//!
+//! let mut driver = Driver::new(DriverConfig::at_ir(40));
+//! let (gap, kind) = driver.next_arrival();
+//! assert!(gap.as_secs_f64() >= 0.0);
+//! assert_ne!(kind, RequestKind::WorkOrder); // work orders arrive via JMS
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod domain;
+mod driver;
+mod metrics;
+mod requests;
+mod scenario;
+
+pub use domain::{InitialRows, Schema};
+pub use driver::{Driver, DriverConfig};
+pub use metrics::{Metrics, Verdict};
+pub use requests::{
+    build_plan, catalog_popularity, injection_mix, RequestKind, PATH_LENGTH_MULTIPLIER,
+};
+pub use scenario::{JasScenario, Scenario, TradeScenario, TradeSchema};

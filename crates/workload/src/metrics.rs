@@ -1,0 +1,235 @@
+//! Benchmark metrics: throughput per request type (Figure 2), JOPS, and the
+//! response-time pass criteria.
+//!
+//! The benchmark passes only if 90% of web requests complete within 2
+//! seconds and 90% of RMI requests within 5 seconds (paper Section 2).
+//! JOPS counts completed operations per second — roughly 1.6 per IR on a
+//! tuned system.
+
+use crate::requests::RequestKind;
+use jas_stats::Percentiles;
+use jas_simkernel::{SimDuration, SimTime};
+
+/// Verdict of a run against the response-time rules.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Verdict {
+    /// 90th-percentile web response time.
+    pub web_p90: f64,
+    /// 90th-percentile RMI response time.
+    pub rmi_p90: f64,
+    /// Whether both limits were met.
+    pub passed: bool,
+}
+
+/// Collects completions and response times.
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    interval: SimDuration,
+    // Per kind: completion counts per interval bin.
+    bins: Vec<Vec<u64>>,
+    totals: [u64; RequestKind::ALL.len()],
+    web_times: Vec<f64>,
+    rmi_times: Vec<f64>,
+    steady_start: SimTime,
+    steady_end: SimTime,
+    timeouts: u64,
+}
+
+impl Metrics {
+    /// Web response-time limit (seconds).
+    pub const WEB_LIMIT: f64 = 2.0;
+    /// RMI response-time limit (seconds).
+    pub const RMI_LIMIT: f64 = 5.0;
+
+    /// Creates a collector binning throughput every `interval`, counting
+    /// only completions within `[steady_start, steady_end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is zero or the window is empty.
+    #[must_use]
+    pub fn new(interval: SimDuration, steady_start: SimTime, steady_end: SimTime) -> Self {
+        assert!(!interval.is_zero(), "interval must be positive");
+        assert!(steady_end > steady_start, "empty steady-state window");
+        let window = steady_end.saturating_since(steady_start);
+        let nbins = (window.as_nanos() / interval.as_nanos()) as usize + 1;
+        Metrics {
+            interval,
+            bins: vec![vec![0; nbins]; RequestKind::ALL.len()],
+            totals: [0; RequestKind::ALL.len()],
+            web_times: Vec::new(),
+            rmi_times: Vec::new(),
+            steady_start,
+            steady_end,
+            timeouts: 0,
+        }
+    }
+
+    fn kind_index(kind: RequestKind) -> usize {
+        RequestKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind is in ALL")
+    }
+
+    /// Records a completed request.
+    pub fn record(&mut self, kind: RequestKind, issued: SimTime, completed: SimTime) {
+        if completed < self.steady_start || completed >= self.steady_end {
+            return;
+        }
+        let k = Self::kind_index(kind);
+        self.totals[k] += 1;
+        let bin =
+            (completed.saturating_since(self.steady_start).as_nanos() / self.interval.as_nanos()) as usize;
+        let last = self.bins[k].len() - 1;
+        self.bins[k][bin.min(last)] += 1;
+        let rt = completed.saturating_since(issued).as_secs_f64();
+        if kind.is_web() {
+            self.web_times.push(rt);
+            if rt > Self::WEB_LIMIT {
+                self.timeouts += 1;
+            }
+        } else if kind.is_rmi() {
+            self.rmi_times.push(rt);
+            if rt > Self::RMI_LIMIT {
+                self.timeouts += 1;
+            }
+        }
+    }
+
+    /// Completions per second of `kind`, one value per interval bin
+    /// (Figure 2's series).
+    #[must_use]
+    pub fn throughput_series(&self, kind: RequestKind) -> Vec<f64> {
+        let secs = self.interval.as_secs_f64();
+        self.bins[Self::kind_index(kind)]
+            .iter()
+            .map(|&c| c as f64 / secs)
+            .collect()
+    }
+
+    /// Total completions of `kind` in the steady window.
+    #[must_use]
+    pub fn completed(&self, kind: RequestKind) -> u64 {
+        self.totals[Self::kind_index(kind)]
+    }
+
+    /// Operations per second: all completed operations over the steady
+    /// window (the benchmark's JOPS metric).
+    #[must_use]
+    pub fn jops(&self) -> f64 {
+        let window = self.steady_end.saturating_since(self.steady_start).as_secs_f64();
+        self.totals.iter().sum::<u64>() as f64 / window
+    }
+
+    /// Evaluates the pass criteria.
+    #[must_use]
+    pub fn verdict(&self) -> Verdict {
+        let p90 = |xs: &[f64]| -> f64 {
+            Percentiles::from_iter(xs.iter().copied())
+                .quantile(0.9)
+                .unwrap_or(0.0)
+        };
+        let web_p90 = p90(&self.web_times);
+        let rmi_p90 = p90(&self.rmi_times);
+        Verdict {
+            web_p90,
+            rmi_p90,
+            passed: web_p90 <= Self::WEB_LIMIT && rmi_p90 <= Self::RMI_LIMIT,
+        }
+    }
+
+    /// Requests that individually exceeded their limit.
+    #[must_use]
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> Metrics {
+        Metrics::new(
+            SimDuration::from_secs(10),
+            SimTime::from_secs(100),
+            SimTime::from_secs(200),
+        )
+    }
+
+    #[test]
+    fn completions_outside_window_ignored() {
+        let mut m = metrics();
+        m.record(RequestKind::Browse, SimTime::from_secs(50), SimTime::from_secs(51));
+        m.record(RequestKind::Browse, SimTime::from_secs(250), SimTime::from_secs(251));
+        assert_eq!(m.completed(RequestKind::Browse), 0);
+    }
+
+    #[test]
+    fn throughput_series_bins_by_interval() {
+        let mut m = metrics();
+        // Two completions in the first bin, one in the second.
+        m.record(RequestKind::Purchase, SimTime::from_secs(100), SimTime::from_secs(101));
+        m.record(RequestKind::Purchase, SimTime::from_secs(100), SimTime::from_secs(105));
+        m.record(RequestKind::Purchase, SimTime::from_secs(110), SimTime::from_secs(112));
+        let s = m.throughput_series(RequestKind::Purchase);
+        assert!((s[0] - 0.2).abs() < 1e-9);
+        assert!((s[1] - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn verdict_passes_fast_responses() {
+        let mut m = metrics();
+        for i in 0..100u64 {
+            let t = SimTime::from_secs(100) + SimDuration::from_millis(i * 500);
+            m.record(RequestKind::Browse, t, t + SimDuration::from_millis(300));
+        }
+        let v = m.verdict();
+        assert!(v.passed);
+        assert!((v.web_p90 - 0.3).abs() < 1e-6);
+        assert_eq!(m.timeouts(), 0);
+    }
+
+    #[test]
+    fn verdict_fails_when_p90_exceeds_limit() {
+        let mut m = metrics();
+        for i in 0..100u64 {
+            let t = SimTime::from_secs(100) + SimDuration::from_millis(i * 100);
+            // 20% of requests take 3 seconds: p90 > 2 s.
+            let rt = if i % 5 == 0 {
+                SimDuration::from_secs(3)
+            } else {
+                SimDuration::from_millis(200)
+            };
+            m.record(RequestKind::Manage, t, t + rt);
+        }
+        let v = m.verdict();
+        assert!(!v.passed);
+        assert!(v.web_p90 > 2.0);
+        assert_eq!(m.timeouts(), 20);
+    }
+
+    #[test]
+    fn rmi_has_looser_limit() {
+        let mut m = metrics();
+        for i in 0..50u64 {
+            let t = SimTime::from_secs(100) + SimDuration::from_millis(i * 100);
+            m.record(RequestKind::CreateVehicle, t, t + SimDuration::from_secs(4));
+        }
+        let v = m.verdict();
+        assert!(v.passed, "4s RMI responses are within the 5s limit");
+        assert!((v.rmi_p90 - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jops_counts_all_kinds() {
+        let mut m = metrics();
+        for kind in RequestKind::ALL {
+            let t = SimTime::from_secs(150);
+            m.record(kind, t, t + SimDuration::from_millis(10));
+        }
+        // 5 completions over a 100-second window.
+        assert!((m.jops() - 0.05).abs() < 1e-9);
+    }
+}

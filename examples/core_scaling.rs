@@ -1,0 +1,60 @@
+//! Processor-count scaling (the paper's Section 7: "An evaluation of the
+//! effects of scaling the number of processors on performance will be
+//! interesting as the industry moves to designs with many processor
+//! cores").
+//!
+//! Sweeps 2/4/8 cores (1/2/4 MCMs of one 2-core chip each) at a fixed
+//! injection rate per core, reporting throughput, CPI, and where L1 misses
+//! are satisfied — more MCMs mean more remote (L2.75/L3.5) traffic.
+//!
+//! ```sh
+//! cargo run --release --example core_scaling
+//! ```
+
+use jas2004::{figures, run_experiment, RunPlan, SutConfig};
+use jas_cpu::Topology;
+use jas_simkernel::SimDuration;
+
+fn main() {
+    let plan = RunPlan {
+        ramp_up: SimDuration::from_secs(10),
+        steady: SimDuration::from_secs(60),
+        hpm_period: SimDuration::from_millis(500),
+        throughput_bin: SimDuration::from_secs(10),
+    };
+    println!("Core scaling at IR = 10 x cores (constant load per core)");
+    println!("  cores  MCMs  busy%   JOPS  JOPS/core   CPI  remote L2/L3 share");
+    for mcms in [1usize, 2, 4] {
+        let topology = Topology {
+            mcms,
+            chips_per_mcm: 1,
+            cores_per_chip: 2,
+        };
+        let cores = topology.cores();
+        let mut cfg = SutConfig::at_ir(10 * cores as u32);
+        cfg.machine.topology = topology;
+        let art = run_experiment(cfg, plan);
+        let t = figures::utilization_table(&art);
+        let f5 = figures::fig5_cpi(&art);
+        let f9 = figures::fig9_data_from(&art);
+        let remote: f64 = f9
+            .fractions
+            .iter()
+            .filter(|(n, _)| n.starts_with("L2.") || *n == "L3.5")
+            .map(|(_, v)| v)
+            .sum();
+        println!(
+            "  {:>4}  {:>4}  {:>4.0}  {:>6.1}  {:>8.1}  {:>5.2}  {:>6.1}%",
+            cores,
+            mcms,
+            (t.user + t.system) * 100.0,
+            t.jops,
+            t.jops / cores as f64,
+            f5.cpi,
+            remote * 100.0
+        );
+    }
+    println!();
+    println!("Expect: near-constant JOPS/core and CPI with per-core load held");
+    println!("fixed, with remote-hierarchy traffic growing as MCMs are added.");
+}

@@ -1,0 +1,43 @@
+//! Injection-rate sweep: throughput, utilization, and the response-time
+//! knee.
+//!
+//! Reproduces the paper's high-level load observations: ~90% CPU at IR40,
+//! saturation near IR47, ~1.6 JOPS per IR, and open-loop overload failing
+//! the 90%-under-2s/5s run rules rather than throttling.
+//!
+//! ```sh
+//! cargo run --release --example ir_sweep
+//! ```
+
+use jas2004::{figures, run_experiment, RunPlan, SutConfig};
+use jas_simkernel::SimDuration;
+
+fn main() {
+    let plan = RunPlan {
+        ramp_up: SimDuration::from_secs(10),
+        steady: SimDuration::from_secs(60),
+        hpm_period: SimDuration::from_millis(500),
+        throughput_bin: SimDuration::from_secs(10),
+    };
+    println!("IR sweep (steady {}s per point)", plan.steady.as_secs_f64());
+    println!("  IR  busy%  user/sys   JOPS  JOPS/IR  web p90   rmi p90   verdict");
+    for ir in [10, 20, 30, 40, 47, 55, 65] {
+        let art = run_experiment(SutConfig::at_ir(ir), plan);
+        let t = figures::utilization_table(&art);
+        println!(
+            "  {:>2}  {:>4.0}   {:>3.0}/{:<3.0}  {:>6.1}  {:>6.2}  {:>7.2}s  {:>7.2}s  {}",
+            ir,
+            (t.user + t.system) * 100.0,
+            t.user * 100.0,
+            t.system * 100.0,
+            t.jops,
+            t.jops_per_ir,
+            t.web_p90,
+            t.rmi_p90,
+            if t.passed { "PASSED" } else { "FAILED" }
+        );
+    }
+    println!();
+    println!("Expect: near-linear JOPS up to saturation (~IR47), ~1.6 JOPS/IR,");
+    println!("then response-time failure under overload (open-loop driver).");
+}

@@ -1,0 +1,43 @@
+//! Quickstart: run the tuned baseline (IR 40, RAM disk, large pages) and
+//! print every figure of the paper.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use jas2004::{figures, report, run_experiment, RunPlan, SutConfig};
+
+fn main() {
+    let cfg = SutConfig::at_ir(40);
+    let plan = RunPlan::default();
+    eprintln!(
+        "running IR{} for {:.0}s steady state (ramp-up {:.0}s)...",
+        cfg.ir,
+        plan.steady.as_secs_f64(),
+        plan.ramp_up.as_secs_f64()
+    );
+    let art = run_experiment(cfg, plan);
+
+    print!("{}", report::render_fig2(&figures::fig2_throughput(&art)));
+    print!("{}", report::render_fig3(&figures::fig3_gc(&art)));
+    print!("{}", report::render_fig4(&figures::fig4_profile(&art)));
+    print!("{}", report::render_fig5(&figures::fig5_cpi(&art)));
+    print!("{}", report::render_fig6(&figures::fig6_branch(&art)));
+    print!("{}", report::render_fig7(&figures::fig7_tlb(&art)));
+    print!("{}", report::render_fig8(&figures::fig8_l1d(&art)));
+    print!("{}", report::render_fig9(&figures::fig9_data_from(&art)));
+    print!("{}", report::render_fig10(&figures::fig10_correlation(&art)));
+    print!("{}", report::render_locking(&figures::locking_table(&art)));
+    print!("{}", report::render_utilization(&figures::utilization_table(&art)));
+    println!("verbose:gc (first collections)");
+    for line in art.gc_log_text.lines().take(3) {
+        println!("  {line}");
+    }
+    println!(
+        "completed {} requests ({} aborted); JIT'd {:.1} MB across {} compilations",
+        art.completed,
+        art.aborted,
+        art.jit_code_bytes as f64 / 1e6,
+        art.jit_compilations
+    );
+}

@@ -1,0 +1,63 @@
+//! The Trade6-like second workload (paper Section 6: "In a separate study,
+//! we observed a similar small GC runtime overhead with Trade6, another
+//! J2EE workload").
+//!
+//! Runs the jAppServer-like and Trade-like scenarios on the same SUT and
+//! compares GC behaviour, CPI, and the profile shape.
+//!
+//! ```sh
+//! cargo run --release --example trade_workload
+//! ```
+
+use jas2004::{figures, Engine, RunPlan, ScenarioKind, SutConfig};
+use jas_simkernel::SimDuration;
+use jas_workload::RequestKind;
+
+fn main() {
+    let plan = RunPlan {
+        ramp_up: SimDuration::from_secs(10),
+        steady: SimDuration::from_secs(90),
+        hpm_period: SimDuration::from_millis(500),
+        throughput_bin: SimDuration::from_secs(10),
+    };
+    for scenario in [ScenarioKind::JAppServer, ScenarioKind::TradeLike] {
+        let mut cfg = SutConfig::at_ir(40);
+        cfg.scenario = scenario;
+        let mut engine = Engine::new(cfg.clone(), plan);
+        println!("=== {} ===", engine.scenario_name());
+        print!("  request slots:");
+        for kind in RequestKind::ALL {
+            print!(" {}", engine.scenario_label(kind));
+        }
+        println!();
+        engine.run_to_end();
+        let gc = engine.vgc().summarize(plan.steady_start(), plan.end());
+        match gc {
+            Some(s) => println!(
+                "  GC: every {:.1}s, pause {:.0}ms, {:.2}% of runtime, mark {:.0}%",
+                s.mean_interval_s,
+                s.mean_pause_ms,
+                s.runtime_fraction * 100.0,
+                s.mark_fraction * 100.0
+            ),
+            None => println!("  GC: fewer than two collections in the window"),
+        }
+        let counters = engine.steady_counters();
+        println!(
+            "  CPI {:.2}   completed {} requests   JOPS {:.1}",
+            counters.cpi().unwrap_or(0.0),
+            engine.completed_requests(),
+            engine.metrics().jops()
+        );
+        let art = jas2004::experiment::run_artifacts_from(cfg, plan, engine);
+        let f4 = figures::fig4_profile(&art);
+        println!(
+            "  application code {:.1}%   hottest method {:.2}% of JITed time",
+            f4.application_share * 100.0,
+            f4.flatness.hottest_share * 100.0
+        );
+        println!();
+    }
+    println!("Expect: both workloads show GC well under a few percent of runtime");
+    println!("(the paper's point that small GC overhead is not jas2004-specific).");
+}

@@ -1,0 +1,78 @@
+//! Bit-reproducibility: the whole coupled simulation is deterministic for
+//! a given seed — the property that makes the figure-band tests meaningful.
+
+use jas2004::{Engine, RunPlan, SutConfig};
+use jas_cpu::HpmEvent;
+use jas_simkernel::SimDuration;
+
+fn plan() -> RunPlan {
+    RunPlan {
+        ramp_up: SimDuration::from_secs(5),
+        steady: SimDuration::from_secs(30),
+        hpm_period: SimDuration::from_millis(500),
+        throughput_bin: SimDuration::from_secs(5),
+    }
+}
+
+fn cfg(seed: u64) -> SutConfig {
+    let mut c = SutConfig::at_ir(15);
+    c.machine.frequency_hz = 500_000.0;
+    c.seed = seed;
+    c
+}
+
+#[test]
+fn identical_seeds_produce_identical_runs() {
+    let mut a = Engine::new(cfg(1), plan());
+    let mut b = Engine::new(cfg(1), plan());
+    a.run_to_end();
+    b.run_to_end();
+    let ca = a.machine().total_counters();
+    let cb = b.machine().total_counters();
+    for e in HpmEvent::ALL {
+        assert_eq!(ca.get(e), cb.get(e), "counter {e} diverged");
+    }
+    assert_eq!(a.completed_requests(), b.completed_requests());
+    assert_eq!(a.aborted_requests(), b.aborted_requests());
+    assert_eq!(a.jvm().gc_count(), b.jvm().gc_count());
+    assert_eq!(a.vgc().render(), b.vgc().render());
+    assert_eq!(a.metrics().jops(), b.metrics().jops());
+}
+
+#[test]
+fn different_seeds_produce_different_runs() {
+    let mut a = Engine::new(cfg(1), plan());
+    let mut b = Engine::new(cfg(2), plan());
+    a.run_to_end();
+    b.run_to_end();
+    assert_ne!(
+        a.machine().total_counters().get(HpmEvent::Cycles),
+        b.machine().total_counters().get(HpmEvent::Cycles),
+        "different seeds should not coincide"
+    );
+}
+
+#[test]
+fn per_core_counters_sum_to_total() {
+    let mut e = Engine::new(cfg(3), plan());
+    e.run_to_end();
+    let total = e.machine().total_counters();
+    let mut sum = 0u64;
+    for core in 0..e.machine().cores() {
+        sum += e.machine().counters(core).get(HpmEvent::InstCompleted);
+    }
+    assert_eq!(sum, total.get(HpmEvent::InstCompleted));
+}
+
+#[test]
+fn steady_counters_are_a_suffix_of_totals() {
+    let mut e = Engine::new(cfg(4), plan());
+    e.run_to_end();
+    let steady = e.steady_counters();
+    let total = e.machine().total_counters();
+    for ev in HpmEvent::ALL {
+        assert!(steady.get(ev) <= total.get(ev), "{ev} steady > total");
+    }
+    // Ramp-up did real work, so the steady window is a strict subset.
+    assert!(steady.get(HpmEvent::Cycles) < total.get(HpmEvent::Cycles));
+}

@@ -1,0 +1,123 @@
+//! Integration tests for the future-work extensions: the Trade-like second
+//! workload, the generational collector, processor scaling, and vertical
+//! profiling across tool layers.
+
+use jas2004::{run_experiment, Engine, RunPlan, ScenarioKind, SutConfig};
+use jas_cpu::{HpmEvent, Topology};
+use jas_hpm::VerticalProfiler;
+use jas_simkernel::{SimDuration, SimTime};
+use jas_workload::RequestKind;
+
+fn plan() -> RunPlan {
+    RunPlan {
+        ramp_up: SimDuration::from_secs(10),
+        steady: SimDuration::from_secs(60),
+        hpm_period: SimDuration::from_millis(500),
+        throughput_bin: SimDuration::from_secs(10),
+    }
+}
+
+#[test]
+fn trade_workload_also_has_small_gc_overhead() {
+    // Paper Section 6: "we observed a similar small GC runtime overhead
+    // with Trade6, another J2EE workload".
+    let mut cfg = SutConfig::at_ir(40);
+    cfg.scenario = ScenarioKind::TradeLike;
+    let art = run_experiment(cfg, plan());
+    let s = art.gc_summary.expect("GCs happened");
+    assert!(s.runtime_fraction < 0.03, "GC fraction {}", s.runtime_fraction);
+    assert!(art.jops > 40.0, "trade workload must flow, jops {}", art.jops);
+    // Flat profile holds on the second workload too.
+    assert!(art.flatness.hottest_share < 0.03);
+}
+
+#[test]
+fn trade_scenario_labels_differ_but_slots_match() {
+    let mut cfg = SutConfig::at_ir(10);
+    cfg.scenario = ScenarioKind::TradeLike;
+    let engine = Engine::new(cfg, plan());
+    assert_eq!(engine.scenario_name(), "Trade6-like brokerage");
+    assert_eq!(engine.scenario_label(RequestKind::Purchase), "Buy");
+    assert_eq!(engine.scenario_label(RequestKind::WorkOrder), "Settlement");
+}
+
+#[test]
+fn generational_mode_trades_pause_for_frequency() {
+    let flat = run_experiment(SutConfig::at_ir(40), plan());
+    let mut cfg = SutConfig::at_ir(40);
+    cfg.jvm.minor_every_bytes = Some(4 << 20);
+    let generational = run_experiment(cfg, plan());
+    let sf = flat.gc_summary.expect("flat GCs");
+    let sg = generational.gc_summary.expect("generational GCs");
+    assert!(
+        sg.mean_pause_ms < sf.mean_pause_ms / 2.0,
+        "minor pauses must be much shorter: {} vs {}",
+        sg.mean_pause_ms,
+        sf.mean_pause_ms
+    );
+    assert!(
+        sg.collections > sf.collections * 3,
+        "scavenges must be frequent: {} vs {}",
+        sg.collections,
+        sf.collections
+    );
+    // Scavenges appear in the verbose-GC log by type.
+    assert!(generational.gc_log_text.contains("type=\"scavenge\""));
+    assert!(!flat.gc_log_text.contains("type=\"scavenge\""));
+}
+
+#[test]
+fn doubling_cores_roughly_doubles_capacity() {
+    let small = run_experiment(SutConfig::at_ir(20), plan());
+    let mut cfg = SutConfig::at_ir(40);
+    cfg.machine.topology = Topology {
+        mcms: 4,
+        chips_per_mcm: 1,
+        cores_per_chip: 2,
+    };
+    let big = run_experiment(cfg, plan());
+    let ratio = big.jops / small.jops;
+    assert!(
+        (1.5..=2.6).contains(&ratio),
+        "8 cores at IR40 vs 4 cores at IR20 should ~2x JOPS, got {ratio:.2}"
+    );
+}
+
+#[test]
+fn vertical_profiler_ties_gc_to_hardware_phases() {
+    let mut cfg = SutConfig::at_ir(40);
+    // Strengthen the GC phase signal for a short window.
+    cfg.jvm.heap.capacity = 24 << 20;
+    cfg.jvm.live_target = 6 << 20;
+    let mut engine = Engine::new(cfg, plan());
+    engine.run_to_end();
+    assert!(engine.jvm().gc_count() >= 3);
+
+    let period = plan().hpm_period;
+    let mut v = VerticalProfiler::new(period);
+    // Hardware layer: branch counts per sample.
+    v.add_series(
+        "branches",
+        engine.hpm().series(HpmEvent::Branches).to_vec(),
+    );
+    v.add_series(
+        "itlb_misses",
+        engine.hpm().series(HpmEvent::ItlbMiss).to_vec(),
+    );
+    // JVM layer: GC start events.
+    let gc_times: Vec<SimTime> = engine.vgc().entries().iter().map(|e| e.at).collect();
+    v.add_events("gc", &gc_times, plan().end());
+
+    // The paper's Figure 6/7 observations, recovered *across tool layers*:
+    // GC windows have more branches and far fewer ITLB misses.
+    let gc_vs_branches = v.correlate("gc", "branches").expect("defined");
+    let gc_vs_itlb = v.correlate("gc", "itlb_misses").expect("defined");
+    assert!(
+        gc_vs_branches > 0.0,
+        "GC should coincide with more branches, r={gc_vs_branches}"
+    );
+    assert!(
+        gc_vs_itlb < 0.0,
+        "GC should coincide with fewer ITLB misses, r={gc_vs_itlb}"
+    );
+}

@@ -1,0 +1,210 @@
+//! Integration tests asserting that every figure of the paper comes out of
+//! one standard run with the paper's *shape*: orderings, rough factors,
+//! and crossovers. Absolute cycle counts are not asserted — the substrate
+//! is a model, not the authors' testbed (see DESIGN.md).
+
+use jas2004::{figures, run_experiment, RunArtifacts, RunPlan, SutConfig};
+use jas_simkernel::SimDuration;
+use std::sync::OnceLock;
+
+/// One shared baseline run (IR 40, tuned system) reused by all assertions.
+fn baseline() -> &'static RunArtifacts {
+    static RUN: OnceLock<RunArtifacts> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let plan = RunPlan {
+            ramp_up: SimDuration::from_secs(15),
+            steady: SimDuration::from_secs(120),
+            hpm_period: SimDuration::from_millis(500),
+            throughput_bin: SimDuration::from_secs(10),
+        };
+        run_experiment(SutConfig::at_ir(40), plan)
+    })
+}
+
+#[test]
+fn fig2_throughput_stabilizes_and_jops_tracks_ir() {
+    let f = figures::fig2_throughput(baseline());
+    // Every request type flows, and rates are steady (the paper's point).
+    for (kind, cv) in &f.stability_cv {
+        assert!(*cv < 0.6, "{kind:?} throughput unstable, cv={cv}");
+    }
+    for (kind, series) in &f.series {
+        let total: f64 = series.iter().sum();
+        assert!(total > 0.0, "{kind:?} saw no completions");
+    }
+    // Paper: ~1.6 JOPS per IR on a tuned system.
+    assert!(
+        (1.2..=2.2).contains(&f.jops_per_ir),
+        "JOPS/IR {} outside band",
+        f.jops_per_ir
+    );
+}
+
+#[test]
+fn fig3_gc_is_periodic_short_and_mark_dominated() {
+    let f = figures::fig3_gc(baseline());
+    let s = f.summary.expect("at least two GCs in the window");
+    // Paper: GCs every 25-28 s, 300-400 ms pauses, ~1.3% of runtime,
+    // mark > 80% of the pause, no compaction.
+    assert!(
+        (15.0..=40.0).contains(&s.mean_interval_s),
+        "GC interval {} s",
+        s.mean_interval_s
+    );
+    assert!(
+        (150.0..=700.0).contains(&s.mean_pause_ms),
+        "GC pause {} ms",
+        s.mean_pause_ms
+    );
+    assert!(s.runtime_fraction < 0.04, "GC runtime {}", s.runtime_fraction);
+    assert!(s.mark_fraction > 0.6, "mark fraction {}", s.mark_fraction);
+    assert_eq!(s.compactions, 0, "healthy heap must not compact");
+}
+
+#[test]
+fn fig4_profile_is_flat_with_thin_application_slice() {
+    let f = figures::fig4_profile(baseline());
+    // Paper: ~2% of CPU in the benchmark's own code.
+    assert!(
+        f.application_share < 0.05,
+        "application share {}",
+        f.application_share
+    );
+    // Flat profile: hottest method well under a few percent of JIT'd time.
+    assert!(
+        f.flatness.hottest_share < 0.03,
+        "hottest method {}",
+        f.flatness.hottest_share
+    );
+    assert!(f.flatness.methods_for_half > 50, "profile too peaked");
+    // Shares sum to 1.
+    let total: f64 = f.breakdown.iter().map(|(_, s)| s).sum();
+    assert!((total - 1.0).abs() < 1e-6);
+    // Roughly half the time in JIT-compiled code (paper Section 4.1.2).
+    assert!((0.3..=0.7).contains(&f.jitted_share), "jitted {}", f.jitted_share);
+}
+
+#[test]
+fn fig5_cpi_and_speculation_in_paper_band() {
+    let f = figures::fig5_cpi(baseline());
+    // Paper: CPI ~3 on the loaded system; ~2.2-2.5 dispatched/completed.
+    assert!((2.2..=5.0).contains(&f.cpi), "CPI {}", f.cpi);
+    assert!((1.7..=2.8).contains(&f.speculation), "speculation {}", f.speculation);
+    assert!(!f.cpi_series.is_empty());
+}
+
+#[test]
+fn fig6_branch_mispredictions_in_paper_band() {
+    let f = figures::fig6_branch(baseline());
+    // Paper: ~6% conditional, ~5% indirect-target.
+    assert!(
+        (0.04..=0.10).contains(&f.cond_mispredict_rate),
+        "cond {}",
+        f.cond_mispredict_rate
+    );
+    assert!(
+        (0.03..=0.09).contains(&f.target_mispredict_rate),
+        "target {}",
+        f.target_mispredict_rate
+    );
+}
+
+#[test]
+fn fig7_translation_orderings_hold() {
+    let f = figures::fig7_tlb(baseline());
+    // Paper's Figure 7 ordering: ERATs above TLBs.
+    assert!(f.derat_per_instr > f.dtlb_per_instr, "DERAT above DTLB");
+    assert!(f.ierat_per_instr > f.itlb_per_instr, "IERAT above ITLB");
+    // Paper: > 100 instructions between DERAT misses.
+    assert!(
+        f.instr_between_derat > 100.0,
+        "DERAT spacing {}",
+        f.instr_between_derat
+    );
+    // Paper: TLB satisfies ~75% of (D)ERAT misses.
+    assert!(
+        (0.45..=0.95).contains(&f.tlb_satisfaction),
+        "TLB satisfaction {}",
+        f.tlb_satisfaction
+    );
+    assert!(!f.dtlb_series_smooth.is_empty());
+}
+
+#[test]
+fn fig8_l1d_miss_rates_and_memory_mix() {
+    let f = figures::fig8_l1d(baseline());
+    // Paper: load miss ~1/12, store miss ~1/5, ~14% overall; stores miss
+    // more often than loads on the write-through no-allocate L1.
+    assert!((0.05..=0.22).contains(&f.load_miss_rate), "load {}", f.load_miss_rate);
+    assert!((0.12..=0.35).contains(&f.store_miss_rate), "store {}", f.store_miss_rate);
+    assert!(
+        f.store_miss_rate > f.load_miss_rate,
+        "stores must miss more than loads"
+    );
+    // Paper: 3.2 instructions per load, 4.5 per store, ~2 per L1 reference.
+    assert!((2.9..=3.6).contains(&f.instr_per_load), "instr/load {}", f.instr_per_load);
+    assert!((4.0..=5.1).contains(&f.instr_per_store), "instr/store {}", f.instr_per_store);
+    assert!((1.6..=2.3).contains(&f.instr_per_ref), "instr/ref {}", f.instr_per_ref);
+}
+
+#[test]
+fn fig9_data_sources_match_paper_shape() {
+    let f = figures::fig9_data_from(baseline());
+    // Paper: ~75% of L1 misses satisfied by the L2; very little modified
+    // cache-to-cache traffic; no L2.5 possible on this topology.
+    assert!((0.5..=0.9).contains(&f.l2_fraction), "L2 fraction {}", f.l2_fraction);
+    assert!(f.modified_fraction < 0.05, "modified {}", f.modified_fraction);
+    let by_name: std::collections::HashMap<&str, f64> = f.fractions.iter().copied().collect();
+    assert_eq!(by_name["L2.5 shared"], 0.0, "one live L2 per MCM → no L2.5");
+    assert_eq!(by_name["L2.5 modified"], 0.0);
+    assert!(by_name["L3"] > by_name["Memory"] / 3.0, "L3 supplies a sizeable share");
+    let total: f64 = f.fractions.iter().map(|(_, v)| v).sum();
+    assert!((total - 1.0).abs() < 1e-6);
+}
+
+#[test]
+fn fig10_correlation_signs_match_paper() {
+    let f = figures::fig10_correlation(baseline());
+    let by_name: std::collections::HashMap<&str, f64> =
+        f.correlations.iter().copied().collect();
+    // Branch-condition mispredictions are strongly positively correlated.
+    assert!(
+        by_name["Branch cond. mispred."] > 0.2,
+        "cond corr {}",
+        by_name["Branch cond. mispred."]
+    );
+    // Instruction fetches from deep in the hierarchy correlate positively.
+    assert!(by_name["Instr. from memory"] > 0.0);
+    // Speculation rate is NOT strongly coupled to the L1 (paper: r ~ 0.1).
+    let s = f.speculation_vs_l1.expect("defined");
+    assert!(s.abs() < 0.85, "speculation vs L1 too strong: {s}");
+    // Branch count is not meaningfully correlated with target mispredicts
+    // (paper: -0.07).
+    let b = f.branches_vs_target_mispred.expect("defined");
+    assert!(b.abs() < 0.7, "branches vs TA {b}");
+    assert_eq!(f.correlations.len(), figures::FIG10_EVENTS.len());
+}
+
+#[test]
+fn locking_table_matches_paper() {
+    let t = figures::locking_table(baseline());
+    // Paper: a LARX every ~600 instructions; ~3% of instructions acquiring
+    // locks; SYNC in the SRQ < a few percent of cycles at user level;
+    // little contention.
+    assert!((400.0..=900.0).contains(&t.instr_per_larx), "larx {}", t.instr_per_larx);
+    assert!((0.02..=0.05).contains(&t.lock_acquisition_fraction));
+    assert!(t.sync_srq_cycle_fraction < 0.03, "srq {}", t.sync_srq_cycle_fraction);
+    assert!(t.monitor_contention < 0.10, "contention {}", t.monitor_contention);
+    assert!(t.stcx_fail_rate < 0.10);
+}
+
+#[test]
+fn utilization_table_passes_run_rules_at_ir40() {
+    let t = figures::utilization_table(baseline());
+    // Paper: ~90% load at IR40 with an ~80/20 user/system split, near-zero
+    // I/O wait on the RAM disk, and the run passes response times.
+    assert!(t.user + t.system > 0.6, "busy {}", t.user + t.system);
+    assert!(t.user > t.system * 2.0, "user dominates system");
+    assert!(t.iowait < 0.1, "iowait {}", t.iowait);
+    assert!(t.passed, "web p90 {} rmi p90 {}", t.web_p90, t.rmi_p90);
+}

@@ -1,0 +1,93 @@
+//! High-level system behaviour: steady state, saturation and failure under
+//! overload, and the RAM-disk vs hard-disk distinction (paper Sections 3.1
+//! and 4.1).
+
+use jas2004::{figures, run_experiment, Engine, RunPlan, SutConfig};
+use jas_db::DeviceKind;
+use jas_simkernel::SimDuration;
+
+fn short_plan() -> RunPlan {
+    RunPlan {
+        ramp_up: SimDuration::from_secs(10),
+        steady: SimDuration::from_secs(60),
+        hpm_period: SimDuration::from_millis(500),
+        throughput_bin: SimDuration::from_secs(10),
+    }
+}
+
+#[test]
+fn light_load_is_underutilized_and_passes() {
+    let art = run_experiment(SutConfig::at_ir(10), short_plan());
+    let t = figures::utilization_table(&art);
+    assert!(t.user + t.system < 0.6, "IR10 should not saturate, busy {}", t.user + t.system);
+    assert!(t.passed, "light load must pass response times");
+    assert!((1.2..=2.2).contains(&t.jops_per_ir), "jops/ir {}", t.jops_per_ir);
+}
+
+#[test]
+fn overload_fails_response_times_not_throughput_metricization() {
+    // Well past the knee: the open-loop driver keeps injecting, queues
+    // build, and the run fails on response time exactly as the paper
+    // describes for untuned/overloaded configurations.
+    let art = run_experiment(SutConfig::at_ir(70), short_plan());
+    let t = figures::utilization_table(&art);
+    assert!(t.user + t.system > 0.9, "IR70 must saturate, busy {}", t.user + t.system);
+    assert!(!t.passed, "overload must fail the 90% response-time rules");
+    assert!(t.web_p90 > 2.0);
+}
+
+#[test]
+fn jops_scales_roughly_linearly_below_saturation() {
+    let j20 = run_experiment(SutConfig::at_ir(20), short_plan()).jops;
+    let j40 = run_experiment(SutConfig::at_ir(40), short_plan()).jops;
+    let ratio = j40 / j20;
+    assert!(
+        (1.6..=2.4).contains(&ratio),
+        "JOPS should ~double from IR20 to IR40, got x{ratio:.2}"
+    );
+}
+
+#[test]
+fn two_hard_disks_drown_in_io_wait() {
+    // Paper Section 4.1: with two disks the I/O wait grows dramatically
+    // (an idle CPU with an outstanding I/O request) and response times
+    // blow up; the RAM disk reaches ~0% I/O wait. I/O wait is visible at a
+    // load level where the CPU itself is not the bottleneck.
+    let mut cfg = SutConfig::at_ir(20);
+    cfg.db.device = DeviceKind::HardDisk { spindles: 2 };
+    // A small buffer pool forces the device to matter.
+    cfg.db.pool_pages = 128;
+    let disk = run_experiment(cfg, short_plan());
+    let mut ram_cfg = SutConfig::at_ir(20);
+    ram_cfg.db.pool_pages = 128;
+    let ram = run_experiment(ram_cfg, short_plan());
+    let ut_disk = figures::utilization_table(&disk);
+    let ut_ram = figures::utilization_table(&ram);
+    assert!(
+        ut_disk.iowait > ut_ram.iowait * 3.0 + 0.02,
+        "2-disk iowait {} vs ram {}",
+        ut_disk.iowait,
+        ut_ram.iowait
+    );
+    assert!(
+        ut_disk.web_p90 > ut_ram.web_p90 * 1.5,
+        "disk response times must degrade: {} vs {}",
+        ut_disk.web_p90,
+        ut_ram.web_p90
+    );
+}
+
+#[test]
+fn steady_state_reached_quickly() {
+    // The paper: profiles stabilize within ~5 minutes; our scaled run
+    // should show stable per-bin throughput right after ramp-up.
+    let mut engine = Engine::new(SutConfig::at_ir(30), short_plan());
+    engine.run_to_end();
+    let series = engine.metrics().throughput_series(jas_workload::RequestKind::Browse);
+    assert!(series.len() >= 5);
+    let first_half: f64 = series[..series.len() / 2].iter().sum::<f64>() / (series.len() / 2) as f64;
+    let second_half: f64 =
+        series[series.len() / 2..].iter().sum::<f64>() / (series.len() - series.len() / 2) as f64;
+    let drift = (second_half - first_half).abs() / first_half.max(1e-9);
+    assert!(drift < 0.35, "throughput drift {drift}");
+}
