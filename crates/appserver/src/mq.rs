@@ -90,7 +90,10 @@ impl Broker {
     /// Panics if the queue does not exist.
     #[must_use]
     pub fn depth(&self, queue: QueueId) -> usize {
-        self.queues.get(queue.0 as usize).expect("unknown queue").len()
+        self.queues
+            .get(queue.0 as usize)
+            .expect("unknown queue")
+            .len()
     }
 
     /// Statistics so far.
@@ -108,8 +111,20 @@ mod tests {
     fn fifo_order() {
         let mut b = Broker::new();
         let q = b.declare_queue();
-        b.send(q, Message { correlation: 1, payload_bytes: 100 });
-        b.send(q, Message { correlation: 2, payload_bytes: 100 });
+        b.send(
+            q,
+            Message {
+                correlation: 1,
+                payload_bytes: 100,
+            },
+        );
+        b.send(
+            q,
+            Message {
+                correlation: 2,
+                payload_bytes: 100,
+            },
+        );
         assert_eq!(b.receive(q).unwrap().correlation, 1);
         assert_eq!(b.receive(q).unwrap().correlation, 2);
         assert_eq!(b.receive(q), None);
@@ -120,7 +135,13 @@ mod tests {
         let mut b = Broker::new();
         let q1 = b.declare_queue();
         let q2 = b.declare_queue();
-        b.send(q1, Message { correlation: 1, payload_bytes: 10 });
+        b.send(
+            q1,
+            Message {
+                correlation: 1,
+                payload_bytes: 10,
+            },
+        );
         assert_eq!(b.depth(q1), 1);
         assert_eq!(b.depth(q2), 0);
         assert_eq!(b.receive(q2), None);
@@ -131,7 +152,13 @@ mod tests {
         let mut b = Broker::new();
         let q = b.declare_queue();
         for i in 0..5 {
-            b.send(q, Message { correlation: i, payload_bytes: 10 });
+            b.send(
+                q,
+                Message {
+                    correlation: i,
+                    payload_bytes: 10,
+                },
+            );
         }
         b.receive(q);
         let s = b.stats();
@@ -144,6 +171,12 @@ mod tests {
     #[should_panic(expected = "unknown queue")]
     fn unknown_queue_panics() {
         let mut b = Broker::new();
-        b.send(QueueId(3), Message { correlation: 0, payload_bytes: 0 });
+        b.send(
+            QueueId(3),
+            Message {
+                correlation: 0,
+                payload_bytes: 0,
+            },
+        );
     }
 }

@@ -97,7 +97,10 @@ impl TxPlan {
     /// Number of `Db` steps.
     #[must_use]
     pub fn db_steps(&self) -> usize {
-        self.steps.iter().filter(|s| matches!(s, PlanStep::Db { .. })).count()
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, PlanStep::Db { .. }))
+            .count()
     }
 }
 

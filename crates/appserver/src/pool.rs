@@ -106,7 +106,11 @@ impl BoundedPool {
     ///
     /// Panics if the pool has no resources outstanding.
     pub fn release(&mut self) -> Option<u64> {
-        assert!(self.in_use > 0, "pool {} released more than acquired", self.name);
+        assert!(
+            self.in_use > 0,
+            "pool {} released more than acquired",
+            self.name
+        );
         match self.waiters.pop_front() {
             Some(token) => Some(token), // resource passes straight through
             None => {

@@ -150,7 +150,13 @@ mod tests {
     fn work_order_queue_round_trips() {
         let mut s = AppServer::new(AppServerConfig::default());
         let q = s.work_order_queue();
-        s.broker_mut().send(q, Message { correlation: 7, payload_bytes: 256 });
+        s.broker_mut().send(
+            q,
+            Message {
+                correlation: 7,
+                payload_bytes: 256,
+            },
+        );
         assert_eq!(s.broker().depth(q), 1);
         assert_eq!(s.broker_mut().receive(q).unwrap().correlation, 7);
     }

@@ -48,20 +48,27 @@ fn l2_ablation() {
         let art = run(cfg);
         let f9 = figures::fig9_data_from(&art);
         let cpi = figures::fig5_cpi(&art).cpi;
-        println!("  {:<9}  {:>8.1}%             {:.2}", name, f9.l2_fraction * 100.0, cpi);
+        println!(
+            "  {:<9}  {:>8.1}%             {:.2}",
+            name,
+            f9.l2_fraction * 100.0,
+            cpi
+        );
     }
 }
 
 fn traversal_ablation() {
     println!("Ablation: GC mark traversal order (paper Section 4.1.1)");
     println!("  order            mean pause ms   mark jump (bytes)");
-    for t in [Traversal::DepthFirst, Traversal::BreadthFirst, Traversal::AddressOrdered] {
+    for t in [
+        Traversal::DepthFirst,
+        Traversal::BreadthFirst,
+        Traversal::AddressOrdered,
+    ] {
         let mut cfg = SutConfig::at_ir(40);
         cfg.jvm.gc.traversal = t;
         let art = run(cfg);
-        let pause = art
-            .gc_summary
-            .map_or(f64::NAN, |s| s.mean_pause_ms);
+        let pause = art.gc_summary.map_or(f64::NAN, |s| s.mean_pause_ms);
         let jump = art
             .gc_entries
             .last()
@@ -76,7 +83,11 @@ fn heap_size_ablation() {
     // become frequent).
     println!("Ablation: heap size vs GC overhead (paper Section 6)");
     println!("  heap (scaled)  GC interval s  GC % of runtime");
-    for (name, capacity) in [("20 MB", 20u64 << 20), ("32 MB", 32 << 20), ("64 MB", 64 << 20)] {
+    for (name, capacity) in [
+        ("20 MB", 20u64 << 20),
+        ("32 MB", 32 << 20),
+        ("64 MB", 64 << 20),
+    ] {
         let mut cfg = SutConfig::at_ir(40);
         cfg.jvm.heap.capacity = capacity;
         cfg.jvm.live_target = (64u64 << 20) / 5;

@@ -7,7 +7,9 @@ use jas_bench::baseline;
 fn bench(c: &mut Criterion) {
     let art = baseline();
     println!("{}", report::render_fig10(&figures::fig10_correlation(art)));
-    c.bench_function("fig10_correlation", |b| b.iter(|| figures::fig10_correlation(std::hint::black_box(art))));
+    c.bench_function("fig10_correlation", |b| {
+        b.iter(|| figures::fig10_correlation(std::hint::black_box(art)))
+    });
 }
 
 criterion_group! {

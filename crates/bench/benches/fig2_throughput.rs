@@ -7,7 +7,9 @@ use jas_bench::baseline;
 fn bench(c: &mut Criterion) {
     let art = baseline();
     println!("{}", report::render_fig2(&figures::fig2_throughput(art)));
-    c.bench_function("fig2_throughput", |b| b.iter(|| figures::fig2_throughput(std::hint::black_box(art))));
+    c.bench_function("fig2_throughput", |b| {
+        b.iter(|| figures::fig2_throughput(std::hint::black_box(art)))
+    });
 }
 
 criterion_group! {

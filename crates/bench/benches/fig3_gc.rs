@@ -7,7 +7,9 @@ use jas_bench::baseline;
 fn bench(c: &mut Criterion) {
     let art = baseline();
     println!("{}", report::render_fig3(&figures::fig3_gc(art)));
-    c.bench_function("fig3_gc", |b| b.iter(|| figures::fig3_gc(std::hint::black_box(art))));
+    c.bench_function("fig3_gc", |b| {
+        b.iter(|| figures::fig3_gc(std::hint::black_box(art)))
+    });
 }
 
 criterion_group! {

@@ -7,7 +7,9 @@ use jas_bench::baseline;
 fn bench(c: &mut Criterion) {
     let art = baseline();
     println!("{}", report::render_fig4(&figures::fig4_profile(art)));
-    c.bench_function("fig4_profile", |b| b.iter(|| figures::fig4_profile(std::hint::black_box(art))));
+    c.bench_function("fig4_profile", |b| {
+        b.iter(|| figures::fig4_profile(std::hint::black_box(art)))
+    });
 }
 
 criterion_group! {

@@ -7,7 +7,9 @@ use jas_bench::baseline;
 fn bench(c: &mut Criterion) {
     let art = baseline();
     println!("{}", report::render_fig5(&figures::fig5_cpi(art)));
-    c.bench_function("fig5_cpi", |b| b.iter(|| figures::fig5_cpi(std::hint::black_box(art))));
+    c.bench_function("fig5_cpi", |b| {
+        b.iter(|| figures::fig5_cpi(std::hint::black_box(art)))
+    });
 }
 
 criterion_group! {

@@ -7,7 +7,9 @@ use jas_bench::baseline;
 fn bench(c: &mut Criterion) {
     let art = baseline();
     println!("{}", report::render_fig6(&figures::fig6_branch(art)));
-    c.bench_function("fig6_branch", |b| b.iter(|| figures::fig6_branch(std::hint::black_box(art))));
+    c.bench_function("fig6_branch", |b| {
+        b.iter(|| figures::fig6_branch(std::hint::black_box(art)))
+    });
 }
 
 criterion_group! {

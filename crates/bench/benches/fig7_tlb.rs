@@ -7,7 +7,9 @@ use jas_bench::baseline;
 fn bench(c: &mut Criterion) {
     let art = baseline();
     println!("{}", report::render_fig7(&figures::fig7_tlb(art)));
-    c.bench_function("fig7_tlb", |b| b.iter(|| figures::fig7_tlb(std::hint::black_box(art))));
+    c.bench_function("fig7_tlb", |b| {
+        b.iter(|| figures::fig7_tlb(std::hint::black_box(art)))
+    });
 }
 
 criterion_group! {

@@ -7,7 +7,9 @@ use jas_bench::baseline;
 fn bench(c: &mut Criterion) {
     let art = baseline();
     println!("{}", report::render_fig8(&figures::fig8_l1d(art)));
-    c.bench_function("fig8_l1d", |b| b.iter(|| figures::fig8_l1d(std::hint::black_box(art))));
+    c.bench_function("fig8_l1d", |b| {
+        b.iter(|| figures::fig8_l1d(std::hint::black_box(art)))
+    });
 }
 
 criterion_group! {

@@ -7,7 +7,9 @@ use jas_bench::baseline;
 fn bench(c: &mut Criterion) {
     let art = baseline();
     println!("{}", report::render_fig9(&figures::fig9_data_from(art)));
-    c.bench_function("fig9_data_from", |b| b.iter(|| figures::fig9_data_from(std::hint::black_box(art))));
+    c.bench_function("fig9_data_from", |b| {
+        b.iter(|| figures::fig9_data_from(std::hint::black_box(art)))
+    });
 }
 
 criterion_group! {

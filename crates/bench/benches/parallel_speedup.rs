@@ -1,0 +1,46 @@
+//! Wall-clock speedup of the two-phase parallel engine: the same seeded
+//! simulation executed serially (`threads = 1`) and with the parallel
+//! phase spread over worker threads. Results are bit-identical by
+//! construction (CI enforces this separately); this bench tracks the
+//! wall-clock payoff on `Engine::run_to_end`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jas2004::{Engine, RunPlan, SutConfig};
+use jas_simkernel::SimDuration;
+use std::time::Duration;
+
+fn speedup_plan() -> RunPlan {
+    RunPlan {
+        ramp_up: SimDuration::from_secs(5),
+        steady: SimDuration::from_secs(15),
+        hpm_period: SimDuration::from_millis(500),
+        throughput_bin: SimDuration::from_secs(5),
+    }
+}
+
+fn run(threads: usize) -> u64 {
+    let mut cfg = SutConfig::at_ir(30);
+    cfg.threads = threads;
+    let mut engine = Engine::new(cfg, speedup_plan());
+    engine.run_to_end();
+    engine.completed_requests()
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("engine_run_to_end/threads=1", |b| {
+        b.iter(|| black_box(run(1)))
+    });
+    c.bench_function("engine_run_to_end/threads=8", |b| {
+        b.iter(|| black_box(run(8)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(5));
+    targets = bench
+}
+criterion_main!(benches);

@@ -7,7 +7,9 @@ use jas_bench::baseline;
 fn bench(c: &mut Criterion) {
     let art = baseline();
     println!("{}", report::render_locking(&figures::locking_table(art)));
-    c.bench_function("tbl_locking", |b| b.iter(|| figures::locking_table(std::hint::black_box(art))));
+    c.bench_function("tbl_locking", |b| {
+        b.iter(|| figures::locking_table(std::hint::black_box(art)))
+    });
 }
 
 criterion_group! {

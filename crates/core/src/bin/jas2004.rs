@@ -66,7 +66,10 @@ fn run(options: CliOptions) {
         print!("{}", report::render_fig9(&figures::fig9_data_from(&art)));
     }
     if want(10) {
-        print!("{}", report::render_fig10(&figures::fig10_correlation(&art)));
+        print!(
+            "{}",
+            report::render_fig10(&figures::fig10_correlation(&art))
+        );
     }
     if matches!(select, FigureSelect::All | FigureSelect::Locking) {
         print!("{}", report::render_locking(&figures::locking_table(&art)));

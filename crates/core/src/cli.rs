@@ -55,6 +55,8 @@ OPTIONS:
     --steady <SECONDS>   steady-state window (default 180)
     --ramp <SECONDS>     ramp-up excluded from statistics (default 20)
     --seed <N>           RNG seed (default: fixed project seed)
+    --threads <N>        host threads for per-core execution (default 1;
+                         results are identical for every value)
     --scenario <NAME>    jas | trade (default jas)
     --no-large-pages     back the Java heap with 4 KB pages
     --code-large-pages   put JIT/native code on 16 MB pages
@@ -108,6 +110,13 @@ where
             }
             "--seed" => {
                 config.seed = parse_u64(flag, value)?;
+                i += 1;
+            }
+            "--threads" => {
+                config.threads = parse_u64(flag, value)? as usize;
+                if config.threads == 0 {
+                    return Err(CliError("--threads must be positive".into()));
+                }
                 i += 1;
             }
             "--scenario" => {
@@ -178,21 +187,31 @@ mod tests {
     #[test]
     fn full_flag_set_parses() {
         let o = parse(&[
-            "--ir", "47",
-            "--steady", "60",
-            "--ramp", "5",
-            "--seed", "7",
-            "--scenario", "trade",
+            "--ir",
+            "47",
+            "--steady",
+            "60",
+            "--ramp",
+            "5",
+            "--seed",
+            "7",
+            "--threads",
+            "8",
+            "--scenario",
+            "trade",
             "--no-large-pages",
             "--code-large-pages",
-            "--generational", "4",
-            "--figure", "7",
+            "--generational",
+            "4",
+            "--figure",
+            "7",
         ])
         .unwrap();
         assert_eq!(o.config.ir, 47);
         assert_eq!(o.plan.steady.as_secs_f64(), 60.0);
         assert_eq!(o.plan.ramp_up.as_secs_f64(), 5.0);
         assert_eq!(o.config.seed, 7);
+        assert_eq!(o.config.threads, 8);
         assert_eq!(o.config.scenario, ScenarioKind::TradeLike);
         assert!(!o.config.machine.addr_map.heap_large_pages);
         assert!(o.config.machine.addr_map.code_large_pages);
@@ -202,7 +221,10 @@ mod tests {
 
     #[test]
     fn figure_selectors() {
-        assert_eq!(parse(&["--figure", "all"]).unwrap().select, FigureSelect::All);
+        assert_eq!(
+            parse(&["--figure", "all"]).unwrap().select,
+            FigureSelect::All
+        );
         assert_eq!(
             parse(&["--figure", "locking"]).unwrap().select,
             FigureSelect::Locking
@@ -219,9 +241,19 @@ mod tests {
     #[test]
     fn errors_are_descriptive() {
         assert!(parse(&["--ir"]).unwrap_err().0.contains("requires a value"));
-        assert!(parse(&["--ir", "abc"]).unwrap_err().0.contains("not a number"));
+        assert!(parse(&["--ir", "abc"])
+            .unwrap_err()
+            .0
+            .contains("not a number"));
         assert!(parse(&["--ir", "0"]).unwrap_err().0.contains("positive"));
-        assert!(parse(&["--scenario", "weblogic"]).unwrap_err().0.contains("unknown scenario"));
+        assert!(parse(&["--threads", "0"])
+            .unwrap_err()
+            .0
+            .contains("positive"));
+        assert!(parse(&["--scenario", "weblogic"])
+            .unwrap_err()
+            .0
+            .contains("unknown scenario"));
         assert!(parse(&["--bogus"]).unwrap_err().0.contains("unknown flag"));
     }
 

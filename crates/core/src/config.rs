@@ -46,6 +46,10 @@ pub struct SutConfig {
     pub kernel_overhead: f64,
     /// The benchmark application to run.
     pub scenario: ScenarioKind,
+    /// Host threads for the parallel (core-private) execution phase.
+    /// Clamped to the simulated core count; results are bit-identical for
+    /// every value — `1` runs the identical code path serially.
+    pub threads: usize,
 }
 
 impl Default for SutConfig {
@@ -56,11 +60,14 @@ impl Default for SutConfig {
             jvm: JvmConfig::default(),
             db: DbConfig::default(),
             appserver: AppServerConfig::default(),
-            seed: 0x4A41_5332_3030_34, // "JAS2004"
+            // Bytes grouped to spell "JAS2004" in ASCII.
+            #[allow(clippy::unusual_byte_groupings)]
+            seed: 0x4A41_5332_3030_34,
             quantum: SimDuration::from_millis(32),
             alloc_multiplier: 11,
             kernel_overhead: 0.22,
             scenario: ScenarioKind::JAppServer,
+            threads: 1,
         }
     }
 }
@@ -142,7 +149,10 @@ mod tests {
         let cfg = SutConfig::default();
         let expect = REAL_CORE_HZ / cfg.machine.frequency_hz;
         assert!((cfg.instruction_scale() - expect).abs() < 1e-9);
-        assert!(cfg.instruction_scale() > 100.0, "model runs well below 1.3 GHz");
+        assert!(
+            cfg.instruction_scale() > 100.0,
+            "model runs well below 1.3 GHz"
+        );
     }
 
     #[test]

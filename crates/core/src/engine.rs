@@ -9,17 +9,47 @@
 //! CPI → longer service → deeper queues → higher response times. This
 //! closed loop is what lets one simulation regenerate every figure of the
 //! paper at once.
+//!
+//! # Deterministic parallel execution
+//!
+//! Within a quantum the engine repeats a two-phase round protocol:
+//!
+//! 1. **Plan (sequential).** In fixed core order, the scheduler assigns at
+//!    most one execution slice per core: the next compute segment of a
+//!    request task, or background JIT. Plan-step side effects (database
+//!    calls, allocations, locks) happen here, on one thread.
+//! 2. **Execute (parallel).** Each assigned slice runs its micro-op stream
+//!    against strictly core-private state ([`jas_cpu::CorePrivate`]): L1
+//!    caches, ERAT/TLB, branch predictors, prefetcher, HPM counters.
+//!    Shared-hierarchy traffic is recorded into a per-core ordered
+//!    [`MemEvent`] buffer and provisionally charged an L2-hit latency.
+//!    Slices share no mutable state, so they run on worker threads when
+//!    `--threads` > 1 — or inline, through the identical code path, when
+//!    it is 1.
+//! 3. **Reconcile (sequential).** In fixed core order, each core's event
+//!    buffer is drained through the shared L2/L3/MESI model
+//!    ([`jas_cpu::reconcile_core`]), charging the latency difference
+//!    between the provisional L2 hit and the true supplier back to the
+//!    core's budget. Task bookkeeping (step advancement, blocking,
+//!    completion) follows, again in core order.
+//!
+//! Because phase 2 touches no shared state and phases 1 and 3 are
+//! single-threaded in a fixed order, the simulation result is
+//! **bit-identical for every `--threads` value** — parallelism changes
+//! wall-clock time only. Stop-the-world GC runs sequentially (it is a
+//! global pause by definition).
 
 use crate::config::{RunPlan, ScenarioKind, SutConfig};
 use crate::profiles::{profile_for, FootprintConfig};
 use jas_appserver::{Admission, AppServer, Message, PlanStep, PoolKind, TxPlan};
-use jas_cpu::{Machine, StreamGen};
+use jas_cpu::{AddressMap, CorePrivate, CostModel, Machine, MemEvent, StreamGen};
 use jas_db::{Database, DbError};
 use jas_hpm::{CpuState, GcLogEntry, OmniscientHpm, Tprof, VerboseGc, Vmstat};
 use jas_jvm::{Component, GcCycle, Jvm, LockOutcome, MethodId, TxHandle};
 use jas_simkernel::{Rng, SimDuration, SimTime};
 use jas_workload::{JasScenario, Metrics, RequestKind, Scenario, TradeScenario};
 use std::collections::VecDeque;
+use std::sync::mpsc;
 
 fn comp_index(c: Component) -> usize {
     Component::ALL
@@ -71,6 +101,69 @@ struct GcPause {
     cycle: GcCycle,
 }
 
+/// What an execution slice is working on (resolved again at bookkeeping).
+#[derive(Clone, Copy, Debug)]
+enum SliceKind {
+    /// A request task's current compute segment.
+    Task(usize),
+    /// Background JIT compilation.
+    Jit,
+}
+
+/// One core's assignment for a round: everything the parallel phase needs,
+/// *owned* — core-private machine state, the core's stream generators, and
+/// its event buffer all move into the job and come back in the result, so
+/// workers borrow nothing from the engine.
+struct Slice {
+    core: usize,
+    kind: SliceKind,
+    component: Component,
+    cp: CorePrivate,
+    gens: Vec<StreamGen>,
+    events: Vec<MemEvent>,
+    cycles_budget: f64,
+    max_instr: f64,
+    cost: CostModel,
+    addr_map: AddressMap,
+}
+
+/// A completed slice: the returned state plus what it consumed.
+struct SliceDone {
+    core: usize,
+    kind: SliceKind,
+    component: Component,
+    cp: CorePrivate,
+    gens: Vec<StreamGen>,
+    events: Vec<MemEvent>,
+    used: f64,
+    executed: f64,
+}
+
+/// Runs one slice to its budget or instruction bound against core-private
+/// state only. This is the *entire* parallel phase: the same function runs
+/// inline at `--threads 1` and on workers otherwise, so results cannot
+/// depend on the thread count.
+fn run_slice(mut s: Slice) -> SliceDone {
+    let gen = &mut s.gens[comp_index(s.component)];
+    let mut used = 0.0;
+    let mut executed = 0.0;
+    while used < s.cycles_budget && executed < s.max_instr {
+        let (ia, op) = gen.next_op();
+        used += s.cp.exec_record(&s.cost, s.addr_map, ia, op, &mut s.events);
+        executed += 1.0;
+    }
+    SliceDone {
+        core: s.core,
+        kind: s.kind,
+        component: s.component,
+        cp: s.cp,
+        gens: s.gens,
+        events: s.events,
+        used,
+        executed,
+    }
+}
+
 /// The coupled system-under-test simulation.
 pub struct Engine {
     cfg: SutConfig,
@@ -90,9 +183,13 @@ pub struct Engine {
     pending_workorders: u64,
     gc: Option<GcPause>,
     jit_backlog_modeled: f64,
-    /// One generator per `(component, core)` pair: cores carry distinct
+    /// One generator per `(core, component)` pair, row-per-core so a whole
+    /// row can move into that core's execution slice. Cores carry distinct
     /// salts so their thread-local data does not falsely share.
     gens: Vec<Vec<StreamGen>>,
+    /// Per-core ordered buffers of recorded shared-hierarchy events,
+    /// retained across rounds to avoid reallocation.
+    event_bufs: Vec<Vec<MemEvent>>,
     method_cdf: Vec<(Vec<MethodId>, Vec<f64>)>,
     correlation_seq: u64,
     outstanding_io: u32,
@@ -127,20 +224,19 @@ impl Engine {
             buffer_pool_bytes: cfg.db.pool_pages as u64 * cfg.db.page_bytes,
         };
         let cores = cfg.machine.topology.cores();
-        let gens = Component::ALL
-            .iter()
-            .map(|&c| {
-                (0..cores)
-                    .map(|core| {
-                        StreamGen::new(
-                            profile_for(c, &fp),
-                            rng.fork(&format!("{}/{core}", c.name())),
-                            core as u64 + 1,
-                        )
-                    })
-                    .collect()
-            })
-            .collect();
+        // Fork order is component-major (stable across layout changes);
+        // storage is row-per-core so a core's whole generator row can move
+        // into its execution slice.
+        let mut gens: Vec<Vec<StreamGen>> = (0..cores).map(|_| Vec::new()).collect();
+        for &c in Component::ALL.iter() {
+            for (core, row) in gens.iter_mut().enumerate() {
+                row.push(StreamGen::new(
+                    profile_for(c, &fp),
+                    rng.fork(&format!("{}/{core}", c.name())),
+                    core as u64 + 1,
+                ));
+            }
+        }
         let method_cdf = Component::ALL
             .iter()
             .map(|&c| {
@@ -177,6 +273,7 @@ impl Engine {
             gc: None,
             jit_backlog_modeled: 0.0,
             gens,
+            event_bufs: vec![Vec::new(); cores],
             method_cdf,
             correlation_seq: 0,
             outstanding_io: 0,
@@ -276,63 +373,46 @@ impl Engine {
             }
         }
 
-        // 3. Run each core for the quantum.
-        let cores = self.machine.cores();
-        let budget = self.cfg.machine.frequency_hz * quantum.as_secs_f64();
-        let freq = self.cfg.machine.frequency_hz;
-        let in_steady = self.clock >= self.run.steady_start();
-        for core in 0..cores {
-            let mut cycles_left = budget;
-            let mut user_cycles = 0.0;
-            let mut sys_cycles = 0.0;
-            if self.gc.is_some() {
-                let used = self.run_gc_slice(core, cycles_left, in_steady);
-                user_cycles += used;
-                cycles_left -= used;
-            }
-            // Task execution (only when no stop-the-world pause is active).
-            while self.gc.is_none() && cycles_left > budget * 0.02 {
-                let Some(task_idx) = self.dequeue_for(core) else { break };
-                if self.tasks[task_idx].last_run_quantum == self.quantum_counter {
-                    // Already ran this quantum on another core; keep it for
-                    // the next quantum rather than spreading one request
-                    // over several cores.
-                    let q = core % self.ready.len();
-                    self.ready[q].push_front(task_idx);
-                    break;
+        // 3. Run the cores through plan/execute/reconcile rounds, on worker
+        // threads when configured (results are identical either way; see
+        // the module docs).
+        let workers = self.exec_threads();
+        if workers > 1 {
+            std::thread::scope(|scope| {
+                let (done_tx, done_rx) = mpsc::channel::<SliceDone>();
+                let mut slice_txs = Vec::with_capacity(workers);
+                for _ in 0..workers {
+                    let (tx, rx) = mpsc::channel::<Slice>();
+                    let done_tx = done_tx.clone();
+                    scope.spawn(move || {
+                        while let Ok(slice) = rx.recv() {
+                            if done_tx.send(run_slice(slice)).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                    slice_txs.push(tx);
                 }
-                self.tasks[task_idx].last_run_quantum = self.quantum_counter;
-                let (used_user, used_sys) =
-                    self.run_task_slice(task_idx, core, cycles_left, in_steady);
-                user_cycles += used_user;
-                sys_cycles += used_sys;
-                cycles_left -= used_user + used_sys;
-                // A GC may have been triggered mid-task.
-                if self.gc.is_some() {
-                    let used = self.run_gc_slice(core, cycles_left, in_steady);
-                    user_cycles += used;
-                    cycles_left -= used;
-                    break;
-                }
-            }
-            // Idle capacity goes to background JIT compilation.
-            if self.gc.is_none() && cycles_left > budget * 0.05 && self.jit_backlog_modeled > 1.0 {
-                let used = self.run_jit_slice(core, cycles_left, in_steady);
-                user_cycles += used;
-            }
-            if in_steady {
-                let user_t = SimDuration::from_secs_f64(user_cycles / freq);
-                let sys_t = SimDuration::from_secs_f64(sys_cycles / freq);
-                self.vmstat.account(CpuState::User, user_t);
-                self.vmstat.account(CpuState::System, sys_t);
-                let busy = user_t + sys_t;
-                let idle = if busy >= quantum { SimDuration::ZERO } else { quantum - busy };
-                if self.outstanding_io > 0 {
-                    self.vmstat.account(CpuState::IoWait, idle);
-                } else {
-                    self.vmstat.account(CpuState::Idle, idle);
-                }
-            }
+                drop(done_tx);
+                let mut dispatch = |slices: Vec<Slice>| -> Vec<SliceDone> {
+                    let n = slices.len();
+                    for s in slices {
+                        // Static core→worker assignment; arrival order of
+                        // results is irrelevant (they are re-indexed by
+                        // core before the sequential reconcile).
+                        slice_txs[s.core % workers].send(s).expect("worker alive");
+                    }
+                    (0..n)
+                        .map(|_| done_rx.recv().expect("worker result"))
+                        .collect()
+                };
+                self.run_rounds(&mut dispatch);
+                // Dropping slice_txs at scope exit terminates the workers.
+            });
+        } else {
+            let mut dispatch =
+                |slices: Vec<Slice>| slices.into_iter().map(run_slice).collect::<Vec<_>>();
+            self.run_rounds(&mut dispatch);
         }
 
         // 4. Advance the clock and feed the samplers.
@@ -344,10 +424,285 @@ impl Engine {
         }
     }
 
+    /// Host worker threads for the parallel phase, clamped to the core
+    /// count (extra threads would only idle).
+    fn exec_threads(&self) -> usize {
+        self.cfg
+            .threads
+            .max(1)
+            .min(self.cfg.machine.topology.cores())
+    }
+
+    /// Runs one quantum's rounds: sequential planning and reconciliation
+    /// around a `dispatch`-mediated execution phase. `dispatch` receives
+    /// owned slices and returns them completed, in any order.
+    fn run_rounds(&mut self, dispatch: &mut dyn FnMut(Vec<Slice>) -> Vec<SliceDone>) {
+        let quantum = self.cfg.quantum;
+        let cores = self.cfg.machine.topology.cores();
+        let budget = self.cfg.machine.frequency_hz * quantum.as_secs_f64();
+        let freq = self.cfg.machine.frequency_hz;
+        let in_steady = self.clock >= self.run.steady_start();
+        let cost = self.cfg.machine.cost;
+        let addr_map = self.cfg.machine.addr_map;
+        let topo = self.cfg.machine.topology;
+
+        // Detach the core-private halves so slices can own them.
+        let mut core_states: Vec<Option<CorePrivate>> =
+            self.machine.take_cores().into_iter().map(Some).collect();
+        let mut cycles_left = vec![budget; cores];
+        let mut user = vec![0.0; cores];
+        let mut sys = vec![0.0; cores];
+        let mut done = vec![false; cores];
+        let mut no_more_tasks = vec![false; cores];
+        // The task whose compute segment a core is between rounds of.
+        let mut current: Vec<Option<usize>> = vec![None; cores];
+
+        loop {
+            // Stop-the-world GC runs sequentially: it is a global pause,
+            // and the paper's collector is single-threaded per quantum.
+            if self.gc.is_some() {
+                for core in 0..cores {
+                    if self.gc.is_none() {
+                        break;
+                    }
+                    if done[core] {
+                        continue;
+                    }
+                    if cycles_left[core] <= budget * 0.02 {
+                        done[core] = true;
+                        continue;
+                    }
+                    let mut cp = core_states[core].take().expect("core attached");
+                    let used = self.run_gc_slice(core, &mut cp, cycles_left[core], in_steady);
+                    core_states[core] = Some(cp);
+                    user[core] += used;
+                    cycles_left[core] -= used;
+                }
+                if self.gc.is_some() {
+                    // Every core's budget drained with the pause still
+                    // active: the quantum is over.
+                    break;
+                }
+            }
+
+            // Phase 1 (sequential): assign at most one slice per core.
+            let mut slices: Vec<Slice> = Vec::new();
+            let mut jit_assigned = false;
+            for core in 0..cores {
+                if done[core] || self.gc.is_some() {
+                    continue;
+                }
+                if cycles_left[core] <= budget * 0.02 {
+                    done[core] = true;
+                    continue;
+                }
+                let assignment = self
+                    .next_task_segment(core, &mut current[core], &mut no_more_tasks[core])
+                    .map(|(t, component, max_instr)| (SliceKind::Task(t), component, max_instr))
+                    .or_else(|| {
+                        // Idle capacity goes to background JIT. One slice
+                        // per round keeps the backlog decrement exact;
+                        // other idle cores pick up the remainder next
+                        // round, concurrently with task slices.
+                        if self.gc.is_none()
+                            && !jit_assigned
+                            && cycles_left[core] > budget * 0.05
+                            && self.jit_backlog_modeled > 1.0
+                        {
+                            jit_assigned = true;
+                            Some((
+                                SliceKind::Jit,
+                                Component::JitCompiler,
+                                self.jit_backlog_modeled,
+                            ))
+                        } else {
+                            None
+                        }
+                    });
+                if let Some((kind, component, max_instr)) = assignment {
+                    slices.push(Slice {
+                        core,
+                        kind,
+                        component,
+                        cp: core_states[core].take().expect("core attached"),
+                        gens: std::mem::take(&mut self.gens[core]),
+                        events: std::mem::take(&mut self.event_bufs[core]),
+                        cycles_budget: cycles_left[core],
+                        max_instr,
+                        cost,
+                        addr_map,
+                    });
+                }
+            }
+            if slices.is_empty() {
+                if self.gc.is_some() {
+                    continue; // a pick triggered GC; run it next round
+                }
+                break;
+            }
+
+            // Phase 2: execute — on workers or inline, identically.
+            let results = dispatch(slices);
+
+            // Phase 3 (sequential, fixed core order): reconcile recorded
+            // shared-hierarchy traffic, then task bookkeeping.
+            let mut slots: Vec<Option<SliceDone>> = (0..cores).map(|_| None).collect();
+            for r in results {
+                let core = r.core;
+                slots[core] = Some(r);
+            }
+            for core in 0..cores {
+                let Some(r) = slots[core].take() else {
+                    continue;
+                };
+                let mut cp = r.cp;
+                let mut events = r.events;
+                let correction = jas_cpu::reconcile_core(
+                    &mut cp,
+                    topo.chip_of_core(core),
+                    &cost,
+                    self.machine.mem_mut(),
+                    &mut events,
+                );
+                core_states[core] = Some(cp);
+                self.gens[core] = r.gens;
+                self.event_bufs[core] = events;
+                let used = r.used + correction;
+                cycles_left[core] -= used;
+                match r.kind {
+                    SliceKind::Jit => {
+                        self.jit_backlog_modeled -= r.executed;
+                        user[core] += used;
+                        if in_steady && r.executed >= 1.0 {
+                            if let Some(m) = self.sample_method(Component::JitCompiler) {
+                                self.tprof.record(self.jvm.registry(), m, r.executed as u64);
+                            }
+                        }
+                    }
+                    SliceKind::Task(t) => {
+                        self.tasks[t].remaining_modeled -= r.executed;
+                        if in_steady {
+                            if let Some(m) = self.sample_method(r.component) {
+                                self.tprof.record(self.jvm.registry(), m, r.executed as u64);
+                                let work = self.jvm.record_invocations(m, 10);
+                                self.jit_backlog_modeled += work / self.cfg.instruction_scale();
+                            }
+                        }
+                        if r.component == Component::Kernel {
+                            sys[core] += used;
+                        } else {
+                            user[core] += used;
+                        }
+                        if self.tasks[t].remaining_modeled <= 0.0 {
+                            self.advance_past_compute(t);
+                            match self.interpret_until_compute(t) {
+                                StepOutcome::Compute => {} // next segment, same core
+                                StepOutcome::Blocked => current[core] = None,
+                                StepOutcome::Finished => {
+                                    self.complete_task(t);
+                                    current[core] = None;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Re-attach the cores and account utilization.
+        self.machine.restore_cores(
+            core_states
+                .into_iter()
+                .map(|c| c.expect("core attached"))
+                .collect(),
+        );
+        for core in 0..cores {
+            // A segment cut off by the quantum stays with its task; the
+            // task rejoins its affinity queue for the next quantum.
+            if let Some(t) = current[core].take() {
+                self.enqueue(t);
+            }
+            if in_steady {
+                let user_t = SimDuration::from_secs_f64(user[core] / freq);
+                let sys_t = SimDuration::from_secs_f64(sys[core] / freq);
+                self.vmstat.account(CpuState::User, user_t);
+                self.vmstat.account(CpuState::System, sys_t);
+                let busy = user_t + sys_t;
+                let idle = if busy >= quantum {
+                    SimDuration::ZERO
+                } else {
+                    quantum - busy
+                };
+                if self.outstanding_io > 0 {
+                    self.vmstat.account(CpuState::IoWait, idle);
+                } else {
+                    self.vmstat.account(CpuState::Idle, idle);
+                }
+            }
+        }
+    }
+
+    /// Finds `core`'s next task compute segment: the in-flight continuation
+    /// if there is one, else dequeued tasks are interpreted (side effects
+    /// run here, in the sequential phase) until one yields a compute
+    /// segment. Returns `(task, component, max_instructions)`.
+    fn next_task_segment(
+        &mut self,
+        core: usize,
+        current: &mut Option<usize>,
+        no_more_tasks: &mut bool,
+    ) -> Option<(usize, Component, f64)> {
+        if let Some(t) = *current {
+            return Some((
+                t,
+                self.current_component(t),
+                self.tasks[t].remaining_modeled,
+            ));
+        }
+        if *no_more_tasks {
+            return None;
+        }
+        while self.gc.is_none() {
+            let t = self.dequeue_for(core)?;
+            if self.tasks[t].last_run_quantum == self.quantum_counter {
+                // Already ran this quantum on another core; keep it for the
+                // next quantum rather than spreading one request over
+                // several cores.
+                self.ready[core].push_front(t);
+                *no_more_tasks = true;
+                return None;
+            }
+            self.tasks[t].last_run_quantum = self.quantum_counter;
+            if self.tasks[t].remaining_modeled > 0.0 {
+                // Resuming a segment cut off by a previous quantum.
+                *current = Some(t);
+                return Some((
+                    t,
+                    self.current_component(t),
+                    self.tasks[t].remaining_modeled,
+                ));
+            }
+            match self.interpret_until_compute(t) {
+                StepOutcome::Compute => {
+                    *current = Some(t);
+                    return Some((
+                        t,
+                        self.current_component(t),
+                        self.tasks[t].remaining_modeled,
+                    ));
+                }
+                StepOutcome::Blocked => continue,
+                StepOutcome::Finished => {
+                    self.complete_task(t);
+                    continue;
+                }
+            }
+        }
+        None
+    }
+
     fn admit(&mut self, kind: RequestKind, at: SimTime) {
-        let plan = self
-            .scenario
-            .build(kind, self.appserver.work_order_queue());
+        let plan = self.scenario.build(kind, self.appserver.work_order_queue());
         let pool = if kind.is_web() {
             PoolKind::WebContainer
         } else {
@@ -401,21 +756,44 @@ impl Engine {
         self.tasks.len() - 1
     }
 
-    /// Executes GC work on `core`; returns cycles used.
-    fn run_gc_slice(&mut self, core: usize, cycles_budget: f64, in_steady: bool) -> f64 {
-        let (used, executed, remaining) = {
-            let Some(gc) = self.gc.as_mut() else { return 0.0 };
+    /// Executes GC work on `core` (whose private state is detached into
+    /// `cp`); returns cycles used. GC records and reconciles back-to-back —
+    /// it always runs in the sequential phase, where the shared hierarchy
+    /// is free.
+    fn run_gc_slice(
+        &mut self,
+        core: usize,
+        cp: &mut CorePrivate,
+        cycles_budget: f64,
+        in_steady: bool,
+    ) -> f64 {
+        let cost = self.cfg.machine.cost;
+        let addr_map = self.cfg.machine.addr_map;
+        let chip = self.cfg.machine.topology.chip_of_core(core);
+        let (used_recorded, executed, remaining) = {
+            let Some(gc) = self.gc.as_mut() else {
+                return 0.0;
+            };
+            let gen = &mut self.gens[core][comp_index(Component::Gc)];
+            let events = &mut self.event_bufs[core];
             let mut used = 0.0;
             let mut executed = 0.0;
-            let gen = &mut self.gens[comp_index(Component::Gc)][core];
             while used < cycles_budget && gc.remaining_modeled > executed {
                 let (ia, op) = gen.next_op();
-                used += self.machine.exec(core, ia, op);
+                used += cp.exec_record(&cost, addr_map, ia, op, events);
                 executed += 1.0;
             }
             gc.remaining_modeled -= executed;
             (used, executed, gc.remaining_modeled)
         };
+        let correction = jas_cpu::reconcile_core(
+            cp,
+            chip,
+            &cost,
+            self.machine.mem_mut(),
+            &mut self.event_bufs[core],
+        );
+        let used = used_recorded + correction;
         if in_steady && executed >= 1.0 {
             if let Some(m) = self.sample_method(Component::Gc) {
                 self.tprof.record(self.jvm.registry(), m, executed as u64);
@@ -439,79 +817,6 @@ impl Engine {
         used
     }
 
-    /// Executes background JIT compilation on `core`; returns cycles used.
-    fn run_jit_slice(&mut self, core: usize, cycles_budget: f64, in_steady: bool) -> f64 {
-        let mut used = 0.0;
-        let mut executed = 0.0;
-        let gen = &mut self.gens[comp_index(Component::JitCompiler)][core];
-        while used < cycles_budget && self.jit_backlog_modeled > executed {
-            let (ia, op) = gen.next_op();
-            used += self.machine.exec(core, ia, op);
-            executed += 1.0;
-        }
-        self.jit_backlog_modeled -= executed;
-        if in_steady && executed >= 1.0 {
-            if let Some(m) = self.sample_method(Component::JitCompiler) {
-                self.tprof.record(self.jvm.registry(), m, executed as u64);
-            }
-        }
-        used
-    }
-
-    /// Runs one task on `core` within `cycles_budget`; returns
-    /// `(user_cycles, system_cycles)` consumed.
-    fn run_task_slice(
-        &mut self,
-        task_idx: usize,
-        core: usize,
-        cycles_budget: f64,
-        in_steady: bool,
-    ) -> (f64, f64) {
-        let mut user = 0.0;
-        let mut sys = 0.0;
-        loop {
-            let budget_left = cycles_budget - user - sys;
-            if budget_left <= cycles_budget * 0.02 {
-                // Quantum exhausted; task stays ready.
-                self.enqueue(task_idx);
-                return (user, sys);
-            }
-            // Run pending compute (from the current step or extra work).
-            if self.tasks[task_idx].remaining_modeled > 0.0 {
-                let component = self.current_component(task_idx);
-                let (used, executed) = self.exec_stream(core, component, budget_left, {
-                    self.tasks[task_idx].remaining_modeled
-                });
-                self.tasks[task_idx].remaining_modeled -= executed;
-                if in_steady {
-                    if let Some(m) = self.sample_method(component) {
-                        self.tprof.record(self.jvm.registry(), m, executed as u64);
-                        let work = self.jvm.record_invocations(m, 10);
-                        self.jit_backlog_modeled += work / self.cfg.instruction_scale();
-                    }
-                }
-                if component == Component::Kernel {
-                    sys += used;
-                } else {
-                    user += used;
-                }
-                if self.tasks[task_idx].remaining_modeled > 0.0 {
-                    continue; // budget ran out mid-step
-                }
-                self.advance_past_compute(task_idx);
-            }
-            // Interpret steps until the next compute (or completion/block).
-            match self.interpret_until_compute(task_idx) {
-                StepOutcome::Compute => {}
-                StepOutcome::Blocked => return (user, sys),
-                StepOutcome::Finished => {
-                    self.complete_task(task_idx);
-                    return (user, sys);
-                }
-            }
-        }
-    }
-
     fn current_component(&self, task_idx: usize) -> Component {
         let t = &self.tasks[task_idx];
         if let Some(&(c, _)) = t.extra.front() {
@@ -521,26 +826,6 @@ impl Engine {
             Some(PlanStep::Compute { component, .. }) => *component,
             _ => Component::AppServer,
         }
-    }
-
-    /// Executes up to `max_instr` modeled instructions of `component`'s
-    /// stream, bounded by `cycles_budget`. Returns `(cycles, instructions)`.
-    fn exec_stream(
-        &mut self,
-        core: usize,
-        component: Component,
-        cycles_budget: f64,
-        max_instr: f64,
-    ) -> (f64, f64) {
-        let gen = &mut self.gens[comp_index(component)][core];
-        let mut used = 0.0;
-        let mut executed = 0.0;
-        while used < cycles_budget && executed < max_instr {
-            let (ia, op) = gen.next_op();
-            used += self.machine.exec(core, ia, op);
-            executed += 1.0;
-        }
-        (used, executed)
     }
 
     /// Moves past a completed compute step (either an `extra` entry or the
@@ -568,7 +853,7 @@ impl Engine {
             let step = {
                 let t = &self.tasks[task_idx];
                 match t.plan.steps.get(t.step) {
-                    Some(s) => s.clone(),
+                    Some(s) => *s,
                     None => return StepOutcome::Finished,
                 }
             };
@@ -630,10 +915,8 @@ impl Engine {
                             let scale = self.cfg.instruction_scale();
                             let t = &mut self.tasks[task_idx];
                             t.step += 1;
-                            t.extra.push_back((
-                                Component::Database,
-                                report.cpu_instructions / scale,
-                            ));
+                            t.extra
+                                .push_back((Component::Database, report.cpu_instructions / scale));
                             if report.pool_misses > 0 {
                                 t.extra.push_back((
                                     Component::Kernel,
@@ -671,7 +954,10 @@ impl Engine {
                         }
                     }
                 }
-                PlanStep::MqSend { queue, payload_bytes } => {
+                PlanStep::MqSend {
+                    queue,
+                    payload_bytes,
+                } => {
                     self.correlation_seq += 1;
                     let correlation = self.correlation_seq;
                     self.appserver.broker_mut().send(
@@ -734,14 +1020,20 @@ impl Engine {
                 Admission::Granted => {
                     let plan = self.scenario.build(RequestKind::WorkOrder, queue);
                     let at = self.clock;
-                    let idx = self.spawn_task(RequestKind::WorkOrder, plan, Some(PoolKind::JmsListener), at);
+                    let idx = self.spawn_task(
+                        RequestKind::WorkOrder,
+                        plan,
+                        Some(PoolKind::JmsListener),
+                        at,
+                    );
                     self.pending_workorders += 1;
                     self.enqueue(idx);
                 }
                 Admission::Queued { .. } => {
                     // Pool exhausted: cancel the reservation and try again
                     // when a listener frees up.
-                    self.appserver.cancel_wait(PoolKind::JmsListener, idx as u64);
+                    self.appserver
+                        .cancel_wait(PoolKind::JmsListener, idx as u64);
                     break;
                 }
             }
@@ -932,7 +1224,11 @@ mod tests {
     fn engine_completes_requests() {
         let mut e = quick_engine();
         e.run_to_end();
-        assert!(e.completed_requests() > 100, "completed {}", e.completed_requests());
+        assert!(
+            e.completed_requests() > 100,
+            "completed {}",
+            e.completed_requests()
+        );
         assert!(e.metrics().jops() > 0.0);
     }
 
@@ -997,5 +1293,37 @@ mod tests {
             b.machine().total_counters().get(jas_cpu::HpmEvent::Cycles)
         );
         assert_eq!(a.jvm().gc_count(), b.jvm().gc_count());
+    }
+
+    /// Thread count must be invisible in the results: every per-core HPM
+    /// counter is bit-identical between serial and parallel execution.
+    #[test]
+    fn threads_do_not_change_results() {
+        let serial = {
+            let mut e = quick_engine();
+            e.run_to_end();
+            e
+        };
+        for threads in [2usize, 4, 8] {
+            let mut cfg = SutConfig::at_ir(10);
+            cfg.machine.frequency_hz = 100_000.0;
+            cfg.jvm.heap.capacity = 8 << 20;
+            cfg.jvm.live_target = 2 << 20;
+            cfg.threads = threads;
+            let mut e = Engine::new(cfg, RunPlan::quick());
+            e.run_to_end();
+            assert_eq!(
+                serial.completed_requests(),
+                e.completed_requests(),
+                "completions diverge at --threads {threads}"
+            );
+            for core in 0..serial.machine().cores() {
+                assert_eq!(
+                    serial.machine().counters(core),
+                    e.machine().counters(core),
+                    "core {core} counters diverge at --threads {threads}"
+                );
+            }
+        }
     }
 }

@@ -34,7 +34,11 @@ pub fn fig2_throughput(art: &RunArtifacts) -> Fig2Throughput {
         .map(|(k, s)| {
             let body = if s.len() > 1 { &s[1..] } else { &s[..] };
             let sm = Summary::of(body);
-            let cv = if sm.mean > 0.0 { sm.stddev / sm.mean } else { 0.0 };
+            let cv = if sm.mean > 0.0 {
+                sm.stddev / sm.mean
+            } else {
+                0.0
+            };
             (*k, cv)
         })
         .collect();
@@ -215,7 +219,11 @@ pub fn fig7_tlb(art: &RunArtifacts) -> Fig7Tlb {
         ierat_per_instr: c.get(HpmEvent::IeratMiss) as f64 / inst,
         dtlb_per_instr: dtlb / inst,
         itlb_per_instr: c.get(HpmEvent::ItlbMiss) as f64 / inst,
-        instr_between_derat: if derat > 0.0 { inst / derat } else { f64::INFINITY },
+        instr_between_derat: if derat > 0.0 {
+            inst / derat
+        } else {
+            f64::INFINITY
+        },
         tlb_satisfaction: if derat > 0.0 { 1.0 - dtlb / derat } else { 1.0 },
         dtlb_series_smooth: bezier_smooth(&dtlb_ratio, n),
     }
@@ -289,9 +297,8 @@ pub fn fig9_data_from(art: &RunArtifacts) -> Fig9DataFrom {
         .map(|&(n, e)| (n, c.get(e) as f64 / total))
         .collect();
     let l2_fraction = c.get(HpmEvent::DataFromL2) as f64 / total;
-    let modified_fraction = (c.get(HpmEvent::DataFromL25Mod)
-        + c.get(HpmEvent::DataFromL275Mod)) as f64
-        / total;
+    let modified_fraction =
+        (c.get(HpmEvent::DataFromL25Mod) + c.get(HpmEvent::DataFromL275Mod)) as f64 / total;
     Fig9DataFrom {
         fractions,
         l2_fraction,
@@ -405,7 +412,11 @@ pub fn locking_table(art: &RunArtifacts) -> LockingTable {
     let larx = c.get(HpmEvent::Larx) as f64;
     let cycles = c.get(HpmEvent::Cycles).max(1) as f64;
     LockingTable {
-        instr_per_larx: if larx > 0.0 { inst / larx } else { f64::INFINITY },
+        instr_per_larx: if larx > 0.0 {
+            inst / larx
+        } else {
+            f64::INFINITY
+        },
         lock_acquisition_fraction: larx * 20.0 / inst,
         sync_srq_cycle_fraction: c.get(HpmEvent::SyncSrqCycles) as f64 / cycles,
         stcx_fail_rate: c.get(HpmEvent::StcxFail) as f64 / c.get(HpmEvent::Stcx).max(1) as f64,

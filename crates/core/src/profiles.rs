@@ -57,9 +57,7 @@ fn heap_hot(fp: &FootprintConfig, weight: f64) -> DataRegion {
     DataRegion {
         window: Window::new(Region::JavaHeap.base(), fp.heap_bytes),
         weight,
-        pattern: AccessPattern::Hot {
-            footprint: 8 << 10,
-        },
+        pattern: AccessPattern::Hot { footprint: 8 << 10 },
     }
 }
 
@@ -453,7 +451,10 @@ mod tests {
             .filter(|r| matches!(r.pattern, AccessPattern::Uniform { .. }))
             .map(|r| r.weight)
             .sum();
-        assert!(hot > 0.7, "most references are thread-private hot, got {hot}");
+        assert!(
+            hot > 0.7,
+            "most references are thread-private hot, got {hot}"
+        );
         assert!(cold < 0.06, "the cold tail is small, got {cold}");
     }
 }
@@ -494,8 +495,14 @@ mod probes {
         let loads = c.get(HpmEvent::LoadRefs) as f64;
         let stores = c.get(HpmEvent::StoreRefs) as f64;
         println!("cpi                {:.2}", c.cpi().unwrap());
-        println!("load miss rate     {:.3}", c.get(HpmEvent::LoadMissL1) as f64 / loads);
-        println!("store miss rate    {:.3}", c.get(HpmEvent::StoreMissL1) as f64 / stores);
+        println!(
+            "load miss rate     {:.3}",
+            c.get(HpmEvent::LoadMissL1) as f64 / loads
+        );
+        println!(
+            "store miss rate    {:.3}",
+            c.get(HpmEvent::StoreMissL1) as f64 / stores
+        );
         println!("l1 prefetches      {}", c.get(HpmEvent::L1Prefetch));
         println!("stream allocs      {}", c.get(HpmEvent::StreamAllocs));
         let l1m = c.get(HpmEvent::LoadMissL1) as f64;
@@ -506,7 +513,13 @@ mod probes {
         ] {
             println!("from {}        {:.3}", n, c.get(e) as f64 / l1m);
         }
-        println!("derat/instr        {:.2e}", c.per_instruction(HpmEvent::DeratMiss).unwrap());
-        println!("ifetch L2/instr    {:.2e}", c.per_instruction(HpmEvent::InstFromL2).unwrap());
+        println!(
+            "derat/instr        {:.2e}",
+            c.per_instruction(HpmEvent::DeratMiss).unwrap()
+        );
+        println!(
+            "ifetch L2/instr    {:.2e}",
+            c.per_instruction(HpmEvent::InstFromL2).unwrap()
+        );
     }
 }

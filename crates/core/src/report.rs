@@ -1,8 +1,8 @@
 //! Plain-text rendering of figure data, used by the benches and examples.
 
 use crate::figures::{
-    Fig10Correlation, Fig2Throughput, Fig3Gc, Fig4Profile, Fig5Cpi, Fig6Branch, Fig7Tlb,
-    Fig8L1d, Fig9DataFrom, LockingTable, UtilizationTable,
+    Fig10Correlation, Fig2Throughput, Fig3Gc, Fig4Profile, Fig5Cpi, Fig6Branch, Fig7Tlb, Fig8L1d,
+    Fig9DataFrom, LockingTable, UtilizationTable,
 };
 use std::fmt::Write as _;
 
@@ -12,7 +12,7 @@ fn bar(r: f64, width: usize) -> String {
     if r < 0.0 {
         s.push('-');
     }
-    s.extend(std::iter::repeat('#').take(n));
+    s.extend(std::iter::repeat_n('#', n));
     s
 }
 
@@ -40,7 +40,11 @@ pub fn render_fig3(f: &Fig3Gc) -> String {
             let _ = writeln!(out, "  collections        {}", s.collections);
             let _ = writeln!(out, "  time between GC    {:.1} s", s.mean_interval_s);
             let _ = writeln!(out, "  GC pause           {:.0} ms", s.mean_pause_ms);
-            let _ = writeln!(out, "  % of runtime       {:.2}%", s.runtime_fraction * 100.0);
+            let _ = writeln!(
+                out,
+                "  % of runtime       {:.2}%",
+                s.runtime_fraction * 100.0
+            );
             let _ = writeln!(out, "  mark share of GC   {:.0}%", s.mark_fraction * 100.0);
             let _ = writeln!(out, "  compactions        {}", s.compactions);
             let _ = writeln!(
@@ -66,7 +70,11 @@ pub fn render_fig4(f: &Fig4Profile) -> String {
             let _ = writeln!(out, "  {:<28} {:5.1}%", component.name(), share * 100.0);
         }
     }
-    let _ = writeln!(out, "  JIT-compiled code share       {:5.1}%", f.jitted_share * 100.0);
+    let _ = writeln!(
+        out,
+        "  JIT-compiled code share       {:5.1}%",
+        f.jitted_share * 100.0
+    );
     let _ = writeln!(
         out,
         "  benchmark application share   {:5.1}%",
@@ -88,7 +96,11 @@ pub fn render_fig5(f: &Fig5Cpi) -> String {
     let mut out = String::from("Figure 5: CPI, Speculation Rate, L1 Miss Rate\n");
     let _ = writeln!(out, "  CPI                      {:.2}", f.cpi);
     let _ = writeln!(out, "  dispatched / completed   {:.2}", f.speculation);
-    let _ = writeln!(out, "  L1D miss rate            {:.1}%", f.l1d_miss_rate * 100.0);
+    let _ = writeln!(
+        out,
+        "  L1D miss rate            {:.1}%",
+        f.l1d_miss_rate * 100.0
+    );
     if let Some(r) = f.cpi_vs_speculation {
         let _ = writeln!(out, "  corr(CPI, speculation)   {r:.2}");
     }
@@ -116,9 +128,21 @@ pub fn render_fig6(f: &Fig6Branch) -> String {
 #[must_use]
 pub fn render_fig7(f: &Fig7Tlb) -> String {
     let mut out = String::from("Figure 7: Translation Miss Frequency (per instruction)\n");
-    let _ = writeln!(out, "  DERAT {:.2e}   IERAT {:.2e}", f.derat_per_instr, f.ierat_per_instr);
-    let _ = writeln!(out, "  DTLB  {:.2e}   ITLB  {:.2e}", f.dtlb_per_instr, f.itlb_per_instr);
-    let _ = writeln!(out, "  instructions between DERAT misses: {:.0}", f.instr_between_derat);
+    let _ = writeln!(
+        out,
+        "  DERAT {:.2e}   IERAT {:.2e}",
+        f.derat_per_instr, f.ierat_per_instr
+    );
+    let _ = writeln!(
+        out,
+        "  DTLB  {:.2e}   ITLB  {:.2e}",
+        f.dtlb_per_instr, f.itlb_per_instr
+    );
+    let _ = writeln!(
+        out,
+        "  instructions between DERAT misses: {:.0}",
+        f.instr_between_derat
+    );
     let _ = writeln!(
         out,
         "  TLB satisfies {:.0}% of DERAT misses",
@@ -157,7 +181,13 @@ pub fn render_fig8(f: &Fig8L1d) -> String {
 pub fn render_fig9(f: &Fig9DataFrom) -> String {
     let mut out = String::from("Figure 9: Data Loaded From (after an L1 miss)\n");
     for (name, frac) in &f.fractions {
-        let _ = writeln!(out, "  {:<16} {:5.1}%  {}", name, frac * 100.0, bar(*frac, 40));
+        let _ = writeln!(
+            out,
+            "  {:<16} {:5.1}%  {}",
+            name,
+            frac * 100.0,
+            bar(*frac, 40)
+        );
     }
     let _ = writeln!(
         out,
@@ -190,7 +220,11 @@ pub fn render_fig10(f: &Fig10Correlation) -> String {
 #[must_use]
 pub fn render_locking(t: &LockingTable) -> String {
     let mut out = String::from("Locking and SYNC (Section 4.2.4)\n");
-    let _ = writeln!(out, "  instructions per LARX        {:.0}", t.instr_per_larx);
+    let _ = writeln!(
+        out,
+        "  instructions per LARX        {:.0}",
+        t.instr_per_larx
+    );
     let _ = writeln!(
         out,
         "  lock acquisition instr share {:.1}%",
@@ -201,8 +235,16 @@ pub fn render_locking(t: &LockingTable) -> String {
         "  SYNC-in-SRQ cycle fraction   {:.2}%",
         t.sync_srq_cycle_fraction * 100.0
     );
-    let _ = writeln!(out, "  STCX failure rate            {:.2}%", t.stcx_fail_rate * 100.0);
-    let _ = writeln!(out, "  monitor contention           {:.2}%", t.monitor_contention * 100.0);
+    let _ = writeln!(
+        out,
+        "  STCX failure rate            {:.2}%",
+        t.stcx_fail_rate * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  monitor contention           {:.2}%",
+        t.monitor_contention * 100.0
+    );
     out
 }
 

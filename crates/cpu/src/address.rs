@@ -91,7 +91,10 @@ impl Region {
     #[must_use]
     pub fn of(addr: u64) -> Region {
         let idx = (addr >> 44) as usize;
-        assert!(idx < Region::ALL.len(), "address {addr:#x} outside mapped space");
+        assert!(
+            idx < Region::ALL.len(),
+            "address {addr:#x} outside mapped space"
+        );
         Region::ALL[idx]
     }
 }
@@ -184,7 +187,10 @@ mod tests {
             code_large_pages: true,
         };
         assert_eq!(m.page_size(Region::JitCode.base() + 42), PageSize::Large16M);
-        assert_eq!(m.page_size(Region::NativeCode.base() + 42), PageSize::Large16M);
+        assert_eq!(
+            m.page_size(Region::NativeCode.base() + 42),
+            PageSize::Large16M
+        );
         assert_eq!(m.page_size(Region::Stacks.base() + 42), PageSize::Small4K);
     }
 
@@ -194,14 +200,20 @@ mod tests {
             heap_large_pages: false,
             code_large_pages: false,
         };
-        assert_eq!(m.page_size(Region::JavaHeap.base() + 123), PageSize::Small4K);
+        assert_eq!(
+            m.page_size(Region::JavaHeap.base() + 123),
+            PageSize::Small4K
+        );
     }
 
     #[test]
     fn page_base_respects_region_policy() {
         let m = AddressMap::default();
         let heap_addr = Region::JavaHeap.base() + 0x0123_4567;
-        assert_eq!(m.page_base(heap_addr), Region::JavaHeap.base() + 0x0100_0000);
+        assert_eq!(
+            m.page_base(heap_addr),
+            Region::JavaHeap.base() + 0x0100_0000
+        );
         let stack_addr = Region::Stacks.base() + 0x1234;
         assert_eq!(m.page_base(stack_addr), Region::Stacks.base() + 0x1000);
     }

@@ -97,11 +97,14 @@ impl CacheConfig {
     /// field zero).
     #[must_use]
     pub fn sets(&self) -> usize {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.ways > 0, "need at least one way");
         let lines = self.size_bytes / self.line_bytes;
         assert!(
-            lines % self.ways as u64 == 0 && lines > 0,
+            lines.is_multiple_of(self.ways as u64) && lines > 0,
             "capacity must be a whole number of sets"
         );
         // POWER4's L2 has 1440 sets, so set counts need not be powers of two;
@@ -154,6 +157,16 @@ impl SetAssocCache {
     #[must_use]
     pub fn line_of(&self, addr: u64) -> u64 {
         addr / self.cfg.line_bytes
+    }
+
+    /// Byte address of the start of line `line` — the inverse of
+    /// [`SetAssocCache::line_of`]. Used when turning line-granule events
+    /// (e.g. prefetches) back into addresses for the shared-hierarchy
+    /// event buffers.
+    #[inline]
+    #[must_use]
+    pub fn addr_of_line(&self, line: u64) -> u64 {
+        line * self.cfg.line_bytes
     }
 
     #[inline]
@@ -214,7 +227,11 @@ impl SetAssocCache {
         // Free way?
         for l in &mut self.lines[range.clone()] {
             if l.state == Mesi::Invalid {
-                *l = Line { tag: line, state, stamp: tick };
+                *l = Line {
+                    tag: line,
+                    state,
+                    stamp: tick,
+                };
                 return None;
             }
         }
@@ -231,7 +248,11 @@ impl SetAssocCache {
             range.start + best
         };
         let victim = self.lines[victim_idx];
-        self.lines[victim_idx] = Line { tag: line, state, stamp: tick };
+        self.lines[victim_idx] = Line {
+            tag: line,
+            state,
+            stamp: tick,
+        };
         Some((victim.tag, victim.state))
     }
 
@@ -269,7 +290,10 @@ impl SetAssocCache {
     /// Number of valid lines currently held.
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.lines.iter().filter(|l| l.state != Mesi::Invalid).count()
+        self.lines
+            .iter()
+            .filter(|l| l.state != Mesi::Invalid)
+            .count()
     }
 }
 

@@ -111,6 +111,42 @@ pub enum InstSource {
     Memory,
 }
 
+/// One shared-hierarchy access recorded by a core during the parallel
+/// (core-private) execution phase.
+///
+/// Cores append these to a per-core ordered buffer instead of touching the
+/// shared [`MemorySystem`] directly; a reconciliation pass drains the
+/// buffers in fixed core order and replays each event against the shared
+/// state (see `jas_cpu::reconcile_core`). Buffer order is program order
+/// within a core, so the replay is deterministic regardless of how many
+/// host threads executed the recording phase.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MemEvent {
+    /// L1 I-cache miss: instruction fetch at `addr` needs a supplier.
+    InstMiss {
+        /// Instruction address that missed.
+        addr: u64,
+    },
+    /// L1 D-cache demand load miss, with the pipeline overlap factor the
+    /// core computed from its burst window when the miss was recorded.
+    LoadMiss {
+        /// Effective address that missed.
+        addr: u64,
+        /// Fraction of the miss latency exposed to the pipeline.
+        overlap: f64,
+    },
+    /// Write-through store (always reaches the L2, hit or miss).
+    Store {
+        /// Effective address stored to.
+        addr: u64,
+    },
+    /// Hardware prefetch staged into the L2.
+    Prefetch {
+        /// Address of the prefetched line.
+        addr: u64,
+    },
+}
+
 /// The shared levels of the memory hierarchy.
 #[derive(Clone, Debug)]
 pub struct MemorySystem {
@@ -125,7 +161,9 @@ impl MemorySystem {
     pub fn new(topo: Topology, l2_cfg: CacheConfig, l3_cfg: CacheConfig) -> Self {
         MemorySystem {
             topo,
-            l2s: (0..topo.chips()).map(|_| SetAssocCache::new(l2_cfg)).collect(),
+            l2s: (0..topo.chips())
+                .map(|_| SetAssocCache::new(l2_cfg))
+                .collect(),
             l3s: (0..topo.mcms).map(|_| SetAssocCache::new(l3_cfg)).collect(),
         }
     }
@@ -319,8 +357,8 @@ mod tests {
         let mut m = system();
         let addr = 0x5_0000;
         m.store(0, addr); // line Modified in chip 0's L2
-        // Evict it by filling the set; L2 has 1440 sets x 128B lines, so
-        // lines that collide are 1440 lines apart.
+                          // Evict it by filling the set; L2 has 1440 sets x 128B lines, so
+                          // lines that collide are 1440 lines apart.
         let stride = 1440 * 128;
         for k in 1..=9u64 {
             let _ = m.load_miss(0, addr + k * stride);
@@ -334,7 +372,7 @@ mod tests {
         let mut m = system();
         let addr = 0x9_0000;
         let _ = m.load_miss(0, addr); // chip 0 (MCM 0) now caches it
-        // Chip 1 lives on MCM 1 in the default topology → L2.75.
+                                      // Chip 1 lives on MCM 1 in the default topology → L2.75.
         assert_eq!(m.load_miss(1, addr), DataSource::L275Shared);
     }
 
@@ -372,7 +410,7 @@ mod tests {
         let _ = m.load_miss(0, addr);
         let _ = m.load_miss(1, addr); // both chips now share the line
         m.store(0, addr); // chip 0 takes ownership
-        // Chip 1's copy must be gone: its next load is a remote-modified hit.
+                          // Chip 1's copy must be gone: its next load is a remote-modified hit.
         assert_eq!(m.load_miss(1, addr), DataSource::L275Modified);
     }
 
@@ -399,7 +437,7 @@ mod tests {
         let mut m = system();
         let addr = 0x11_0000;
         assert_eq!(m.fetch_inst(0, addr), InstSource::Memory); // fills L2 + L3
-        // Evict from L2 by conflict, then the L3 should supply.
+                                                               // Evict from L2 by conflict, then the L3 should supply.
         let stride = 1440 * 128;
         for k in 1..=9u64 {
             let _ = m.fetch_inst(0, addr + k * stride);

@@ -1,12 +1,32 @@
 //! The machine model: cores, their private structures, and the shared
 //! memory hierarchy, executing [`MicroOp`] streams and maintaining HPM
 //! counters.
+//!
+//! # Two-phase execution
+//!
+//! The machine is split into strictly **core-private** state
+//! ([`CorePrivate`]: L1 I/D, ERAT/TLB, branch predictors, prefetcher,
+//! pipeline accounting, HPM counters) and the **shared** hierarchy
+//! ([`MemorySystem`]: L2s, L3s, MESI coherence). A core executes its
+//! micro-op stream against private state only
+//! ([`CorePrivate::exec_record`]), appending every shared-hierarchy access
+//! to an ordered [`MemEvent`] buffer and charging a *provisional* L2-hit
+//! latency for each miss. A deterministic reconciliation pass
+//! ([`reconcile_core`]) later drains the buffers in fixed core order,
+//! applies coherence effects, classifies each miss by its true supplier,
+//! and returns the latency correction to charge back. Because the
+//! recording phase touches no shared state, any number of cores may record
+//! concurrently and the end state is bit-identical to running them one
+//! after another — the invariant the engine's `--threads` knob relies on.
+//!
+//! [`Machine::exec`] remains the immediate single-op path (record one op,
+//! reconcile at once) for unit tests and microbenchmarks.
 
 use crate::address::AddressMap;
 use crate::branch::{BranchConfig, BranchUnit, LinkStack};
 use crate::cache::{CacheConfig, Mesi, SetAssocCache};
 use crate::counters::{CounterFile, HpmEvent};
-use crate::hierarchy::{DataSource, InstSource, MemorySystem, Topology};
+use crate::hierarchy::{DataSource, InstSource, MemEvent, MemorySystem, Topology};
 use crate::pipeline::{CostModel, FracCounter};
 use crate::prefetch::{PrefetchConfig, Prefetcher};
 use crate::tlb::{Mmu, MmuConfig, TranslationOutcome};
@@ -63,9 +83,10 @@ impl Default for MachineConfig {
     }
 }
 
-/// Per-core private state.
+/// Per-core private state: everything a core may touch while other cores
+/// are executing concurrently.
 #[derive(Clone, Debug)]
-struct Core {
+pub struct CorePrivate {
     l1i: SetAssocCache,
     l1d: SetAssocCache,
     mmu: Mmu,
@@ -85,9 +106,9 @@ struct Core {
     noise: u64,
 }
 
-impl Core {
+impl CorePrivate {
     fn new(cfg: &MachineConfig, id: usize) -> Self {
-        Core {
+        CorePrivate {
             l1i: SetAssocCache::new(cfg.l1i),
             l1d: SetAssocCache::new(cfg.l1d),
             mmu: Mmu::new(cfg.mmu),
@@ -115,6 +136,308 @@ impl Core {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         ((z ^ (z >> 31)) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
+
+    /// This core's cumulative HPM counters.
+    #[must_use]
+    pub fn counters(&self) -> &CounterFile {
+        &self.counters
+    }
+
+    /// Executes one instruction against core-private state only:
+    /// instruction fetch from `ia`, then the op's architectural effect.
+    /// Shared-hierarchy traffic is appended to `events`; every recorded
+    /// miss is charged the provisional L2-hit latency, to be corrected by
+    /// [`reconcile_core`]. Returns the provisional cycles consumed.
+    pub fn exec_record(
+        &mut self,
+        cost: &CostModel,
+        addr_map: AddressMap,
+        ia: u64,
+        op: MicroOp,
+        events: &mut Vec<MemEvent>,
+    ) -> f64 {
+        let c = self;
+        c.op_index += 1;
+
+        let mut cycles = cost.base_cpi;
+        let mut dispatched = 1.0 + cost.baseline_overdispatch;
+
+        // ---- Instruction side: one fetch per new cache line. ----
+        let fetch_line = c.l1i.line_of(ia);
+        if fetch_line != c.last_fetch_line {
+            c.last_fetch_line = fetch_line;
+            // Translate the fetch address.
+            let page = addr_map.page_size(ia);
+            match c.mmu.translate_inst(ia, page) {
+                TranslationOutcome::EratHit => {}
+                TranslationOutcome::EratMissTlbHit => {
+                    c.counters.bump(HpmEvent::IeratMiss);
+                    cycles += cost.erat_miss_cycles * cost.inst_overlap;
+                }
+                TranslationOutcome::TlbMiss => {
+                    c.counters.bump(HpmEvent::IeratMiss);
+                    c.counters.bump(HpmEvent::ItlbMiss);
+                    cycles += cost.tlb_walk_cycles * cost.inst_overlap;
+                }
+            }
+            if c.l1i.access(fetch_line).is_some() {
+                c.counters.bump(HpmEvent::InstFromL1);
+            } else {
+                // Provisional: charge an L2 hit now; the reconciliation
+                // pass classifies the true supplier and charges the
+                // difference.
+                events.push(MemEvent::InstMiss { addr: ia });
+                cycles += cost.l2_latency * cost.inst_overlap;
+                c.l1i.insert(fetch_line, Mesi::Shared);
+            }
+        } else {
+            c.counters.bump(HpmEvent::InstFromL1);
+        }
+
+        // ---- Op effect. ----
+        match op {
+            MicroOp::Alu => {}
+            MicroOp::Load { ea } | MicroOp::Larx { ea } => {
+                if matches!(op, MicroOp::Larx { .. }) {
+                    c.counters.bump(HpmEvent::Larx);
+                }
+                c.counters.bump(HpmEvent::LoadRefs);
+                Self::data_translate(c, cost, ea, addr_map, &mut cycles, &mut dispatched);
+                let line = c.l1d.line_of(ea);
+                let l1_hit = c.l1d.access(line).is_some();
+                // The prefetch engine observes every load: stream
+                // confirmations ride on prefetch hits, allocations on misses.
+                let decision = c.prefetch.on_l1_load(line, !l1_hit);
+                if decision.allocated {
+                    c.counters.bump(HpmEvent::StreamAllocs);
+                }
+                for &pl in &decision.l1_lines {
+                    c.counters.bump(HpmEvent::L1Prefetch);
+                    c.l1d.insert(pl, Mesi::Shared);
+                    events.push(MemEvent::Prefetch {
+                        addr: c.l1d.addr_of_line(pl),
+                    });
+                }
+                for &pl in &decision.l2_lines {
+                    c.counters.bump(HpmEvent::L2Prefetch);
+                    events.push(MemEvent::Prefetch {
+                        addr: c.l1d.addr_of_line(pl),
+                    });
+                }
+                if !l1_hit {
+                    c.counters.bump(HpmEvent::LoadMissL1);
+                    let burst =
+                        c.op_index.wrapping_sub(c.last_l1d_miss_op) <= cost.burst_window_ops;
+                    c.last_l1d_miss_op = c.op_index;
+                    let overlap = if burst {
+                        cost.overlap_burst
+                    } else {
+                        cost.overlap_isolated
+                    };
+                    // Provisional L2-hit charge; reconciliation walks the
+                    // real hierarchy and charges the difference.
+                    events.push(MemEvent::LoadMiss { addr: ea, overlap });
+                    cycles += cost.l2_latency * overlap;
+                    // Dispatch rejects: some misses cause group reissue.
+                    if c.noise_f64() < cost.reissue_on_miss_prob {
+                        c.counters.bump(HpmEvent::GroupReissues);
+                        dispatched += cost.group_reissue_dispatch;
+                    }
+                    c.l1d.insert(line, Mesi::Shared);
+                }
+            }
+            MicroOp::Store { ea } | MicroOp::Stcx { ea, .. } => {
+                if let MicroOp::Stcx { fail, .. } = op {
+                    c.counters.bump(HpmEvent::Stcx);
+                    if fail {
+                        c.counters.bump(HpmEvent::StcxFail);
+                    }
+                    cycles += cost.stcx_cycles;
+                }
+                c.counters.bump(HpmEvent::StoreRefs);
+                Self::data_translate(c, cost, ea, addr_map, &mut cycles, &mut dispatched);
+                let line = c.l1d.line_of(ea);
+                // Write-through: the store goes to L2 either way; an L1 miss
+                // does NOT allocate in L1 (paper Section 4.2.3).
+                if c.l1d.access(line).is_none() {
+                    c.counters.bump(HpmEvent::StoreMissL1);
+                    cycles += cost.store_miss_cycles;
+                }
+                events.push(MemEvent::Store { addr: ea });
+            }
+            MicroOp::CondBranch { site, taken } => {
+                c.counters.bump(HpmEvent::Branches);
+                if !c.branch.resolve_conditional(site, taken).correct {
+                    c.counters.bump(HpmEvent::BrMpredCond);
+                    cycles += cost.mispredict_cycles;
+                    dispatched += cost.wrong_path_dispatch;
+                }
+            }
+            MicroOp::IndBranch { site, target } => {
+                c.counters.bump(HpmEvent::Branches);
+                c.counters.bump(HpmEvent::IndirectBranches);
+                if !c.branch.resolve_indirect(site, target).correct {
+                    c.counters.bump(HpmEvent::BrMpredTarget);
+                    cycles += cost.mispredict_cycles;
+                    dispatched += cost.wrong_path_dispatch;
+                    // A target misprediction redirects fetch: the next op
+                    // fetches from the (new) target line.
+                    c.last_fetch_line = u64::MAX;
+                }
+            }
+            MicroOp::Sync => {
+                c.counters.bump(HpmEvent::SyncCount);
+                cycles += cost.sync_srq_cycles;
+                c.srq.add(
+                    &mut c.counters,
+                    HpmEvent::SyncSrqCycles,
+                    cost.sync_srq_cycles,
+                );
+            }
+            MicroOp::Call { ret } => {
+                // Direct calls are perfectly target-predicted; the link
+                // stack records the return address. (PM_BR_CMPL counts
+                // conditional branches only, as used by Figure 6.)
+                c.link_stack.push(ret);
+            }
+            MicroOp::Return { to } => {
+                c.counters.bump(HpmEvent::Returns);
+                if !c.link_stack.resolve_return(to) {
+                    c.counters.bump(HpmEvent::RetMpred);
+                    cycles += cost.mispredict_cycles;
+                    dispatched += cost.wrong_path_dispatch;
+                    c.last_fetch_line = u64::MAX;
+                }
+            }
+        }
+
+        // ---- Completion accounting. ----
+        c.counters.bump(HpmEvent::InstCompleted);
+        c.cyc.add(&mut c.counters, HpmEvent::Cycles, cycles);
+        c.disp
+            .add(&mut c.counters, HpmEvent::InstDispatched, dispatched);
+        c.cmpl_cyc.add(
+            &mut c.counters,
+            HpmEvent::CyclesWithCompletion,
+            1.0 / cost.completion_group_width,
+        );
+        cycles
+    }
+
+    fn data_translate(
+        c: &mut CorePrivate,
+        cost: &CostModel,
+        ea: u64,
+        addr_map: AddressMap,
+        cycles: &mut f64,
+        dispatched: &mut f64,
+    ) {
+        let page = addr_map.page_size(ea);
+        match c.mmu.translate_data(ea, page) {
+            TranslationOutcome::EratHit => {}
+            TranslationOutcome::EratMissTlbHit => {
+                c.counters.bump(HpmEvent::DeratMiss);
+                *cycles += cost.erat_miss_cycles;
+                // The load is retried every `reject_retry_cycles` until the
+                // translation arrives — each retry is a dispatch.
+                *dispatched += cost.erat_miss_cycles / cost.reject_retry_cycles;
+            }
+            TranslationOutcome::TlbMiss => {
+                c.counters.bump(HpmEvent::DeratMiss);
+                c.counters.bump(HpmEvent::DtlbMiss);
+                *cycles += cost.tlb_walk_cycles;
+                *dispatched += cost.tlb_walk_cycles / cost.reject_retry_cycles;
+            }
+        }
+    }
+}
+
+/// Load-to-use latency of a data source under `cost`.
+#[must_use]
+pub fn data_latency(cost: &CostModel, source: DataSource) -> f64 {
+    match source {
+        DataSource::L2 => cost.l2_latency,
+        DataSource::L25Shared | DataSource::L25Modified => cost.l25_latency,
+        DataSource::L275Shared | DataSource::L275Modified => cost.l275_latency,
+        DataSource::L3 => cost.l3_latency,
+        DataSource::L35 => cost.l35_latency,
+        DataSource::Memory => cost.mem_latency,
+    }
+}
+
+fn data_event(source: DataSource) -> HpmEvent {
+    match source {
+        DataSource::L2 => HpmEvent::DataFromL2,
+        DataSource::L25Shared => HpmEvent::DataFromL25Shr,
+        DataSource::L25Modified => HpmEvent::DataFromL25Mod,
+        DataSource::L275Shared => HpmEvent::DataFromL275Shr,
+        DataSource::L275Modified => HpmEvent::DataFromL275Mod,
+        DataSource::L3 => HpmEvent::DataFromL3,
+        DataSource::L35 => HpmEvent::DataFromL35,
+        DataSource::Memory => HpmEvent::DataFromMem,
+    }
+}
+
+/// Drains `core`'s recorded shared-hierarchy events **in program order**
+/// through the shared memory system: applies coherence effects, classifies
+/// each miss by its true supplier (bumping the corresponding HPM
+/// counters), and accumulates the latency difference against the
+/// provisional L2-hit charge taken during recording. The correction is
+/// added to the core's cycle counter and returned so the caller can charge
+/// it against the core's execution budget.
+///
+/// Calling this for every core in a fixed order yields a machine state and
+/// counter file that are bit-identical regardless of how the recording
+/// phase was scheduled across host threads.
+pub fn reconcile_core(
+    core: &mut CorePrivate,
+    chip: usize,
+    cost: &CostModel,
+    mem: &mut MemorySystem,
+    events: &mut Vec<MemEvent>,
+) -> f64 {
+    let mut correction = 0.0;
+    for event in events.drain(..) {
+        match event {
+            MemEvent::InstMiss { addr } => {
+                let (hpm_event, latency) = match mem.fetch_inst(chip, addr) {
+                    InstSource::L2 => (HpmEvent::InstFromL2, cost.l2_latency),
+                    InstSource::L3 => (HpmEvent::InstFromL3, cost.l3_latency),
+                    InstSource::Memory => (HpmEvent::InstFromMem, cost.mem_latency),
+                };
+                core.counters.bump(hpm_event);
+                correction += (latency - cost.l2_latency) * cost.inst_overlap;
+            }
+            MemEvent::LoadMiss { addr, overlap } => {
+                let source = mem.load_miss(chip, addr);
+                core.counters.bump(data_event(source));
+                correction += (data_latency(cost, source) - cost.l2_latency) * overlap;
+            }
+            MemEvent::Store { addr } => {
+                let _l2_hit = mem.store(chip, addr);
+            }
+            MemEvent::Prefetch { addr } => {
+                mem.prefetch_into_l2(chip, addr);
+            }
+        }
+    }
+    if correction > 0.0 {
+        core.cyc
+            .add(&mut core.counters, HpmEvent::Cycles, correction);
+    }
+    correction
+}
+
+/// Mutable views over the machine's disjoint halves, for callers that run
+/// the recording phase themselves (possibly across threads) and then
+/// reconcile.
+pub struct MachineParts<'a> {
+    /// The machine's configuration.
+    pub cfg: &'a MachineConfig,
+    /// Core-private halves, indexed by core id.
+    pub cores: &'a mut [CorePrivate],
+    /// The shared hierarchy.
+    pub mem: &'a mut MemorySystem,
 }
 
 /// The simulated multiprocessor.
@@ -133,8 +456,10 @@ impl Core {
 #[derive(Clone, Debug)]
 pub struct Machine {
     cfg: MachineConfig,
-    cores: Vec<Core>,
+    cores: Vec<CorePrivate>,
     mem: MemorySystem,
+    /// Scratch buffer for the immediate [`Machine::exec`] path.
+    scratch: Vec<MemEvent>,
 }
 
 impl Machine {
@@ -142,10 +467,15 @@ impl Machine {
     #[must_use]
     pub fn new(cfg: MachineConfig) -> Self {
         let cores = (0..cfg.topology.cores())
-            .map(|id| Core::new(&cfg, id))
+            .map(|id| CorePrivate::new(&cfg, id))
             .collect();
         let mem = MemorySystem::new(cfg.topology, cfg.l2, cfg.l3);
-        Machine { cfg, cores, mem }
+        Machine {
+            cfg,
+            cores,
+            mem,
+            scratch: Vec::new(),
+        }
     }
 
     /// The machine's configuration.
@@ -180,8 +510,57 @@ impl Machine {
         total
     }
 
-    /// Executes one instruction on `core`: instruction fetch from `ia`,
-    /// then the op's architectural effect. Returns the cycles consumed.
+    /// Splits the machine into its disjoint halves for two-phase
+    /// execution: per-core private state and the shared hierarchy.
+    #[must_use]
+    pub fn parts_mut(&mut self) -> MachineParts<'_> {
+        MachineParts {
+            cfg: &self.cfg,
+            cores: &mut self.cores,
+            mem: &mut self.mem,
+        }
+    }
+
+    /// Detaches the per-core private halves so a scheduler can move them
+    /// into worker threads (ownership transfer — no copying). The machine
+    /// keeps the shared hierarchy; [`Machine::restore_cores`] must be
+    /// called before any counter read or [`Machine::exec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cores are already detached.
+    #[must_use]
+    pub fn take_cores(&mut self) -> Vec<CorePrivate> {
+        assert!(
+            !self.cores.is_empty(),
+            "cores already detached (unbalanced take_cores)"
+        );
+        std::mem::take(&mut self.cores)
+    }
+
+    /// Re-attaches cores previously removed with [`Machine::take_cores`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count does not match the machine's topology.
+    pub fn restore_cores(&mut self, cores: Vec<CorePrivate>) {
+        assert_eq!(
+            cores.len(),
+            self.cfg.topology.cores(),
+            "restored core count must match topology"
+        );
+        self.cores = cores;
+    }
+
+    /// The shared hierarchy (for reconciliation while cores are detached).
+    pub fn mem_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
+    /// Executes one instruction on `core` immediately: records against the
+    /// core's private state, then reconciles the shared-hierarchy events
+    /// at once. Returns the cycles consumed (including the reconciled
+    /// latency correction).
     ///
     /// # Panics
     ///
@@ -191,198 +570,9 @@ impl Machine {
         let cost = self.cfg.cost;
         let addr_map = self.cfg.addr_map;
         let c = &mut self.cores[core];
-        let mem = &mut self.mem;
-        c.op_index += 1;
-
-        let mut cycles = cost.base_cpi;
-        let mut dispatched = 1.0 + cost.baseline_overdispatch;
-
-        // ---- Instruction side: one fetch per new cache line. ----
-        let fetch_line = c.l1i.line_of(ia);
-        if fetch_line != c.last_fetch_line {
-            c.last_fetch_line = fetch_line;
-            // Translate the fetch address.
-            let page = addr_map.page_size(ia);
-            match c.mmu.translate_inst(ia, page) {
-                TranslationOutcome::EratHit => {}
-                TranslationOutcome::EratMissTlbHit => {
-                    c.counters.bump(HpmEvent::IeratMiss);
-                    cycles += cost.erat_miss_cycles * cost.inst_overlap;
-                }
-                TranslationOutcome::TlbMiss => {
-                    c.counters.bump(HpmEvent::IeratMiss);
-                    c.counters.bump(HpmEvent::ItlbMiss);
-                    cycles += cost.tlb_walk_cycles * cost.inst_overlap;
-                }
-            }
-            if c.l1i.access(fetch_line).is_some() {
-                c.counters.bump(HpmEvent::InstFromL1);
-            } else {
-                let (event, latency) = match mem.fetch_inst(chip, ia) {
-                    InstSource::L2 => (HpmEvent::InstFromL2, cost.l2_latency),
-                    InstSource::L3 => (HpmEvent::InstFromL3, cost.l3_latency),
-                    InstSource::Memory => (HpmEvent::InstFromMem, cost.mem_latency),
-                };
-                c.counters.bump(event);
-                cycles += latency * cost.inst_overlap;
-                c.l1i.insert(fetch_line, Mesi::Shared);
-            }
-        } else {
-            c.counters.bump(HpmEvent::InstFromL1);
-        }
-
-        // ---- Op effect. ----
-        match op {
-            MicroOp::Alu => {}
-            MicroOp::Load { ea } | MicroOp::Larx { ea } => {
-                if matches!(op, MicroOp::Larx { .. }) {
-                    c.counters.bump(HpmEvent::Larx);
-                }
-                c.counters.bump(HpmEvent::LoadRefs);
-                Self::data_translate(c, &cost, ea, addr_map, &mut cycles, &mut dispatched);
-                let line = c.l1d.line_of(ea);
-                let l1_hit = c.l1d.access(line).is_some();
-                // The prefetch engine observes every load: stream
-                // confirmations ride on prefetch hits, allocations on misses.
-                let decision = c.prefetch.on_l1_load(line, !l1_hit);
-                if decision.allocated {
-                    c.counters.bump(HpmEvent::StreamAllocs);
-                }
-                for &pl in &decision.l1_lines {
-                    c.counters.bump(HpmEvent::L1Prefetch);
-                    c.l1d.insert(pl, Mesi::Shared);
-                    mem.prefetch_into_l2(chip, pl * c.l1d.config().line_bytes);
-                }
-                for &pl in &decision.l2_lines {
-                    c.counters.bump(HpmEvent::L2Prefetch);
-                    mem.prefetch_into_l2(chip, pl * c.l1d.config().line_bytes);
-                }
-                if !l1_hit {
-                    c.counters.bump(HpmEvent::LoadMissL1);
-                    let burst =
-                        c.op_index.wrapping_sub(c.last_l1d_miss_op) <= cost.burst_window_ops;
-                    c.last_l1d_miss_op = c.op_index;
-                    // Demand miss walks the hierarchy.
-                    let source = mem.load_miss(chip, ea);
-                    let (event, latency) = match source {
-                        DataSource::L2 => (HpmEvent::DataFromL2, cost.l2_latency),
-                        DataSource::L25Shared => (HpmEvent::DataFromL25Shr, cost.l25_latency),
-                        DataSource::L25Modified => (HpmEvent::DataFromL25Mod, cost.l25_latency),
-                        DataSource::L275Shared => (HpmEvent::DataFromL275Shr, cost.l275_latency),
-                        DataSource::L275Modified => (HpmEvent::DataFromL275Mod, cost.l275_latency),
-                        DataSource::L3 => (HpmEvent::DataFromL3, cost.l3_latency),
-                        DataSource::L35 => (HpmEvent::DataFromL35, cost.l35_latency),
-                        DataSource::Memory => (HpmEvent::DataFromMem, cost.mem_latency),
-                    };
-                    c.counters.bump(event);
-                    let overlap = if burst { cost.overlap_burst } else { cost.overlap_isolated };
-                    cycles += latency * overlap;
-                    // Dispatch rejects: some misses cause group reissue.
-                    if c.noise_f64() < cost.reissue_on_miss_prob {
-                        c.counters.bump(HpmEvent::GroupReissues);
-                        dispatched += cost.group_reissue_dispatch;
-                    }
-                    c.l1d.insert(line, Mesi::Shared);
-                }
-            }
-            MicroOp::Store { ea } | MicroOp::Stcx { ea, .. } => {
-                if let MicroOp::Stcx { fail, .. } = op {
-                    c.counters.bump(HpmEvent::Stcx);
-                    if fail {
-                        c.counters.bump(HpmEvent::StcxFail);
-                    }
-                    cycles += cost.stcx_cycles;
-                }
-                c.counters.bump(HpmEvent::StoreRefs);
-                Self::data_translate(c, &cost, ea, addr_map, &mut cycles, &mut dispatched);
-                let line = c.l1d.line_of(ea);
-                // Write-through: the store goes to L2 either way; an L1 miss
-                // does NOT allocate in L1 (paper Section 4.2.3).
-                if c.l1d.access(line).is_none() {
-                    c.counters.bump(HpmEvent::StoreMissL1);
-                    cycles += cost.store_miss_cycles;
-                }
-                let _l2_hit = mem.store(chip, ea);
-            }
-            MicroOp::CondBranch { site, taken } => {
-                c.counters.bump(HpmEvent::Branches);
-                if !c.branch.resolve_conditional(site, taken).correct {
-                    c.counters.bump(HpmEvent::BrMpredCond);
-                    cycles += cost.mispredict_cycles;
-                    dispatched += cost.wrong_path_dispatch;
-                }
-            }
-            MicroOp::IndBranch { site, target } => {
-                c.counters.bump(HpmEvent::Branches);
-                c.counters.bump(HpmEvent::IndirectBranches);
-                if !c.branch.resolve_indirect(site, target).correct {
-                    c.counters.bump(HpmEvent::BrMpredTarget);
-                    cycles += cost.mispredict_cycles;
-                    dispatched += cost.wrong_path_dispatch;
-                    // A target misprediction redirects fetch: the next op
-                    // fetches from the (new) target line.
-                    c.last_fetch_line = u64::MAX;
-                }
-            }
-            MicroOp::Sync => {
-                c.counters.bump(HpmEvent::SyncCount);
-                cycles += cost.sync_srq_cycles;
-                c.srq.add(&mut c.counters, HpmEvent::SyncSrqCycles, cost.sync_srq_cycles);
-            }
-            MicroOp::Call { ret } => {
-                // Direct calls are perfectly target-predicted; the link
-                // stack records the return address. (PM_BR_CMPL counts
-                // conditional branches only, as used by Figure 6.)
-                c.link_stack.push(ret);
-            }
-            MicroOp::Return { to } => {
-                c.counters.bump(HpmEvent::Returns);
-                if !c.link_stack.resolve_return(to) {
-                    c.counters.bump(HpmEvent::RetMpred);
-                    cycles += cost.mispredict_cycles;
-                    dispatched += cost.wrong_path_dispatch;
-                    c.last_fetch_line = u64::MAX;
-                }
-            }
-        }
-
-        // ---- Completion accounting. ----
-        c.counters.bump(HpmEvent::InstCompleted);
-        c.cyc.add(&mut c.counters, HpmEvent::Cycles, cycles);
-        c.disp.add(&mut c.counters, HpmEvent::InstDispatched, dispatched);
-        c.cmpl_cyc.add(
-            &mut c.counters,
-            HpmEvent::CyclesWithCompletion,
-            1.0 / cost.completion_group_width,
-        );
-        cycles
-    }
-
-    fn data_translate(
-        c: &mut Core,
-        cost: &CostModel,
-        ea: u64,
-        addr_map: AddressMap,
-        cycles: &mut f64,
-        dispatched: &mut f64,
-    ) {
-        let page = addr_map.page_size(ea);
-        match c.mmu.translate_data(ea, page) {
-            TranslationOutcome::EratHit => {}
-            TranslationOutcome::EratMissTlbHit => {
-                c.counters.bump(HpmEvent::DeratMiss);
-                *cycles += cost.erat_miss_cycles;
-                // The load is retried every `reject_retry_cycles` until the
-                // translation arrives — each retry is a dispatch.
-                *dispatched += cost.erat_miss_cycles / cost.reject_retry_cycles;
-            }
-            TranslationOutcome::TlbMiss => {
-                c.counters.bump(HpmEvent::DeratMiss);
-                c.counters.bump(HpmEvent::DtlbMiss);
-                *cycles += cost.tlb_walk_cycles;
-                *dispatched += cost.tlb_walk_cycles / cost.reject_retry_cycles;
-            }
-        }
+        let cycles = c.exec_record(&cost, addr_map, ia, op, &mut self.scratch);
+        let correction = reconcile_core(c, chip, &cost, &mut self.mem, &mut self.scratch);
+        cycles + correction
     }
 }
 
@@ -454,7 +644,13 @@ mod tests {
             for round in 0..2 {
                 for i in 0..1024u64 {
                     let _ = round;
-                    m.exec(0, ia, MicroOp::Load { ea: Region::JavaHeap.base() + i * 4096 });
+                    m.exec(
+                        0,
+                        ia,
+                        MicroOp::Load {
+                            ea: Region::JavaHeap.base() + i * 4096,
+                        },
+                    );
                 }
             }
             m.counters(0).get(HpmEvent::DtlbMiss)
@@ -473,10 +669,24 @@ mod tests {
         let ia = Region::JitCode.base();
         // Train, then violate.
         for _ in 0..16 {
-            m.exec(0, ia, MicroOp::CondBranch { site: 0x10, taken: true });
+            m.exec(
+                0,
+                ia,
+                MicroOp::CondBranch {
+                    site: 0x10,
+                    taken: true,
+                },
+            );
         }
         let before = m.counters(0).clone();
-        let cycles = m.exec(0, ia, MicroOp::CondBranch { site: 0x10, taken: false });
+        let cycles = m.exec(
+            0,
+            ia,
+            MicroOp::CondBranch {
+                site: 0x10,
+                taken: false,
+            },
+        );
         let d = m.counters(0).delta_since(&before);
         assert_eq!(d.get(HpmEvent::BrMpredCond), 1);
         assert!(cycles > m.config().cost.mispredict_cycles);
@@ -558,5 +768,83 @@ mod tests {
         }
         let c = m.counters(0);
         assert!(c.get(HpmEvent::InstDispatched) > c.get(HpmEvent::InstCompleted));
+    }
+
+    /// The two-phase core of the determinism guarantee: recording each
+    /// core's stream separately and reconciling in fixed order must
+    /// produce exactly the state of the immediate path, op for op.
+    #[test]
+    fn record_then_reconcile_matches_immediate_exec() {
+        let ia = Region::JitCode.base();
+        let ops: Vec<(usize, MicroOp)> = (0..600u64)
+            .map(|i| {
+                let core = (i % 4) as usize;
+                let op = match i % 5 {
+                    0 => MicroOp::Load {
+                        ea: Region::JavaHeap.base() + (i / 4) * 512,
+                    },
+                    1 => MicroOp::Store {
+                        ea: Region::DbBufferPool.base() + (i / 4) * 256,
+                    },
+                    2 => MicroOp::Alu,
+                    3 => MicroOp::CondBranch {
+                        site: i % 17,
+                        taken: i % 3 == 0,
+                    },
+                    _ => MicroOp::Load {
+                        ea: Region::JavaHeap.base() + (i % 64) * 128,
+                    },
+                };
+                (core, op)
+            })
+            .collect();
+
+        // Immediate path, but per-core batches so both paths see the same
+        // per-core op order relative to shared state.
+        let mut a = machine();
+        for core in 0..4 {
+            for (c, op) in &ops {
+                if *c == core {
+                    a.exec(core, ia, *op);
+                }
+            }
+        }
+
+        // Two-phase path: record every core's batch privately, then
+        // reconcile in fixed core order.
+        let mut b = machine();
+        let parts = b.parts_mut();
+        let cost = parts.cfg.cost;
+        let addr_map = parts.cfg.addr_map;
+        let topo = parts.cfg.topology;
+        let mut bufs: Vec<Vec<MemEvent>> = vec![Vec::new(); 4];
+        for (core, cp) in parts.cores.iter_mut().enumerate() {
+            for (c, op) in &ops {
+                if *c == core {
+                    cp.exec_record(&cost, addr_map, ia, *op, &mut bufs[core]);
+                }
+            }
+        }
+        for (core, cp) in parts.cores.iter_mut().enumerate() {
+            reconcile_core(
+                cp,
+                topo.chip_of_core(core),
+                &cost,
+                parts.mem,
+                &mut bufs[core],
+            );
+        }
+
+        for core in 0..4 {
+            assert_eq!(
+                a.counters(core).get(HpmEvent::Cycles),
+                b.counters(core).get(HpmEvent::Cycles),
+                "core {core} cycle counters diverge"
+            );
+            assert_eq!(
+                a.counters(core).get(HpmEvent::InstCompleted),
+                b.counters(core).get(HpmEvent::InstCompleted)
+            );
+        }
     }
 }

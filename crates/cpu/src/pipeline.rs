@@ -141,7 +141,10 @@ mod tests {
         assert!(c.l3_latency < c.mem_latency);
         assert!(c.overlap_isolated < c.overlap_burst);
         assert!(c.overlap_burst <= 1.0);
-        assert!(c.erat_miss_cycles >= 14.0, "paper: translation takes at least 14 cycles");
+        assert!(
+            c.erat_miss_cycles >= 14.0,
+            "paper: translation takes at least 14 cycles"
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ struct RefLru {
 
 impl RefLru {
     fn new(cap: usize) -> Self {
-        RefLru { cap, entries: Vec::new() }
+        RefLru {
+            cap,
+            entries: Vec::new(),
+        }
     }
     fn lookup(&mut self, tag: u64) -> bool {
         if let Some(i) = self.entries.iter().position(|&t| t == tag) {

@@ -165,17 +165,26 @@ impl StreamProfile {
             self.call_per_instr * 2.0, // calls plus their returns
         ];
         for r in rates {
-            assert!((0.0..=1.0).contains(&r), "per-instruction rate out of range: {r}");
+            assert!(
+                (0.0..=1.0).contains(&r),
+                "per-instruction rate out of range: {r}"
+            );
         }
         let total: f64 = rates.iter().sum();
         assert!(total <= 1.0, "instruction mix exceeds 1.0: {total}");
         if self.loads_per_instr > 0.0 || self.stores_per_instr > 0.0 {
-            assert!(!self.data.is_empty(), "memory ops require at least one data region");
+            assert!(
+                !self.data.is_empty(),
+                "memory ops require at least one data region"
+            );
         }
         assert!((0.0..=1.0).contains(&self.cond_bias_strength));
         assert!((0.0..=1.0).contains(&self.stcx_fail_prob));
         assert!((0.0..=1.0).contains(&self.store_fresh_fraction));
-        assert!(self.cond_sites > 0 && self.ind_sites > 0, "need branch sites");
+        assert!(
+            self.cond_sites > 0 && self.ind_sites > 0,
+            "need branch sites"
+        );
         assert!(self.ind_targets_max > 0, "need at least one target");
     }
 }
@@ -509,7 +518,7 @@ impl StreamGen {
                 let base_off = if max_off == 0 {
                     0
                 } else {
-                    (self.salt.wrapping_mul(0x9E37_79B9) * fp) % max_off & !63
+                    ((self.salt.wrapping_mul(0x9E37_79B9) * fp) % max_off) & !63
                 };
                 let slot = self.hot_zipf.sample(&mut self.rng) as u64;
                 w.base + base_off + (slot * 64) % fp
@@ -602,7 +611,9 @@ mod tests {
                 DataRegion {
                     window: Window::new(Region::Stacks.base(), 1 << 20),
                     weight: 0.5,
-                    pattern: AccessPattern::Hot { footprint: 8 * 1024 },
+                    pattern: AccessPattern::Hot {
+                        footprint: 8 * 1024,
+                    },
                 },
                 DataRegion {
                     window: Window::new(Region::JavaHeap.base(), 512 << 20),
@@ -648,7 +659,10 @@ mod tests {
         for _ in 0..100_000 {
             let (_, op) = g.next_op();
             if prev_was_larx {
-                assert!(matches!(op, MicroOp::Stcx { .. }), "LARX not followed by STCX");
+                assert!(
+                    matches!(op, MicroOp::Stcx { .. }),
+                    "LARX not followed by STCX"
+                );
             }
             prev_was_larx = matches!(op, MicroOp::Larx { .. });
         }
@@ -665,9 +679,11 @@ mod tests {
                 "ia {ia:#x} outside code window"
             );
             if let MicroOp::Load { ea } | MicroOp::Store { ea } = op {
-                let ok = g.profile().data.iter().any(|r| {
-                    (r.window.base..r.window.base + r.window.len).contains(&ea)
-                });
+                let ok = g
+                    .profile()
+                    .data
+                    .iter()
+                    .any(|r| (r.window.base..r.window.base + r.window.len).contains(&ea));
                 assert!(ok, "ea {ea:#x} outside all data windows");
             }
         }
@@ -741,7 +757,10 @@ mod tests {
         let mut g = StreamGen::new(p, Rng::new(5), 0);
         for _ in 0..10_000 {
             if let (_, MicroOp::Load { ea } | MicroOp::Store { ea }) = g.next_op() {
-                assert!(ea < Region::Stacks.base() + 4096, "hot access escaped footprint");
+                assert!(
+                    ea < Region::Stacks.base() + 4096,
+                    "hot access escaped footprint"
+                );
             }
         }
     }

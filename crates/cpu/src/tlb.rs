@@ -181,10 +181,11 @@ impl Mmu {
         erat.cache.insert(frame);
         // TLB entries are page-grained: one entry covers a whole 16 MB large
         // page, which is precisely why large pages help the TLB so much.
-        let page_tag = page.page_base(addr) | match page {
-            PageSize::Small4K => 0,
-            PageSize::Large16M => 1, // disambiguate tag spaces
-        };
+        let page_tag = page.page_base(addr)
+            | match page {
+                PageSize::Small4K => 0,
+                PageSize::Large16M => 1, // disambiguate tag spaces
+            };
         if tlb.lookup(page_tag) {
             TranslationOutcome::EratMissTlbHit
         } else {
@@ -239,8 +240,14 @@ mod tests {
     fn first_touch_misses_everything() {
         let mut mmu = Mmu::new(MmuConfig::default());
         let a = Region::JavaHeap.base();
-        assert_eq!(mmu.translate_data(a, PageSize::Large16M), TranslationOutcome::TlbMiss);
-        assert_eq!(mmu.translate_data(a, PageSize::Large16M), TranslationOutcome::EratHit);
+        assert_eq!(
+            mmu.translate_data(a, PageSize::Large16M),
+            TranslationOutcome::TlbMiss
+        );
+        assert_eq!(
+            mmu.translate_data(a, PageSize::Large16M),
+            TranslationOutcome::EratHit
+        );
     }
 
     #[test]
@@ -248,7 +255,10 @@ mod tests {
         let mut mmu = Mmu::new(MmuConfig::default());
         let base = Region::JavaHeap.base();
         // First touch: full miss.
-        assert_eq!(mmu.translate_data(base, PageSize::Large16M), TranslationOutcome::TlbMiss);
+        assert_eq!(
+            mmu.translate_data(base, PageSize::Large16M),
+            TranslationOutcome::TlbMiss
+        );
         // A different 4 KB frame of the SAME 16 MB page: ERAT misses
         // (4 KB-grained) but the TLB hits (page-grained).
         assert_eq!(
@@ -261,7 +271,10 @@ mod tests {
     fn small_pages_miss_tlb_per_4k() {
         let mut mmu = Mmu::new(MmuConfig::default());
         let base = Region::DbBufferPool.base();
-        assert_eq!(mmu.translate_data(base, PageSize::Small4K), TranslationOutcome::TlbMiss);
+        assert_eq!(
+            mmu.translate_data(base, PageSize::Small4K),
+            TranslationOutcome::TlbMiss
+        );
         // Next 4 KB page: both ERAT and TLB miss again.
         assert_eq!(
             mmu.translate_data(base + 4096, PageSize::Small4K),
@@ -273,7 +286,10 @@ mod tests {
     fn inst_and_data_erats_are_separate() {
         let mut mmu = Mmu::new(MmuConfig::default());
         let a = Region::JitCode.base();
-        assert_eq!(mmu.translate_data(a, PageSize::Small4K), TranslationOutcome::TlbMiss);
+        assert_eq!(
+            mmu.translate_data(a, PageSize::Small4K),
+            TranslationOutcome::TlbMiss
+        );
         // Same address as instruction fetch: IERAT misses (separate ERAT)
         // but TLB (unified) hits.
         assert_eq!(

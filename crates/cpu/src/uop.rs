@@ -71,7 +71,10 @@ impl MicroOp {
     pub fn is_memory(&self) -> bool {
         matches!(
             self,
-            MicroOp::Load { .. } | MicroOp::Store { .. } | MicroOp::Larx { .. } | MicroOp::Stcx { .. }
+            MicroOp::Load { .. }
+                | MicroOp::Store { .. }
+                | MicroOp::Larx { .. }
+                | MicroOp::Stcx { .. }
         )
     }
 
@@ -97,7 +100,11 @@ mod tests {
         assert!(MicroOp::Load { ea: 0 }.is_memory());
         assert!(MicroOp::Stcx { ea: 0, fail: false }.is_memory());
         assert!(!MicroOp::Alu.is_memory());
-        assert!(MicroOp::CondBranch { site: 1, taken: true }.is_branch());
+        assert!(MicroOp::CondBranch {
+            site: 1,
+            taken: true
+        }
+        .is_branch());
         assert!(MicroOp::IndBranch { site: 1, target: 2 }.is_branch());
         assert!(MicroOp::Call { ret: 4 }.is_branch());
         assert!(MicroOp::Return { to: 4 }.is_branch());

@@ -176,7 +176,8 @@ impl Database {
     /// Creates a table and returns its id.
     pub fn create_table(&mut self, name: impl Into<String>, row_bytes: u64) -> TableId {
         let id = TableId(self.tables.len() as u32);
-        self.tables.push(Table::new(name, row_bytes, self.cfg.page_bytes));
+        self.tables
+            .push(Table::new(name, row_bytes, self.cfg.page_bytes));
         id
     }
 
@@ -223,7 +224,12 @@ impl Database {
     ///
     /// Returns [`DbError`] on unknown tables, lock conflicts (no-wait),
     /// duplicate inserts, or missing update keys.
-    pub fn execute(&mut self, txn: TxnId, query: Query, now: SimTime) -> Result<WorkReport, DbError> {
+    pub fn execute(
+        &mut self,
+        txn: TxnId,
+        query: Query,
+        now: SimTime,
+    ) -> Result<WorkReport, DbError> {
         let table_id = query.table();
         if table_id.0 as usize >= self.tables.len() {
             return Err(DbError::NoSuchTable(table_id));
@@ -287,7 +293,10 @@ impl Database {
     }
 
     fn touch_page(&mut self, table: TableId, page: u64, now: SimTime, report: &mut WorkReport) {
-        let access = self.pool.touch(PageId { table: table.0, page });
+        let access = self.pool.touch(PageId {
+            table: table.0,
+            page,
+        });
         report.slots_touched.push(access.slot_offset);
         if access.hit {
             report.pool_hits += 1;
@@ -335,7 +344,11 @@ mod tests {
         let (mut d, t) = db();
         let txn = d.begin();
         let r = d
-            .execute(txn, Query::SelectByKey { table: t, key: 500 }, SimTime::ZERO)
+            .execute(
+                txn,
+                Query::SelectByKey { table: t, key: 500 },
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(r.rows, 1);
         assert!(r.cpu_instructions > 0.0);
@@ -348,7 +361,14 @@ mod tests {
         let (mut d, t) = db();
         let txn = d.begin();
         let r = d
-            .execute(txn, Query::SelectByKey { table: t, key: 999_999 }, SimTime::ZERO)
+            .execute(
+                txn,
+                Query::SelectByKey {
+                    table: t,
+                    key: 999_999,
+                },
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(r.rows, 0);
         d.commit(txn);
@@ -374,10 +394,24 @@ mod tests {
     fn insert_then_select_round_trips() {
         let (mut d, t) = db();
         let txn = d.begin();
-        d.execute(txn, Query::Insert { table: t, key: 123_456 }, SimTime::ZERO)
-            .unwrap();
+        d.execute(
+            txn,
+            Query::Insert {
+                table: t,
+                key: 123_456,
+            },
+            SimTime::ZERO,
+        )
+        .unwrap();
         let r = d
-            .execute(txn, Query::SelectByKey { table: t, key: 123_456 }, SimTime::ZERO)
+            .execute(
+                txn,
+                Query::SelectByKey {
+                    table: t,
+                    key: 123_456,
+                },
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(r.rows, 1);
         d.commit(txn);
@@ -399,7 +433,14 @@ mod tests {
         let (mut d, t) = db();
         let txn = d.begin();
         let err = d
-            .execute(txn, Query::Update { table: t, key: 999_999 }, SimTime::ZERO)
+            .execute(
+                txn,
+                Query::Update {
+                    table: t,
+                    key: 999_999,
+                },
+                SimTime::ZERO,
+            )
             .unwrap_err();
         assert_eq!(err, DbError::NoSuchKey(999_999));
         d.abort(txn);
@@ -410,14 +451,17 @@ mod tests {
         let (mut d, t) = db();
         let a = d.begin();
         let b = d.begin();
-        d.execute(a, Query::Update { table: t, key: 7 }, SimTime::ZERO).unwrap();
+        d.execute(a, Query::Update { table: t, key: 7 }, SimTime::ZERO)
+            .unwrap();
         let err = d
             .execute(b, Query::Update { table: t, key: 7 }, SimTime::ZERO)
             .unwrap_err();
         assert!(matches!(err, DbError::Conflict(_)));
         d.commit(a);
         // After commit, b can proceed.
-        assert!(d.execute(b, Query::Update { table: t, key: 7 }, SimTime::ZERO).is_ok());
+        assert!(d
+            .execute(b, Query::Update { table: t, key: 7 }, SimTime::ZERO)
+            .is_ok());
         d.commit(b);
     }
 
@@ -426,7 +470,15 @@ mod tests {
         let (mut d, t) = db();
         let txn = d.begin();
         let r = d
-            .execute(txn, Query::RangeScan { table: t, lo: 0, hi: 200 }, SimTime::ZERO)
+            .execute(
+                txn,
+                Query::RangeScan {
+                    table: t,
+                    lo: 0,
+                    hi: 200,
+                },
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!(r.slots_touched.len() > 1);
         assert_eq!(r.rows, 201);
@@ -436,7 +488,10 @@ mod tests {
     #[test]
     fn ram_disk_vs_hard_disk_io_latency() {
         let run = |device| {
-            let mut d = Database::new(DbConfig { device, ..DbConfig::default() });
+            let mut d = Database::new(DbConfig {
+                device,
+                ..DbConfig::default()
+            });
             let t = d.create_table("x", 256);
             d.bulk_load(t, 0, 100_000);
             let txn = d.begin();
@@ -486,7 +541,14 @@ mod tests {
         let mut d = Database::new(DbConfig::default());
         let txn = d.begin();
         let err = d
-            .execute(txn, Query::SelectByKey { table: TableId(9), key: 1 }, SimTime::ZERO)
+            .execute(
+                txn,
+                Query::SelectByKey {
+                    table: TableId(9),
+                    key: 1,
+                },
+                SimTime::ZERO,
+            )
             .unwrap_err();
         assert_eq!(err, DbError::NoSuchTable(TableId(9)));
     }

@@ -159,7 +159,10 @@ mod tests {
             total_wait += done.saturating_since(now);
             now += SimDuration::from_micros(50); // arrivals slower than service
         }
-        assert!(total_wait < SimDuration::from_millis(2), "total {total_wait}");
+        assert!(
+            total_wait < SimDuration::from_millis(2),
+            "total {total_wait}"
+        );
     }
 
     #[test]

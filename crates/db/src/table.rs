@@ -74,7 +74,9 @@ impl Table {
     /// it existed. Row ordinals are not reused (tombstone semantics), so
     /// `rows()` reflects the high-water row count.
     pub fn delete(&mut self, key: u64) -> Option<u64> {
-        self.index.remove(key).map(|ordinal| ordinal / self.rows_per_page())
+        self.index
+            .remove(key)
+            .map(|ordinal| ordinal / self.rows_per_page())
     }
 
     /// Looks up `key`, returning `(page_number, index_nodes_touched)` when

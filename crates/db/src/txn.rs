@@ -32,7 +32,11 @@ pub struct LockConflict {
 
 impl core::fmt::Display for LockConflict {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "lock conflict on table {} key {}", self.table.0, self.key)
+        write!(
+            f,
+            "lock conflict on table {} key {}",
+            self.table.0, self.key
+        )
     }
 }
 
@@ -103,7 +107,13 @@ impl TxnManager {
         let slot = (table.0, key);
         match self.locks.get_mut(&slot) {
             None => {
-                self.locks.insert(slot, LockEntry { mode, owners: vec![txn] });
+                self.locks.insert(
+                    slot,
+                    LockEntry {
+                        mode,
+                        owners: vec![txn],
+                    },
+                );
                 self.held_by.get_mut(&txn).expect("open").push(slot);
                 self.stats.locks_granted += 1;
                 Ok(())

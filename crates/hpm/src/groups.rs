@@ -182,7 +182,11 @@ mod tests {
                 assert!(!g.events().contains(&HpmEvent::Cycles));
             } else {
                 assert!(g.events().contains(&HpmEvent::Cycles), "{}", g.name());
-                assert!(g.events().contains(&HpmEvent::InstCompleted), "{}", g.name());
+                assert!(
+                    g.events().contains(&HpmEvent::InstCompleted),
+                    "{}",
+                    g.name()
+                );
             }
         }
     }

@@ -232,7 +232,10 @@ mod tests {
     #[test]
     fn events_outside_group_are_unavailable() {
         let h = Hpmstat::new(basic_group(), SimDuration::from_millis(100));
-        assert!(h.series(HpmEvent::DtlbMiss).is_none(), "one group at a time!");
+        assert!(
+            h.series(HpmEvent::DtlbMiss).is_none(),
+            "one group at a time!"
+        );
         assert!(h.series(HpmEvent::Cycles).is_some());
     }
 

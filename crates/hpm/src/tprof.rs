@@ -99,8 +99,7 @@ impl Tprof {
     /// Top methods by ticks: `(method, share_of_total)`.
     #[must_use]
     pub fn top_methods(&self, n: usize) -> Vec<(MethodId, f64)> {
-        let mut v: Vec<(MethodId, u64)> =
-            self.method_ticks.iter().map(|(&m, &t)| (m, t)).collect();
+        let mut v: Vec<(MethodId, u64)> = self.method_ticks.iter().map(|(&m, &t)| (m, t)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(n);
         v.into_iter()

@@ -207,7 +207,9 @@ mod tests {
     fn too_few_entries_yield_none() {
         let mut log = VerboseGc::new();
         log.push(entry(100, 300, 0));
-        assert!(log.summarize(SimTime::ZERO, SimTime::from_secs(1000)).is_none());
+        assert!(log
+            .summarize(SimTime::ZERO, SimTime::from_secs(1000))
+            .is_none());
     }
 
     #[test]

@@ -87,8 +87,12 @@ impl VerticalProfiler {
     /// (`a[t]` is compared with `b[t + lag]`).
     #[must_use]
     pub fn lagged_correlation(&self, a: &str, b: &str, max_lag: usize) -> Vec<(i64, Option<f64>)> {
-        let Some(x) = self.get(a) else { return Vec::new() };
-        let Some(y) = self.get(b) else { return Vec::new() };
+        let Some(x) = self.get(a) else {
+            return Vec::new();
+        };
+        let Some(y) = self.get(b) else {
+            return Vec::new();
+        };
         let n = x.len().min(y.len());
         let mut out = Vec::new();
         for lag in -(max_lag as i64)..=(max_lag as i64) {
@@ -127,6 +131,8 @@ impl VerticalProfiler {
     pub fn matrix(&self) -> Vec<Vec<f64>> {
         let n = self.series.len();
         let mut m = vec![vec![f64::NAN; n]; n];
+        // Indexed loops: each pass writes the symmetric pair (i,j)/(j,i).
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             for j in i..n {
                 let r = self
@@ -192,9 +198,13 @@ mod tests {
         // A counter that dips exactly in GC windows anticorrelates with the
         // GC impulse series — the vertical-profiling use case.
         let mut v = profiler();
-        let gc_times: Vec<SimTime> = (0..5).map(|i| SimTime::from_millis(100 * (2 * i + 1))).collect();
+        let gc_times: Vec<SimTime> = (0..5)
+            .map(|i| SimTime::from_millis(100 * (2 * i + 1)))
+            .collect();
         v.add_events("gc", &gc_times, SimTime::from_millis(1000));
-        let counter: Vec<f64> = (0..10).map(|i| if i % 2 == 1 { 1.0 } else { 9.0 }).collect();
+        let counter: Vec<f64> = (0..10)
+            .map(|i| if i % 2 == 1 { 1.0 } else { 9.0 })
+            .collect();
         v.add_series("itlb_misses", counter);
         let r = v.correlate("gc", "itlb_misses").unwrap();
         assert!(r < -0.99, "r {r}");
@@ -207,6 +217,7 @@ mod tests {
         v.add_series("b", vec![2.0, 1.0, 4.0, 3.0]);
         v.add_events("e", &[SimTime::from_millis(150)], SimTime::from_millis(400));
         let m = v.matrix();
+        #[allow(clippy::needless_range_loop)]
         for i in 0..3 {
             assert!((m[i][i] - 1.0).abs() < 1e-12 || m[i][i].is_nan());
             for j in 0..3 {

@@ -123,7 +123,9 @@ pub fn collect_minor(heap: &mut SimHeap, roots: &[ObjectId], policy: GcPolicy) -
     let mut scan_children_of: Vec<ObjectId> = heap.remembered.iter().copied().collect();
     scan_children_of.sort_unstable(); // determinism over the hash set
     for &r in roots {
-        let Some(s) = heap.slots.get(r.index()) else { continue };
+        let Some(s) = heap.slots.get(r.index()) else {
+            continue;
+        };
         if !s.allocated {
             continue;
         }
@@ -154,7 +156,12 @@ pub fn collect_minor(heap: &mut SimHeap, roots: &[ObjectId], policy: GcPolicy) -
 }
 
 /// Marks young objects only (old references are treated as boundaries).
-fn mark_young(heap: &mut SimHeap, roots: &[ObjectId], _traversal: Traversal, report: &mut GcReport) {
+fn mark_young(
+    heap: &mut SimHeap,
+    roots: &[ObjectId],
+    _traversal: Traversal,
+    report: &mut GcReport,
+) {
     let mut stack: Vec<ObjectId> = Vec::new();
     for &r in roots {
         let s = &mut heap.slots[r.index()];
@@ -206,7 +213,11 @@ fn mark(heap: &mut SimHeap, roots: &[ObjectId], traversal: Traversal, report: &m
     }
 
     for &r in roots {
-        if heap.slots.get(r.index()).is_some_and(|s| s.allocated && !s.marked) {
+        if heap
+            .slots
+            .get(r.index())
+            .is_some_and(|s| s.allocated && !s.marked)
+        {
             heap.slots[r.index()].marked = true;
             push_pending!(heap, r);
         }
@@ -242,7 +253,11 @@ fn mark(heap: &mut SimHeap, roots: &[ObjectId], traversal: Traversal, report: &m
             }
         }
     }
-    report.mark_jump_mean = if steps == 0 { 0.0 } else { jump_total / steps as f64 };
+    report.mark_jump_mean = if steps == 0 {
+        0.0
+    } else {
+        jump_total / steps as f64
+    };
 }
 
 #[cfg(test)]
@@ -294,9 +309,20 @@ mod tests {
             h.add_ref(prev, next);
             prev = next;
         }
-        for t in [Traversal::DepthFirst, Traversal::BreadthFirst, Traversal::AddressOrdered] {
+        for t in [
+            Traversal::DepthFirst,
+            Traversal::BreadthFirst,
+            Traversal::AddressOrdered,
+        ] {
             let mut h2 = h.clone();
-            let report = collect(&mut h2, &[root], GcPolicy { traversal: t, ..GcPolicy::default() });
+            let report = collect(
+                &mut h2,
+                &[root],
+                GcPolicy {
+                    traversal: t,
+                    ..GcPolicy::default()
+                },
+            );
             assert_eq!(report.marked_objects, 1001, "{t:?}");
             assert_eq!(report.swept_objects, 0, "{t:?}");
         }
@@ -319,9 +345,20 @@ mod tests {
         }
         let roots = [ids[0], ids[100], ids[499]];
         let mut marked_counts = Vec::new();
-        for t in [Traversal::DepthFirst, Traversal::BreadthFirst, Traversal::AddressOrdered] {
+        for t in [
+            Traversal::DepthFirst,
+            Traversal::BreadthFirst,
+            Traversal::AddressOrdered,
+        ] {
             let mut h2 = h.clone();
-            let report = collect(&mut h2, &roots, GcPolicy { traversal: t, ..GcPolicy::default() });
+            let report = collect(
+                &mut h2,
+                &roots,
+                GcPolicy {
+                    traversal: t,
+                    ..GcPolicy::default()
+                },
+            );
             marked_counts.push(report.marked_objects);
         }
         assert_eq!(marked_counts[0], marked_counts[1]);
@@ -351,7 +388,10 @@ mod tests {
         let addr = collect(
             &mut h_addr,
             &roots,
-            GcPolicy { traversal: Traversal::AddressOrdered, ..GcPolicy::default() },
+            GcPolicy {
+                traversal: Traversal::AddressOrdered,
+                ..GcPolicy::default()
+            },
         );
         assert!(
             addr.mark_jump_mean < dfs.mark_jump_mean * 0.5,
@@ -382,7 +422,10 @@ mod tests {
         let mut h = heap();
         let root = h.allocate(ObjectClass::Bean, &[]).unwrap();
         let report = collect(&mut h, &[root], GcPolicy::default());
-        assert!(!report.compacted, "healthy heap must not compact (paper behaviour)");
+        assert!(
+            !report.compacted,
+            "healthy heap must not compact (paper behaviour)"
+        );
     }
 
     #[test]
@@ -403,7 +446,7 @@ mod tests {
         let mut h = heap();
         let a = h.allocate(ObjectClass::Bean, &[]).unwrap();
         collect(&mut h, &[], GcPolicy::default()); // kills a
-        // Using the stale id as a root must not resurrect or crash.
+                                                   // Using the stale id as a root must not resurrect or crash.
         let report = collect(&mut h, &[a], GcPolicy::default());
         assert_eq!(report.marked_objects, 0);
     }
@@ -451,7 +494,7 @@ mod generational_tests {
         let mut h = heap();
         let old = h.allocate(ObjectClass::Session, &[]).unwrap();
         collect(&mut h, &[old], GcPolicy::default()); // tenure `old`
-        // A young object reachable ONLY through the old object.
+                                                      // A young object reachable ONLY through the old object.
         let young = h.allocate(ObjectClass::Bean, &[]).unwrap();
         h.add_ref(old, young);
         let report = collect_minor(&mut h, &[old], GcPolicy::default());

@@ -10,8 +10,8 @@
 //! dark-matter accretion, and it emerges here the same way.
 
 use crate::object::{ObjectClass, ObjectId, ObjectSlot};
-use std::collections::{BTreeMap, BTreeSet};
 use std::collections::HashSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Heap configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,7 +56,7 @@ pub struct SimHeap {
     cfg: HeapConfig,
     pub(crate) slots: Vec<ObjectSlot>,
     free_slot_ids: Vec<u32>,
-    free_by_addr: BTreeMap<u64, u64>, // addr -> len
+    free_by_addr: BTreeMap<u64, u64>,   // addr -> len
     free_by_size: BTreeSet<(u64, u64)>, // (len, addr)
     free_bytes: u64,
     dark_matter: u64,
@@ -125,7 +125,11 @@ impl SimHeap {
     ///
     /// Returns [`AllocError::OutOfMemory`] when no free chunk fits; the
     /// caller is expected to garbage-collect and retry.
-    pub fn allocate(&mut self, class: ObjectClass, refs: &[ObjectId]) -> Result<ObjectId, AllocError> {
+    pub fn allocate(
+        &mut self,
+        class: ObjectClass,
+        refs: &[ObjectId],
+    ) -> Result<ObjectId, AllocError> {
         let size = (class.size() + 7) & !7;
         // Best fit: smallest chunk >= size.
         let &(chunk_len, chunk_addr) = self
@@ -407,7 +411,10 @@ mod tests {
         });
         let _ = h.allocate(ObjectClass::Bean, &[]).unwrap(); // 96
         let _ = h.allocate(ObjectClass::Bean, &[]).unwrap(); // 192
-        assert_eq!(h.allocate(ObjectClass::Bean, &[]), Err(AllocError::OutOfMemory));
+        assert_eq!(
+            h.allocate(ObjectClass::Bean, &[]),
+            Err(AllocError::OutOfMemory)
+        );
     }
 
     #[test]
@@ -469,7 +476,10 @@ mod tests {
             }
         }
         h.sweep();
-        assert!(h.dark_matter_bytes() > 0, "alternating frees must strand fragments");
+        assert!(
+            h.dark_matter_bytes() > 0,
+            "alternating frees must strand fragments"
+        );
         // Reported used bytes exceed live bytes by the dark matter.
         assert_eq!(h.used_bytes(), h.live_bytes() + h.dark_matter_bytes());
     }

@@ -149,7 +149,11 @@ impl Jit {
         let entry = registry.get_mut(method);
         entry.code = Some(code);
         entry.jitted = true;
-        Some(Compilation { method, level, code })
+        Some(Compilation {
+            method,
+            level,
+            code,
+        })
     }
 
     /// Current optimization level of a method, if compiled.
@@ -212,7 +216,9 @@ mod tests {
     #[test]
     fn crossing_threshold_compiles() {
         let (mut reg, mut jit, id) = setup();
-        let c = jit.record_invocations(&mut reg, id, 60).expect("compiles at cold");
+        let c = jit
+            .record_invocations(&mut reg, id, 60)
+            .expect("compiles at cold");
         assert_eq!(c.level, OptLevel::Cold);
         assert!(reg.get(id).jitted);
         assert_eq!(reg.get(id).code, Some(c.code));

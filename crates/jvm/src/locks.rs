@@ -139,7 +139,10 @@ mod tests {
         let rate = t.stats().contention_rate();
         assert!((0.03..0.05).contains(&rate), "rate {rate}");
         let s = t.stats();
-        assert!(s.os_blocks < s.spins, "most contention resolves by spinning");
+        assert!(
+            s.os_blocks < s.spins,
+            "most contention resolves by spinning"
+        );
         assert!(s.stcx_failures >= s.spins);
     }
 

@@ -217,10 +217,10 @@ impl MethodRegistry {
         // the paper: ~76% of JIT'd code time is WAS + EJS + library.
         let component_of = |k: usize| -> Component {
             match k % 20 {
-                0 => Component::Application,          // 5% of methods
-                1..=8 => Component::AppServer,        // 40%
+                0 => Component::Application,             // 5% of methods
+                1..=8 => Component::AppServer,           // 40%
                 9..=13 => Component::EnterpriseServices, // 25%
-                _ => Component::JavaLibrary,          // 30%
+                _ => Component::JavaLibrary,             // 30%
             }
         };
         let weights = flat_profile_weights(8500, 250.0, 2.0);

@@ -164,7 +164,10 @@ impl Jvm {
     /// compacting collection (a configuration error), or if `tx` is stale.
     pub fn alloc_in_tx(&mut self, tx: TxHandle, class: ObjectClass, rng: &mut Rng) -> ObjectId {
         let id = self.alloc_with_gc(class);
-        let roots = self.tx_roots.get_mut(&tx.0).expect("stale transaction handle");
+        let roots = self
+            .tx_roots
+            .get_mut(&tx.0)
+            .expect("stale transaction handle");
         // Wire the object into the transaction's object graph: the first
         // object is the root; later ones hang off random earlier ones.
         if let Some(&parent) = roots.last() {
@@ -183,7 +186,9 @@ impl Jvm {
     ///
     /// Panics if `tx` was already ended.
     pub fn end_tx(&mut self, tx: TxHandle) {
-        self.tx_roots.remove(&tx.0).expect("transaction ended twice");
+        self.tx_roots
+            .remove(&tx.0)
+            .expect("transaction ended twice");
     }
 
     /// Allocates long-lived session/cache state and expires the oldest
@@ -301,7 +306,8 @@ impl Jvm {
     /// Returns the compilation work units generated (0 when no compile).
     pub fn record_invocations(&mut self, method: MethodId, count: u64) -> f64 {
         if self.registry.get(method).component.is_java() {
-            self.jit.record_invocations(&mut self.registry, method, count);
+            self.jit
+                .record_invocations(&mut self.registry, method, count);
         }
         self.jit.take_pending_work()
     }
@@ -384,12 +390,15 @@ mod tests {
                 last_total = c.used_after;
             }
         }
-        assert!(allocs_between.len() >= 3, "expected several GCs, got {}", allocs_between.len());
+        assert!(
+            allocs_between.len() >= 3,
+            "expected several GCs, got {}",
+            allocs_between.len()
+        );
         let _ = last_total;
         // Allocation between GCs should be near the free heap size and
         // roughly constant (periodic GCs, as in the paper).
-        let mean =
-            allocs_between.iter().sum::<u64>() as f64 / allocs_between.len() as f64;
+        let mean = allocs_between.iter().sum::<u64>() as f64 / allocs_between.len() as f64;
         for &a in &allocs_between[1..] {
             assert!(
                 (a as f64) > mean * 0.5 && (a as f64) < mean * 1.5,
@@ -451,7 +460,11 @@ mod tests {
         let mut reports = Vec::new();
         for _ in 0..60_000 {
             let t = vm.begin_tx();
-            let class = if rng.chance(0.6) { ObjectClass::Small } else { ObjectClass::Bean };
+            let class = if rng.chance(0.6) {
+                ObjectClass::Small
+            } else {
+                ObjectClass::Bean
+            };
             vm.alloc_in_tx(t, class, &mut rng);
             if rng.chance(0.1) {
                 vm.touch_session(&mut rng);

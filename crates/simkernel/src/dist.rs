@@ -68,8 +68,14 @@ impl Lognormal {
     /// Panics if `mean <= 0` or `cv < 0`, or either is non-finite.
     #[must_use]
     pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "mean must be positive, got {mean}");
-        assert!(cv.is_finite() && cv >= 0.0, "cv must be non-negative, got {cv}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be positive, got {mean}"
+        );
+        assert!(
+            cv.is_finite() && cv >= 0.0,
+            "cv must be non-negative, got {cv}"
+        );
         let sigma2 = (1.0 + cv * cv).ln();
         Lognormal {
             mu: mean.ln() - sigma2 / 2.0,
@@ -140,7 +146,10 @@ impl Zipf {
     #[must_use]
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(s.is_finite() && s >= 0.0, "exponent must be non-negative, got {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be non-negative, got {s}"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 1..=n {
@@ -171,7 +180,10 @@ impl Zipf {
     /// Draws a rank in `0..n`.
     pub fn sample(&self, rng: &mut Rng) -> usize {
         let u = rng.next_f64();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
             Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
         }
     }
@@ -194,7 +206,10 @@ impl BoundedPareto {
     #[must_use]
     pub fn new(lo: f64, hi: f64, alpha: f64) -> Self {
         assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi, got [{lo}, {hi}]");
-        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive, got {alpha}");
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "alpha must be positive, got {alpha}"
+        );
         BoundedPareto { lo, hi, alpha }
     }
 

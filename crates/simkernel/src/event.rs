@@ -164,7 +164,11 @@ impl Scheduler {
     }
 
     /// Schedules `event` to fire `delay` after the current time.
-    pub fn schedule_in(&mut self, delay: SimDuration, event: impl FnOnce(&mut Scheduler) + 'static) {
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        event: impl FnOnce(&mut Scheduler) + 'static,
+    ) {
         let at = self.now + delay;
         self.queue.push(at, Box::new(event));
     }

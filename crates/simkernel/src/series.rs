@@ -80,7 +80,10 @@ impl SeriesRecorder {
     /// Panics if time moves backwards or the recorder is already finished.
     pub fn observe(&mut self, now: SimTime, cumulative: f64) {
         assert!(!self.finished, "recorder already finished");
-        assert!(now >= self.window_start, "observations must move forward in time");
+        assert!(
+            now >= self.window_start,
+            "observations must move forward in time"
+        );
         while now >= self.window_start + self.period {
             self.close_window();
         }

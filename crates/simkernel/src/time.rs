@@ -239,7 +239,10 @@ mod tests {
         assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1000));
         assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1000));
         assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1000));
-        assert_eq!(SimDuration::from_secs(1), SimDuration::from_nanos(1_000_000_000));
+        assert_eq!(
+            SimDuration::from_secs(1),
+            SimDuration::from_nanos(1_000_000_000)
+        );
     }
 
     #[test]
@@ -261,7 +264,10 @@ mod tests {
 
     #[test]
     fn from_secs_f64_rounds() {
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
         assert_eq!(SimDuration::from_secs_f64(0.0), SimDuration::ZERO);
     }
 

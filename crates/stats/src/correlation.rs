@@ -121,6 +121,7 @@ mod tests {
         let b = [4.0, 3.0, 1.0, 2.0];
         let c = [1.0, 1.0, 2.0, 2.0];
         let m = correlation_matrix(&[&a, &b, &c]);
+        #[allow(clippy::needless_range_loop)]
         for i in 0..3 {
             assert!((m[i][i] - 1.0).abs() < 1e-12);
             for j in 0..3 {

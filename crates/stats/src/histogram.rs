@@ -93,7 +93,10 @@ impl Histogram {
     /// Panics if `q` is outside `[0, 1]`.
     #[must_use]
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         if self.count == 0 {
             return None;
         }
@@ -118,7 +121,11 @@ impl Histogram {
         if self.count == 0 {
             return 1.0;
         }
-        let mut seen = if threshold >= self.lo { self.underflow } else { 0 };
+        let mut seen = if threshold >= self.lo {
+            self.underflow
+        } else {
+            0
+        };
         for (i, &c) in self.buckets.iter().enumerate() {
             let upper = self.lo * self.ratio.powi(i as i32 + 1);
             if upper <= threshold * (1.0 + 1e-12) {
@@ -145,6 +152,10 @@ pub struct Percentiles {
 
 impl Percentiles {
     /// Builds from any iterator of samples.
+    ///
+    /// Kept as an inherent method (not `FromIterator`) so call sites can
+    /// use it without importing the trait.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn from_iter(samples: impl IntoIterator<Item = f64>) -> Self {
         let mut sorted: Vec<f64> = samples.into_iter().collect();
@@ -171,7 +182,10 @@ impl Percentiles {
     /// Panics if `q` is outside `[0, 1]`.
     #[must_use]
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         if self.sorted.is_empty() {
             return None;
         }

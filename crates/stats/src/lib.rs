@@ -13,10 +13,10 @@
 
 mod correlation;
 mod histogram;
-mod smoothing;
-mod summary;
 #[cfg(test)]
 mod proptests;
+mod smoothing;
+mod summary;
 
 pub use correlation::{correlation_matrix, pearson};
 pub use histogram::{Histogram, Percentiles};

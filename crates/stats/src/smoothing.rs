@@ -23,7 +23,11 @@ pub fn bezier_smooth(ys: &[f64], out: usize) -> Vec<f64> {
     let mut result = Vec::with_capacity(out);
     let mut scratch = vec![0.0; ys.len()];
     for k in 0..out {
-        let t = if out == 1 { 0.0 } else { k as f64 / (out - 1) as f64 };
+        let t = if out == 1 {
+            0.0
+        } else {
+            k as f64 / (out - 1) as f64
+        };
         scratch.copy_from_slice(ys);
         // De Casteljau: repeatedly lerp adjacent control points.
         for level in (1..ys.len()).rev() {

@@ -88,9 +88,7 @@ mod tests {
         let cfg = DriverConfig::at_ir(40);
         let mut d = Driver::new(cfg);
         let n = 50_000;
-        let total: f64 = (0..n)
-            .map(|_| d.next_arrival().0.as_secs_f64())
-            .sum();
+        let total: f64 = (0..n).map(|_| d.next_arrival().0.as_secs_f64()).sum();
         let rate = f64::from(n) / total;
         let expect = cfg.arrival_rate();
         assert!(

@@ -7,8 +7,8 @@
 //! tuned system.
 
 use crate::requests::RequestKind;
-use jas_stats::Percentiles;
 use jas_simkernel::{SimDuration, SimTime};
+use jas_stats::Percentiles;
 
 /// Verdict of a run against the response-time rules.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -79,8 +79,8 @@ impl Metrics {
         }
         let k = Self::kind_index(kind);
         self.totals[k] += 1;
-        let bin =
-            (completed.saturating_since(self.steady_start).as_nanos() / self.interval.as_nanos()) as usize;
+        let bin = (completed.saturating_since(self.steady_start).as_nanos()
+            / self.interval.as_nanos()) as usize;
         let last = self.bins[k].len() - 1;
         self.bins[k][bin.min(last)] += 1;
         let rt = completed.saturating_since(issued).as_secs_f64();
@@ -118,7 +118,10 @@ impl Metrics {
     /// window (the benchmark's JOPS metric).
     #[must_use]
     pub fn jops(&self) -> f64 {
-        let window = self.steady_end.saturating_since(self.steady_start).as_secs_f64();
+        let window = self
+            .steady_end
+            .saturating_since(self.steady_start)
+            .as_secs_f64();
         self.totals.iter().sum::<u64>() as f64 / window
     }
 
@@ -161,8 +164,16 @@ mod tests {
     #[test]
     fn completions_outside_window_ignored() {
         let mut m = metrics();
-        m.record(RequestKind::Browse, SimTime::from_secs(50), SimTime::from_secs(51));
-        m.record(RequestKind::Browse, SimTime::from_secs(250), SimTime::from_secs(251));
+        m.record(
+            RequestKind::Browse,
+            SimTime::from_secs(50),
+            SimTime::from_secs(51),
+        );
+        m.record(
+            RequestKind::Browse,
+            SimTime::from_secs(250),
+            SimTime::from_secs(251),
+        );
         assert_eq!(m.completed(RequestKind::Browse), 0);
     }
 
@@ -170,9 +181,21 @@ mod tests {
     fn throughput_series_bins_by_interval() {
         let mut m = metrics();
         // Two completions in the first bin, one in the second.
-        m.record(RequestKind::Purchase, SimTime::from_secs(100), SimTime::from_secs(101));
-        m.record(RequestKind::Purchase, SimTime::from_secs(100), SimTime::from_secs(105));
-        m.record(RequestKind::Purchase, SimTime::from_secs(110), SimTime::from_secs(112));
+        m.record(
+            RequestKind::Purchase,
+            SimTime::from_secs(100),
+            SimTime::from_secs(101),
+        );
+        m.record(
+            RequestKind::Purchase,
+            SimTime::from_secs(100),
+            SimTime::from_secs(105),
+        );
+        m.record(
+            RequestKind::Purchase,
+            SimTime::from_secs(110),
+            SimTime::from_secs(112),
+        );
         let s = m.throughput_series(RequestKind::Purchase);
         assert!((s[0] - 0.2).abs() < 1e-9);
         assert!((s[1] - 0.1).abs() < 1e-9);

@@ -52,7 +52,10 @@ impl RequestKind {
     /// `true` for requests arriving over HTTP (response-time limit 2 s).
     #[must_use]
     pub fn is_web(self) -> bool {
-        matches!(self, RequestKind::Purchase | RequestKind::Manage | RequestKind::Browse)
+        matches!(
+            self,
+            RequestKind::Purchase | RequestKind::Manage | RequestKind::Browse
+        )
     }
 
     /// `true` for requests arriving over RMI (response-time limit 5 s).
@@ -134,7 +137,10 @@ pub fn build_plan(
                 ));
             }
             *fresh_key += 1;
-            plan.extend(containers::entity_create(schema.orders, rows.orders + *fresh_key));
+            plan.extend(containers::entity_create(
+                schema.orders,
+                rows.orders + *fresh_key,
+            ));
             plan.extend(containers::entity_update(
                 schema.vehicles,
                 pick(rng, zipf, rows.vehicles),
@@ -152,7 +158,10 @@ pub fn build_plan(
             // Review open orders, cancel or update some.
             let lo = pick(rng, zipf, rows.orders.saturating_sub(64).max(1));
             plan.extend(containers::entity_find_range(schema.orders, lo, lo + 12));
-            plan.extend(containers::entity_update(schema.orders, pick(rng, zipf, rows.orders)));
+            plan.extend(containers::entity_update(
+                schema.orders,
+                pick(rng, zipf, rows.orders),
+            ));
             // Occasionally cancel an order line outright.
             if rng.chance(0.3) {
                 plan.extend(containers::entity_delete(
@@ -249,7 +258,14 @@ mod tests {
     fn purchase_touches_db_and_mq() {
         let (schema, zipf, mut rng) = setup();
         let mut key = 0;
-        let plan = build_plan(RequestKind::Purchase, &schema, QueueId(0), &mut rng, &zipf, &mut key);
+        let plan = build_plan(
+            RequestKind::Purchase,
+            &schema,
+            QueueId(0),
+            &mut rng,
+            &zipf,
+            &mut key,
+        );
         assert!(plan.db_steps() >= 4);
         assert!(plan
             .steps
@@ -262,11 +278,21 @@ mod tests {
     fn browse_is_read_only() {
         let (schema, zipf, mut rng) = setup();
         let mut key = 0;
-        let plan = build_plan(RequestKind::Browse, &schema, QueueId(0), &mut rng, &zipf, &mut key);
+        let plan = build_plan(
+            RequestKind::Browse,
+            &schema,
+            QueueId(0),
+            &mut rng,
+            &zipf,
+            &mut key,
+        );
         for s in &plan.steps {
             if let PlanStep::Db { query } = s {
                 assert!(
-                    matches!(query, jas_db::Query::SelectByKey { .. } | jas_db::Query::RangeScan { .. }),
+                    matches!(
+                        query,
+                        jas_db::Query::SelectByKey { .. } | jas_db::Query::RangeScan { .. }
+                    ),
                     "browse must not write: {query:?}"
                 );
             }
@@ -277,7 +303,14 @@ mod tests {
     fn work_order_consumes_from_queue() {
         let (schema, zipf, mut rng) = setup();
         let mut key = 0;
-        let plan = build_plan(RequestKind::WorkOrder, &schema, QueueId(0), &mut rng, &zipf, &mut key);
+        let plan = build_plan(
+            RequestKind::WorkOrder,
+            &schema,
+            QueueId(0),
+            &mut rng,
+            &zipf,
+            &mut key,
+        );
         assert!(plan
             .steps
             .iter()
@@ -298,10 +331,20 @@ mod tests {
         let mut k1 = 0;
         let mut k2 = 0;
         let p1 = build_plan(
-            RequestKind::Purchase, &schema, QueueId(0), &mut Rng::new(9), &zipf, &mut k1,
+            RequestKind::Purchase,
+            &schema,
+            QueueId(0),
+            &mut Rng::new(9),
+            &zipf,
+            &mut k1,
         );
         let p2 = build_plan(
-            RequestKind::Purchase, &schema, QueueId(0), &mut Rng::new(9), &zipf, &mut k2,
+            RequestKind::Purchase,
+            &schema,
+            QueueId(0),
+            &mut Rng::new(9),
+            &zipf,
+            &mut k2,
         );
         assert_eq!(p1, p2);
     }

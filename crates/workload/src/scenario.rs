@@ -115,7 +115,10 @@ impl TradeSchema {
         let holdings = db.create_table("holdings", 256);
         let orders = db.create_table("orders", 256);
         let trades = db.create_table("trades", 192);
-        for (t, n) in [accounts, quotes, holdings, orders, trades].iter().zip(rows) {
+        for (t, n) in [accounts, quotes, holdings, orders, trades]
+            .iter()
+            .zip(rows)
+        {
             db.bulk_load(*t, 0, n);
         }
         TradeSchema {
@@ -190,7 +193,10 @@ impl Scenario for TradeScenario {
                 let quote = self.pick(s.rows[1]);
                 plan.extend(containers::entity_find(s.quotes, quote));
                 self.fresh_key += 1;
-                plan.extend(containers::entity_create(s.orders, s.rows[3] + self.fresh_key));
+                plan.extend(containers::entity_create(
+                    s.orders,
+                    s.rows[3] + self.fresh_key,
+                ));
                 plan.extend(containers::entity_update(s.holdings, self.pick(s.rows[2])));
                 plan.extend(containers::jms_send(work_order_queue, 400));
                 plan.extend(containers::jta_commit(2));
@@ -203,7 +209,10 @@ impl Scenario for TradeScenario {
                 let holding = self.pick(s.rows[2]);
                 plan.extend(containers::entity_find(s.holdings, holding));
                 self.fresh_key += 1;
-                plan.extend(containers::entity_create(s.orders, s.rows[3] + self.fresh_key));
+                plan.extend(containers::entity_create(
+                    s.orders,
+                    s.rows[3] + self.fresh_key,
+                ));
                 plan.extend(containers::entity_update(s.quotes, self.pick(s.rows[1])));
                 plan.extend(containers::jms_send(work_order_queue, 400));
                 plan.extend(containers::jta_commit(2));
@@ -235,7 +244,10 @@ impl Scenario for TradeScenario {
                 plan.extend(containers::jms_receive(work_order_queue));
                 plan.extend(containers::session_bean_call(14_000.0));
                 self.fresh_key += 1;
-                plan.extend(containers::entity_create(s.trades, s.rows[4] + self.fresh_key));
+                plan.extend(containers::entity_create(
+                    s.trades,
+                    s.rows[4] + self.fresh_key,
+                ));
                 plan.extend(containers::entity_update(s.holdings, self.pick(s.rows[2])));
                 plan.extend(containers::jta_commit(2));
             }
@@ -300,7 +312,11 @@ mod tests {
         let a = TradeScenario::new(&mut d1, 10, 1);
         let b = TradeScenario::new(&mut d2, 40, 1);
         assert_eq!(b.schema().rows[0], a.schema().rows[0] * 4);
-        assert_eq!(a.schema().rows[1], b.schema().rows[1], "quote list does not scale");
+        assert_eq!(
+            a.schema().rows[1],
+            b.schema().rows[1],
+            "quote list does not scale"
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ fn main() {
     println!("Per-group runs (the paper's methodology: one group at a time)");
     for group in CounterGroup::standard_groups() {
         if group.name() == "dsource" {
-            println!("  group {:<12} cannot be correlated with CPI (no cycle counter —", group.name());
+            println!(
+                "  group {:<12} cannot be correlated with CPI (no cycle counter —",
+                group.name()
+            );
             println!("        exactly the HPM limitation the paper reports for Figure 9)");
             continue;
         }
@@ -64,5 +67,8 @@ fn main() {
     println!();
     println!("Cross-group view (simulator-only; see EXPERIMENTS.md deviations):");
     let art = jas2004::run_experiment(SutConfig::at_ir(40), plan);
-    print!("{}", report::render_fig10(&figures::fig10_correlation(&art)));
+    print!(
+        "{}",
+        report::render_fig10(&figures::fig10_correlation(&art))
+    );
 }

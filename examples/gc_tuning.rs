@@ -41,14 +41,21 @@ fn main() {
                 s.runtime_fraction * 100.0,
                 s.compactions
             ),
-            None => println!("  {:>3} MB  (fewer than two GCs in the window)", capacity >> 20),
+            None => println!(
+                "  {:>3} MB  (fewer than two GCs in the window)",
+                capacity >> 20
+            ),
         }
     }
     println!();
 
     println!("Mark traversal order (64 MB heap)");
     println!("  order           pause ms   mean mark jump");
-    for t in [Traversal::DepthFirst, Traversal::BreadthFirst, Traversal::AddressOrdered] {
+    for t in [
+        Traversal::DepthFirst,
+        Traversal::BreadthFirst,
+        Traversal::AddressOrdered,
+    ] {
         let mut cfg = SutConfig::at_ir(40);
         cfg.jvm.gc.traversal = t;
         let art = run_experiment(cfg, plan);

@@ -26,9 +26,15 @@ fn main() {
     print!("{}", report::render_fig7(&figures::fig7_tlb(&art)));
     print!("{}", report::render_fig8(&figures::fig8_l1d(&art)));
     print!("{}", report::render_fig9(&figures::fig9_data_from(&art)));
-    print!("{}", report::render_fig10(&figures::fig10_correlation(&art)));
+    print!(
+        "{}",
+        report::render_fig10(&figures::fig10_correlation(&art))
+    );
     print!("{}", report::render_locking(&figures::locking_table(&art)));
-    print!("{}", report::render_utilization(&figures::utilization_table(&art)));
+    print!(
+        "{}",
+        report::render_utilization(&figures::utilization_table(&art))
+    );
     println!("verbose:gc (first collections)");
     for line in art.gc_log_text.lines().take(3) {
         println!("  {line}");

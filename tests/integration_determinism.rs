@@ -1,5 +1,8 @@
 //! Bit-reproducibility: the whole coupled simulation is deterministic for
-//! a given seed — the property that makes the figure-band tests meaningful.
+//! a given seed — the property that makes the figure-band tests
+//! meaningful — and for any `--threads` value: the CI determinism gate
+//! holds the parallel engine to bit-identical results against the serial
+//! path (floats compared by bit pattern, not tolerance).
 
 use jas2004::{Engine, RunPlan, SutConfig};
 use jas_cpu::HpmEvent;
@@ -62,6 +65,84 @@ fn per_core_counters_sum_to_total() {
         sum += e.machine().counters(core).get(HpmEvent::InstCompleted);
     }
     assert_eq!(sum, total.get(HpmEvent::InstCompleted));
+}
+
+/// The CI determinism gate: `--threads 8` must be bit-identical to
+/// `--threads 1` — per-core HPM counters, JOPS, and the response-time
+/// percentiles all compared exactly.
+#[test]
+fn threads_1_and_8_are_bit_identical() {
+    let run = |threads: usize| -> Engine {
+        let mut c = cfg(1);
+        // Shrink the heap so the gate also crosses stop-the-world GC.
+        c.jvm.heap.capacity = 16 << 20;
+        c.jvm.live_target = 4 << 20;
+        c.threads = threads;
+        let mut e = Engine::new(c, plan());
+        e.run_to_end();
+        e
+    };
+    let serial = run(1);
+    let parallel = run(8);
+
+    // Every per-core HPM counter, exactly.
+    for core in 0..serial.machine().cores() {
+        assert_eq!(
+            serial.machine().counters(core),
+            parallel.machine().counters(core),
+            "core {core} HPM counters diverge between --threads 1 and --threads 8"
+        );
+    }
+
+    // Workload results, exactly.
+    assert_eq!(serial.completed_requests(), parallel.completed_requests());
+    assert_eq!(serial.aborted_requests(), parallel.aborted_requests());
+    assert_eq!(
+        serial.metrics().jops().to_bits(),
+        parallel.metrics().jops().to_bits(),
+        "JOPS diverges"
+    );
+
+    // Response-time percentiles, bit for bit.
+    let vs = serial.metrics().verdict();
+    let vp = parallel.metrics().verdict();
+    assert_eq!(
+        vs.web_p90.to_bits(),
+        vp.web_p90.to_bits(),
+        "web p90 diverges"
+    );
+    assert_eq!(
+        vs.rmi_p90.to_bits(),
+        vp.rmi_p90.to_bits(),
+        "rmi p90 diverges"
+    );
+    assert_eq!(vs.passed, vp.passed);
+
+    // GC activity, exactly.
+    assert!(serial.jvm().gc_count() > 0, "gate must cross a GC pause");
+    assert_eq!(serial.jvm().gc_count(), parallel.jvm().gc_count());
+    assert_eq!(serial.vgc().render(), parallel.vgc().render());
+}
+
+#[test]
+fn intermediate_thread_counts_match_serial() {
+    let run = |threads: usize| -> Engine {
+        let mut c = cfg(5);
+        c.threads = threads;
+        let mut e = Engine::new(c, plan());
+        e.run_to_end();
+        e
+    };
+    let serial = run(1);
+    for threads in [2usize, 3] {
+        let parallel = run(threads);
+        assert_eq!(
+            serial.machine().total_counters(),
+            parallel.machine().total_counters(),
+            "totals diverge at --threads {threads}"
+        );
+        assert_eq!(serial.completed_requests(), parallel.completed_requests());
+    }
 }
 
 #[test]

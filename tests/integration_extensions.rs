@@ -25,8 +25,16 @@ fn trade_workload_also_has_small_gc_overhead() {
     cfg.scenario = ScenarioKind::TradeLike;
     let art = run_experiment(cfg, plan());
     let s = art.gc_summary.expect("GCs happened");
-    assert!(s.runtime_fraction < 0.03, "GC fraction {}", s.runtime_fraction);
-    assert!(art.jops > 40.0, "trade workload must flow, jops {}", art.jops);
+    assert!(
+        s.runtime_fraction < 0.03,
+        "GC fraction {}",
+        s.runtime_fraction
+    );
+    assert!(
+        art.jops > 40.0,
+        "trade workload must flow, jops {}",
+        art.jops
+    );
     // Flat profile holds on the second workload too.
     assert!(art.flatness.hottest_share < 0.03);
 }
@@ -96,10 +104,7 @@ fn vertical_profiler_ties_gc_to_hardware_phases() {
     let period = plan().hpm_period;
     let mut v = VerticalProfiler::new(period);
     // Hardware layer: branch counts per sample.
-    v.add_series(
-        "branches",
-        engine.hpm().series(HpmEvent::Branches).to_vec(),
-    );
+    v.add_series("branches", engine.hpm().series(HpmEvent::Branches).to_vec());
     v.add_series(
         "itlb_misses",
         engine.hpm().series(HpmEvent::ItlbMiss).to_vec(),

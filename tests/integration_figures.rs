@@ -56,7 +56,11 @@ fn fig3_gc_is_periodic_short_and_mark_dominated() {
         "GC pause {} ms",
         s.mean_pause_ms
     );
-    assert!(s.runtime_fraction < 0.04, "GC runtime {}", s.runtime_fraction);
+    assert!(
+        s.runtime_fraction < 0.04,
+        "GC runtime {}",
+        s.runtime_fraction
+    );
     assert!(s.mark_fraction > 0.6, "mark fraction {}", s.mark_fraction);
     assert_eq!(s.compactions, 0, "healthy heap must not compact");
 }
@@ -81,7 +85,11 @@ fn fig4_profile_is_flat_with_thin_application_slice() {
     let total: f64 = f.breakdown.iter().map(|(_, s)| s).sum();
     assert!((total - 1.0).abs() < 1e-6);
     // Roughly half the time in JIT-compiled code (paper Section 4.1.2).
-    assert!((0.3..=0.7).contains(&f.jitted_share), "jitted {}", f.jitted_share);
+    assert!(
+        (0.3..=0.7).contains(&f.jitted_share),
+        "jitted {}",
+        f.jitted_share
+    );
 }
 
 #[test]
@@ -89,7 +97,11 @@ fn fig5_cpi_and_speculation_in_paper_band() {
     let f = figures::fig5_cpi(baseline());
     // Paper: CPI ~3 on the loaded system; ~2.2-2.5 dispatched/completed.
     assert!((2.2..=5.0).contains(&f.cpi), "CPI {}", f.cpi);
-    assert!((1.7..=2.8).contains(&f.speculation), "speculation {}", f.speculation);
+    assert!(
+        (1.7..=2.8).contains(&f.speculation),
+        "speculation {}",
+        f.speculation
+    );
     assert!(!f.cpi_series.is_empty());
 }
 
@@ -135,16 +147,36 @@ fn fig8_l1d_miss_rates_and_memory_mix() {
     let f = figures::fig8_l1d(baseline());
     // Paper: load miss ~1/12, store miss ~1/5, ~14% overall; stores miss
     // more often than loads on the write-through no-allocate L1.
-    assert!((0.05..=0.22).contains(&f.load_miss_rate), "load {}", f.load_miss_rate);
-    assert!((0.12..=0.35).contains(&f.store_miss_rate), "store {}", f.store_miss_rate);
+    assert!(
+        (0.05..=0.22).contains(&f.load_miss_rate),
+        "load {}",
+        f.load_miss_rate
+    );
+    assert!(
+        (0.12..=0.35).contains(&f.store_miss_rate),
+        "store {}",
+        f.store_miss_rate
+    );
     assert!(
         f.store_miss_rate > f.load_miss_rate,
         "stores must miss more than loads"
     );
     // Paper: 3.2 instructions per load, 4.5 per store, ~2 per L1 reference.
-    assert!((2.9..=3.6).contains(&f.instr_per_load), "instr/load {}", f.instr_per_load);
-    assert!((4.0..=5.1).contains(&f.instr_per_store), "instr/store {}", f.instr_per_store);
-    assert!((1.6..=2.3).contains(&f.instr_per_ref), "instr/ref {}", f.instr_per_ref);
+    assert!(
+        (2.9..=3.6).contains(&f.instr_per_load),
+        "instr/load {}",
+        f.instr_per_load
+    );
+    assert!(
+        (4.0..=5.1).contains(&f.instr_per_store),
+        "instr/store {}",
+        f.instr_per_store
+    );
+    assert!(
+        (1.6..=2.3).contains(&f.instr_per_ref),
+        "instr/ref {}",
+        f.instr_per_ref
+    );
 }
 
 #[test]
@@ -152,12 +184,23 @@ fn fig9_data_sources_match_paper_shape() {
     let f = figures::fig9_data_from(baseline());
     // Paper: ~75% of L1 misses satisfied by the L2; very little modified
     // cache-to-cache traffic; no L2.5 possible on this topology.
-    assert!((0.5..=0.9).contains(&f.l2_fraction), "L2 fraction {}", f.l2_fraction);
-    assert!(f.modified_fraction < 0.05, "modified {}", f.modified_fraction);
+    assert!(
+        (0.5..=0.9).contains(&f.l2_fraction),
+        "L2 fraction {}",
+        f.l2_fraction
+    );
+    assert!(
+        f.modified_fraction < 0.05,
+        "modified {}",
+        f.modified_fraction
+    );
     let by_name: std::collections::HashMap<&str, f64> = f.fractions.iter().copied().collect();
     assert_eq!(by_name["L2.5 shared"], 0.0, "one live L2 per MCM → no L2.5");
     assert_eq!(by_name["L2.5 modified"], 0.0);
-    assert!(by_name["L3"] > by_name["Memory"] / 3.0, "L3 supplies a sizeable share");
+    assert!(
+        by_name["L3"] > by_name["Memory"] / 3.0,
+        "L3 supplies a sizeable share"
+    );
     let total: f64 = f.fractions.iter().map(|(_, v)| v).sum();
     assert!((total - 1.0).abs() < 1e-6);
 }
@@ -165,8 +208,7 @@ fn fig9_data_sources_match_paper_shape() {
 #[test]
 fn fig10_correlation_signs_match_paper() {
     let f = figures::fig10_correlation(baseline());
-    let by_name: std::collections::HashMap<&str, f64> =
-        f.correlations.iter().copied().collect();
+    let by_name: std::collections::HashMap<&str, f64> = f.correlations.iter().copied().collect();
     // Branch-condition mispredictions are strongly positively correlated.
     assert!(
         by_name["Branch cond. mispred."] > 0.2,
@@ -191,10 +233,22 @@ fn locking_table_matches_paper() {
     // Paper: a LARX every ~600 instructions; ~3% of instructions acquiring
     // locks; SYNC in the SRQ < a few percent of cycles at user level;
     // little contention.
-    assert!((400.0..=900.0).contains(&t.instr_per_larx), "larx {}", t.instr_per_larx);
+    assert!(
+        (400.0..=900.0).contains(&t.instr_per_larx),
+        "larx {}",
+        t.instr_per_larx
+    );
     assert!((0.02..=0.05).contains(&t.lock_acquisition_fraction));
-    assert!(t.sync_srq_cycle_fraction < 0.03, "srq {}", t.sync_srq_cycle_fraction);
-    assert!(t.monitor_contention < 0.10, "contention {}", t.monitor_contention);
+    assert!(
+        t.sync_srq_cycle_fraction < 0.03,
+        "srq {}",
+        t.sync_srq_cycle_fraction
+    );
+    assert!(
+        t.monitor_contention < 0.10,
+        "contention {}",
+        t.monitor_contention
+    );
     assert!(t.stcx_fail_rate < 0.10);
 }
 

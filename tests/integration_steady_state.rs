@@ -19,9 +19,17 @@ fn short_plan() -> RunPlan {
 fn light_load_is_underutilized_and_passes() {
     let art = run_experiment(SutConfig::at_ir(10), short_plan());
     let t = figures::utilization_table(&art);
-    assert!(t.user + t.system < 0.6, "IR10 should not saturate, busy {}", t.user + t.system);
+    assert!(
+        t.user + t.system < 0.6,
+        "IR10 should not saturate, busy {}",
+        t.user + t.system
+    );
     assert!(t.passed, "light load must pass response times");
-    assert!((1.2..=2.2).contains(&t.jops_per_ir), "jops/ir {}", t.jops_per_ir);
+    assert!(
+        (1.2..=2.2).contains(&t.jops_per_ir),
+        "jops/ir {}",
+        t.jops_per_ir
+    );
 }
 
 #[test]
@@ -31,7 +39,11 @@ fn overload_fails_response_times_not_throughput_metricization() {
     // describes for untuned/overloaded configurations.
     let art = run_experiment(SutConfig::at_ir(70), short_plan());
     let t = figures::utilization_table(&art);
-    assert!(t.user + t.system > 0.9, "IR70 must saturate, busy {}", t.user + t.system);
+    assert!(
+        t.user + t.system > 0.9,
+        "IR70 must saturate, busy {}",
+        t.user + t.system
+    );
     assert!(!t.passed, "overload must fail the 90% response-time rules");
     assert!(t.web_p90 > 2.0);
 }
@@ -83,9 +95,12 @@ fn steady_state_reached_quickly() {
     // should show stable per-bin throughput right after ramp-up.
     let mut engine = Engine::new(SutConfig::at_ir(30), short_plan());
     engine.run_to_end();
-    let series = engine.metrics().throughput_series(jas_workload::RequestKind::Browse);
+    let series = engine
+        .metrics()
+        .throughput_series(jas_workload::RequestKind::Browse);
     assert!(series.len() >= 5);
-    let first_half: f64 = series[..series.len() / 2].iter().sum::<f64>() / (series.len() / 2) as f64;
+    let first_half: f64 =
+        series[..series.len() / 2].iter().sum::<f64>() / (series.len() / 2) as f64;
     let second_half: f64 =
         series[series.len() / 2..].iter().sum::<f64>() / (series.len() - series.len() / 2) as f64;
     let drift = (second_half - first_half).abs() / first_half.max(1e-9);

@@ -57,7 +57,11 @@ fn verbose_gc_log_renders_and_summarizes() {
     cfg.jvm.live_target = 2 << 20;
     let mut engine = Engine::new(cfg, tiny_plan());
     engine.run_to_end();
-    assert!(engine.jvm().gc_count() >= 2, "need GCs, got {}", engine.jvm().gc_count());
+    assert!(
+        engine.jvm().gc_count() >= 2,
+        "need GCs, got {}",
+        engine.jvm().gc_count()
+    );
     let text = engine.vgc().render();
     assert_eq!(text.lines().count() as u64, engine.jvm().gc_count());
     assert!(text.contains("<gc type=\"global\""));
@@ -75,7 +79,10 @@ fn tprof_profile_covers_the_whole_stack() {
     engine.run_to_end();
     let breakdown = engine.tprof().breakdown();
     let nonzero = breakdown.iter().filter(|r| r.share > 0.0).count();
-    assert!(nonzero >= 8, "expected most components profiled, got {nonzero}");
+    assert!(
+        nonzero >= 8,
+        "expected most components profiled, got {nonzero}"
+    );
     // Top methods exist and are individually small.
     let top = engine.tprof().top_methods(5);
     assert_eq!(top.len(), 5);
@@ -107,11 +114,11 @@ fn omniscient_and_grouped_sampling_agree_on_shared_events() {
     hpm.finish(end);
     let grouped_total: f64 = hpm.series(HpmEvent::Cycles).unwrap().iter().sum();
     let omni_total: f64 = engine.hpm().series(HpmEvent::Cycles).iter().sum();
-    let machine_total = engine
-        .machine()
-        .total_counters()
-        .get(HpmEvent::Cycles) as f64;
-    assert!((grouped_total - machine_total).abs() <= 1.0, "{grouped_total} vs {machine_total}");
+    let machine_total = engine.machine().total_counters().get(HpmEvent::Cycles) as f64;
+    assert!(
+        (grouped_total - machine_total).abs() <= 1.0,
+        "{grouped_total} vs {machine_total}"
+    );
     // Omniscient may lag by the unfinished tail window at most.
     assert!(omni_total <= machine_total);
     assert!(omni_total > machine_total * 0.95);

@@ -1,0 +1,198 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of the criterion API its benches use: [`Criterion`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Timing uses `std::time::Instant`; per-benchmark summaries are
+//! printed to stdout and appended as JSON lines to
+//! `$JAS_BENCH_JSON` (when set) so CI can collect a machine-readable
+//! record of every bench run.
+//!
+//! Quick mode (`--quick` on the bench command line, or `JAS_BENCH_QUICK=1`)
+//! clamps warm-up and sample counts for CI smoke runs.
+
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement configuration and result sink.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("JAS_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+            || std::env::args().any(|a| a == "--quick");
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            quick,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target duration of the sampling phase.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark: warm-up, then `sample_size` timed samples.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (samples, warm_up) = if self.quick {
+            (self.sample_size.min(10), Duration::from_millis(100))
+        } else {
+            (self.sample_size, self.warm_up_time)
+        };
+        let budget = if self.quick {
+            Duration::from_millis(500)
+        } else {
+            self.measurement_time
+        };
+
+        // Warm-up: run until the warm-up window elapses at least once.
+        let warm_start = Instant::now();
+        loop {
+            let mut b = Bencher::new();
+            f(&mut b);
+            if warm_start.elapsed() >= warm_up {
+                break;
+            }
+        }
+
+        let mut times_ns: Vec<f64> = Vec::with_capacity(samples);
+        let deadline = Instant::now() + budget.max(Duration::from_millis(1)) * 4;
+        for _ in 0..samples {
+            let mut b = Bencher::new();
+            f(&mut b);
+            times_ns.push(b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64);
+            if Instant::now() > deadline {
+                break; // sampling budget exhausted; keep what we have
+            }
+        }
+        times_ns.sort_by(|a, b| a.total_cmp(b));
+        let n = times_ns.len().max(1);
+        let mean = times_ns.iter().sum::<f64>() / n as f64;
+        let median = times_ns[n / 2];
+        let (lo, hi) = (times_ns[0], times_ns[n - 1]);
+
+        println!(
+            "{name:<40} time: [{} {} {}]  ({} samples)",
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi),
+            n
+        );
+        self.emit_json(name, mean, median, lo, hi, n);
+        self
+    }
+
+    fn emit_json(&self, name: &str, mean: f64, median: f64, lo: f64, hi: f64, samples: usize) {
+        let Ok(path) = std::env::var("JAS_BENCH_JSON") else {
+            return;
+        };
+        let cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{{\"bench\":\"{name}\",\"mean_ns\":{mean:.1},\"median_ns\":{median:.1},\
+             \"min_ns\":{lo:.1},\"max_ns\":{hi:.1},\"samples\":{samples},\
+             \"host_cpus\":{cpus},\"quick\":{}}}",
+            self.quick
+        );
+        if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(&path) {
+            let _ = writeln!(file, "{line}");
+        }
+    }
+}
+
+/// Timing handle passed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times one call of `routine` (per-sample granularity is enough for
+    /// the figure-analysis routines this workspace benches).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed = start.elapsed();
+        self.iters = 1;
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Declares a benchmark group (both criterion forms are accepted).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
