@@ -146,11 +146,27 @@ struct SliceDone {
 fn run_slice(mut s: Slice) -> SliceDone {
     let gen = &mut s.gens[comp_index(s.component)];
     let mut used = 0.0;
-    let mut executed = 0.0;
-    while used < s.cycles_budget && executed < s.max_instr {
-        let (ia, op) = gen.next_op();
-        used += s.cp.exec_record(&s.cost, s.addr_map, ia, op, &mut s.events);
-        executed += 1.0;
+    let mut executed: u64 = 0;
+    // Drain the generator's buffered blocks directly; the closure's return
+    // value reproduces the former `while used < budget && executed < max`
+    // pre-check (the initial check is the `if` guard, with `used == 0`).
+    if s.cycles_budget > 0.0 && s.max_instr > 0.0 {
+        let cp = &mut s.cp;
+        let events = &mut s.events;
+        let cost = s.cost;
+        let addr_map = s.addr_map;
+        let budget = s.cycles_budget;
+        // For an integer count `k`, `k < max` ⟺ `k < ceil(max)` (no integer
+        // lies in `[max, ceil(max))`), so the former f64 instruction-count
+        // compare becomes an integer one. The saturating `as u64` cast keeps
+        // the equivalence for out-of-range ceilings (the compare is then
+        // always true, as with the unbounded f64).
+        let max_instr = s.max_instr.ceil() as u64;
+        gen.drive(|ia, op| {
+            used += cp.exec_record(&cost, addr_map, ia, op, events);
+            executed += 1;
+            used < budget && executed < max_instr
+        });
     }
     SliceDone {
         core: s.core,
@@ -160,7 +176,8 @@ fn run_slice(mut s: Slice) -> SliceDone {
         gens: s.gens,
         events: s.events,
         used,
-        executed,
+        // Exact: slice instruction counts are far below 2^53.
+        executed: executed as f64,
     }
 }
 
@@ -776,13 +793,22 @@ impl Engine {
             };
             let gen = &mut self.gens[core][comp_index(Component::Gc)];
             let events = &mut self.event_bufs[core];
+            let remaining = gc.remaining_modeled;
             let mut used = 0.0;
-            let mut executed = 0.0;
-            while used < cycles_budget && gc.remaining_modeled > executed {
-                let (ia, op) = gen.next_op();
-                used += cp.exec_record(&cost, addr_map, ia, op, events);
-                executed += 1.0;
+            let mut executed: u64 = 0;
+            // Same pre-check semantics as the former `while` loop; the GC's
+            // remaining work only changes after the slice, so the bound is
+            // loop-invariant and safe to copy out. The integer count compare
+            // is exact as in `run_slice`: `k < remaining` ⟺ `k < ceil(remaining)`.
+            if cycles_budget > 0.0 && remaining > 0.0 {
+                let max_instr = remaining.ceil() as u64;
+                gen.drive(|ia, op| {
+                    used += cp.exec_record(&cost, addr_map, ia, op, events);
+                    executed += 1;
+                    used < cycles_budget && executed < max_instr
+                });
             }
+            let executed = executed as f64;
             gc.remaining_modeled -= executed;
             (used, executed, gc.remaining_modeled)
         };
@@ -1189,6 +1215,14 @@ impl Engine {
             Some(base) => total.delta_since(base),
             None => total,
         }
+    }
+
+    /// Machine-wide counter totals for the whole run (all cores, ramp-up
+    /// included). The bench harness uses these to report simulated cycles
+    /// and instructions per host-second.
+    #[must_use]
+    pub fn total_counters(&self) -> jas_cpu::CounterFile {
+        self.machine.total_counters()
     }
 
     /// Fraction of a GC pause spent marking, from the most recent pause

@@ -38,3 +38,4 @@ pub mod report;
 pub use config::{RunPlan, ScenarioKind, SutConfig};
 pub use engine::Engine;
 pub use experiment::{run_artifacts_from, run_experiment, RunArtifacts};
+pub use jas_cpu::{CounterFile, HpmEvent};

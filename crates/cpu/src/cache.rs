@@ -113,19 +113,53 @@ impl CacheConfig {
     }
 }
 
-#[derive(Clone, Copy, Debug, Default)]
-struct Line {
-    tag: u64, // full line address; simpler than split tag/index and just as fast here
-    state: Mesi,
-    stamp: u64, // LRU timestamp or FIFO insertion order
+/// High 64 bits of `lowbits * d`, where `lowbits` is a full 128-bit value.
+/// Never overflows: the sum is bounded by `2^64 * d - 1 < 2^128`.
+#[inline]
+pub(crate) const fn mul128_hi64(lowbits: u128, d: u64) -> u64 {
+    let bottom = ((lowbits as u64 as u128) * d as u128) >> 64;
+    let top = (lowbits >> 64) * d as u128;
+    ((bottom + top) >> 64) as u64
+}
+
+/// Precomputed magic constant for [`fastmod64`]: `ceil(2^128 / d)`.
+/// For `d == 1` the wrapping add yields 0, and `fastmod64` then correctly
+/// returns `x % 1 == 0` for every `x`.
+#[inline]
+pub(crate) const fn fastmod_magic(d: u64) -> u128 {
+    (u128::MAX / d as u128).wrapping_add(1)
+}
+
+/// Exact `x % d` via Lemire's fastmod: one 128-bit multiply-low and one
+/// 128×64 high multiply instead of a hardware divide. `m` must be
+/// `fastmod_magic(d)`. POWER4's L2 has 1440 (non-power-of-two) sets, so set
+/// indexing cannot be a mask and the per-access `%` showed up hot.
+#[inline]
+pub(crate) const fn fastmod64(x: u64, m: u128, d: u64) -> u64 {
+    mul128_hi64(m.wrapping_mul(x as u128), d)
 }
 
 /// A set-associative cache over line addresses.
+///
+/// Lines are stored as parallel arrays (tags / states / stamps) rather than
+/// an array of structs: a set walk that only compares tags then touches one
+/// host cache line per 8-way set instead of three, which is what the
+/// reconcile-phase L2 walks are bound by. Field-for-field the stored values
+/// and every observable result are identical to the former layout.
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
     cfg: CacheConfig,
     sets: u64,
-    lines: Vec<Line>,
+    /// `fastmod_magic(sets)`, fixed at construction.
+    fastmod_m: u128,
+    /// `log2(line_bytes)`; line size is asserted to be a power of two.
+    line_shift: u32,
+    /// Full line address per slot (simpler than split tag/index and just
+    /// as fast here); meaningful only where `states` is not `Invalid`.
+    tags: Vec<u64>,
+    states: Vec<Mesi>,
+    /// LRU timestamp or FIFO insertion order.
+    stamps: Vec<u64>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -136,10 +170,15 @@ impl SetAssocCache {
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
+        let slots = sets * cfg.ways;
         SetAssocCache {
             cfg,
             sets: sets as u64,
-            lines: vec![Line::default(); sets * cfg.ways],
+            fastmod_m: fastmod_magic(sets as u64),
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            tags: vec![0; slots],
+            states: vec![Mesi::Invalid; slots],
+            stamps: vec![0; slots],
             tick: 0,
             hits: 0,
             misses: 0,
@@ -156,7 +195,7 @@ impl SetAssocCache {
     #[inline]
     #[must_use]
     pub fn line_of(&self, addr: u64) -> u64 {
-        addr / self.cfg.line_bytes
+        addr >> self.line_shift
     }
 
     /// Byte address of the start of line `line` — the inverse of
@@ -166,12 +205,12 @@ impl SetAssocCache {
     #[inline]
     #[must_use]
     pub fn addr_of_line(&self, line: u64) -> u64 {
-        line * self.cfg.line_bytes
+        line << self.line_shift
     }
 
     #[inline]
     fn set_range(&self, line: u64) -> core::ops::Range<usize> {
-        let set = (line % self.sets) as usize;
+        let set = fastmod64(line, self.fastmod_m, self.sets) as usize;
         let start = set * self.cfg.ways;
         start..start + self.cfg.ways
     }
@@ -179,32 +218,62 @@ impl SetAssocCache {
     /// Looks up `line`; on a hit updates recency and returns the state.
     /// Counts toward hit/miss statistics.
     pub fn access(&mut self, line: u64) -> Option<Mesi> {
+        self.access_at(line).map(|(_, state)| state)
+    }
+
+    /// Like [`SetAssocCache::access`], additionally reporting the global
+    /// slot index of the hit line so a caller holding strong residency
+    /// knowledge (the MRU line filter in `machine.rs`) can re-touch the
+    /// line later via [`SetAssocCache::rehit`] without repeating the walk.
+    pub(crate) fn access_at(&mut self, line: u64) -> Option<(usize, Mesi)> {
         self.tick += 1;
         let tick = self.tick;
         let is_lru = self.cfg.replacement == Replacement::Lru;
-        let range = self.set_range(line);
-        for l in &mut self.lines[range] {
-            if l.state != Mesi::Invalid && l.tag == line {
+        for i in self.set_range(line) {
+            if self.tags[i] == line && self.states[i] != Mesi::Invalid {
                 if is_lru {
-                    l.stamp = tick;
+                    self.stamps[i] = tick;
                 }
                 self.hits += 1;
-                return Some(l.state);
+                return Some((i, self.states[i]));
             }
         }
         self.misses += 1;
         None
     }
 
+    /// Replays a hit on a known-resident line at `slot`: identical counter,
+    /// tick, and recency effects to [`SetAssocCache::access`] hitting that
+    /// line, minus the set walk. The caller must guarantee residency (the
+    /// MRU filters do, by invalidating their note whenever an insert could
+    /// have displaced the line).
+    pub(crate) fn rehit(&mut self, slot: usize) -> Mesi {
+        self.tick += 1;
+        self.hits += 1;
+        debug_assert!(
+            self.states[slot] != Mesi::Invalid,
+            "rehit of an invalid slot"
+        );
+        if self.cfg.replacement == Replacement::Lru {
+            self.stamps[slot] = self.tick;
+        }
+        self.states[slot]
+    }
+
+    /// Replays a known miss: identical counter and tick effects to
+    /// [`SetAssocCache::access`] missing, minus the set walk.
+    pub(crate) fn remiss(&mut self) {
+        self.tick += 1;
+        self.misses += 1;
+    }
+
     /// Looks up `line` without disturbing recency or statistics (a coherence
     /// snoop from another cache).
     #[must_use]
     pub fn probe(&self, line: u64) -> Option<Mesi> {
-        let range = self.set_range(line);
-        self.lines[range]
-            .iter()
-            .find(|l| l.state != Mesi::Invalid && l.tag == line)
-            .map(|l| l.state)
+        self.set_range(line)
+            .find(|&i| self.tags[i] == line && self.states[i] != Mesi::Invalid)
+            .map(|i| self.states[i])
     }
 
     /// Inserts `line` in `state`, evicting the replacement victim if the set
@@ -213,68 +282,75 @@ impl SetAssocCache {
     ///
     /// Inserting a line that is already present just updates its state.
     pub fn insert(&mut self, line: u64, state: Mesi) -> Option<(u64, Mesi)> {
+        self.insert_at(line, state).1
+    }
+
+    /// Like [`SetAssocCache::insert`], additionally reporting the global
+    /// slot index the line landed in (for the MRU line filter).
+    pub(crate) fn insert_at(&mut self, line: u64, state: Mesi) -> (usize, Option<(u64, Mesi)>) {
         self.tick += 1;
         let tick = self.tick;
         let range = self.set_range(line);
         // Already present: refresh state.
-        for l in &mut self.lines[range.clone()] {
-            if l.state != Mesi::Invalid && l.tag == line {
-                l.state = state;
-                l.stamp = tick;
-                return None;
+        for i in range.clone() {
+            if self.tags[i] == line && self.states[i] != Mesi::Invalid {
+                self.states[i] = state;
+                self.stamps[i] = tick;
+                return (i, None);
             }
         }
         // Free way?
-        for l in &mut self.lines[range.clone()] {
-            if l.state == Mesi::Invalid {
-                *l = Line {
-                    tag: line,
-                    state,
-                    stamp: tick,
-                };
-                return None;
+        for i in range.clone() {
+            if self.states[i] == Mesi::Invalid {
+                self.tags[i] = line;
+                self.states[i] = state;
+                self.stamps[i] = tick;
+                return (i, None);
             }
         }
         // Evict: lowest stamp is both LRU victim and FIFO head (FIFO never
         // refreshes stamps on access, so the lowest stamp is oldest-inserted).
-        let victim_idx = {
-            let lines = &self.lines[range.clone()];
-            let mut best = 0;
-            for (i, l) in lines.iter().enumerate() {
-                if l.stamp < lines[best].stamp {
-                    best = i;
-                }
+        let mut best = range.start;
+        for i in range {
+            if self.stamps[i] < self.stamps[best] {
+                best = i;
             }
-            range.start + best
-        };
-        let victim = self.lines[victim_idx];
-        self.lines[victim_idx] = Line {
-            tag: line,
-            state,
-            stamp: tick,
-        };
-        Some((victim.tag, victim.state))
+        }
+        let victim = (self.tags[best], self.states[best]);
+        self.tags[best] = line;
+        self.states[best] = state;
+        self.stamps[best] = tick;
+        (best, Some(victim))
     }
 
     /// Changes the state of a present line (coherence downgrade/upgrade).
     /// No-op when the line is absent.
     pub fn set_state(&mut self, line: u64, state: Mesi) {
-        let range = self.set_range(line);
-        for l in &mut self.lines[range] {
-            if l.state != Mesi::Invalid && l.tag == line {
-                l.state = state;
+        for i in self.set_range(line) {
+            if self.tags[i] == line && self.states[i] != Mesi::Invalid {
+                self.states[i] = state;
                 return;
             }
         }
     }
 
+    /// Changes the state of the line at a known slot — the walk-free form
+    /// of [`SetAssocCache::set_state`] for callers that just located the
+    /// line via [`SetAssocCache::access_at`].
+    pub(crate) fn set_state_at(&mut self, slot: usize, state: Mesi) {
+        debug_assert!(
+            self.states[slot] != Mesi::Invalid,
+            "set_state_at of an invalid slot"
+        );
+        self.states[slot] = state;
+    }
+
     /// Invalidates a line. Returns its former state if it was present.
     pub fn invalidate(&mut self, line: u64) -> Option<Mesi> {
-        let range = self.set_range(line);
-        for l in &mut self.lines[range] {
-            if l.state != Mesi::Invalid && l.tag == line {
-                let s = l.state;
-                l.state = Mesi::Invalid;
+        for i in self.set_range(line) {
+            if self.tags[i] == line && self.states[i] != Mesi::Invalid {
+                let s = self.states[i];
+                self.states[i] = Mesi::Invalid;
                 return Some(s);
             }
         }
@@ -290,9 +366,9 @@ impl SetAssocCache {
     /// Number of valid lines currently held.
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.lines
+        self.states
             .iter()
-            .filter(|l| l.state != Mesi::Invalid)
+            .filter(|&&st| st != Mesi::Invalid)
             .count()
     }
 }
@@ -418,5 +494,87 @@ mod tests {
         assert_eq!(c.line_of(0), 0);
         assert_eq!(c.line_of(127), 0);
         assert_eq!(c.line_of(128), 1);
+    }
+
+    /// Pins the Lemire reduction against the hardware `%` for every set
+    /// count the POWER4 shapes use, plus adversarial divisors and line
+    /// addresses (edge-of-range, near-multiple, and pseudo-random values).
+    #[test]
+    fn fastmod_matches_modulo_for_all_power4_set_counts() {
+        let divisors: [u64; 9] = [
+            CacheConfig::power4_l1d().sets() as u64, // 128
+            CacheConfig::power4_l1i().sets() as u64, // 512
+            CacheConfig::power4_l2().sets() as u64,  // 1440 (non-power-of-2)
+            CacheConfig::power4_l3().sets() as u64,  // 8192
+            1,
+            3,
+            1439,
+            u64::MAX,
+            u64::MAX - 1,
+        ];
+        for &d in &divisors {
+            let m = fastmod_magic(d);
+            let mut probes: Vec<u64> = vec![
+                0,
+                1,
+                d.wrapping_sub(1),
+                d,
+                d.wrapping_add(1),
+                d.wrapping_mul(3),
+                d.wrapping_mul(3).wrapping_sub(1),
+                u64::MAX,
+                u64::MAX - 1,
+                u64::MAX / 2,
+            ];
+            // Pseudo-random 64-bit probes (SplitMix64-style walk).
+            let mut z = 0x1234_5678_9ABC_DEF0u64;
+            for _ in 0..10_000 {
+                z = z
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                probes.push(z);
+            }
+            for x in probes {
+                assert_eq!(fastmod64(x, m, d), x % d, "x={x} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn slot_indexed_paths_match_walked_paths() {
+        // Drive two identical caches: one via access/insert, one via the
+        // slot-returning variants plus rehit, and require identical stats,
+        // recency, and victim choices.
+        for replacement in [Replacement::Lru, Replacement::Fifo] {
+            let mut a = tiny(2, replacement);
+            let mut b = tiny(2, replacement);
+            let lines = [0u64, 4, 0, 0, 8, 4, 0, 12, 8, 0];
+            let mut last: Option<(u64, usize)> = None;
+            for &line in &lines {
+                let sa = a.access(line);
+                let hit_b = match last {
+                    Some((l, slot)) if l == line => Some((slot, b.rehit(slot))),
+                    _ => b.access_at(line),
+                };
+                assert_eq!(sa, hit_b.map(|(_, s)| s));
+                match hit_b {
+                    Some((slot, _)) => last = Some((line, slot)),
+                    None => {
+                        a.insert(line, Mesi::Shared);
+                        let (slot, _) = b.insert_at(line, Mesi::Shared);
+                        last = Some((line, slot));
+                    }
+                }
+            }
+            assert_eq!(a.stats(), b.stats());
+            // Force evictions in both and require identical victims.
+            for conflict in [16u64, 20, 24, 28] {
+                assert_eq!(
+                    a.insert(conflict, Mesi::Shared),
+                    b.insert(conflict, Mesi::Shared),
+                    "victim divergence ({replacement:?})"
+                );
+            }
+        }
     }
 }

@@ -153,6 +153,18 @@ pub struct MemorySystem {
     topo: Topology,
     l2s: Vec<SetAssocCache>,
     l3s: Vec<SetAssocCache>,
+    /// Exact replay note for back-to-back stores to one line from one chip
+    /// (the allocation-write pattern: eight 16-byte stores per 128-byte
+    /// line arrive adjacent in the reconcile event stream, because L1 load
+    /// hits emit no events). After a store completes, the line is Modified
+    /// in `chip`'s L2 at `slot` and resident in **no** other L2 — the store
+    /// just invalidated every remote copy. A repeated store from the same
+    /// chip to the same line therefore replays as a single
+    /// [`SetAssocCache::rehit`]: the remote invalidates would find nothing
+    /// (pure no-ops), the local access would hit that same slot, and the
+    /// line is already Modified, so `set_state` would be idempotent. Every
+    /// other mutation through the hierarchy clears the note.
+    last_store: Option<(usize, u64, usize)>,
 }
 
 impl MemorySystem {
@@ -165,6 +177,7 @@ impl MemorySystem {
                 .map(|_| SetAssocCache::new(l2_cfg))
                 .collect(),
             l3s: (0..topo.mcms).map(|_| SetAssocCache::new(l3_cfg)).collect(),
+            last_store: None,
         }
     }
 
@@ -185,6 +198,7 @@ impl MemorySystem {
     /// Handles an L1 D-cache **load** miss from `chip` for `addr`, returning
     /// the satisfying source and updating all coherence state.
     pub fn load_miss(&mut self, chip: usize, addr: u64) -> DataSource {
+        self.last_store = None;
         let line = self.l2_line(addr);
         let my_mcm = self.topo.mcm_of_chip(chip);
 
@@ -246,17 +260,29 @@ impl MemorySystem {
     /// held the line (an L2 store hit).
     pub fn store(&mut self, chip: usize, addr: u64) -> bool {
         let line = self.l2_line(addr);
+        if let Some((c, l, slot)) = self.last_store {
+            if c == chip && l == line {
+                // Replay fast path — see the `last_store` field docs for
+                // the exactness argument. The previous event was a store of
+                // this very (chip, line), so all three steps of the full
+                // path below collapse into one slot re-touch.
+                self.l2s[chip].rehit(slot);
+                return true;
+            }
+        }
         for (c, l2) in self.l2s.iter_mut().enumerate() {
             if c != chip {
                 l2.invalidate(line);
             }
         }
-        let hit = self.l2s[chip].access(line).is_some();
-        if hit {
-            self.l2s[chip].set_state(line, Mesi::Modified);
-        } else {
-            self.fill_l2(chip, line, Mesi::Modified);
-        }
+        let (hit, slot) = match self.l2s[chip].access_at(line) {
+            Some((slot, _)) => {
+                self.l2s[chip].set_state_at(slot, Mesi::Modified);
+                (true, slot)
+            }
+            None => (false, self.fill_l2(chip, line, Mesi::Modified)),
+        };
+        self.last_store = Some((chip, line, slot));
         hit
     }
 
@@ -264,6 +290,7 @@ impl MemorySystem {
     /// I-cache miss. Instructions are read-only; remote L2/L3 hits are
     /// folded into [`InstSource::L2`]/[`InstSource::L3`] as on the real HPM.
     pub fn fetch_inst(&mut self, chip: usize, addr: u64) -> InstSource {
+        self.last_store = None;
         let line = self.l2_line(addr);
         if self.l2s[chip].access(line).is_some() {
             return InstSource::L2;
@@ -295,10 +322,19 @@ impl MemorySystem {
     /// Stages a prefetched line into `chip`'s L2 (no source classification —
     /// prefetches are not demand misses).
     pub fn prefetch_into_l2(&mut self, chip: usize, addr: u64) {
+        self.last_store = None;
         let line = self.l2_line(addr);
         if self.l2s[chip].probe(line).is_none() {
             self.fill_l2(chip, line, Mesi::Shared);
         }
+    }
+
+    /// Drops the store-replay note, forcing the next store through the
+    /// full path. Test-only: lets the differential proptest replay the
+    /// same event sequence with the fast path disabled.
+    #[cfg(test)]
+    pub(crate) fn clear_store_note(&mut self) {
+        self.last_store = None;
     }
 
     /// `true` when `chip`'s L2 currently holds the line of `addr`.
@@ -307,8 +343,9 @@ impl MemorySystem {
         self.l2s[chip].probe(self.l2_line(addr)).is_some()
     }
 
-    fn fill_l2(&mut self, chip: usize, line: u64, state: Mesi) {
-        if let Some((victim_line, victim_state)) = self.l2s[chip].insert(line, state) {
+    fn fill_l2(&mut self, chip: usize, line: u64, state: Mesi) -> usize {
+        let (slot, victim) = self.l2s[chip].insert_at(line, state);
+        if let Some((victim_line, victim_state)) = victim {
             // Modified victims spill into the local MCM's L3 (simplified
             // victim handling; clean victims are dropped).
             if victim_state == Mesi::Modified {
@@ -318,6 +355,7 @@ impl MemorySystem {
                 self.l3s[mcm].insert(l3line, Mesi::Modified);
             }
         }
+        slot
     }
 }
 

@@ -28,7 +28,7 @@ use crate::cache::{CacheConfig, Mesi, SetAssocCache};
 use crate::counters::{CounterFile, HpmEvent};
 use crate::hierarchy::{DataSource, InstSource, MemEvent, MemorySystem, Topology};
 use crate::pipeline::{CostModel, FracCounter};
-use crate::prefetch::{PrefetchConfig, Prefetcher};
+use crate::prefetch::{PrefetchConfig, PrefetchDecision, Prefetcher};
 use crate::tlb::{Mmu, MmuConfig, TranslationOutcome};
 use crate::uop::MicroOp;
 
@@ -63,6 +63,13 @@ pub struct MachineConfig {
     pub addr_map: AddressMap,
     /// Modeled clock frequency (cycles per simulated second).
     pub frequency_hz: f64,
+    /// Enables the exact-equivalence fast paths (MRU line filter in front
+    /// of the L1 D-cache, frame filters in front of IERAT/DERAT, slot-replay
+    /// cache hits). Observable state — HPM counters, cache statistics,
+    /// victim choices — is bit-identical either way; the toggle exists so
+    /// the differential gate in `proptests.rs` can prove it. See DESIGN.md
+    /// "Hot path and exact-equivalence fast paths".
+    pub fast_paths: bool,
 }
 
 impl Default for MachineConfig {
@@ -79,6 +86,7 @@ impl Default for MachineConfig {
             cost: CostModel::default(),
             addr_map: AddressMap::default(),
             frequency_hz: 2_000_000.0,
+            fast_paths: true,
         }
     }
 }
@@ -101,6 +109,22 @@ pub struct CorePrivate {
     op_index: u64,
     last_l1d_miss_op: u64,
     last_fetch_line: u64,
+    // --- Exact-equivalence fast-path state (DESIGN.md "Hot path"). ---
+    // `fast` gates the IERAT/DERAT frame filters; `mru_ok` additionally
+    // requires L1D lines not to span a 4 KB frame (so a same-line repeat
+    // implies a same-frame repeat). `u64::MAX` is the invalid sentinel for
+    // the remembered frames/line (real frames are `addr >> 12`, real lines
+    // `addr >> 7`, so the sentinel is unreachable).
+    fast: bool,
+    mru_ok: bool,
+    last_inst_frame: u64,
+    last_data_frame: u64,
+    mru_line: u64,
+    mru_slot: u32,
+    mru_resident: bool,
+    /// Reusable buffer for prefetch decisions (avoids two `Vec` allocations
+    /// per stream advance on the hot load path).
+    pf_decision: PrefetchDecision,
     // Cheap deterministic per-core noise source for probabilistic model
     // events (group reissues), independent of the workload RNG.
     noise: u64,
@@ -108,6 +132,7 @@ pub struct CorePrivate {
 
 impl CorePrivate {
     fn new(cfg: &MachineConfig, id: usize) -> Self {
+        let fast = cfg.fast_paths;
         CorePrivate {
             l1i: SetAssocCache::new(cfg.l1i),
             l1d: SetAssocCache::new(cfg.l1d),
@@ -123,6 +148,14 @@ impl CorePrivate {
             op_index: 0,
             last_l1d_miss_op: u64::MAX / 2,
             last_fetch_line: u64::MAX,
+            fast,
+            mru_ok: fast && cfg.l1d.line_bytes <= 4096,
+            last_inst_frame: u64::MAX,
+            last_data_frame: u64::MAX,
+            mru_line: u64::MAX,
+            mru_slot: 0,
+            mru_resident: false,
+            pf_decision: PrefetchDecision::default(),
             noise: 0x9E37_79B9_7F4A_7C15 ^ (id as u64).wrapping_mul(0xA24B_AED4_963E_E407),
         }
     }
@@ -166,19 +199,27 @@ impl CorePrivate {
         let fetch_line = c.l1i.line_of(ia);
         if fetch_line != c.last_fetch_line {
             c.last_fetch_line = fetch_line;
-            // Translate the fetch address.
-            let page = addr_map.page_size(ia);
-            match c.mmu.translate_inst(ia, page) {
-                TranslationOutcome::EratHit => {}
-                TranslationOutcome::EratMissTlbHit => {
-                    c.counters.bump(HpmEvent::IeratMiss);
-                    cycles += cost.erat_miss_cycles * cost.inst_overlap;
+            // Frame filter: a fetch from the same 4 KB frame as the last
+            // *translated* fetch is by construction an IERAT hit — the frame
+            // is still the IERAT's MRU entry, so the full translate would
+            // only re-front an already-front entry (a no-op). EratHit bumps
+            // no counters and charges no cycles, so skipping it is exact.
+            let frame = ia >> 12;
+            if !(c.fast && frame == c.last_inst_frame) {
+                let page = addr_map.page_size(ia);
+                match c.mmu.translate_inst(ia, page) {
+                    TranslationOutcome::EratHit => {}
+                    TranslationOutcome::EratMissTlbHit => {
+                        c.counters.bump(HpmEvent::IeratMiss);
+                        cycles += cost.erat_miss_cycles * cost.inst_overlap;
+                    }
+                    TranslationOutcome::TlbMiss => {
+                        c.counters.bump(HpmEvent::IeratMiss);
+                        c.counters.bump(HpmEvent::ItlbMiss);
+                        cycles += cost.tlb_walk_cycles * cost.inst_overlap;
+                    }
                 }
-                TranslationOutcome::TlbMiss => {
-                    c.counters.bump(HpmEvent::IeratMiss);
-                    c.counters.bump(HpmEvent::ItlbMiss);
-                    cycles += cost.tlb_walk_cycles * cost.inst_overlap;
-                }
+                c.last_inst_frame = frame;
             }
             if c.l1i.access(fetch_line).is_some() {
                 c.counters.bump(HpmEvent::InstFromL1);
@@ -202,28 +243,49 @@ impl CorePrivate {
                     c.counters.bump(HpmEvent::Larx);
                 }
                 c.counters.bump(HpmEvent::LoadRefs);
-                Self::data_translate(c, cost, ea, addr_map, &mut cycles, &mut dispatched);
                 let line = c.l1d.line_of(ea);
-                let l1_hit = c.l1d.access(line).is_some();
-                // The prefetch engine observes every load: stream
-                // confirmations ride on prefetch hits, allocations on misses.
-                let decision = c.prefetch.on_l1_load(line, !l1_hit);
-                if decision.allocated {
+                // MRU line filter: a repeat of the previous data line that
+                // is still resident is by construction a DERAT hit (same
+                // 4 KB frame, and EratHit has no observable effect) and an
+                // L1 hit at the remembered way — replay both without the
+                // translate or the set walk.
+                let mut hit_slot = usize::MAX;
+                let l1_hit = if c.mru_ok && line == c.mru_line && c.mru_resident {
+                    c.l1d.rehit(c.mru_slot as usize);
+                    hit_slot = c.mru_slot as usize;
+                    true
+                } else {
+                    Self::data_translate(c, cost, ea, addr_map, &mut cycles, &mut dispatched);
+                    match c.l1d.access_at(line) {
+                        Some((slot, _)) => {
+                            hit_slot = slot;
+                            true
+                        }
+                        None => false,
+                    }
+                };
+                // The prefetch engine observes every load (fast path
+                // included): stream confirmations ride on prefetch hits,
+                // allocations on misses.
+                c.prefetch
+                    .on_l1_load_into(line, !l1_hit, &mut c.pf_decision);
+                if c.pf_decision.allocated {
                     c.counters.bump(HpmEvent::StreamAllocs);
                 }
-                for &pl in &decision.l1_lines {
+                for &pl in &c.pf_decision.l1_lines {
                     c.counters.bump(HpmEvent::L1Prefetch);
                     c.l1d.insert(pl, Mesi::Shared);
                     events.push(MemEvent::Prefetch {
                         addr: c.l1d.addr_of_line(pl),
                     });
                 }
-                for &pl in &decision.l2_lines {
+                for &pl in &c.pf_decision.l2_lines {
                     c.counters.bump(HpmEvent::L2Prefetch);
                     events.push(MemEvent::Prefetch {
                         addr: c.l1d.addr_of_line(pl),
                     });
                 }
+                let pf_filled_l1 = !c.pf_decision.l1_lines.is_empty();
                 if !l1_hit {
                     c.counters.bump(HpmEvent::LoadMissL1);
                     let burst =
@@ -243,7 +305,20 @@ impl CorePrivate {
                         c.counters.bump(HpmEvent::GroupReissues);
                         dispatched += cost.group_reissue_dispatch;
                     }
-                    c.l1d.insert(line, Mesi::Shared);
+                    // The demand fill lands last, so its slot is final.
+                    let (slot, _victim) = c.l1d.insert_at(line, Mesi::Shared);
+                    c.mru_line = line;
+                    c.mru_slot = slot as u32;
+                    c.mru_resident = true;
+                } else if !pf_filled_l1 {
+                    c.mru_line = line;
+                    c.mru_slot = hit_slot as u32;
+                    c.mru_resident = true;
+                } else {
+                    // Prefetch fills may have displaced the hit line (or
+                    // filled a line an earlier note called non-resident),
+                    // so drop the note rather than risk a stale claim.
+                    c.mru_line = u64::MAX;
                 }
             }
             MicroOp::Store { ea } | MicroOp::Stcx { ea, .. } => {
@@ -255,13 +330,35 @@ impl CorePrivate {
                     cycles += cost.stcx_cycles;
                 }
                 c.counters.bump(HpmEvent::StoreRefs);
-                Self::data_translate(c, cost, ea, addr_map, &mut cycles, &mut dispatched);
                 let line = c.l1d.line_of(ea);
                 // Write-through: the store goes to L2 either way; an L1 miss
-                // does NOT allocate in L1 (paper Section 4.2.3).
-                if c.l1d.access(line).is_none() {
-                    c.counters.bump(HpmEvent::StoreMissL1);
-                    cycles += cost.store_miss_cycles;
+                // does NOT allocate in L1 (paper Section 4.2.3) — so the MRU
+                // note's residency flag survives a store miss unchanged, and
+                // repeated stores to one line (the allocation-write pattern)
+                // replay as known hits or known misses without a walk.
+                if c.mru_ok && line == c.mru_line {
+                    if c.mru_resident {
+                        c.l1d.rehit(c.mru_slot as usize);
+                    } else {
+                        c.l1d.remiss();
+                        c.counters.bump(HpmEvent::StoreMissL1);
+                        cycles += cost.store_miss_cycles;
+                    }
+                } else {
+                    Self::data_translate(c, cost, ea, addr_map, &mut cycles, &mut dispatched);
+                    match c.l1d.access_at(line) {
+                        Some((slot, _)) => {
+                            c.mru_line = line;
+                            c.mru_slot = slot as u32;
+                            c.mru_resident = true;
+                        }
+                        None => {
+                            c.counters.bump(HpmEvent::StoreMissL1);
+                            cycles += cost.store_miss_cycles;
+                            c.mru_line = line;
+                            c.mru_resident = false;
+                        }
+                    }
                 }
                 events.push(MemEvent::Store { addr: ea });
             }
@@ -332,6 +429,13 @@ impl CorePrivate {
         cycles: &mut f64,
         dispatched: &mut f64,
     ) {
+        // Frame filter: same 4 KB frame as the previous data translation ⇒
+        // the frame is still the DERAT's MRU entry, so the full path would
+        // be a cost-free EratHit that re-fronts an already-front entry.
+        let frame = ea >> 12;
+        if c.fast && frame == c.last_data_frame {
+            return;
+        }
         let page = addr_map.page_size(ea);
         match c.mmu.translate_data(ea, page) {
             TranslationOutcome::EratHit => {}
@@ -349,6 +453,7 @@ impl CorePrivate {
                 *dispatched += cost.tlb_walk_cycles / cost.reject_retry_cycles;
             }
         }
+        c.last_data_frame = frame;
     }
 }
 
@@ -498,6 +603,27 @@ impl Machine {
     #[must_use]
     pub fn counters(&self, core: usize) -> &CounterFile {
         &self.cores[core].counters
+    }
+
+    /// Read-only view of one core's L1 D-cache (statistics/occupancy for
+    /// the differential fast-path gate and for experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn l1d(&self, core: usize) -> &SetAssocCache {
+        &self.cores[core].l1d
+    }
+
+    /// Read-only view of one core's L1 I-cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn l1i(&self, core: usize) -> &SetAssocCache {
+        &self.cores[core].l1i
     }
 
     /// Machine-wide counter aggregate (sum over cores).

@@ -118,14 +118,29 @@ pub struct FracCounter {
 
 impl FracCounter {
     /// Adds `amount` (may be fractional) of `event` into `counters`.
+    ///
+    /// The two compare-guarded early arms are exact shortcuts for the
+    /// general `floor()` arm below them: with `carry >= 0`,
+    /// `carry < 1.0` means `floor(carry) == 0` (nothing to flush) and
+    /// `carry < 2.0` means `floor(carry) == 1.0`, so `carry -= 1.0`
+    /// performs the identical f64 subtraction. They exist because this
+    /// runs three times per simulated instruction and the typical
+    /// per-instruction amounts are below 2, making `floor` + f64→u64
+    /// conversion the hot loop's most expensive arithmetic.
     pub fn add(&mut self, counters: &mut CounterFile, event: HpmEvent, amount: f64) {
         debug_assert!(amount >= 0.0, "negative counter amount");
         self.carry += amount;
-        let whole = self.carry.floor();
-        if whole > 0.0 {
-            counters.add(event, whole as u64);
-            self.carry -= whole;
+        if self.carry < 1.0 {
+            return;
         }
+        if self.carry < 2.0 {
+            counters.add(event, 1);
+            self.carry -= 1.0;
+            return;
+        }
+        let whole = self.carry.floor();
+        counters.add(event, whole as u64);
+        self.carry -= whole;
     }
 }
 

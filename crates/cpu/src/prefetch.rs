@@ -59,6 +59,14 @@ pub struct Prefetcher {
     recent_misses: Vec<u64>,
     recent_head: usize,
     tick: u64,
+    /// Most recent line whose *completed* stream scan matched nothing.
+    /// A non-miss repeat of this line can skip the scan: no stream was
+    /// mutated since (a confirm clears the note), and an allocation for
+    /// this line leaves a stream whose delta for the same line is -1 —
+    /// outside the 0..=2 confirm window — so the scan would again find
+    /// nothing and the non-miss call would return with no decision.
+    note_line: u64,
+    note_ok: bool,
 }
 
 impl Prefetcher {
@@ -85,6 +93,8 @@ impl Prefetcher {
             recent_misses: vec![u64::MAX; cfg.guess_entries],
             recent_head: 0,
             tick: 0,
+            note_line: 0,
+            note_ok: false,
         }
     }
 
@@ -96,9 +106,30 @@ impl Prefetcher {
     /// engine must keep running ahead of those hits. Stream *allocation*
     /// only ever happens on demand misses.
     pub fn on_l1_load(&mut self, line: u64, miss: bool) -> PrefetchDecision {
+        let mut decision = PrefetchDecision::default();
+        self.on_l1_load_into(line, miss, &mut decision);
+        decision
+    }
+
+    /// Like [`Prefetcher::on_l1_load`], but writes the decision into a
+    /// caller-owned buffer (cleared first) so the per-op hot path in
+    /// `machine.rs` reuses one allocation instead of building two fresh
+    /// `Vec`s on every stream advance.
+    pub fn on_l1_load_into(&mut self, line: u64, miss: bool, out: &mut PrefetchDecision) {
+        out.allocated = false;
+        out.advanced = false;
+        out.l1_lines.clear();
+        out.l2_lines.clear();
         self.tick += 1;
         let tick = self.tick;
-        let mut decision = PrefetchDecision::default();
+
+        // Exact replay: the previous completed scan of this same line found
+        // no stream, and a non-miss call mutates nothing beyond `tick` — so
+        // the whole body below is a no-op. (See `note_line` for why an
+        // intervening allocation at this line keeps the note valid.)
+        if self.note_ok && line == self.note_line && !miss {
+            return;
+        }
 
         // 1. Does the access confirm an active stream? Real stream engines
         // tolerate small skips (interleaved stores, stride jitter), so a
@@ -109,24 +140,27 @@ impl Prefetcher {
                 (0..=2).contains(&delta)
             }
         }) {
+            self.note_ok = false;
             s.last_use = tick;
             s.depth = (s.depth + 1).min(self.cfg.max_depth);
             s.next_line = line.wrapping_add_signed(s.dir);
-            decision.advanced = true;
+            out.advanced = true;
             // Near lines into L1, the deeper run-ahead into L2.
             let near = s.depth.min(2);
             for k in 1..=s.depth {
                 let target = line.wrapping_add_signed(s.dir * i64::from(k));
                 if k <= near {
-                    decision.l1_lines.push(target);
+                    out.l1_lines.push(target);
                 } else {
-                    decision.l2_lines.push(target);
+                    out.l2_lines.push(target);
                 }
             }
-            return decision;
+            return;
         }
+        self.note_ok = true;
+        self.note_line = line;
         if !miss {
-            return decision;
+            return;
         }
 
         // 2. Does a recent miss at an adjacent line suggest a new stream?
@@ -142,14 +176,13 @@ impl Prefetcher {
                 last_use: tick,
                 valid: true,
             };
-            decision.allocated = true;
-            decision.l1_lines.push(line.wrapping_add_signed(dir));
+            out.allocated = true;
+            out.l1_lines.push(line.wrapping_add_signed(dir));
         }
 
         // 3. Remember the miss for future allocation guesses.
         self.recent_misses[self.recent_head] = line;
         self.recent_head = (self.recent_head + 1) % self.recent_misses.len();
-        decision
     }
 
     fn victim_slot(&self) -> usize {
@@ -169,6 +202,13 @@ impl Prefetcher {
     #[must_use]
     pub fn active_streams(&self) -> usize {
         self.streams.iter().filter(|s| s.valid).count()
+    }
+
+    /// Test-only: drop the no-match scan note so the next call takes the
+    /// full scan path (differential testing of the replay fast path).
+    #[cfg(test)]
+    pub(crate) fn clear_scan_note(&mut self) {
+        self.note_ok = false;
     }
 }
 

@@ -42,21 +42,32 @@ impl RefLru {
 }
 
 proptest! {
-    /// The translation cache behaves exactly like a reference LRU.
+    /// The translation cache behaves exactly like a reference LRU, through
+    /// all three entry points (`lookup`, `insert`, `lookup_or_insert`).
     #[test]
     fn translation_cache_matches_reference_lru(
         cap in 1usize..16,
-        ops in proptest::collection::vec((any::<bool>(), 0u64..32), 1..300),
+        ops in proptest::collection::vec((0u8..3, 0u64..32), 1..300),
     ) {
         let mut sut = TranslationCache::new(cap);
         let mut reference = RefLru::new(cap);
-        for (is_insert, tag) in ops {
-            if is_insert {
-                sut.insert(tag);
-                reference.insert(tag);
-            } else {
-                // Lookups refresh recency in both models on hit.
-                prop_assert_eq!(sut.lookup(tag), reference.lookup(tag));
+        for (kind, tag) in ops {
+            match kind {
+                0 => {
+                    sut.insert(tag);
+                    reference.insert(tag);
+                }
+                1 => {
+                    // Lookups refresh recency in both models on hit.
+                    prop_assert_eq!(sut.lookup(tag), reference.lookup(tag));
+                }
+                _ => {
+                    let hit = reference.lookup(tag);
+                    if !hit {
+                        reference.insert(tag);
+                    }
+                    prop_assert_eq!(sut.lookup_or_insert(tag), hit);
+                }
             }
             prop_assert!(sut.occupancy() <= cap);
         }
@@ -137,6 +148,161 @@ proptest! {
             prop_assert!(!(d.allocated && d.advanced));
             prop_assert!(p.active_streams() <= cfg.streams);
         }
+    }
+
+    /// The exact-equivalence fast paths (MRU line filter in front of the
+    /// L1 D-cache, IERAT/DERAT frame filters, slot-replay hits) must be
+    /// bit-identical to the full paths: same HPM counters, same cycle
+    /// charges, same cache statistics and occupancy, and same replacement
+    /// victims afterwards.
+    #[test]
+    fn fast_paths_are_bit_identical(
+        ops in proptest::collection::vec((0u8..8, 0u64..96, any::<bool>()), 1..400),
+    ) {
+        use crate::address::Region;
+        use crate::machine::{Machine, MachineConfig};
+        use crate::uop::MicroOp;
+
+        let build = |fast_paths: bool| {
+            Machine::new(MachineConfig {
+                fast_paths,
+                ..MachineConfig::default()
+            })
+        };
+        let mut on = build(true);
+        let mut off = build(false);
+        let heap = Region::JavaHeap.base();
+        let code = Region::JitCode.base();
+        let mut ia = code;
+        for (i, &(kind, idx, flag)) in ops.iter().enumerate() {
+            // Mix of tight same-line reuse (16 B steps — the allocation
+            // write pattern), line strides (sequential, wakes the
+            // prefetcher), and frame strides (ERAT/TLB pressure).
+            let ea = match kind % 3 {
+                0 => heap + idx * 16,
+                1 => heap + idx * 128,
+                _ => heap + idx * 4096,
+            };
+            let op = match kind {
+                0 | 1 => MicroOp::Load { ea },
+                2 | 3 => MicroOp::Store { ea },
+                4 => MicroOp::Larx { ea },
+                5 => MicroOp::CondBranch { site: idx, taken: flag },
+                6 => MicroOp::Sync,
+                _ => MicroOp::Alu,
+            };
+            // Fetch addresses advance like real code: mostly sequential,
+            // occasionally jumping to a new page.
+            ia = if idx % 13 == 0 { code + idx * 4096 } else { ia + 4 };
+            let ca = on.exec(0, ia, op);
+            let cb = off.exec(0, ia, op);
+            prop_assert_eq!(ca.to_bits(), cb.to_bits(), "cycle divergence at op {}", i);
+            if kind == 4 {
+                // A LARX is always followed by its STCX in real streams.
+                let st = MicroOp::Stcx { ea, fail: flag };
+                ia += 4;
+                prop_assert_eq!(on.exec(0, ia, st).to_bits(), off.exec(0, ia, st).to_bits());
+            }
+        }
+        prop_assert_eq!(on.counters(0), off.counters(0));
+        prop_assert_eq!(on.l1d(0).stats(), off.l1d(0).stats());
+        prop_assert_eq!(on.l1i(0).stats(), off.l1i(0).stats());
+        prop_assert_eq!(on.l1d(0).occupancy(), off.l1d(0).occupancy());
+        prop_assert_eq!(on.l1i(0).occupancy(), off.l1i(0).occupancy());
+        // Identical replacement victims from here on: force evictions in
+        // cloned L1 Ds and require the same line to fall out of every set.
+        let mut va = on.l1d(0).clone();
+        let mut vb = off.l1d(0).clone();
+        for probe in 0..96u64 {
+            let conflict = va.line_of(heap + probe * 4096) ^ 0x5555;
+            prop_assert_eq!(
+                va.insert(conflict, Mesi::Shared),
+                vb.insert(conflict, Mesi::Shared),
+                "victim divergence at probe {}", probe
+            );
+        }
+    }
+
+    /// The back-to-back store replay note in `MemorySystem` is bit-identical
+    /// to the full store path: same return values and identical L2/L3
+    /// internals (lines, states, stamps, ticks, hit/miss counts) for any
+    /// interleaving of stores, load misses, fetches, and prefetches across
+    /// chips. The `slow` system has its note cleared before every event, so
+    /// every one of its stores takes the full invalidate-walk path.
+    #[test]
+    fn store_replay_note_is_bit_identical(
+        ops in proptest::collection::vec((0u8..8, 0usize..2, 0u64..512), 1..400),
+    ) {
+        use crate::hierarchy::{MemorySystem, Topology};
+        let mk = || {
+            MemorySystem::new(
+                Topology::default(),
+                CacheConfig {
+                    size_bytes: 16 * 1024,
+                    line_bytes: 128,
+                    ways: 2,
+                    replacement: Replacement::Lru,
+                },
+                CacheConfig {
+                    size_bytes: 64 * 1024,
+                    line_bytes: 512,
+                    ways: 4,
+                    replacement: Replacement::Fifo,
+                },
+            )
+        };
+        let mut fast = mk();
+        let mut slow = mk();
+        for (i, &(kind, chip, blk)) in ops.iter().enumerate() {
+            // 16 B strides: eight consecutive blocks share a 128 B line,
+            // reproducing the allocation-write runs the note targets.
+            let addr = blk * 16;
+            slow.clear_store_note();
+            match kind {
+                // Biased toward stores — the path under test.
+                0..=4 => prop_assert_eq!(
+                    fast.store(chip, addr),
+                    slow.store(chip, addr),
+                    "store divergence at op {}", i
+                ),
+                5 => prop_assert_eq!(fast.load_miss(chip, addr), slow.load_miss(chip, addr)),
+                6 => prop_assert_eq!(fast.fetch_inst(chip, addr), slow.fetch_inst(chip, addr)),
+                _ => {
+                    fast.prefetch_into_l2(chip, addr);
+                    slow.prefetch_into_l2(chip, addr);
+                }
+            }
+        }
+        // The note itself differs by construction (slow's is cleared before
+        // every event); drop both so the compare covers only cache state.
+        fast.clear_store_note();
+        slow.clear_store_note();
+        prop_assert_eq!(format!("{fast:?}"), format!("{slow:?}"));
+    }
+
+    /// The prefetcher's no-match scan-note replay is bit-identical to the
+    /// full stream scan: same decisions and same internal state for any
+    /// access sequence. The `slow` engine has its note cleared before every
+    /// call, so it always walks the stream table.
+    #[test]
+    fn prefetch_scan_note_is_bit_identical(
+        ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..500),
+    ) {
+        let mut fast = Prefetcher::new(PrefetchConfig::default());
+        let mut slow = Prefetcher::new(PrefetchConfig::default());
+        for (i, &(line, miss)) in ops.iter().enumerate() {
+            slow.clear_scan_note();
+            prop_assert_eq!(
+                fast.on_l1_load(line, miss),
+                slow.on_l1_load(line, miss),
+                "decision divergence at op {}", i
+            );
+        }
+        // The note itself differs by construction; drop both so the compare
+        // covers streams, recent-miss filter, and tick.
+        fast.clear_scan_note();
+        slow.clear_scan_note();
+        prop_assert_eq!(format!("{fast:?}"), format!("{slow:?}"));
     }
 
     /// A pure ascending walk eventually turns (almost) every access into a

@@ -13,6 +13,7 @@
 //! representative streams, so every figure's numbers *emerge* from the same
 //! microarchitectural mechanisms the paper measured.
 
+use crate::cache::{fastmod64, fastmod_magic};
 use crate::uop::MicroOp;
 use jas_simkernel::dist::Zipf;
 use jas_simkernel::Rng;
@@ -199,23 +200,99 @@ fn mix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Scalar profile parameters copied out per op to satisfy borrow rules.
-struct Rates {
-    loads: f64,
-    stores: f64,
-    conds: f64,
-    inds: f64,
-    larx: f64,
-    sync: f64,
-    call: f64,
+/// Precomputed per-profile sampling state: the instruction-mix ladder as
+/// cumulative fixed-point thresholds, plus the scalar parameters the
+/// generator needs per op (copied out to satisfy borrow rules). Built once
+/// in [`StreamGen::new`] instead of being reassembled on every op.
+///
+/// **Exactness.** `Rng::next_f64()` yields `m * 2^-53` with
+/// `m = next_u64() >> 11`, so the original comparison `roll < acc` is
+/// precisely `m < acc * 2^53`. Scaling an f64 by 2^53 only shifts its
+/// exponent (exact for all finite values in range), and for an integer `m`
+/// and real `x`, `m < x` ⟺ `m < ceil(x)` (when `x` is an integer
+/// `ceil(x) = x`; otherwise no integer lies in `[x, ceil(x))`). The
+/// cumulative sums below perform the identical f64 additions in the
+/// identical order as the original per-op ladder, so each threshold — and
+/// therefore every op-class decision — is bit-exact.
+#[derive(Clone, Copy, Debug)]
+struct MixTable {
+    t_load: u64,
+    t_store: u64,
+    t_cond: u64,
+    t_ind: u64,
+    t_larx: u64,
+    t_sync: u64,
+    t_call: u64,
+    /// Fixed-point forms of the per-op `Rng::chance(p)` probabilities
+    /// (`chance(p)` is `m < p * 2^53` for the same 53-bit draw `m` — see
+    /// the exactness note above): the code-jump rate, the conditional-bias
+    /// follow rate, and the fresh-store (allocation write) fraction.
+    t_jump: u64,
+    t_bias: u64,
+    t_fresh: u64,
     stcx_fail_prob: f64,
-    cond_bias_strength: f64,
     cond_sites: usize,
     ind_sites: usize,
     ind_targets_max: u32,
     code_base: u64,
     code_len: u64,
+    /// `fastmod_magic(code_len)` for the cold-code and indirect-target `%`.
+    code_len_m: u128,
+    /// Active-code slot count (`code_active.clamp(256, len) / 256`) and its
+    /// fastmod magic — the far-call `%` divisor, invariant per profile.
+    active_slots: u64,
+    active_slots_m: u128,
 }
+
+impl MixTable {
+    fn new(p: &StreamProfile) -> Self {
+        const SCALE: f64 = (1u64 << 53) as f64;
+        let fix = |acc: f64| (acc * SCALE).ceil() as u64;
+        let mut acc = p.loads_per_instr;
+        let t_load = fix(acc);
+        acc += p.stores_per_instr;
+        let t_store = fix(acc);
+        acc += p.cond_branch_per_instr;
+        let t_cond = fix(acc);
+        acc += p.ind_branch_per_instr;
+        let t_ind = fix(acc);
+        acc += p.larx_per_instr;
+        let t_larx = fix(acc);
+        acc += p.sync_per_instr;
+        let t_sync = fix(acc);
+        acc += p.call_per_instr * 2.0;
+        let t_call = fix(acc);
+        let active_slots = p.code_active.clamp(256, p.code.len) / 256;
+        MixTable {
+            t_load,
+            t_store,
+            t_cond,
+            t_ind,
+            t_larx,
+            t_sync,
+            t_call,
+            t_jump: fix(p.code_jump_rate),
+            t_bias: fix(p.cond_bias_strength),
+            t_fresh: fix(p.store_fresh_fraction),
+            stcx_fail_prob: p.stcx_fail_prob,
+            cond_sites: p.cond_sites,
+            ind_sites: p.ind_sites,
+            ind_targets_max: p.ind_targets_max,
+            code_base: p.code.base,
+            code_len: p.code.len,
+            code_len_m: fastmod_magic(p.code.len),
+            active_slots,
+            active_slots_m: fastmod_magic(active_slots),
+        }
+    }
+}
+
+/// Ops generated ahead into the block buffer per refill. Batching shortens
+/// the per-op call chain (one buffer bounds-check instead of the full
+/// generation path) without changing the op sequence: the generator owns
+/// its RNG exclusively, so drawing a block ahead of consumption is
+/// invisible to every consumer.
+const BLOCK_OPS: usize = 64;
 
 /// Per-region generator state.
 #[derive(Clone, Debug)]
@@ -223,6 +300,69 @@ struct RegionState {
     seq_pos: u64,
     burst_left: u32,
     burst_frame: u64,
+}
+
+/// Loop-invariant per-region address math, precomputed at construction.
+/// Every `%` or `/` on the per-reference path whose divisor is fixed by the
+/// profile (hot-footprint size, skewed slot counts, sequential window
+/// length) is replaced by a Lemire [`fastmod64`] with a precomputed magic —
+/// exact for all inputs, so generated addresses are bit-identical to the
+/// direct `%` forms. The salt-derived hot-window placement (`base_off`) is
+/// likewise constant per region and folded into `base`.
+#[derive(Clone, Copy, Debug)]
+enum PatternPre {
+    Hot {
+        /// `window.base + base_off` — the salted hot-footprint start.
+        base: u64,
+        fp: u64,
+        fp_m: u128,
+    },
+    Skewed {
+        hot_slots: u64,
+        hot_m: u128,
+        cold_slots: u64,
+    },
+    Sequential {
+        len_m: u128,
+    },
+    Uniform,
+}
+
+impl PatternPre {
+    fn new(r: &DataRegion, salt: u64) -> Self {
+        let w = r.window;
+        match r.pattern {
+            AccessPattern::Hot { footprint } => {
+                let fp = footprint.min(w.len).max(64);
+                let max_off = w.len - fp;
+                let base_off = if max_off == 0 {
+                    0
+                } else {
+                    ((salt.wrapping_mul(0x9E37_79B9) * fp) % max_off) & !63
+                };
+                PatternPre::Hot {
+                    base: w.base + base_off,
+                    fp,
+                    fp_m: fastmod_magic(fp),
+                }
+            }
+            AccessPattern::Skewed {
+                hot_bytes, granule, ..
+            } => {
+                let granule = granule.max(8);
+                let hot_slots = (hot_bytes.min(w.len).max(granule) / granule).max(1);
+                PatternPre::Skewed {
+                    hot_slots,
+                    hot_m: fastmod_magic(hot_slots),
+                    cold_slots: (w.len / granule).max(1),
+                }
+            }
+            AccessPattern::Sequential { .. } => PatternPre::Sequential {
+                len_m: fastmod_magic(w.len),
+            },
+            AccessPattern::Uniform { .. } => PatternPre::Uniform,
+        }
+    }
 }
 
 /// Generates a concrete `(ia, MicroOp)` stream from a [`StreamProfile`].
@@ -234,18 +374,29 @@ struct RegionState {
 #[derive(Clone, Debug)]
 pub struct StreamGen {
     profile: StreamProfile,
+    mix: MixTable,
     rng: Rng,
     salt: u64,
     ia: u64,
     code_zipf: Zipf,
     hot_zipf: Zipf,
-    region_weights: Vec<f64>,
+    /// Positive-weight regions `(index, weight)` in profile order, and their
+    /// total — the loop-invariant parts of `Rng::pick_weighted`, hoisted out
+    /// of the per-reference path. The per-draw float operations (the
+    /// `x < w` / `x -= w` ladder over the same weights in the same order)
+    /// are unchanged, so region choices are bit-identical.
+    region_pos: Vec<(usize, f64)>,
+    region_total: f64,
     region_state: Vec<RegionState>,
+    region_pre: Vec<PatternPre>,
     pending_stcx: Option<u64>,
     /// Bump pointer for allocation writes: `(region index, offset)`.
     fresh: Option<(usize, u64)>,
     /// Software call stack mirrored by the hardware link stack.
     ret_stack: Vec<u64>,
+    /// Ops generated ahead of consumption (see [`BLOCK_OPS`]).
+    block: Vec<(u64, MicroOp)>,
+    blk_pos: usize,
 }
 
 impl StreamGen {
@@ -267,7 +418,15 @@ impl StreamGen {
         let slots = Self::code_slots(&profile);
         let code_zipf = Zipf::new(slots, profile.code_zipf);
         let hot_zipf = Zipf::new(HOT_RANKS, 1.0);
-        let region_weights = profile.data.iter().map(|r| r.weight).collect();
+        let region_weights: Vec<f64> = profile.data.iter().map(|r| r.weight).collect();
+        // Same filter and summation order as `Rng::pick_weighted`.
+        let region_total: f64 = region_weights.iter().copied().filter(|w| *w > 0.0).sum();
+        let region_pos: Vec<(usize, f64)> = region_weights
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, w)| w > 0.0)
+            .collect();
         let region_state = profile
             .data
             .iter()
@@ -292,18 +451,29 @@ impl StreamGen {
             .enumerate()
             .max_by_key(|(_, r)| r.window.len)
             .map(|(i, r)| (i, (salt.wrapping_mul(0x1_0001) * 4096) % r.window.len));
+        let region_pre = profile
+            .data
+            .iter()
+            .map(|r| PatternPre::new(r, salt))
+            .collect();
+        let mix = MixTable::new(&profile);
         StreamGen {
             profile,
+            mix,
             rng,
             salt,
             ia,
             code_zipf,
             hot_zipf,
-            region_weights,
+            region_pos,
+            region_total,
             region_state,
+            region_pre,
             pending_stcx: None,
             fresh,
             ret_stack: Vec::new(),
+            block: Vec::with_capacity(BLOCK_OPS),
+            blk_pos: 0,
         }
     }
 
@@ -314,25 +484,71 @@ impl StreamGen {
     }
 
     /// Produces the next instruction: its fetch address and its effect.
+    ///
+    /// Ops are generated a block at a time ([`BLOCK_OPS`]) into a reusable
+    /// buffer; this call just pops the next one.
+    #[inline]
     pub fn next_op(&mut self) -> (u64, MicroOp) {
+        if self.blk_pos == self.block.len() {
+            self.refill_block();
+        }
+        let op = self.block[self.blk_pos];
+        self.blk_pos += 1;
+        op
+    }
+
+    /// Feeds ops to `consume` until it returns `false`. The engine's slice
+    /// loop uses this to drain whole buffered blocks without a per-op
+    /// cross-crate call.
+    #[inline]
+    pub fn drive(&mut self, mut consume: impl FnMut(u64, MicroOp) -> bool) {
+        loop {
+            while self.blk_pos < self.block.len() {
+                let (ia, op) = self.block[self.blk_pos];
+                self.blk_pos += 1;
+                if !consume(ia, op) {
+                    return;
+                }
+            }
+            self.refill_block();
+        }
+    }
+
+    #[cold]
+    fn refill_block(&mut self) {
+        self.block.clear();
+        for _ in 0..BLOCK_OPS {
+            let op = self.gen_op();
+            self.block.push(op);
+        }
+        self.blk_pos = 0;
+    }
+
+    /// Generates one instruction directly from the profile and RNG.
+    fn gen_op(&mut self) -> (u64, MicroOp) {
         // Scalar parameters are copied out up front so the borrow checker
         // allows the stateful helper calls below.
-        let Rates {
-            loads,
-            stores,
-            conds,
-            inds,
-            larx,
-            sync,
-            call,
+        let MixTable {
+            t_load,
+            t_store,
+            t_cond,
+            t_ind,
+            t_larx,
+            t_sync,
+            t_call,
+            t_bias,
+            t_fresh,
             stcx_fail_prob,
-            cond_bias_strength,
             cond_sites,
             ind_sites,
             ind_targets_max,
             code_base,
             code_len,
-        } = self.rates();
+            code_len_m,
+            active_slots,
+            active_slots_m,
+            ..
+        } = self.mix;
 
         // A STCX always follows its LARX after a short window.
         if let Some(ea) = self.pending_stcx.take() {
@@ -342,29 +558,33 @@ impl StreamGen {
         }
 
         let ia = self.advance_ia();
-        let roll = self.rng.next_f64();
-        let mut acc = loads;
-        if roll < acc {
+        // Fixed-point form of the f64 ladder `roll < Σ rates`; bit-exact —
+        // see [`MixTable`]. `m` is the 53-bit numerator `next_f64()` would
+        // have used.
+        let m = self.rng.next_u64() >> 11;
+        if m < t_load {
             let ea = self.data_address();
             return (ia, MicroOp::Load { ea });
         }
-        acc += stores;
-        if roll < acc {
+        if m < t_store {
             let fresh_frac = self.profile.store_fresh_fraction;
-            if fresh_frac > 0.0 && self.rng.chance(fresh_frac) {
+            if fresh_frac > 0.0 && (self.rng.next_u64() >> 11) < t_fresh {
                 if let Some((region, offset)) = self.fresh {
                     let w = self.profile.data[region].window;
                     let ea = w.base + offset;
-                    // Initialization writes advance ~16 B per store.
-                    self.fresh = Some((region, (offset + 16) % w.len));
+                    // Initialization writes advance ~16 B per store; the
+                    // offset stays below `w.len`, so the wrap is a single
+                    // conditional subtraction (exactly `% w.len`).
+                    let next = offset + 16;
+                    let next = if next >= w.len { next - w.len } else { next };
+                    self.fresh = Some((region, next));
                     return (ia, MicroOp::Store { ea });
                 }
             }
             let ea = self.data_address();
             return (ia, MicroOp::Store { ea });
         }
-        acc += conds;
-        if roll < acc {
+        if m < t_cond {
             let site_rank = self.rng.next_below(cond_sites as u64);
             // Sites are hashed so that different components' site spaces do
             // not systematically collide in the predictor's index bits.
@@ -373,12 +593,11 @@ impl StreamGen {
             // the site so the predictor can learn it; ~72% of branch sites
             // are taken-biased, as in typical integer code.
             let bias_taken = (site >> 8) % 100 < 72;
-            let follows = self.rng.chance(cond_bias_strength);
+            let follows = (self.rng.next_u64() >> 11) < t_bias;
             let taken = if follows { bias_taken } else { !bias_taken };
             return (ia, MicroOp::CondBranch { site, taken });
         }
-        acc += inds;
-        if roll < acc {
+        if m < t_ind {
             let site_rank = self.rng.next_below(ind_sites as u64);
             let site = mix64(code_base ^ (site_rank * 0x95 + 0x2_0000_0001));
             // Receiver-type polymorphism as observed in Java systems: most
@@ -396,21 +615,18 @@ impl StreamGen {
             } else {
                 self.rng.next_below(degree)
             };
-            let target = code_base + (site_rank * 31 + t * 7919) % code_len;
+            let target = code_base + fastmod64(site_rank * 31 + t * 7919, code_len_m, code_len);
             return (ia, MicroOp::IndBranch { site, target });
         }
-        acc += larx;
-        if roll < acc {
+        if m < t_larx {
             let ea = self.data_address();
             self.pending_stcx = Some(ea);
             return (ia, MicroOp::Larx { ea });
         }
-        acc += sync;
-        if roll < acc {
+        if m < t_sync {
             return (ia, MicroOp::Sync);
         }
-        acc += call * 2.0;
-        if roll < acc {
+        if m < t_call {
             // Balanced call/return traffic over the generator's own call
             // stack; the hardware link stack predicts the returns.
             // Call depth oscillates around a shallow working depth, as in
@@ -430,9 +646,8 @@ impl StreamGen {
                     let span = (16u64 << 10).min(code_base + code_len - base);
                     self.ia = base + (self.rng.next_below(span) & !3);
                 } else {
-                    let active = self.profile.code_active.clamp(256, code_len);
-                    let slots = active / 256;
-                    let slot = self.code_zipf.sample(&mut self.rng) as u64 % slots;
+                    let sample = self.code_zipf.sample(&mut self.rng) as u64;
+                    let slot = fastmod64(sample, active_slots_m, active_slots);
                     self.ia = code_base + slot * 256;
                 }
                 return (ia, MicroOp::Call { ret });
@@ -444,29 +659,11 @@ impl StreamGen {
         (ia, MicroOp::Alu)
     }
 
-    fn rates(&self) -> Rates {
-        let p = &self.profile;
-        Rates {
-            loads: p.loads_per_instr,
-            stores: p.stores_per_instr,
-            conds: p.cond_branch_per_instr,
-            inds: p.ind_branch_per_instr,
-            larx: p.larx_per_instr,
-            sync: p.sync_per_instr,
-            call: p.call_per_instr,
-            stcx_fail_prob: p.stcx_fail_prob,
-            cond_bias_strength: p.cond_bias_strength,
-            cond_sites: p.cond_sites,
-            ind_sites: p.ind_sites,
-            ind_targets_max: p.ind_targets_max,
-            code_base: p.code.base,
-            code_len: p.code.len,
-        }
-    }
-
     fn advance_ia(&mut self) -> u64 {
         let p = &self.profile;
-        if self.rng.chance(p.code_jump_rate) {
+        // Fixed-point `chance(code_jump_rate)` — same single draw, same
+        // decision (see [`MixTable`]); this runs once per generated op.
+        if (self.rng.next_u64() >> 11) < self.mix.t_jump {
             if self.rng.chance(p.code_local) {
                 // Near transfer: loop back or skip within the current page.
                 let page = self.ia & !0xFFF;
@@ -475,14 +672,13 @@ impl StreamGen {
                     .max(p.code.base);
             } else if self.rng.chance(0.95) {
                 // Far call into the active method set.
-                let active = p.code_active.clamp(256, p.code.len);
-                let slots = active / 256;
-                let slot = self.code_zipf.sample(&mut self.rng) as u64 % slots;
+                let sample = self.code_zipf.sample(&mut self.rng) as u64;
+                let slot = fastmod64(sample, self.mix.active_slots_m, self.mix.active_slots);
                 self.ia = p.code.base + slot * 256;
             } else {
                 // Cold method anywhere in the full code footprint.
                 let slot = self.code_zipf.sample(&mut self.rng) as u64;
-                self.ia = p.code.base + (slot * 256) % p.code.len;
+                self.ia = p.code.base + fastmod64(slot * 256, self.mix.code_len_m, p.code.len);
             }
         } else {
             self.ia += 4;
@@ -503,32 +699,49 @@ impl StreamGen {
     }
 
     fn data_address(&mut self) -> u64 {
-        let idx = self
-            .rng
-            .pick_weighted(&self.region_weights)
-            .expect("validated profile has positive region weights");
+        // Inlined `Rng::pick_weighted(&self.region_weights)`: identical
+        // draw, identical float ladder over the precomputed positive
+        // weights (see `region_pos`), without re-summing per reference.
+        assert!(
+            self.region_total > 0.0,
+            "validated profile has positive region weights"
+        );
+        let mut x = self.rng.next_f64() * self.region_total;
+        let mut idx = self.region_pos[self.region_pos.len() - 1].0;
+        for &(i, w) in &self.region_pos {
+            if x < w {
+                idx = i;
+                break;
+            }
+            x -= w;
+        }
         let region = self.profile.data[idx];
         let w = region.window;
         match region.pattern {
-            AccessPattern::Hot { footprint } => {
+            AccessPattern::Hot { .. } => {
                 // Thread-private hot footprint: the salt slides it within
-                // the window so cores do not share written lines.
-                let fp = footprint.min(w.len).max(64);
-                let max_off = w.len - fp;
-                let base_off = if max_off == 0 {
-                    0
-                } else {
-                    ((self.salt.wrapping_mul(0x9E37_79B9) * fp) % max_off) & !63
+                // the window so cores do not share written lines. Placement
+                // and footprint are precomputed (see [`PatternPre`]).
+                let PatternPre::Hot { base, fp, fp_m } = self.region_pre[idx] else {
+                    unreachable!("region_pre built from the same patterns")
                 };
                 let slot = self.hot_zipf.sample(&mut self.rng) as u64;
-                w.base + base_off + (slot * 64) % fp
+                base + fastmod64(slot * 64, fp_m, fp)
             }
             AccessPattern::Skewed {
-                hot_bytes,
                 granule,
                 hot_fraction,
                 burst,
+                ..
             } => {
+                let PatternPre::Skewed {
+                    hot_slots,
+                    hot_m,
+                    cold_slots,
+                } = self.region_pre[idx]
+                else {
+                    unreachable!("region_pre built from the same patterns")
+                };
                 let granule = granule.max(8);
                 let st = &mut self.region_state[idx];
                 if st.burst_left > 0 {
@@ -543,15 +756,12 @@ impl StreamGen {
                 let addr = if self.rng.chance(hot_fraction) {
                     // Hot subset, rotated by the salt so each core's hot
                     // objects are (mostly) its own.
-                    let hot = hot_bytes.min(w.len).max(granule);
-                    let slots = (hot / granule).max(1);
                     let rank = self.hot_zipf.sample(&mut self.rng) as u64;
-                    let rank = (rank + self.salt.wrapping_mul(131)) % slots;
+                    let rank = fastmod64(rank + self.salt.wrapping_mul(131), hot_m, hot_slots);
                     w.base + rank * granule + self.rng.next_below(granule)
                 } else {
                     // Cold tail: shared, uniform over the whole window.
-                    let slots = (w.len / granule).max(1);
-                    let slot = self.rng.next_below(slots);
+                    let slot = self.rng.next_below(cold_slots);
                     w.base + slot * granule + self.rng.next_below(granule)
                 };
                 let st = &mut self.region_state[idx];
@@ -560,9 +770,12 @@ impl StreamGen {
                 addr
             }
             AccessPattern::Sequential { stride } => {
+                let PatternPre::Sequential { len_m } = self.region_pre[idx] else {
+                    unreachable!("region_pre built from the same patterns")
+                };
                 let st = &mut self.region_state[idx];
                 let addr = w.base + st.seq_pos;
-                st.seq_pos = (st.seq_pos + stride.max(1)) % w.len;
+                st.seq_pos = fastmod64(st.seq_pos + stride.max(1), len_m, w.len);
                 addr
             }
             AccessPattern::Uniform { burst } => {
@@ -685,6 +898,85 @@ mod tests {
                     .iter()
                     .any(|r| (r.window.base..r.window.base + r.window.len).contains(&ea));
                 assert!(ok, "ea {ea:#x} outside all data windows");
+            }
+        }
+    }
+
+    /// The fixed-point thresholds classify every possible 53-bit roll
+    /// exactly like the original per-op f64 ladder (`roll < Σ rates`).
+    #[test]
+    fn fixed_point_thresholds_match_f64_ladder() {
+        let classify_fix = |mix: &MixTable, m: u64| -> usize {
+            let t = [
+                mix.t_load,
+                mix.t_store,
+                mix.t_cond,
+                mix.t_ind,
+                mix.t_larx,
+                mix.t_sync,
+                mix.t_call,
+            ];
+            t.iter().position(|&cut| m < cut).unwrap_or(7)
+        };
+        let classify_f64 = |p: &StreamProfile, roll: f64| -> usize {
+            let mut acc = p.loads_per_instr;
+            let rest = [
+                p.stores_per_instr,
+                p.cond_branch_per_instr,
+                p.ind_branch_per_instr,
+                p.larx_per_instr,
+                p.sync_per_instr,
+                p.call_per_instr * 2.0,
+            ];
+            if roll < acc {
+                return 0;
+            }
+            for (i, r) in rest.iter().enumerate() {
+                acc += r;
+                if roll < acc {
+                    return i + 1;
+                }
+            }
+            7
+        };
+        let mut profiles = vec![test_profile()];
+        // Degenerate mixes: all-ALU, saturated (Σ = 1.0).
+        let mut p = test_profile();
+        p.loads_per_instr = 0.0;
+        p.stores_per_instr = 0.0;
+        p.cond_branch_per_instr = 0.0;
+        p.ind_branch_per_instr = 0.0;
+        p.larx_per_instr = 0.0;
+        p.sync_per_instr = 0.0;
+        p.call_per_instr = 0.0;
+        profiles.push(p.clone());
+        p.loads_per_instr = 0.5;
+        p.stores_per_instr = 0.5;
+        profiles.push(p);
+        for profile in &profiles {
+            let mix = MixTable::new(profile);
+            let mut rng = Rng::new(42);
+            // Boundary rolls (the exact threshold values) plus random ones.
+            let mut rolls = vec![
+                0,
+                mix.t_load.saturating_sub(1),
+                mix.t_load,
+                mix.t_store,
+                mix.t_call.saturating_sub(1),
+                mix.t_call,
+                (1u64 << 53) - 1,
+            ];
+            for _ in 0..200_000 {
+                rolls.push(rng.next_u64() >> 11);
+            }
+            for m in rolls {
+                let m = m.min((1u64 << 53) - 1);
+                let roll = m as f64 * (1.0 / (1u64 << 53) as f64);
+                assert_eq!(
+                    classify_fix(&mix, m),
+                    classify_f64(profile, roll),
+                    "m={m} diverges"
+                );
             }
         }
     }

@@ -13,13 +13,52 @@
 
 use crate::address::PageSize;
 
+/// Sentinel for "no slot" in [`TranslationCache`] links and map buckets.
+const NIL: u32 = u32::MAX;
+
+/// One resident tag plus its position in the intrusive recency list.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    tag: u64,
+    prev: u32, // towards MRU
+    next: u32, // towards LRU
+}
+
 /// A fully associative translation cache with LRU replacement, keyed by an
 /// opaque tag (a 4 KB frame number for ERATs, a page base for the TLB).
+///
+/// Lookups and inserts are O(1): an open-addressed tag→slot map (linear
+/// probing, backward-shift deletion) finds the entry, and an intrusive
+/// doubly-linked list over the slot array maintains recency order, so the
+/// LRU victim is always the list tail. This replaces a linear scan of the
+/// whole entry vector per access — the unified TLB holds 1024 entries and
+/// is consulted on every ERAT miss, so the scan dominated the translation
+/// cost at steady state.
+///
+/// Equivalence with the previous tick-stamped vector implementation: ticks
+/// increased strictly monotonically, so the minimum-stamp victim was exactly
+/// the least recently *touched* entry — which is exactly the list tail here.
 #[derive(Clone, Debug)]
 pub struct TranslationCache {
-    entries: Vec<(u64, u64)>, // (tag, last-use tick)
+    slots: Vec<Slot>,
+    /// Open-addressed hash map from tag to slot index; `NIL` marks an empty
+    /// bucket. Sized to a power of two ≥ 4× capacity so probe chains stay
+    /// short (load factor ≤ 25 %).
+    map: Vec<u32>,
+    mask: usize,
+    head: u32, // most recently used
+    tail: u32, // least recently used
     capacity: usize,
-    tick: u64,
+}
+
+/// SplitMix64 finalizer: cheap, well-mixed bucket index for frame/page tags
+/// (which are themselves highly sequential).
+#[inline]
+fn mix_tag(tag: u64) -> u64 {
+    let mut z = tag.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl TranslationCache {
@@ -31,18 +70,138 @@ impl TranslationCache {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "translation cache needs at least one entry");
+        assert!(capacity < NIL as usize / 4, "translation cache too large");
+        let buckets = (capacity * 4).next_power_of_two();
         TranslationCache {
-            entries: Vec::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            map: vec![NIL; buckets],
+            mask: buckets - 1,
+            head: NIL,
+            tail: NIL,
             capacity,
-            tick: 0,
+        }
+    }
+
+    /// Finds the slot holding `tag`, if resident.
+    #[inline]
+    fn find(&self, tag: u64) -> Option<u32> {
+        let mut i = mix_tag(tag) as usize & self.mask;
+        loop {
+            let e = self.map[i];
+            if e == NIL {
+                return None;
+            }
+            if self.slots[e as usize].tag == tag {
+                return Some(e);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Inserts a map entry for `tag` pointing at `slot` (tag must be absent).
+    fn map_insert(&mut self, tag: u64, slot: u32) {
+        let mut i = mix_tag(tag) as usize & self.mask;
+        while self.map[i] != NIL {
+            i = (i + 1) & self.mask;
+        }
+        self.map[i] = slot;
+    }
+
+    /// Removes the map entry for `tag` using backward-shift deletion, which
+    /// keeps every remaining probe chain intact without tombstones.
+    fn map_remove(&mut self, tag: u64) {
+        let mut i = mix_tag(tag) as usize & self.mask;
+        while self.map[i] == NIL || self.slots[self.map[i] as usize].tag != tag {
+            i = (i + 1) & self.mask;
+        }
+        let mut j = i;
+        loop {
+            j = (j + 1) & self.mask;
+            let e = self.map[j];
+            if e == NIL {
+                break;
+            }
+            let k = mix_tag(self.slots[e as usize].tag) as usize & self.mask;
+            // Shift `e` back into the vacated bucket unless its home bucket
+            // lies (cyclically) between the hole and its current position.
+            let between = if i <= j {
+                i < k && k <= j
+            } else {
+                i < k || k <= j
+            };
+            if !between {
+                self.map[i] = e;
+                i = j;
+            }
+        }
+        self.map[i] = NIL;
+    }
+
+    /// Detaches `slot` from the recency list.
+    #[inline]
+    fn unlink(&mut self, slot: u32) {
+        let Slot { prev, next, .. } = self.slots[slot as usize];
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next as usize].prev = prev;
+        }
+    }
+
+    /// Links `slot` in at the MRU end of the recency list.
+    #[inline]
+    fn push_front(&mut self, slot: u32) {
+        let old = self.head;
+        self.slots[slot as usize].prev = NIL;
+        self.slots[slot as usize].next = old;
+        if old == NIL {
+            self.tail = slot;
+        } else {
+            self.slots[old as usize].prev = slot;
+        }
+        self.head = slot;
+    }
+
+    /// Moves an already-resident `slot` to the MRU position.
+    #[inline]
+    fn touch(&mut self, slot: u32) {
+        if self.head != slot {
+            self.unlink(slot);
+            self.push_front(slot);
+        }
+    }
+
+    /// Admits `tag`, reusing the LRU victim's slot when full. The tag must
+    /// not already be resident.
+    fn admit(&mut self, tag: u64) {
+        if self.slots.len() < self.capacity {
+            let slot = self.slots.len() as u32;
+            self.slots.push(Slot {
+                tag,
+                prev: NIL,
+                next: NIL,
+            });
+            self.map_insert(tag, slot);
+            self.push_front(slot);
+        } else {
+            let victim = self.tail;
+            let old_tag = self.slots[victim as usize].tag;
+            self.map_remove(old_tag);
+            self.slots[victim as usize].tag = tag;
+            self.map_insert(tag, victim);
+            self.touch(victim);
         }
     }
 
     /// Looks up `tag`, refreshing recency on a hit.
     pub fn lookup(&mut self, tag: u64) -> bool {
-        self.tick += 1;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == tag) {
-            e.1 = self.tick;
+        if let Some(slot) = self.find(tag) {
+            self.touch(slot);
             true
         } else {
             false
@@ -51,34 +210,39 @@ impl TranslationCache {
 
     /// Inserts `tag`, evicting the least recently used entry if full.
     pub fn insert(&mut self, tag: u64) {
-        self.tick += 1;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == tag) {
-            e.1 = self.tick;
-            return;
+        if let Some(slot) = self.find(tag) {
+            self.touch(slot);
+        } else {
+            self.admit(tag);
         }
-        if self.entries.len() < self.capacity {
-            self.entries.push((tag, self.tick));
-            return;
+    }
+
+    /// Combined lookup-and-fill: returns `true` on a hit (recency
+    /// refreshed), and on a miss admits `tag` before returning `false`.
+    /// Equivalent to `lookup` followed by `insert` on the miss path, but
+    /// probes the tag map once instead of twice.
+    pub fn lookup_or_insert(&mut self, tag: u64) -> bool {
+        if let Some(slot) = self.find(tag) {
+            self.touch(slot);
+            true
+        } else {
+            self.admit(tag);
+            false
         }
-        let victim = self
-            .entries
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, e)| e.1)
-            .map(|(i, _)| i)
-            .expect("cache is non-empty when full");
-        self.entries[victim] = (tag, self.tick);
     }
 
     /// Number of resident entries.
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.entries.len()
+        self.slots.len()
     }
 
     /// Drops all entries (context switch / partition flush).
     pub fn flush(&mut self) {
-        self.entries.clear();
+        self.slots.clear();
+        self.map.fill(NIL);
+        self.head = NIL;
+        self.tail = NIL;
     }
 }
 
@@ -175,10 +339,9 @@ impl Mmu {
         page: PageSize,
     ) -> TranslationOutcome {
         let frame = Erat::frame_of(addr);
-        if erat.cache.lookup(frame) {
+        if erat.cache.lookup_or_insert(frame) {
             return TranslationOutcome::EratHit;
         }
-        erat.cache.insert(frame);
         // TLB entries are page-grained: one entry covers a whole 16 MB large
         // page, which is precisely why large pages help the TLB so much.
         let page_tag = page.page_base(addr)
@@ -186,10 +349,9 @@ impl Mmu {
                 PageSize::Small4K => 0,
                 PageSize::Large16M => 1, // disambiguate tag spaces
             };
-        if tlb.lookup(page_tag) {
+        if tlb.lookup_or_insert(page_tag) {
             TranslationOutcome::EratMissTlbHit
         } else {
-            tlb.insert(page_tag);
             TranslationOutcome::TlbMiss
         }
     }
@@ -234,6 +396,36 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_rejected() {
         let _ = TranslationCache::new(0);
+    }
+
+    #[test]
+    fn lookup_or_insert_fills_on_miss() {
+        let mut c = TranslationCache::new(2);
+        assert!(!c.lookup_or_insert(9)); // miss admits the tag…
+        assert!(c.lookup_or_insert(9)); // …so the retry hits
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn lookup_or_insert_evicts_lru_like_insert() {
+        let mut c = TranslationCache::new(2);
+        assert!(!c.lookup_or_insert(1));
+        assert!(!c.lookup_or_insert(2));
+        assert!(c.lookup_or_insert(1)); // refresh 1 → LRU is now 2
+        assert!(!c.lookup_or_insert(3)); // evicts 2
+        assert!(c.lookup(1));
+        assert!(!c.lookup(2));
+        assert!(c.lookup(3));
+    }
+
+    #[test]
+    fn capacity_one_keeps_most_recent_tag() {
+        let mut c = TranslationCache::new(1);
+        for tag in 0..32u64 {
+            assert!(!c.lookup_or_insert(tag));
+            assert!(c.lookup(tag));
+            assert_eq!(c.occupancy(), 1);
+        }
     }
 
     #[test]

@@ -131,11 +131,34 @@ impl Normal {
 ///
 /// Used for data-popularity skew: rank 0 is the most popular item. Sampling
 /// uses a precomputed cumulative table, so construction is `O(n)` and
-/// sampling is `O(log n)`.
+/// sampling is `O(1)` amortized (a fixed-point bucket index into the CDF).
+///
+/// **Sampling exactness.** The natural form — binary-search the f64 CDF for
+/// `u = next_f64()` — and the fast form below return the same rank for every
+/// generator state. `next_f64()` is `m * 2^-53` with `m = next_u64() >> 11`,
+/// and for a strictly increasing CDF the binary search resolves to
+/// `#{i : cdf[i] < u}` (clamped). Scaling by `2^53` only shifts the f64
+/// exponent, so `cdf[i] < u  ⟺  cdf[i]·2^53 < m  ⟺  floor(cdf[i]·2^53) < m`
+/// (a real is below an integer iff its floor is). The sampler therefore
+/// counts precomputed integer thresholds below `m`, starting from a bucket
+/// table indexed by the top bits of `m`. Degenerate CDFs with duplicate
+/// entries (possible only for extreme exponents) fall back to the f64
+/// binary search.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Zipf {
     cdf: Vec<f64>,
+    /// `floor(cdf[i] * 2^53)`: rank `i` is drawn for `m` in
+    /// `[thresh[i-1], thresh[i])` (see sampling exactness above).
+    thresh: Vec<u64>,
+    /// `bucket_lo[b]` = number of thresholds strictly below `b << (53-BITS)`:
+    /// a lower bound on the rank for any `m` in bucket `b`.
+    bucket_lo: Vec<u32>,
+    /// CDF is strictly increasing, enabling the fixed-point fast path.
+    strict: bool,
 }
+
+/// log2 of the bucket count in [`Zipf::bucket_lo`].
+const ZIPF_BUCKET_BITS: u32 = 13;
 
 impl Zipf {
     /// Creates a Zipf distribution over `n` ranks with exponent `s`.
@@ -146,6 +169,7 @@ impl Zipf {
     #[must_use]
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
+        assert!(n < u32::MAX as usize, "Zipf rank count too large: {n}");
         assert!(
             s.is_finite() && s >= 0.0,
             "exponent must be non-negative, got {s}"
@@ -160,7 +184,25 @@ impl Zipf {
         for c in &mut cdf {
             *c /= total;
         }
-        Zipf { cdf }
+        const SCALE: f64 = (1u64 << 53) as f64;
+        let thresh: Vec<u64> = cdf.iter().map(|c| (c * SCALE).floor() as u64).collect();
+        let strict = cdf.windows(2).all(|w| w[0] < w[1]);
+        let buckets = 1usize << ZIPF_BUCKET_BITS;
+        let mut bucket_lo = Vec::with_capacity(buckets);
+        let mut i = 0u32;
+        for b in 0..buckets as u64 {
+            let floor_m = b << (53 - ZIPF_BUCKET_BITS);
+            while (i as usize) < n && thresh[i as usize] < floor_m {
+                i += 1;
+            }
+            bucket_lo.push(i);
+        }
+        Zipf {
+            cdf,
+            thresh,
+            bucket_lo,
+            strict,
+        }
     }
 
     /// Number of ranks.
@@ -178,8 +220,20 @@ impl Zipf {
     }
 
     /// Draws a rank in `0..n`.
+    #[inline]
     pub fn sample(&self, rng: &mut Rng) -> usize {
-        let u = rng.next_f64();
+        // The 53-bit numerator `next_f64()` would have used; one draw
+        // either way, so the generator stream is unchanged.
+        let m = rng.next_u64() >> 11;
+        if self.strict {
+            let b = (m >> (53 - ZIPF_BUCKET_BITS)) as usize;
+            let mut i = self.bucket_lo[b] as usize;
+            while i < self.thresh.len() && self.thresh[i] < m {
+                i += 1;
+            }
+            return i.min(self.cdf.len() - 1);
+        }
+        let u = m as f64 * (1.0 / (1u64 << 53) as f64);
         match self
             .cdf
             .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
@@ -312,5 +366,79 @@ mod tests {
         let z = Zipf::new(7, 0.8);
         assert_eq!(z.len(), 7);
         assert!(!z.is_empty());
+    }
+
+    /// The fixed-point bucket sampler returns exactly the rank the f64
+    /// binary search would, for every CDF shape the simulator uses and for
+    /// boundary rolls landing exactly on thresholds.
+    #[test]
+    fn zipf_fast_sampler_matches_binary_search() {
+        // (n, s) pairs covering the generator's real configurations plus
+        // degenerate shapes: single rank, uniform, steep skew.
+        let shapes = [
+            (4096usize, 1.0),
+            (16384, 0.6),
+            (1, 1.0),
+            (10, 0.0),
+            (100, 2.5),
+            (65536, 0.4),
+        ];
+        for &(n, s) in &shapes {
+            let z = Zipf::new(n, s);
+            assert!(z.strict, "simulator-range CDFs are strictly increasing");
+            let reference = |u: f64| -> usize {
+                match z
+                    .cdf
+                    .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+                {
+                    Ok(i) | Err(i) => i.min(z.cdf.len() - 1),
+                }
+            };
+            let mut rng = Rng::new(77);
+            // Boundary rolls: the exact threshold values and neighbours.
+            // Rolls are clamped to the real draw domain [0, 2^53): the last
+            // threshold is floor(1.0 * 2^53) = 2^53, which no draw produces.
+            let max_m = (1u64 << 53) - 1;
+            let mut rolls: Vec<u64> = z
+                .thresh
+                .iter()
+                .step_by((n / 64).max(1))
+                .flat_map(|&t| {
+                    [
+                        t.saturating_sub(1).min(max_m),
+                        t.min(max_m),
+                        (t + 1).min(max_m),
+                    ]
+                })
+                .collect();
+            rolls.extend([0, (1u64 << 53) - 1]);
+            for _ in 0..50_000 {
+                rolls.push(rng.next_u64() >> 11);
+            }
+            for m in rolls {
+                let u = m as f64 * (1.0 / (1u64 << 53) as f64);
+                // Drive `sample` with a generator pinned to produce `m`.
+                let got = {
+                    let b = (m >> (53 - ZIPF_BUCKET_BITS)) as usize;
+                    let mut i = z.bucket_lo[b] as usize;
+                    while i < z.thresh.len() && z.thresh[i] < m {
+                        i += 1;
+                    }
+                    i.min(z.cdf.len() - 1)
+                };
+                assert_eq!(got, reference(u), "n={n} s={s} m={m}");
+            }
+        }
+    }
+
+    /// `sample` consumes exactly one draw, as before.
+    #[test]
+    fn zipf_sample_consumes_one_draw() {
+        let z = Zipf::new(4096, 1.0);
+        let mut a = Rng::new(8);
+        let mut b = Rng::new(8);
+        let _ = z.sample(&mut a);
+        let _ = b.next_u64();
+        assert_eq!(a, b);
     }
 }

@@ -88,11 +88,15 @@ impl Criterion {
         }
 
         let mut times_ns: Vec<f64> = Vec::with_capacity(samples);
+        let mut work: Option<(f64, f64)> = None;
         let deadline = Instant::now() + budget.max(Duration::from_millis(1)) * 4;
         for _ in 0..samples {
             let mut b = Bencher::new();
             f(&mut b);
             times_ns.push(b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64);
+            if b.work.is_some() {
+                work = b.work; // deterministic workloads: identical each sample
+            }
             if Instant::now() > deadline {
                 break; // sampling budget exhausted; keep what we have
             }
@@ -110,22 +114,45 @@ impl Criterion {
             fmt_ns(hi),
             n
         );
-        self.emit_json(name, mean, median, lo, hi, n);
+        self.emit_json(name, mean, median, lo, hi, n, work);
         self
     }
 
-    fn emit_json(&self, name: &str, mean: f64, median: f64, lo: f64, hi: f64, samples: usize) {
+    #[allow(clippy::too_many_arguments)]
+    fn emit_json(
+        &self,
+        name: &str,
+        mean: f64,
+        median: f64,
+        lo: f64,
+        hi: f64,
+        samples: usize,
+        work: Option<(f64, f64)>,
+    ) {
         let Ok(path) = std::env::var("JAS_BENCH_JSON") else {
             return;
         };
         let cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+        // Work-rate fields: simulated cycles and micro-ops retired per host
+        // second, from the per-iteration totals the bench annotated (null
+        // for benches that do not call `iter_with_work`).
+        let mean_s = mean / 1e9;
+        let (sim_cps, ops_ps) = match work {
+            Some((cycles, ops)) if mean_s > 0.0 => (
+                format!("{:.1}", cycles / mean_s),
+                format!("{:.1}", ops / mean_s),
+            ),
+            _ => ("null".to_owned(), "null".to_owned()),
+        };
         let mut line = String::new();
         let _ = write!(
             line,
             "{{\"bench\":\"{name}\",\"mean_ns\":{mean:.1},\"median_ns\":{median:.1},\
              \"min_ns\":{lo:.1},\"max_ns\":{hi:.1},\"samples\":{samples},\
-             \"host_cpus\":{cpus},\"quick\":{}}}",
-            self.quick
+             \"host_cpus\":{cpus},\"quick\":{},\"git_sha\":\"{}\",\
+             \"sim_cycles_per_host_s\":{sim_cps},\"ops_per_s\":{ops_ps}}}",
+            self.quick,
+            git_sha()
         );
         if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(&path) {
             let _ = writeln!(file, "{line}");
@@ -138,6 +165,7 @@ impl Criterion {
 pub struct Bencher {
     elapsed: Duration,
     iters: u64,
+    work: Option<(f64, f64)>,
 }
 
 impl Bencher {
@@ -145,6 +173,7 @@ impl Bencher {
         Bencher {
             elapsed: Duration::ZERO,
             iters: 0,
+            work: None,
         }
     }
 
@@ -156,6 +185,35 @@ impl Bencher {
         self.elapsed = start.elapsed();
         self.iters = 1;
     }
+
+    /// Like [`Bencher::iter`], for routines that can report how much
+    /// simulated work one iteration performed: the routine returns
+    /// `(simulated_cycles, micro_ops)`, which the harness turns into
+    /// `sim_cycles_per_host_s` / `ops_per_s` in the JSON record.
+    pub fn iter_with_work<R: FnMut() -> (f64, f64)>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let work = black_box(routine());
+        self.elapsed = start.elapsed();
+        self.iters = 1;
+        self.work = Some(work);
+    }
+}
+
+/// Commit hash for provenance of bench artifacts: `$GITHUB_SHA` when CI
+/// provides it, else `git rev-parse HEAD`, else `"unknown"`.
+fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or_else(|| "unknown".to_owned(), |s| s.trim().to_owned())
 }
 
 fn fmt_ns(ns: f64) -> String {
