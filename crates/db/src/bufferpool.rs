@@ -7,10 +7,10 @@
 //! database work contributes realistic data references to the CPU model's
 //! cache hierarchy.
 
-use std::collections::HashMap;
+use jas_simkernel::DetMap;
 
 /// Identifier of an 8 KB data page: `(table, page_number)`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId {
     /// Owning table.
     pub table: u32,
@@ -53,7 +53,7 @@ impl PoolStats {
 pub struct BufferPool {
     page_bytes: u64,
     capacity: usize,
-    resident: HashMap<PageId, (usize, u64)>, // page -> (slot, last-use tick)
+    resident: DetMap<PageId, (usize, u64)>, // page -> (slot, last-use tick)
     slot_of: Vec<Option<PageId>>,
     free_slots: Vec<usize>,
     tick: u64,
@@ -72,7 +72,7 @@ impl BufferPool {
         BufferPool {
             page_bytes,
             capacity: capacity_pages,
-            resident: HashMap::with_capacity(capacity_pages),
+            resident: DetMap::with_capacity(capacity_pages),
             slot_of: vec![None; capacity_pages],
             free_slots: (0..capacity_pages).rev().collect(),
             tick: 0,

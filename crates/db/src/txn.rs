@@ -6,10 +6,10 @@
 //! event loop.
 
 use crate::table::TableId;
-use std::collections::HashMap;
+use jas_simkernel::DetMap;
 
 /// Identifier of an open transaction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TxnId(u64);
 
 /// Lock mode.
@@ -67,8 +67,8 @@ pub struct TxnStats {
 #[derive(Clone, Debug, Default)]
 pub struct TxnManager {
     next_id: u64,
-    locks: HashMap<(u32, u64), LockEntry>,
-    held_by: HashMap<TxnId, Vec<(u32, u64)>>,
+    locks: DetMap<(u32, u64), LockEntry>,
+    held_by: DetMap<TxnId, Vec<(u32, u64)>>,
     stats: TxnStats,
 }
 

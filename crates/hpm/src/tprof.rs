@@ -7,13 +7,13 @@
 //! component and method; the profiler aggregates ticks.
 
 use jas_jvm::{Component, MethodId, MethodRegistry};
-use std::collections::HashMap;
+use jas_simkernel::DetMap;
 
 /// Tick-based profile over components and methods.
 #[derive(Clone, Debug, Default)]
 pub struct Tprof {
-    component_ticks: HashMap<Component, u64>,
-    method_ticks: HashMap<MethodId, u64>,
+    component_ticks: DetMap<Component, u64>,
+    method_ticks: DetMap<MethodId, u64>,
     jitted_ticks: u64,
     total_ticks: u64,
 }

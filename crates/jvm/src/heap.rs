@@ -10,7 +10,7 @@
 //! dark-matter accretion, and it emerges here the same way.
 
 use crate::object::{ObjectClass, ObjectId, ObjectSlot};
-use std::collections::HashSet;
+use jas_simkernel::DetSet;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Heap configuration.
@@ -65,7 +65,7 @@ pub struct SimHeap {
     total_allocated_bytes: u64,
     /// Old objects holding references to young objects (the write-barrier
     /// remembered set used by minor collections).
-    pub(crate) remembered: HashSet<ObjectId>,
+    pub(crate) remembered: DetSet<ObjectId>,
 }
 
 impl SimHeap {
@@ -89,7 +89,7 @@ impl SimHeap {
             live_bytes: 0,
             live_objects: 0,
             total_allocated_bytes: 0,
-            remembered: HashSet::new(),
+            remembered: DetSet::new(),
         };
         heap.add_free_chunk(0, cfg.capacity);
         heap

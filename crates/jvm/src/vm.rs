@@ -13,8 +13,7 @@ use crate::jit::Jit;
 use crate::locks::{LockOutcome, MonitorId, MonitorTable};
 use crate::method::{MethodId, MethodRegistry};
 use crate::object::{ObjectClass, ObjectId};
-use jas_simkernel::Rng;
-use std::collections::HashMap;
+use jas_simkernel::{DetMap, Rng};
 
 /// JVM configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -83,7 +82,7 @@ pub struct Jvm {
     monitors: MonitorTable,
     long_roots: Vec<ObjectId>,
     long_root_bytes: u64,
-    tx_roots: HashMap<u64, Vec<ObjectId>>,
+    tx_roots: DetMap<u64, Vec<ObjectId>>,
     next_tx: u64,
     gc_cycles: Vec<GcCycle>,
     gc_count: u64,
@@ -104,7 +103,7 @@ impl Jvm {
             monitors: MonitorTable::tuned(),
             long_roots: Vec::new(),
             long_root_bytes: 0,
-            tx_roots: HashMap::new(),
+            tx_roots: DetMap::new(),
             next_tx: 0,
             gc_cycles: Vec::new(),
             gc_count: 0,

@@ -1,0 +1,158 @@
+//! Findings: the filtered, severity-tagged output of a lint run, with
+//! deterministic text and machine-readable JSON renderings.
+
+use crate::config::Severity;
+
+/// One reportable finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`D001`…`D006`, or `S000` for a malformed
+    /// suppression).
+    pub rule: String,
+    /// `/`-separated path relative to the scan base.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Effective severity after config resolution.
+    pub severity: Severity,
+    /// What is wrong.
+    pub message: String,
+}
+
+/// Sorts findings into the canonical reporting order.
+pub fn sort(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, &a.rule, &a.message).cmp(&(&b.path, b.line, &b.rule, &b.message))
+    });
+}
+
+/// Renders findings as a JSON array (sorted input expected). The format is
+/// stable: one object per finding with `rule`, `path`, `line`, `severity`,
+/// `message` keys, in that order.
+#[must_use]
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\":{},\"path\":{},\"line\":{},\"severity\":{},\"message\":{}}}",
+            json_str(&f.rule),
+            json_str(&f.path),
+            f.line,
+            json_str(f.severity.name()),
+            json_str(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Renders findings as human-readable lines plus a summary.
+#[must_use]
+pub fn to_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}: [{}] {}:{}: {}\n",
+            f.severity.name(),
+            f.rule,
+            f.path,
+            f.line,
+            f.message
+        ));
+    }
+    let denies = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .count();
+    let warns = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Warn)
+        .count();
+    out.push_str(&format!(
+        "jas-lint: {denies} deny, {warns} warn finding(s)\n"
+    ));
+    out
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &str, path: &str, line: u32) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            line,
+            severity: Severity::Deny,
+            message: "msg with \"quotes\"".to_string(),
+        }
+    }
+
+    #[test]
+    fn sort_orders_by_path_line_rule() {
+        let mut v = vec![
+            f("D002", "b.rs", 3),
+            f("D001", "a.rs", 9),
+            f("D001", "b.rs", 3),
+        ];
+        sort(&mut v);
+        assert_eq!(
+            v.iter()
+                .map(|x| (x.path.as_str(), x.line, x.rule.as_str()))
+                .collect::<Vec<_>>(),
+            [
+                ("a.rs", 9, "D001"),
+                ("b.rs", 3, "D001"),
+                ("b.rs", 3, "D002")
+            ]
+        );
+    }
+
+    #[test]
+    fn json_is_escaped_and_stable() {
+        let json = to_json(&[f("D001", "a.rs", 1)]);
+        assert!(json.contains(r#""rule":"D001""#));
+        assert!(json.contains(r#"\"quotes\""#));
+        assert!(json.starts_with('['));
+        assert!(json.ends_with("]\n"));
+    }
+
+    #[test]
+    fn empty_json_is_an_empty_array() {
+        assert_eq!(to_json(&[]), "[]\n");
+    }
+
+    #[test]
+    fn text_summary_counts_severities() {
+        let mut v = vec![f("D001", "a.rs", 1)];
+        v[0].severity = Severity::Warn;
+        v.push(f("D002", "a.rs", 2));
+        let text = to_text(&v);
+        assert!(text.contains("1 deny, 1 warn"));
+    }
+}

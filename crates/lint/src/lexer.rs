@@ -1,0 +1,489 @@
+//! A hand-rolled Rust lexer, just deep enough for syntactic linting.
+//!
+//! The lexer splits source text into identifier/punctuation/literal tokens
+//! and collects comments as separate trivia. It understands everything that
+//! could make a naive scanner misfire — nested block comments, string and
+//! raw-string literals (`r#"…"#`), byte literals, char-vs-lifetime
+//! disambiguation, raw identifiers — so the rules in [`crate::rules`] can
+//! match token *sequences* without ever being fooled by a `HashMap` inside
+//! a doc comment or a `"unsafe"` inside a string.
+
+/// What kind of token this is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `as`, `unsafe`, …).
+    Ident,
+    /// Single punctuation character (`:`, `(`, `{`, …).
+    Punct,
+    /// String literal, including the quotes (raw and byte strings too).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`).
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block), with the line range it covers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//` comments).
+    pub end_line: u32,
+    /// Full comment text including the `//` / `/* */` markers.
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus comment trivia.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// constructs simply run to end of input, which is good enough for linting
+/// (the real compiler rejects such files anyway).
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line);
+            } else if c == '"' {
+                self.string(line, String::new());
+            } else if c == 'r' && matches!(self.peek(1), Some('"' | '#')) {
+                self.raw_prefixed(line);
+            } else if c == 'b' && matches!(self.peek(1), Some('"' | '\'')) {
+                self.byte_prefixed(line);
+            } else if c == 'b'
+                && self.peek(1) == Some('r')
+                && matches!(self.peek(2), Some('"' | '#'))
+            {
+                let mut text = String::new();
+                text.push(self.bump().unwrap_or_default()); // consume `b`
+                text.push(self.bump().unwrap_or_default()); // consume `r`
+                self.raw_string_body(line, text);
+            } else if c == '\'' {
+                self.char_or_lifetime(line);
+            } else if c.is_ascii_digit() {
+                self.number(line);
+            } else if is_ident_start(c) {
+                self.ident(line);
+            } else {
+                self.bump();
+                self.push(TokKind::Punct, c.to_string(), line);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth = depth.saturating_sub(1);
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+        });
+    }
+
+    /// A `"…"` string with escapes; `prefix` carries any `b` already read.
+    fn string(&mut self, line: u32, prefix: String) {
+        let mut text = prefix;
+        text.push(self.bump().unwrap_or_default()); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(c);
+                self.bump();
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+            } else if c == '"' {
+                text.push(c);
+                self.bump();
+                break;
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Something starting with `r`: raw string, raw identifier, or a plain
+    /// identifier that merely begins with the letter r.
+    fn raw_prefixed(&mut self, line: u32) {
+        // Count hashes after `r` to decide: r"…", r#"…"#, or r#ident.
+        let mut hashes = 0;
+        while self.peek(1 + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(1 + hashes) {
+            Some('"') => {
+                let mut text = String::new();
+                text.push(self.bump().unwrap_or_default()); // `r`
+                self.raw_string_body(line, text);
+            }
+            Some(c) if hashes == 1 && is_ident_start(c) => {
+                // Raw identifier `r#type`.
+                self.bump(); // r
+                self.bump(); // #
+                let mut text = String::from("r#");
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    self.bump();
+                }
+                self.push(TokKind::Ident, text, line);
+            }
+            _ => self.ident(line),
+        }
+    }
+
+    /// After any `r`/`br` prefix chars in `text`: `#…#"…"#…#`.
+    fn raw_string_body(&mut self, line: u32, mut text: String) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        text.push(self.bump().unwrap_or_default()); // opening quote
+        'outer: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                // Candidate close: need `hashes` hashes after it.
+                for ahead in 0..hashes {
+                    if self.peek(1 + ahead) != Some('#') {
+                        text.push(c);
+                        self.bump();
+                        continue 'outer;
+                    }
+                }
+                text.push(c);
+                self.bump();
+                for _ in 0..hashes {
+                    text.push('#');
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn byte_prefixed(&mut self, line: u32) {
+        let mut prefix = String::new();
+        prefix.push(self.bump().unwrap_or_default()); // `b`
+        if self.peek(0) == Some('"') {
+            self.string(line, prefix);
+        } else {
+            // b'x' byte-char literal.
+            self.char_literal(line, prefix);
+        }
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // `'a` is a lifetime unless followed by a closing quote (`'a'`).
+        if let Some(c1) = self.peek(1) {
+            if is_ident_start(c1) {
+                // Scan the identifier run after the quote.
+                let mut ahead = 2;
+                while self.peek(ahead).is_some_and(is_ident_continue) {
+                    ahead += 1;
+                }
+                if self.peek(ahead) != Some('\'') {
+                    // Lifetime.
+                    let mut text = String::from("'");
+                    self.bump();
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        if let Some(c) = self.bump() {
+                            text.push(c);
+                        }
+                    }
+                    self.push(TokKind::Lifetime, text, line);
+                    return;
+                }
+            }
+        }
+        self.char_literal(line, String::new());
+    }
+
+    fn char_literal(&mut self, line: u32, prefix: String) {
+        let mut text = prefix;
+        text.push(self.bump().unwrap_or_default()); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(c);
+                self.bump();
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+            } else if c == '\'' {
+                text.push(c);
+                self.bump();
+                break;
+            } else if c == '\n' {
+                break; // unterminated; bail at end of line
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Char, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` but not the range `1..5`.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts_with_lines() {
+        let l = lex("use std::collections::HashMap;\nlet x = 1;");
+        let hm = l
+            .tokens
+            .iter()
+            .find(|t| t.text == "HashMap")
+            .expect("HashMap token");
+        assert_eq!(hm.kind, TokKind::Ident);
+        assert_eq!(hm.line, 1);
+        let x = l.tokens.iter().find(|t| t.text == "x").expect("x token");
+        assert_eq!(x.line, 2);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(
+            idents(r#"let s = "HashMap unsafe // not a comment";"#),
+            ["let", "s"]
+        );
+        let l = lex(r#"let s = "a // b";"#);
+        assert!(l.comments.is_empty(), "no comment inside a string");
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let l = lex("let s = r#\"has \"quotes\" and HashMap\"#; r#type");
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+        assert!(l.tokens.iter().any(|t| t.text == "r#type"));
+        assert!(!idents("let s = r#\"HashMap\"#;").contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still outer */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("inner"));
+        assert!(l.tokens.iter().any(|t| t.text == "fn"));
+    }
+
+    #[test]
+    fn line_comment_records_text_and_line() {
+        let l = lex("let a = 1; // jas-lint: allow(D001, reason = \"x\")\nlet b = 2;");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[0].text.contains("jas-lint"));
+    }
+
+    #[test]
+    fn block_comment_line_span() {
+        let l = lex("/* one\ntwo\nthree */ fn f() {}");
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[0].end_line, 3);
+        assert_eq!(l.tokens[0].line, 3);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let l = lex(r#"let a = b"bytes"; let c = b'x';"#);
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let l = lex("for i in 0..10 { let f = 1.5e3; }");
+        let nums: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.5e3"]);
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let l = lex(r#"let s = "he said \"unsafe\""; let t = 1;"#);
+        assert!(l.tokens.iter().any(|t| t.text == "t"));
+        assert!(!l.tokens.iter().any(|t| t.text == "unsafe"));
+    }
+}

@@ -1,0 +1,150 @@
+//! `jas-lint`: the workspace determinism & invariant static-analysis pass.
+//!
+//! The simulator's core contract is that every HPM counter it emits is
+//! bit-reproducible — same seed, same counters, at any `--threads` value.
+//! CI enforces that *dynamically*; this crate enforces it *statically*, by
+//! refusing the source patterns that historically break reproducibility
+//! (unordered maps in sim state, wall-clock reads, relaxed atomics, silent
+//! counter truncation) plus two hygiene invariants (justified `unsafe`,
+//! contextful panics). See [`rules`] for the rule table and DESIGN.md
+//! ("Determinism invariants and jas-lint") for the rationale.
+//!
+//! The tool is entirely self-contained — hand-rolled lexer, TOML-subset
+//! config parser, JSON writer — so the workspace's offline-build guarantee
+//! (no crates.io access) is preserved.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+pub mod suppress;
+
+use config::{Config, Severity};
+use findings::Finding;
+use std::path::Path;
+
+/// Lints one file's source text. `rel` is the `/`-separated path relative
+/// to the scan base, used for scoping and reporting.
+#[must_use]
+pub fn lint_source(cfg: &Config, rel: &str, src: &str) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let spans = scan::test_spans(&lexed);
+    let sup = suppress::scan(&lexed.comments);
+    let mut out = Vec::new();
+
+    for hit in rules::check(&lexed) {
+        if scan::in_test(&spans, hit.line) {
+            continue;
+        }
+        let severity = cfg.severity_for(hit.rule, rel);
+        if severity == Severity::Allow {
+            continue;
+        }
+        if sup.covers(hit.rule, hit.line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: hit.rule.to_string(),
+            path: rel.to_string(),
+            line: hit.line,
+            severity,
+            message: hit.message,
+        });
+    }
+
+    // A malformed `jas-lint:` directive is itself a deny finding: the only
+    // valid suppression is one that names rules and states a reason.
+    for m in sup.malformed {
+        out.push(Finding {
+            rule: "S000".to_string(),
+            path: rel.to_string(),
+            line: m.line,
+            severity: Severity::Deny,
+            message: format!("malformed jas-lint suppression: {}", m.message),
+        });
+    }
+    out
+}
+
+/// Lints every `.rs` file under the configured roots, resolved against
+/// `base`. Unreadable files are reported as deny findings rather than
+/// silently skipped.
+#[must_use]
+pub fn lint_tree(cfg: &Config, base: &Path) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for root in &cfg.roots {
+        let root_path = base.join(root);
+        for file in scan::collect_files(base, &root_path, &cfg.exclude) {
+            let rel = scan::rel_path(base, &file);
+            match std::fs::read_to_string(&file) {
+                Ok(src) => out.extend(lint_source(cfg, &rel, &src)),
+                Err(e) => out.push(Finding {
+                    rule: "S001".to_string(),
+                    path: rel,
+                    line: 0,
+                    severity: Severity::Deny,
+                    message: format!("could not read file: {e}"),
+                }),
+            }
+        }
+    }
+    findings::sort(&mut out);
+    out
+}
+
+/// True when `findings` should fail a `--deny` run.
+#[must_use]
+pub fn has_deny(findings: &[Finding]) -> bool {
+    findings.iter().any(|f| f.severity == Severity::Deny)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deny_all() -> Config {
+        Config::default()
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "use std::collections::HashMap;\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn f() { x.unwrap(); }\n}\n";
+        let f = lint_source(&deny_all(), "crates/x/src/lib.rs", src);
+        assert_eq!(f.len(), 1, "only the non-test import fires: {f:?}");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn suppression_with_reason_silences() {
+        let src = "// jas-lint: allow(D001, reason = \"replay log, order never observed\")\nuse std::collections::HashMap;\n";
+        assert!(lint_source(&deny_all(), "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_without_reason_becomes_s000() {
+        let src = "// jas-lint: allow(D001)\nuse std::collections::HashMap;\n";
+        let f = lint_source(&deny_all(), "crates/x/src/lib.rs", src);
+        let rules: Vec<&str> = f.iter().map(|x| x.rule.as_str()).collect();
+        assert!(rules.contains(&"S000"), "malformed suppression reported");
+        assert!(rules.contains(&"D001"), "original finding still stands");
+    }
+
+    #[test]
+    fn severity_allow_drops_findings() {
+        let cfg = Config::parse("[rules.D001]\nseverity = \"allow\"\n").expect("config parses");
+        let src = "use std::collections::HashMap;\n";
+        assert!(lint_source(&cfg, "crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn warn_findings_do_not_trip_deny() {
+        let cfg = Config::parse("[rules.D006]\nseverity = \"warn\"\n").expect("config parses");
+        let f = lint_source(&cfg, "crates/x/src/lib.rs", "fn f() { x.unwrap(); }\n");
+        assert_eq!(f.len(), 1);
+        assert!(!has_deny(&f));
+    }
+}

@@ -1,0 +1,374 @@
+//! The determinism & invariant rules, D001–D006.
+//!
+//! Every rule is a pure function over the token stream (plus comment trivia
+//! for D004) that yields [`RuleHit`]s. Path scoping, severity, test-span
+//! exclusion, and suppressions are applied by the driver in [`crate::lint_file`];
+//! the rules themselves only recognize patterns.
+//!
+//! | Rule | Pattern | Why it threatens reproducibility |
+//! |------|---------|----------------------------------|
+//! | D001 | `HashMap`/`HashSet` in sim code | iteration order is seeded per-instance; any order-dependent fold leaks into HPM counters |
+//! | D002 | `Instant::now`, `SystemTime`, `thread_rng` | wall-clock and OS entropy vary run to run |
+//! | D003 | `<counter ident> as u32/u16/u8/usize` | silently truncates 64-bit counters on narrow targets |
+//! | D004 | `unsafe` without a `// SAFETY:` comment | unauditable unsafety; the workspace is `forbid(unsafe_code)` today and must stay justified if that ever changes |
+//! | D005 | `Ordering::Relaxed` | relaxed atomics make cross-thread reconciliation order observable |
+//! | D006 | `.unwrap()` / `.expect("")` | panics without context; library paths must say what invariant broke |
+
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// One raw rule match, before severity/suppression filtering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleHit {
+    /// Rule identifier (`D001`…`D006`).
+    pub rule: &'static str,
+    /// 1-based line of the match.
+    pub line: u32,
+    /// Human-readable description of this specific match.
+    pub message: String,
+}
+
+/// All rule identifiers, in order.
+pub const ALL_RULES: &[&str] = &["D001", "D002", "D003", "D004", "D005", "D006"];
+
+/// Runs every rule over one lexed file.
+#[must_use]
+pub fn check(lexed: &Lexed) -> Vec<RuleHit> {
+    let mut hits = Vec::new();
+    d001_unordered_maps(lexed, &mut hits);
+    d002_wall_clock(lexed, &mut hits);
+    d003_counter_truncation(lexed, &mut hits);
+    d004_unsafe_without_safety(lexed, &mut hits);
+    d005_relaxed_ordering(lexed, &mut hits);
+    d006_unwrap(lexed, &mut hits);
+    hits.sort_by_key(|h| (h.line, h.rule));
+    hits
+}
+
+fn ident_at(toks: &[Token], i: usize, text: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+}
+
+fn punct_at(toks: &[Token], i: usize, ch: char) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Punct && t.text.len() == 1 && t.text.starts_with(ch))
+}
+
+/// D001: `HashMap` / `HashSet` anywhere in simulation code. The simulator's
+/// ordered replacements are `simkernel::DetMap` / `DetSet`.
+fn d001_unordered_maps(lexed: &Lexed, hits: &mut Vec<RuleHit>) {
+    for t in &lexed.tokens {
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            hits.push(RuleHit {
+                rule: "D001",
+                line: t.line,
+                message: format!(
+                    "`{}` has per-instance iteration order; use `jas_simkernel::{}` in simulation state",
+                    t.text,
+                    if t.text == "HashMap" { "DetMap" } else { "DetSet" }
+                ),
+            });
+        }
+    }
+}
+
+/// D002: wall-clock / OS-entropy sources. `Instant` is flagged on any use —
+/// a stored `std::time::Instant` is just a deferred `now()`.
+fn d002_wall_clock(lexed: &Lexed, hits: &mut Vec<RuleHit>) {
+    for t in &lexed.tokens {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let what = match t.text.as_str() {
+            "Instant" => "`Instant` (wall-clock time)",
+            "SystemTime" => "`SystemTime` (wall-clock time)",
+            "thread_rng" | "ThreadRng" => "`thread_rng` (OS entropy)",
+            _ => continue,
+        };
+        hits.push(RuleHit {
+            rule: "D002",
+            line: t.line,
+            message: format!(
+                "{what} is nondeterministic; simulated time comes from `SimTime`, randomness from `simkernel::Rng`"
+            ),
+        });
+    }
+}
+
+/// Snake-case segments that mark an identifier as counter-valued.
+const COUNTER_WORDS: &[&str] = &[
+    "cycle",
+    "cycles",
+    "tick",
+    "ticks",
+    "inst",
+    "insts",
+    "instruction",
+    "instructions",
+    "count",
+    "counts",
+    "counter",
+    "counters",
+    "miss",
+    "misses",
+    "hit",
+    "hits",
+    "ref",
+    "refs",
+    "access",
+    "accesses",
+    "event",
+    "events",
+    "alloc",
+    "allocs",
+    "completed",
+    "retired",
+];
+
+/// Segments that mark an identifier as an index/handle, *not* a counter
+/// (`hit_slot` is a slot index even though it contains `hit`).
+const INDEX_WORDS: &[&str] = &[
+    "slot", "slots", "idx", "index", "id", "ids", "mask", "tag", "tags", "way", "ways", "set",
+    "sets", "bin", "bins", "lane", "addr", "offset",
+];
+
+fn is_counter_ident(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    let segs: Vec<&str> = lower.split('_').filter(|s| !s.is_empty()).collect();
+    segs.iter().any(|s| COUNTER_WORDS.contains(s)) && !segs.iter().any(|s| INDEX_WORDS.contains(s))
+}
+
+/// D003: `<counter ident> as u32|u16|u8|usize` — a 64-bit HPM counter cast
+/// to a narrower (or platform-width) type truncates silently.
+fn d003_counter_truncation(lexed: &Lexed, hits: &mut Vec<RuleHit>) {
+    let toks = &lexed.tokens;
+    for i in 1..toks.len() {
+        if !ident_at(toks, i, "as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        if !(target.kind == TokKind::Ident
+            && matches!(target.text.as_str(), "u32" | "u16" | "u8" | "usize"))
+        {
+            continue;
+        }
+        let src = &toks[i - 1];
+        if src.kind == TokKind::Ident && is_counter_ident(&src.text) {
+            hits.push(RuleHit {
+                rule: "D003",
+                line: src.line,
+                message: format!(
+                    "`{} as {}` truncates a counter-typed value; keep counters u64 (or use try_into with a checked error)",
+                    src.text, target.text
+                ),
+            });
+        }
+    }
+}
+
+/// D004: `unsafe` without a `// SAFETY:` justification on the same line or
+/// in the contiguous comment block immediately above.
+fn d004_unsafe_without_safety(lexed: &Lexed, hits: &mut Vec<RuleHit>) {
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if !(t.kind == TokKind::Ident && t.text == "unsafe") {
+            continue;
+        }
+        // `unsafe` inside an attribute (e.g. `#[allow(unsafe_code)]`) never
+        // introduces an unsafe block; the identifier there is `unsafe_code`,
+        // which already fails the ident comparison. What can precede a real
+        // unsafe block/fn/impl/trait is anything, so no further filtering.
+        let _ = i;
+        if has_safety_comment(lexed, t.line) {
+            continue;
+        }
+        hits.push(RuleHit {
+            rule: "D004",
+            line: t.line,
+            message: "`unsafe` without a `// SAFETY:` comment justifying it".to_string(),
+        });
+    }
+}
+
+fn has_safety_comment(lexed: &Lexed, unsafe_line: u32) -> bool {
+    // Same line, or part of the contiguous run of comment lines directly
+    // above (a multi-line SAFETY paragraph counts).
+    let mut expect = unsafe_line;
+    for c in lexed.comments.iter().rev() {
+        if c.line > unsafe_line {
+            continue;
+        }
+        if c.end_line == expect || c.end_line + 1 == expect {
+            if c.text.contains("SAFETY:") {
+                return true;
+            }
+            expect = c.line.saturating_sub(1).max(1);
+        } else if c.end_line < expect {
+            break;
+        }
+    }
+    false
+}
+
+/// D005: `Ordering::Relaxed` (qualified, or bare `Relaxed` as a call
+/// argument after a `use` import). Cross-thread reconciliation must use
+/// acquire/release or stronger so the merge order stays well-defined.
+fn d005_relaxed_ordering(lexed: &Lexed, hits: &mut Vec<RuleHit>) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if !ident_at(toks, i, "Relaxed") {
+            continue;
+        }
+        let qualified = i >= 3
+            && ident_at(toks, i - 3, "Ordering")
+            && punct_at(toks, i - 2, ':')
+            && punct_at(toks, i - 1, ':');
+        let as_argument = i >= 1 && (punct_at(toks, i - 1, '(') || punct_at(toks, i - 1, ','));
+        if qualified || as_argument {
+            hits.push(RuleHit {
+                rule: "D005",
+                line: toks[i].line,
+                message:
+                    "`Ordering::Relaxed` in cross-thread code; use Acquire/Release (or SeqCst) so reconciliation order is well-defined"
+                        .to_string(),
+            });
+        }
+    }
+}
+
+/// D006: `.unwrap()` — or `.expect("")` with an empty message — in library
+/// code. `expect("meaningful context")` is the sanctioned form.
+fn d006_unwrap(lexed: &Lexed, hits: &mut Vec<RuleHit>) {
+    let toks = &lexed.tokens;
+    for i in 1..toks.len() {
+        if !punct_at(toks, i - 1, '.') {
+            continue;
+        }
+        if ident_at(toks, i, "unwrap") && punct_at(toks, i + 1, '(') && punct_at(toks, i + 2, ')') {
+            hits.push(RuleHit {
+                rule: "D006",
+                line: toks[i].line,
+                message: "`.unwrap()` in library code; use `.expect(\"what invariant holds\")` or return an error"
+                    .to_string(),
+            });
+        }
+        if ident_at(toks, i, "expect")
+            && punct_at(toks, i + 1, '(')
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokKind::Str && t.text == "\"\"")
+        {
+            hits.push(RuleHit {
+                rule: "D006",
+                line: toks[i].line,
+                message: "`.expect(\"\")` carries no context; say what invariant was violated"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn rules_hit(src: &str) -> Vec<(&'static str, u32)> {
+        check(&lex(src))
+            .into_iter()
+            .map(|h| (h.rule, h.line))
+            .collect()
+    }
+
+    #[test]
+    fn d001_flags_hashmap_and_hashset() {
+        assert_eq!(
+            rules_hit("use std::collections::HashMap;\nlet s: HashSet<u32> = HashSet::new();"),
+            [("D001", 1), ("D001", 2), ("D001", 2)]
+        );
+    }
+
+    #[test]
+    fn d001_ignores_strings_and_comments() {
+        assert!(rules_hit("// HashMap in a comment\nlet s = \"HashMap\";").is_empty());
+        assert!(rules_hit("let m = DetMap::new();").is_empty());
+    }
+
+    #[test]
+    fn d002_flags_clock_and_entropy() {
+        assert_eq!(rules_hit("let t = Instant::now();"), [("D002", 1)]);
+        assert_eq!(rules_hit("use std::time::SystemTime;"), [("D002", 1)]);
+        assert_eq!(rules_hit("let r = rand::thread_rng();"), [("D002", 1)]);
+        assert!(rules_hit("let t = SimTime::ZERO;").is_empty());
+    }
+
+    #[test]
+    fn d003_flags_counter_truncation() {
+        assert_eq!(rules_hit("let x = total_cycles as u32;"), [("D003", 1)]);
+        assert_eq!(rules_hit("let x = miss_count as usize;"), [("D003", 1)]);
+        // Widening to u64/u128 is fine.
+        assert!(rules_hit("let x = total_cycles as u64;").is_empty());
+        assert!(rules_hit("let x = total_cycles as f64;").is_empty());
+    }
+
+    #[test]
+    fn d003_index_words_override_counter_words() {
+        // `hit_slot` is an L1 slot index, not a counter.
+        assert!(rules_hit("c.l1d.rehit(hit_slot as usize);").is_empty());
+        assert!(rules_hit("let i = set_index as usize;").is_empty());
+        // A plain non-counter identifier is fine too.
+        assert!(rules_hit("let i = lag as usize;").is_empty());
+    }
+
+    #[test]
+    fn d004_flags_unjustified_unsafe() {
+        assert_eq!(rules_hit("let p = unsafe { *ptr };"), [("D004", 1)]);
+    }
+
+    #[test]
+    fn d004_accepts_safety_comment_same_line_or_above() {
+        assert!(rules_hit(
+            "// SAFETY: ptr is valid for the buffer's lifetime\nlet p = unsafe { *ptr };"
+        )
+        .is_empty());
+        assert!(rules_hit("let p = unsafe { *ptr }; // SAFETY: checked above").is_empty());
+        // Multi-line SAFETY paragraph.
+        assert!(rules_hit(
+            "// SAFETY: the slot was bounds-checked on insert\n// and never shrinks.\nlet p = unsafe { *ptr };"
+        )
+        .is_empty());
+        // A non-SAFETY comment in between does not transfer justification.
+        assert_eq!(
+            rules_hit("// SAFETY: for the other block\nfn a() {}\nlet p = unsafe { *ptr };"),
+            [("D004", 3)]
+        );
+    }
+
+    #[test]
+    fn d005_flags_relaxed() {
+        assert_eq!(
+            rules_hit("x.fetch_add(1, Ordering::Relaxed);"),
+            [("D005", 1)]
+        );
+        assert_eq!(rules_hit("x.load(Relaxed);"), [("D005", 1)]);
+        assert!(rules_hit("x.load(Ordering::Acquire);").is_empty());
+        // `Relaxed` as a plain path segment elsewhere is not matched.
+        assert!(rules_hit("struct Relaxed;").is_empty());
+    }
+
+    #[test]
+    fn d006_flags_unwrap_and_empty_expect() {
+        assert_eq!(rules_hit("let v = x.unwrap();"), [("D006", 1)]);
+        assert_eq!(rules_hit("let v = x.expect(\"\");"), [("D006", 1)]);
+        assert!(rules_hit("let v = x.expect(\"queue is non-empty after push\");").is_empty());
+        // unwrap_or / unwrap_or_default are fine.
+        assert!(rules_hit("let v = x.unwrap_or(0);").is_empty());
+        assert!(rules_hit("let v = x.unwrap_or_default();").is_empty());
+    }
+
+    #[test]
+    fn doc_examples_do_not_fire() {
+        assert!(rules_hit("//! assert!(counters.cpi().unwrap() > 0.0);\nfn f() {}").is_empty());
+    }
+}

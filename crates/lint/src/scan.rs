@@ -1,0 +1,277 @@
+//! Test-region detection and workspace file walking.
+//!
+//! The determinism rules apply to *simulation* code, not to tests: a
+//! `HashMap` inside `#[cfg(test)] mod tests { … }` cannot leak iteration
+//! order into an HPM counter. This module finds the line spans covered by
+//! `#[test]` / `#[cfg(test)]`-gated items so the rules can skip them, and
+//! walks the workspace for `.rs` files in a deterministic (sorted) order.
+
+use crate::lexer::{Lexed, TokKind};
+use std::path::{Path, PathBuf};
+
+/// An inclusive 1-based line range of test-only code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// First line of the gated item (the attribute line).
+    pub start: u32,
+    /// Last line of the gated item.
+    pub end: u32,
+}
+
+/// Returns the line spans of items gated by a test attribute:
+/// `#[test]`, `#[cfg(test)]`, and any `#[cfg(…)]` that mentions `test`.
+///
+/// Detection is syntactic: after such an attribute (skipping any further
+/// attributes), the next item either opens a brace block — the span runs to
+/// the matching close brace — or ends at the first `;` (e.g. a gated
+/// `use` or `mod foo;` declaration).
+#[must_use]
+pub fn test_spans(lexed: &Lexed) -> Vec<Span> {
+    let toks = &lexed.tokens;
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Attribute start: `#` `[` (not the inner `#![…]` form, which gates
+        // a whole file; files are included/excluded by path instead).
+        if toks[i].text == "#"
+            && toks.get(i + 1).is_some_and(|t| t.text == "[")
+            && (i == 0 || toks[i - 1].text != "!")
+        {
+            let attr_start_line = toks[i].line;
+            let (attr_end, is_test) = scan_attribute(lexed, i + 1);
+            if is_test {
+                if let Some(end_line) = item_end_line(lexed, attr_end + 1) {
+                    spans.push(Span {
+                        start: attr_start_line,
+                        end: end_line,
+                    });
+                }
+            }
+            i = attr_end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    merge(spans)
+}
+
+/// Scans the bracketed attribute body starting at the `[` token index.
+/// Returns (index of the closing `]`, whether the attribute mentions test).
+///
+/// `#[cfg(not(test))]` gates *production* code (compiled only outside
+/// `cargo test`), so an attribute containing `not` never counts as a test
+/// gate — erring on the side of linting more code.
+fn scan_attribute(lexed: &Lexed, open: usize) -> (usize, bool) {
+    let toks = &lexed.tokens;
+    let mut depth = 0usize;
+    let mut is_test = false;
+    let mut negated = false;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (i, is_test && !negated);
+                }
+            }
+            "test" | "tests" if toks[i].kind == TokKind::Ident => is_test = true,
+            "not" if toks[i].kind == TokKind::Ident => negated = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    (toks.len().saturating_sub(1), is_test && !negated)
+}
+
+/// Given the token index just after a test attribute, returns the last line
+/// of the gated item, skipping any further attributes in between.
+fn item_end_line(lexed: &Lexed, mut i: usize) -> Option<u32> {
+    let toks = &lexed.tokens;
+    // Skip stacked attributes (`#[test] #[ignore] fn …`).
+    while i < toks.len() && toks[i].text == "#" && toks.get(i + 1).is_some_and(|t| t.text == "[") {
+        let (end, _) = scan_attribute(lexed, i + 1);
+        i = end + 1;
+    }
+    // Find the item body: first `{` at depth 0 opens it; a `;` before any
+    // `{` ends a braceless item (gated `use`/`mod foo;`/statics).
+    let mut depth = 0usize;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            ";" if depth == 0 => return Some(toks[i].line),
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(toks[i].line);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.last().map(|t| t.line)
+}
+
+fn merge(mut spans: Vec<Span>) -> Vec<Span> {
+    spans.sort_by_key(|s| (s.start, s.end));
+    let mut out: Vec<Span> = Vec::new();
+    for s in spans {
+        if let Some(last) = out.last_mut() {
+            if s.start <= last.end {
+                last.end = last.end.max(s.end);
+                continue;
+            }
+        }
+        out.push(s);
+    }
+    out
+}
+
+/// True when `line` falls inside any of `spans`.
+#[must_use]
+pub fn in_test(spans: &[Span], line: u32) -> bool {
+    spans.iter().any(|s| line >= s.start && line <= s.end)
+}
+
+/// Directory names never descended into: generated output, vendored shims,
+/// and test-only trees the determinism rules do not govern.
+const SKIP_DIRS: &[&str] = &[
+    "target", "vendor", ".git", "tests", "benches", "examples", "fixtures",
+];
+
+/// File names that are test code by convention even though they live under
+/// `src/` (they are `#[cfg(test)] mod …;` includes).
+const SKIP_FILES: &[&str] = &["proptests.rs"];
+
+/// Recursively collects `.rs` files under `root`, skipping [`SKIP_DIRS`],
+/// [`SKIP_FILES`], and any path whose `/`-separated form starts with an
+/// entry of `exclude` (matched relative to `base`). The result is sorted
+/// so findings are reported in a stable order.
+#[must_use]
+pub fn collect_files(base: &Path, root: &Path, exclude: &[String]) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    walk(base, root, exclude, &mut out);
+    out.sort();
+    out
+}
+
+fn walk(base: &Path, dir: &Path, exclude: &[String], out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if is_excluded(base, &path, exclude) {
+            continue;
+        }
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                walk(base, &path, exclude, out);
+            }
+        } else if name.ends_with(".rs") && !SKIP_FILES.contains(&name.as_str()) {
+            out.push(path);
+        }
+    }
+}
+
+fn is_excluded(base: &Path, path: &Path, exclude: &[String]) -> bool {
+    let rel = rel_path(base, path);
+    exclude.iter().any(|e| {
+        let e = e.trim_end_matches('/');
+        rel == e || rel.starts_with(&format!("{e}/"))
+    })
+}
+
+/// `path` relative to `base`, `/`-separated, for display and config
+/// matching.
+#[must_use]
+pub fn rel_path(base: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(base).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn spans(src: &str) -> Vec<Span> {
+        test_spans(&lex(src))
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_span() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn helper() {}\n}\nfn after() {}\n";
+        let s = spans(src);
+        assert_eq!(s, vec![Span { start: 2, end: 5 }]);
+        assert!(in_test(&s, 4));
+        assert!(!in_test(&s, 1));
+        assert!(!in_test(&s, 6));
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attributes() {
+        let src = "#[test]\n#[ignore = \"slow\"]\nfn probe() {\n  body();\n}\nfn live() {}\n";
+        let s = spans(src);
+        assert_eq!(s, vec![Span { start: 1, end: 5 }]);
+        assert!(!in_test(&s, 6));
+    }
+
+    #[test]
+    fn cfg_any_with_test_counts() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nfn gated() { body(); }\n";
+        assert_eq!(spans(src), vec![Span { start: 1, end: 2 }]);
+    }
+
+    #[test]
+    fn braceless_gated_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nmod proptests;\nfn live() {}\n";
+        let s = spans(src);
+        assert_eq!(s, vec![Span { start: 1, end: 2 }]);
+        assert!(!in_test(&s, 3));
+    }
+
+    #[test]
+    fn non_test_cfg_is_not_a_span() {
+        assert!(spans("#[cfg(feature = \"x\")]\nfn f() {}\n").is_empty());
+        assert!(spans("#[derive(Clone)]\nstruct S;\n").is_empty());
+    }
+
+    #[test]
+    fn inner_attribute_is_ignored() {
+        // `#![cfg(test)]` gates the whole file; path-level exclusion
+        // handles those, the span scanner must not misparse them.
+        assert!(spans("#![allow(dead_code)]\nfn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn nested_braces_close_correctly() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn a() { if x { y(); } }\n}\nfn live() {}\n";
+        let s = spans(src);
+        assert_eq!(s, vec![Span { start: 1, end: 4 }]);
+        assert!(!in_test(&s, 5));
+    }
+
+    #[test]
+    fn overlapping_spans_merge() {
+        let m = merge(vec![
+            Span { start: 1, end: 5 },
+            Span { start: 3, end: 8 },
+            Span { start: 10, end: 11 },
+        ]);
+        assert_eq!(
+            m,
+            vec![Span { start: 1, end: 8 }, Span { start: 10, end: 11 }]
+        );
+    }
+}

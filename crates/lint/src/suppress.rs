@@ -1,0 +1,238 @@
+//! Inline suppressions: `// jas-lint: allow(D001, reason = "…")`.
+//!
+//! A suppression silences the named rules on the comment's own line(s) and
+//! on the line immediately after the comment — so both trailing comments
+//! and a comment on its own line above the flagged code work. The `reason`
+//! is **mandatory**: a suppression without one does not suppress anything
+//! and instead raises the meta-finding `S000`, so "silenced because it is
+//! intentional and here is why" is the only state the tree can be in.
+
+use crate::lexer::Comment;
+
+/// A parsed, well-formed suppression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rules silenced (e.g. `["D001", "D006"]`).
+    pub rules: Vec<String>,
+    /// First line the suppression covers.
+    pub first_line: u32,
+    /// Last line the suppression covers (the line after the comment).
+    pub last_line: u32,
+    /// The stated reason.
+    pub reason: String,
+}
+
+/// A `jas-lint:` comment that could not be parsed (typically: no reason).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Malformed {
+    /// Line of the offending comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Result of scanning a file's comments for suppressions.
+#[derive(Clone, Debug, Default)]
+pub struct Suppressions {
+    /// Well-formed suppressions.
+    pub ok: Vec<Suppression>,
+    /// Malformed `jas-lint:` comments (each becomes an `S000` finding).
+    pub malformed: Vec<Malformed>,
+}
+
+impl Suppressions {
+    /// True when `rule` is suppressed at `line`.
+    #[must_use]
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.ok.iter().any(|s| {
+            line >= s.first_line && line <= s.last_line && s.rules.iter().any(|r| r == rule)
+        })
+    }
+}
+
+/// Scans `comments` for `jas-lint:` directives.
+#[must_use]
+pub fn scan(comments: &[Comment]) -> Suppressions {
+    let mut out = Suppressions::default();
+    for c in comments {
+        let Some(rest) = find_directive(&c.text) else {
+            continue;
+        };
+        match parse_allow(rest) {
+            Ok((rules, reason)) => out.ok.push(Suppression {
+                rules,
+                first_line: c.line,
+                last_line: c.end_line + 1,
+                reason,
+            }),
+            Err(message) => out.malformed.push(Malformed {
+                line: c.line,
+                message,
+            }),
+        }
+    }
+    out
+}
+
+/// Returns the directive body when the comment contains a real marker
+/// (the tool name, a colon, then an allow-list). A comment that merely
+/// *mentions* the tool name (documentation, prose) is not a directive and
+/// is ignored rather than reported as malformed.
+fn find_directive(text: &str) -> Option<&str> {
+    let idx = text.find("jas-lint:")?;
+    let rest = text[idx + "jas-lint:".len()..].trim_start();
+    rest.starts_with("allow").then_some(rest)
+}
+
+/// Parses `allow(D001, D002, reason = "…")` after the marker.
+fn parse_allow(rest: &str) -> Result<(Vec<String>, String), String> {
+    let rest = rest
+        .strip_prefix("allow")
+        .ok_or_else(|| "expected `allow(...)` after `jas-lint:`".to_string())?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| "expected `(` after `allow`".to_string())?;
+    let close = rest
+        .rfind(')')
+        .ok_or_else(|| "unterminated `allow(` directive".to_string())?;
+    let body = &rest[..close];
+
+    let mut rules = Vec::new();
+    let mut reason = None;
+    for part in split_top_level(body) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some(val) = part.strip_prefix("reason") {
+            let val = val.trim_start();
+            let val = val
+                .strip_prefix('=')
+                .ok_or_else(|| "expected `reason = \"...\"`".to_string())?
+                .trim();
+            let inner = val
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| "reason must be a quoted string".to_string())?;
+            if inner.trim().is_empty() {
+                return Err("reason must not be empty".to_string());
+            }
+            reason = Some(inner.to_string());
+        } else if is_rule_id(part) {
+            rules.push(part.to_string());
+        } else {
+            return Err(format!("unrecognized item `{part}` in allow(...)"));
+        }
+    }
+    if rules.is_empty() {
+        return Err("allow(...) names no rules".to_string());
+    }
+    let reason = reason
+        .ok_or_else(|| "suppression is missing the mandatory `reason = \"...\"`".to_string())?;
+    Ok((rules, reason))
+}
+
+/// Splits on commas that are not inside a quoted string, so a reason text
+/// may itself contain commas.
+fn split_top_level(body: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, ch) in body.char_indices() {
+        match ch {
+            '"' if !prev_backslash => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        prev_backslash = ch == '\\' && !prev_backslash;
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+fn is_rule_id(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    bytes.len() == 4
+        && (bytes[0] == b'D' || bytes[0] == b'S')
+        && bytes[1..].iter().all(u8::is_ascii_digit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scan_src(src: &str) -> Suppressions {
+        scan(&lex(src).comments)
+    }
+
+    #[test]
+    fn trailing_suppression_covers_its_own_line() {
+        let s = scan_src(
+            "let m = HashMap::new(); // jas-lint: allow(D001, reason = \"bench-only state\")\n",
+        );
+        assert_eq!(s.ok.len(), 1);
+        assert!(s.covers("D001", 1));
+        assert!(!s.covers("D002", 1));
+        assert_eq!(s.ok[0].reason, "bench-only state");
+    }
+
+    #[test]
+    fn standalone_comment_covers_next_line() {
+        let s = scan_src(
+            "// jas-lint: allow(D006, reason = \"startup path, panic is fine\")\nx.unwrap();\n",
+        );
+        assert!(s.covers("D006", 1));
+        assert!(s.covers("D006", 2));
+        assert!(!s.covers("D006", 3));
+    }
+
+    #[test]
+    fn multiple_rules_one_directive() {
+        let s = scan_src(
+            "// jas-lint: allow(D001, D005, reason = \"verified off the sim path\")\ncode();\n",
+        );
+        assert!(s.covers("D001", 2));
+        assert!(s.covers("D005", 2));
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let s = scan_src("// jas-lint: allow(D001)\ncode();\n");
+        assert!(s.ok.is_empty());
+        assert_eq!(s.malformed.len(), 1);
+        assert!(s.malformed[0].message.contains("reason"));
+        assert!(!s.covers("D001", 2));
+    }
+
+    #[test]
+    fn empty_reason_is_malformed() {
+        let s = scan_src("// jas-lint: allow(D001, reason = \"  \")\n");
+        assert_eq!(s.malformed.len(), 1);
+    }
+
+    #[test]
+    fn reason_may_contain_commas() {
+        let s = scan_src("// jas-lint: allow(D003, reason = \"bounded by sets, see new()\")\n");
+        assert_eq!(s.ok.len(), 1);
+        assert_eq!(s.ok[0].reason, "bounded by sets, see new()");
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        let s = scan_src("// just a note about HashMap\n// TODO: allow more\n");
+        assert!(s.ok.is_empty());
+        assert!(s.malformed.is_empty());
+    }
+
+    #[test]
+    fn bad_rule_id_is_malformed() {
+        let s = scan_src("// jas-lint: allow(D1, reason = \"x\")\n");
+        assert_eq!(s.malformed.len(), 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Negative-control fixture: nothing here may be flagged.
+
+use std::collections::BTreeMap;
+
+pub struct Clean {
+    pub ordered: BTreeMap<u64, u64>,
+}
+
+pub fn get(c: &Clean, k: u64) -> u64 {
+    c.ordered.get(&k).copied().expect("key was inserted by the caller")
+}

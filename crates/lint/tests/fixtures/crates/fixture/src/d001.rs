@@ -1,0 +1,17 @@
+//! D001 fixture: an unordered map in simulation state.
+
+use std::collections::HashMap;
+
+pub struct SimState {
+    pub counters: HashMap<u64, u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = HashSet::<u32>::new();
+    }
+}

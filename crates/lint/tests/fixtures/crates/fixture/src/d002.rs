@@ -1,0 +1,7 @@
+//! D002 fixture: wall-clock time in simulation code.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,10 @@
+//! D003 fixture: truncating cast on a counter-typed value.
+
+pub fn bin(total_cycles: u64) -> u32 {
+    total_cycles as u32
+}
+
+pub fn index(hit_slot: u64) -> usize {
+    // An index, not a counter: must NOT be flagged.
+    hit_slot as usize
+}

@@ -1,0 +1,11 @@
+//! D004 fixture: one unjustified unsafe block, one justified.
+
+pub fn unjustified(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn justified(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer into the pinned arena, which lives
+    // for the whole simulation.
+    unsafe { *p }
+}

@@ -1,0 +1,11 @@
+//! D005 fixture: relaxed atomics in reconciliation code.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn read(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Acquire)
+}

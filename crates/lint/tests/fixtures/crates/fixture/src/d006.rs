@@ -1,0 +1,9 @@
+//! D006 fixture: contextless panics in library code.
+
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn good(v: &[u64]) -> u64 {
+    *v.first().expect("callers pass a non-empty slice")
+}

@@ -1,0 +1,15 @@
+//! Suppression fixture: valid suppressions silence; a reasonless one does
+//! not and raises S000.
+
+// jas-lint: allow(D001, reason = "diagnostic-only state, iteration order never observed")
+use std::collections::HashMap;
+
+pub fn probe() -> HashMap<u64, u64> { // jas-lint: allow(D001, reason = "diagnostic accessor")
+    // jas-lint: allow(D001, reason = "same diagnostic map, constructed once")
+    HashMap::new()
+}
+
+// jas-lint: allow(D006)
+pub fn bad_suppression(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}

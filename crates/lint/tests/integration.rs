@@ -1,0 +1,132 @@
+//! Integration: run jas-lint over the fixture tree (one known violation
+//! per rule plus suppression and negative-control files) and assert the
+//! exact findings, their JSON rendering, and the binary's `--deny` exit
+//! codes.
+
+use jas_lint::config::{Config, Severity};
+use jas_lint::{findings, has_deny, lint_tree};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_base() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_findings() -> Vec<findings::Finding> {
+    lint_tree(&Config::default(), &fixture_base())
+}
+
+#[test]
+fn every_rule_detects_its_fixture_violation() {
+    let got: Vec<(String, String, u32)> = fixture_findings()
+        .into_iter()
+        .map(|f| (f.rule, f.path, f.line))
+        .collect();
+    let want: Vec<(String, String, u32)> = [
+        ("D001", "crates/fixture/src/d001.rs", 3),
+        ("D001", "crates/fixture/src/d001.rs", 6),
+        ("D002", "crates/fixture/src/d002.rs", 3),
+        ("D002", "crates/fixture/src/d002.rs", 5),
+        ("D002", "crates/fixture/src/d002.rs", 6),
+        ("D003", "crates/fixture/src/d003.rs", 4),
+        ("D004", "crates/fixture/src/d004.rs", 4),
+        ("D005", "crates/fixture/src/d005.rs", 6),
+        ("D006", "crates/fixture/src/d006.rs", 4),
+        ("S000", "crates/fixture/src/suppressed.rs", 12),
+        ("D006", "crates/fixture/src/suppressed.rs", 14),
+    ]
+    .into_iter()
+    .map(|(r, p, l)| (r.to_string(), p.to_string(), l))
+    .collect();
+    // Findings are sorted by (path, line, rule); sort the expectation the
+    // same way instead of hand-maintaining the order.
+    let mut want = want;
+    want.sort_by(|a, b| (&a.1, a.2, &a.0).cmp(&(&b.1, b.2, &b.0)));
+    assert_eq!(got, want);
+}
+
+#[test]
+fn clean_and_justified_fixtures_stay_clean() {
+    let f = fixture_findings();
+    assert!(
+        !f.iter().any(|x| x.path.ends_with("clean.rs")),
+        "negative control must produce no findings: {f:?}"
+    );
+    // d004.rs has TWO unsafe blocks; only the unjustified one fires.
+    assert_eq!(f.iter().filter(|x| x.path.ends_with("d004.rs")).count(), 1);
+    // suppressed.rs's two valid suppressions silence both D001 hits.
+    assert!(!f
+        .iter()
+        .any(|x| x.rule == "D001" && x.path.ends_with("suppressed.rs")));
+}
+
+#[test]
+fn json_output_is_exact_for_a_single_violation() {
+    let cfg = Config::default();
+    let base = fixture_base();
+    let src =
+        std::fs::read_to_string(base.join("crates/fixture/src/d006.rs")).expect("fixture exists");
+    let mut f = jas_lint::lint_source(&cfg, "crates/fixture/src/d006.rs", &src);
+    findings::sort(&mut f);
+    let json = findings::to_json(&f);
+    assert_eq!(
+        json,
+        "[\n  {\"rule\":\"D006\",\"path\":\"crates/fixture/src/d006.rs\",\"line\":4,\
+\"severity\":\"deny\",\"message\":\"`.unwrap()` in library code; use \
+`.expect(\\\"what invariant holds\\\")` or return an error\"}\n]\n"
+    );
+}
+
+#[test]
+fn severity_config_downgrades_to_warn() {
+    let toml = "\n[rules.D001]\nseverity = \"warn\"\n[rules.D002]\nseverity = \"warn\"\n\
+[rules.D003]\nseverity = \"warn\"\n[rules.D004]\nseverity = \"warn\"\n\
+[rules.D005]\nseverity = \"warn\"\n[rules.D006]\nseverity = \"warn\"\n";
+    let cfg = Config::parse(toml).expect("config parses");
+    let f = lint_tree(&cfg, &fixture_base());
+    // The S000 meta-finding stays deny; everything else is a warning.
+    assert!(f
+        .iter()
+        .all(|x| x.rule == "S000" || x.severity == Severity::Warn));
+    assert!(has_deny(&f), "S000 is always deny");
+}
+
+#[test]
+fn binary_deny_exits_nonzero_on_fixtures() {
+    let out = Command::new(env!("CARGO_BIN_EXE_jas-lint"))
+        .args(["--deny", "--json", "--root"])
+        .arg(fixture_base())
+        .output()
+        .expect("jas-lint binary runs");
+    assert_eq!(out.status.code(), Some(2), "deny findings must exit 2");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 output");
+    for rule in ["D001", "D002", "D003", "D004", "D005", "D006", "S000"] {
+        assert!(stdout.contains(rule), "JSON mentions {rule}: {stdout}");
+    }
+}
+
+#[test]
+fn binary_without_deny_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_jas-lint"))
+        .arg("--root")
+        .arg(fixture_base())
+        .output()
+        .expect("jas-lint binary runs");
+    assert_eq!(out.status.code(), Some(0), "advisory mode always exits 0");
+}
+
+#[test]
+fn workspace_tree_is_deny_clean() {
+    // The repo's own acceptance gate, run in-process: the committed tree
+    // (with the committed lint.toml) must carry no deny findings.
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint is two levels below the repo root")
+        .to_path_buf();
+    let toml = std::fs::read_to_string(repo.join("lint.toml")).expect("lint.toml is committed");
+    let cfg = Config::parse(&toml).expect("committed lint.toml parses");
+    let f = lint_tree(&cfg, &repo);
+    let denies: Vec<_> = f.iter().filter(|x| x.severity == Severity::Deny).collect();
+    assert!(denies.is_empty(), "deny findings in the tree: {denies:#?}");
+}

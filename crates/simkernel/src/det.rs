@@ -1,0 +1,207 @@
+//! Deterministic associative containers for simulation state.
+//!
+//! `std::collections::HashMap`/`HashSet` seed their hasher per *instance*:
+//! two maps with identical contents iterate in different orders, and that
+//! order varies run to run. Any fold over such a map — a GC scanning a
+//! remembered set, an LRU picking a victim, a profiler summing ticks — can
+//! leak the order into HPM counters and break the simulator's
+//! bit-reproducibility contract (lint rule D001).
+//!
+//! [`DetMap`] and [`DetSet`] are thin newtypes over `BTreeMap`/`BTreeSet`:
+//! iteration order is the key order, always, everywhere. They deref to the
+//! underlying collection, so the full `BTreeMap`/`BTreeSet` API is
+//! available; the newtype exists so simulation state *names* its ordering
+//! guarantee and so the linter can tell sanctioned containers from
+//! hazardous ones. The only API difference worth noting: `with_capacity`
+//! accepts and ignores its hint (B-trees do not preallocate).
+//!
+//! B-tree versus seeded-hasher trade-off: a `HashMap` with a fixed seed
+//! would also iterate deterministically *per build*, but its order would
+//! still depend on insertion history and capacity growth, which makes
+//! digest comparisons across code versions fragile. Key order is the
+//! strongest, simplest contract, and the map sizes in simulation state
+//! (lock tables, remembered sets, tick profiles) are far off any path hot
+//! enough for the O(log n) to show up in the profile.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Deref, DerefMut};
+
+/// An ordered map with deterministic (key-order) iteration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DetMap<K: Ord, V>(BTreeMap<K, V>);
+
+/// An ordered set with deterministic (key-order) iteration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DetSet<K: Ord>(BTreeSet<K>);
+
+impl<K: Ord, V> DetMap<K, V> {
+    /// Creates an empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        DetMap(BTreeMap::new())
+    }
+
+    /// Creates an empty map; the capacity hint is accepted for drop-in
+    /// compatibility with `HashMap::with_capacity` and ignored.
+    #[must_use]
+    pub fn with_capacity(_capacity: usize) -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord> DetSet<K> {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        DetSet(BTreeSet::new())
+    }
+
+    /// Creates an empty set; the capacity hint is accepted for drop-in
+    /// compatibility with `HashSet::with_capacity` and ignored.
+    #[must_use]
+    pub fn with_capacity(_capacity: usize) -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V> Default for DetMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord> Default for DetSet<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V> Deref for DetMap<K, V> {
+    type Target = BTreeMap<K, V>;
+    fn deref(&self) -> &BTreeMap<K, V> {
+        &self.0
+    }
+}
+
+impl<K: Ord, V> DerefMut for DetMap<K, V> {
+    fn deref_mut(&mut self) -> &mut BTreeMap<K, V> {
+        &mut self.0
+    }
+}
+
+impl<K: Ord> Deref for DetSet<K> {
+    type Target = BTreeSet<K>;
+    fn deref(&self) -> &BTreeSet<K> {
+        &self.0
+    }
+}
+
+impl<K: Ord> DerefMut for DetSet<K> {
+    fn deref_mut(&mut self) -> &mut BTreeSet<K> {
+        &mut self.0
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for DetMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        DetMap(BTreeMap::from_iter(iter))
+    }
+}
+
+impl<K: Ord> FromIterator<K> for DetSet<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        DetSet(BTreeSet::from_iter(iter))
+    }
+}
+
+impl<'a, K: Ord, V> IntoIterator for &'a DetMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = std::collections::btree_map::Iter<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl<K: Ord, V> IntoIterator for DetMap<K, V> {
+    type Item = (K, V);
+    type IntoIter = std::collections::btree_map::IntoIter<K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a, K: Ord> IntoIterator for &'a DetSet<K> {
+    type Item = &'a K;
+    type IntoIter = std::collections::btree_set::Iter<'a, K>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl<K: Ord> IntoIterator for DetSet<K> {
+    type Item = K;
+    type IntoIter = std::collections::btree_set::IntoIter<K>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_iterates_in_key_order_regardless_of_insertion_order() {
+        let mut a = DetMap::new();
+        for k in [5u64, 1, 9, 3] {
+            a.insert(k, k * 10);
+        }
+        let mut b = DetMap::new();
+        for k in [9u64, 3, 5, 1] {
+            b.insert(k, k * 10);
+        }
+        let ka: Vec<u64> = a.keys().copied().collect();
+        let kb: Vec<u64> = b.keys().copied().collect();
+        assert_eq!(ka, [1, 3, 5, 9]);
+        assert_eq!(ka, kb, "iteration order is insertion-independent");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn set_iterates_in_key_order() {
+        let s: DetSet<u32> = [4u32, 2, 7, 1].into_iter().collect();
+        let v: Vec<u32> = s.iter().copied().collect();
+        assert_eq!(v, [1, 2, 4, 7]);
+    }
+
+    #[test]
+    fn deref_exposes_the_full_map_api() {
+        let mut m: DetMap<u32, u64> = DetMap::with_capacity(16);
+        *m.entry(3).or_default() += 7;
+        *m.entry(3).or_default() += 1;
+        assert_eq!(m.get(&3), Some(&8));
+        assert!(m.contains_key(&3));
+        m.retain(|&k, _| k != 3);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn set_insert_remove_contains() {
+        let mut s: DetSet<u64> = DetSet::with_capacity(8);
+        assert!(s.insert(11));
+        assert!(!s.insert(11), "second insert reports already-present");
+        assert!(s.contains(&11));
+        assert!(s.remove(&11));
+        assert!(s.is_empty());
+        s.insert(1);
+        s.clear();
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn owned_iteration_consumes_in_order() {
+        let m: DetMap<u32, u32> = [(3u32, 30u32), (1, 10), (2, 20)].into_iter().collect();
+        let pairs: Vec<(u32, u32)> = m.into_iter().collect();
+        assert_eq!(pairs, [(1, 10), (2, 20), (3, 30)]);
+    }
+}

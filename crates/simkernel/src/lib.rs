@@ -1,7 +1,7 @@
 //! Discrete-event simulation kernel used by every layer of the `jas2004`
 //! full-system simulator.
 //!
-//! The kernel provides four things and nothing else:
+//! The kernel provides five things and nothing else:
 //!
 //! * **Simulated time** ([`SimTime`], [`SimDuration`]) — nanosecond-resolution
 //!   newtypes so wall-clock and simulated time can never be confused.
@@ -11,6 +11,9 @@
 //!   workload model needs ([`dist`]).
 //! * **Time-series recording** ([`SeriesRecorder`]) — fixed-interval sampling
 //!   used by the measurement tools to mimic `hpmstat`-style output.
+//! * **Deterministic containers** ([`DetMap`], [`DetSet`]) — key-ordered
+//!   replacements for `HashMap`/`HashSet` in simulation state, so iteration
+//!   order can never leak into counters (lint rule D001).
 //!
 //! Everything is single-threaded and bit-reproducible: the same seed and
 //! configuration always produce the same simulation, which is what lets the
@@ -34,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod det;
 pub mod dist;
 mod event;
 #[cfg(test)]
@@ -42,6 +46,7 @@ mod rng;
 mod series;
 mod time;
 
+pub use det::{DetMap, DetSet};
 pub use event::{EventQueue, Scheduler};
 pub use rng::Rng;
 pub use series::{SeriesRecorder, SeriesSample};
