@@ -41,9 +41,11 @@ mod plan;
 mod pool;
 #[cfg(test)]
 mod proptests;
+mod resilience;
 mod server;
 
 pub use mq::{Broker, BrokerStats, Message, QueueId};
 pub use plan::{PlanStep, TxPlan};
 pub use pool::{Admission, BoundedPool, PoolUsage};
+pub use resilience::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 pub use server::{AppServer, AppServerConfig, PoolKind};

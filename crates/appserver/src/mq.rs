@@ -18,6 +18,21 @@ pub struct Message {
     pub correlation: u64,
     /// Payload size in bytes (drives marshalling cost).
     pub payload_bytes: u32,
+    /// Delivery attempts this message is on (1 = first delivery). Bumped
+    /// by [`Broker::redeliver`]; consumers dead-letter past their budget.
+    pub deliveries: u32,
+}
+
+impl Message {
+    /// A fresh message on its first delivery attempt.
+    #[must_use]
+    pub fn new(correlation: u64, payload_bytes: u32) -> Message {
+        Message {
+            correlation,
+            payload_bytes,
+            deliveries: 1,
+        }
+    }
 }
 
 /// Broker statistics.
@@ -27,6 +42,10 @@ pub struct BrokerStats {
     pub sent: u64,
     /// Messages dequeued.
     pub received: u64,
+    /// Messages pushed back for redelivery.
+    pub redelivered: u64,
+    /// Messages moved to the dead-letter queue.
+    pub dead_lettered: u64,
     /// High-water mark of total queued messages.
     pub peak_depth: usize,
 }
@@ -35,6 +54,7 @@ pub struct BrokerStats {
 #[derive(Clone, Debug, Default)]
 pub struct Broker {
     queues: Vec<VecDeque<Message>>,
+    dead: Vec<Message>,
     stats: BrokerStats,
 }
 
@@ -83,6 +103,37 @@ impl Broker {
         m
     }
 
+    /// Pushes a consumed message back to the front of its queue for
+    /// another delivery attempt (JMS at-least-once redelivery). The front
+    /// keeps FIFO intact: the redelivered message is retried before newer
+    /// work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue does not exist.
+    pub fn redeliver(&mut self, queue: QueueId, mut message: Message) {
+        message.deliveries += 1;
+        self.queues
+            .get_mut(queue.0 as usize)
+            .expect("unknown queue")
+            .push_front(message);
+        self.stats.redelivered += 1;
+        let depth: usize = self.queues.iter().map(VecDeque::len).sum();
+        self.stats.peak_depth = self.stats.peak_depth.max(depth);
+    }
+
+    /// Moves a poisoned message to the dead-letter queue.
+    pub fn dead_letter(&mut self, message: Message) {
+        self.dead.push(message);
+        self.stats.dead_lettered += 1;
+    }
+
+    /// Messages parked on the dead-letter queue, in arrival order.
+    #[must_use]
+    pub fn dead_letters(&self) -> &[Message] {
+        &self.dead
+    }
+
     /// Current depth of one queue.
     ///
     /// # Panics
@@ -111,20 +162,8 @@ mod tests {
     fn fifo_order() {
         let mut b = Broker::new();
         let q = b.declare_queue();
-        b.send(
-            q,
-            Message {
-                correlation: 1,
-                payload_bytes: 100,
-            },
-        );
-        b.send(
-            q,
-            Message {
-                correlation: 2,
-                payload_bytes: 100,
-            },
-        );
+        b.send(q, Message::new(1, 100));
+        b.send(q, Message::new(2, 100));
         assert_eq!(b.receive(q).unwrap().correlation, 1);
         assert_eq!(b.receive(q).unwrap().correlation, 2);
         assert_eq!(b.receive(q), None);
@@ -135,13 +174,7 @@ mod tests {
         let mut b = Broker::new();
         let q1 = b.declare_queue();
         let q2 = b.declare_queue();
-        b.send(
-            q1,
-            Message {
-                correlation: 1,
-                payload_bytes: 10,
-            },
-        );
+        b.send(q1, Message::new(1, 10));
         assert_eq!(b.depth(q1), 1);
         assert_eq!(b.depth(q2), 0);
         assert_eq!(b.receive(q2), None);
@@ -152,13 +185,7 @@ mod tests {
         let mut b = Broker::new();
         let q = b.declare_queue();
         for i in 0..5 {
-            b.send(
-                q,
-                Message {
-                    correlation: i,
-                    payload_bytes: 10,
-                },
-            );
+            b.send(q, Message::new(i, 10));
         }
         b.receive(q);
         let s = b.stats();
@@ -168,15 +195,37 @@ mod tests {
     }
 
     #[test]
+    fn redelivery_goes_to_the_front_and_counts_attempts() {
+        let mut b = Broker::new();
+        let q = b.declare_queue();
+        b.send(q, Message::new(1, 10));
+        b.send(q, Message::new(2, 10));
+        let m = b.receive(q).unwrap();
+        assert_eq!(m.deliveries, 1);
+        b.redeliver(q, m);
+        let again = b.receive(q).unwrap();
+        assert_eq!(again.correlation, 1, "redelivered before newer work");
+        assert_eq!(again.deliveries, 2);
+        assert_eq!(b.stats().redelivered, 1);
+    }
+
+    #[test]
+    fn dead_letters_are_parked_not_redelivered() {
+        let mut b = Broker::new();
+        let q = b.declare_queue();
+        b.send(q, Message::new(9, 10));
+        let m = b.receive(q).unwrap();
+        b.dead_letter(m);
+        assert_eq!(b.receive(q), None);
+        assert_eq!(b.dead_letters().len(), 1);
+        assert_eq!(b.dead_letters()[0].correlation, 9);
+        assert_eq!(b.stats().dead_lettered, 1);
+    }
+
+    #[test]
     #[should_panic(expected = "unknown queue")]
     fn unknown_queue_panics() {
         let mut b = Broker::new();
-        b.send(
-            QueueId(3),
-            Message {
-                correlation: 0,
-                payload_bytes: 0,
-            },
-        );
+        b.send(QueueId(3), Message::new(0, 0));
     }
 }

@@ -42,6 +42,7 @@ pub struct BoundedPool {
     name: &'static str,
     capacity: usize,
     in_use: usize,
+    seized: usize,
     waiters: VecDeque<u64>,
     usage: PoolUsage,
 }
@@ -59,6 +60,7 @@ impl BoundedPool {
             name,
             capacity,
             in_use: 0,
+            seized: 0,
             waiters: VecDeque::new(),
             usage: PoolUsage::default(),
         }
@@ -82,10 +84,52 @@ impl BoundedPool {
         self.in_use
     }
 
+    /// Resources seized by an injected exhaustion fault.
+    #[must_use]
+    pub fn seized(&self) -> usize {
+        self.seized
+    }
+
+    /// Capacity usable by requesters: configured capacity minus whatever
+    /// the fault plan has seized.
+    #[must_use]
+    pub fn available(&self) -> usize {
+        self.capacity - self.seized
+    }
+
+    /// Sets the number of seized resources (pool-exhaustion fault). When
+    /// seizure shrinks, queued waiters are admitted into the freed
+    /// capacity and their tokens returned so the caller can resume them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not below the pool's capacity (a fully
+    /// seized pool would deadlock every requester forever).
+    pub fn set_seized(&mut self, target: usize) -> Vec<u64> {
+        assert!(
+            target < self.capacity,
+            "pool {} cannot seize its whole capacity",
+            self.name
+        );
+        self.seized = target;
+        let mut resumed = Vec::new();
+        while self.in_use < self.available() {
+            match self.waiters.pop_front() {
+                Some(token) => {
+                    self.in_use += 1;
+                    self.usage.peak_in_use = self.usage.peak_in_use.max(self.in_use);
+                    resumed.push(token);
+                }
+                None => break,
+            }
+        }
+        resumed
+    }
+
     /// Requests a resource for `token`.
     pub fn acquire(&mut self, token: u64) -> Admission {
         self.usage.requests += 1;
-        if self.in_use < self.capacity {
+        if self.in_use < self.available() {
             self.in_use += 1;
             self.usage.peak_in_use = self.usage.peak_in_use.max(self.in_use);
             Admission::Granted
@@ -111,13 +155,17 @@ impl BoundedPool {
             "pool {} released more than acquired",
             self.name
         );
-        match self.waiters.pop_front() {
-            Some(token) => Some(token), // resource passes straight through
-            None => {
-                self.in_use -= 1;
-                None
+        // While over-committed (seizure landed after grants), releases
+        // shrink `in_use` back under the available ceiling before any
+        // waiter is admitted. With nothing seized this is the plain
+        // pass-through: a waiter always takes over the released resource.
+        if self.in_use <= self.available() {
+            if let Some(token) = self.waiters.pop_front() {
+                return Some(token); // resource passes straight through
             }
         }
+        self.in_use -= 1;
+        None
     }
 
     /// Removes `token` from the wait queue (request timed out / abandoned).
@@ -186,6 +234,40 @@ mod tests {
         assert_eq!(u.queued, 1);
         assert_eq!(u.peak_in_use, 2);
         assert_eq!(u.peak_waiters, 1);
+    }
+
+    #[test]
+    fn seizure_shrinks_admission_and_lifting_resumes_waiters() {
+        let mut p = BoundedPool::new("jdbc", 4);
+        assert!(p.set_seized(3).is_empty());
+        assert_eq!(p.available(), 1);
+        assert_eq!(p.acquire(1), Admission::Granted);
+        assert_eq!(p.acquire(2), Admission::Queued { position: 0 });
+        assert_eq!(p.acquire(3), Admission::Queued { position: 1 });
+        // Lifting the seizure admits the queued waiters FIFO.
+        assert_eq!(p.set_seized(0), vec![2, 3]);
+        assert_eq!(p.in_use(), 3);
+        assert_eq!(p.acquire(4), Admission::Granted);
+    }
+
+    #[test]
+    fn releases_drain_overcommit_before_admitting_waiters() {
+        let mut p = BoundedPool::new("jdbc", 2);
+        p.acquire(1);
+        p.acquire(2);
+        p.acquire(3); // queued
+        p.set_seized(1); // now over-committed: in_use 2 > available 1
+        assert_eq!(p.release(), None, "release shrinks the overcommit first");
+        assert_eq!(p.in_use(), 1);
+        assert_eq!(p.release(), Some(3), "at the ceiling, pass-through resumes");
+        assert_eq!(p.in_use(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot seize its whole capacity")]
+    fn full_seizure_rejected() {
+        let mut p = BoundedPool::new("jdbc", 2);
+        let _ = p.set_seized(2);
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! Property-based tests for the pools and broker: conservation laws that
-//! must hold under any acquire/release/cancel interleaving.
+//! Property-based tests for the pools, broker, and resilience policies:
+//! conservation laws that must hold under any interleaving.
 
 use crate::mq::{Broker, Message};
 use crate::pool::{Admission, BoundedPool};
+use crate::resilience::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
+use jas_simkernel::{SimDuration, SimTime};
 use proptest::prelude::*;
 use std::collections::VecDeque;
 
@@ -84,7 +86,7 @@ proptest! {
         let queues = [broker.declare_queue(), broker.declare_queue(), broker.declare_queue()];
         let mut model: [VecDeque<u64>; 3] = Default::default();
         for (q, corr) in sends {
-            broker.send(queues[q as usize], Message { correlation: corr, payload_bytes: 1 });
+            broker.send(queues[q as usize], Message::new(corr, 1));
             model[q as usize].push_back(corr);
         }
         for q in receives {
@@ -93,6 +95,81 @@ proptest! {
         }
         for (q, m) in model.iter().enumerate() {
             prop_assert_eq!(broker.depth(queues[q]), m.len());
+        }
+    }
+
+    /// The backoff schedule is monotone non-decreasing, capped, bounded by
+    /// its envelope, and a pure function of `(seed, attempt)`.
+    #[test]
+    fn backoff_schedule_is_monotone_capped_and_deterministic(
+        seed in any::<u64>(),
+        base_ms in 1u64..16,
+        cap_ms in 16u64..256,
+    ) {
+        let policy = RetryPolicy {
+            max_retries: 8,
+            base: SimDuration::from_millis(base_ms),
+            cap: SimDuration::from_millis(cap_ms),
+        };
+        let mut prev = SimDuration::ZERO;
+        for attempt in 1..=24u32 {
+            let d = policy.delay(seed, attempt);
+            prop_assert!(d >= prev, "monotone: attempt {attempt}: {d:?} < {prev:?}");
+            prop_assert!(d <= policy.cap, "capped: attempt {attempt}");
+            prop_assert!(!d.is_zero(), "a retry always waits");
+            prop_assert_eq!(d, policy.delay(seed, attempt), "deterministic per seed");
+            prev = d;
+        }
+        prop_assert_eq!(policy.delay(seed, 64), policy.cap, "deep attempts sit at the cap");
+    }
+
+    /// The breaker never serves while open, and half-open admits exactly
+    /// the configured probe quota, under any failure pattern.
+    #[test]
+    fn breaker_never_serves_open_and_probes_exactly(
+        threshold in 1u32..6,
+        probes in 1u32..5,
+        outcomes in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let cfg = BreakerConfig {
+            failure_threshold: threshold,
+            open_for: SimDuration::from_millis(100),
+            half_open_probes: probes,
+        };
+        let mut breaker = CircuitBreaker::new(cfg);
+        let mut now = SimTime::ZERO;
+        let mut opened_at = None;
+        for (i, ok) in outcomes.into_iter().enumerate() {
+            now += SimDuration::from_millis(1 + (i as u64 % 7) * 29);
+            let state_before = breaker.state();
+            if let Some(at) = opened_at {
+                if now < at + cfg.open_for {
+                    prop_assert!(!breaker.try_acquire(now), "must not serve while open");
+                    continue;
+                }
+            }
+            if breaker.try_acquire(now) {
+                if state_before == BreakerState::Open {
+                    // The timed transition fired: this is probe #1; the
+                    // quota admits exactly `probes` before `on_*` is seen.
+                    for _ in 1..probes {
+                        prop_assert!(breaker.try_acquire(now));
+                    }
+                    prop_assert!(!breaker.try_acquire(now), "probe quota is exact");
+                    // Settle the extra probes so state stays coherent.
+                    for _ in 1..probes {
+                        breaker.on_success();
+                    }
+                }
+                if ok {
+                    breaker.on_success();
+                } else {
+                    breaker.on_failure(now);
+                }
+                opened_at = (breaker.state() == BreakerState::Open).then_some(now);
+            } else {
+                prop_assert!(breaker.state() != BreakerState::Closed, "closed always serves");
+            }
         }
     }
 }

@@ -112,6 +112,28 @@ impl AppServer {
         self.pool_mut(kind).cancel(token)
     }
 
+    /// Applies a pool-exhaustion fault: seizes `target` resources of
+    /// `kind` (shrinking what requesters can use) and returns the tokens
+    /// of waiters admitted when a seizure is lifted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not below the pool's capacity.
+    pub fn set_seized(&mut self, kind: PoolKind, target: usize) -> Vec<u64> {
+        self.pool_mut(kind).set_seized(target)
+    }
+
+    /// Resources of `kind` currently seized by the fault plan.
+    #[must_use]
+    pub fn seized(&self, kind: PoolKind) -> usize {
+        match kind {
+            PoolKind::WebContainer => self.web.seized(),
+            PoolKind::Orb => self.orb.seized(),
+            PoolKind::Jdbc => self.jdbc.seized(),
+            PoolKind::JmsListener => self.jms.seized(),
+        }
+    }
+
     /// Usage statistics for `kind`.
     #[must_use]
     pub fn usage(&self, kind: PoolKind) -> PoolUsage {
@@ -150,13 +172,7 @@ mod tests {
     fn work_order_queue_round_trips() {
         let mut s = AppServer::new(AppServerConfig::default());
         let q = s.work_order_queue();
-        s.broker_mut().send(
-            q,
-            Message {
-                correlation: 7,
-                payload_bytes: 256,
-            },
-        );
+        s.broker_mut().send(q, Message::new(7, 256));
         assert_eq!(s.broker().depth(q), 1);
         assert_eq!(s.broker_mut().receive(q).unwrap().correlation, 7);
     }

@@ -6,13 +6,17 @@
 //! jas2004 --scenario trade --figure 3
 //! ```
 
-use jas2004::cli::{parse_args, CliOptions, FigureSelect};
+use jas2004::cli::{parse_args, Cli, CliOptions, FigureSelect, USAGE};
 use jas2004::{figures, report, run_experiment};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let options = match parse_args(std::env::args().skip(1)) {
-        Ok(o) => o,
+        Ok(Cli::Run(o)) => *o,
+        Ok(Cli::Help) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
@@ -78,6 +82,16 @@ fn run(options: CliOptions) {
         print!(
             "{}",
             report::render_utilization(&figures::utilization_table(&art))
+        );
+    }
+    // The resilience table prints on request, or in `all` mode whenever a
+    // fault plan actually ran.
+    if matches!(select, FigureSelect::Resilience)
+        || (matches!(select, FigureSelect::All) && !art.config.faults.plan.is_empty())
+    {
+        print!(
+            "{}",
+            report::render_resilience(&figures::resilience_table(&art))
         );
     }
 }

@@ -5,6 +5,7 @@
 //! configuration, print selected figures).
 
 use crate::config::{RunPlan, ScenarioKind, SutConfig};
+use jas_faults::FaultPlan;
 use jas_simkernel::SimDuration;
 
 /// Which outputs to print.
@@ -18,6 +19,8 @@ pub enum FigureSelect {
     Locking,
     /// The utilization table.
     Utilization,
+    /// The fault/resilience table.
+    Resilience,
 }
 
 /// Parsed command line.
@@ -29,6 +32,16 @@ pub struct CliOptions {
     pub plan: RunPlan,
     /// Output selection.
     pub select: FigureSelect,
+}
+
+/// What the command line asked for.
+#[derive(Clone, Debug)]
+pub enum Cli {
+    /// Run a configuration and print figures. Boxed: the configuration is
+    /// two orders of magnitude larger than the `Help` variant.
+    Run(Box<CliOptions>),
+    /// Print the usage text and exit successfully.
+    Help,
 }
 
 /// A CLI parsing error with a user-facing message.
@@ -61,7 +74,14 @@ OPTIONS:
     --no-large-pages     back the Java heap with 4 KB pages
     --code-large-pages   put JIT/native code on 16 MB pages
     --generational <MB>  minor collections every <MB> allocated
-    --figure <SEL>       all | 2..10 | locking | utilization (default all)
+    --fault-plan <SPEC>  deterministic fault windows, as
+                         kind@start-end:rate[,kind@start-end:rate...]
+                         with kind in db-lock | db-io | jms-redeliver |
+                         jms-dup | pool-seize | gc-storm, start/end in
+                         seconds, rate in [0,1]; @FILE reads the spec
+                         from FILE
+    --figure <SEL>       all | 2..10 | locking | utilization | resilience
+                         (default all)
     --help               print this help
 ";
 
@@ -76,9 +96,10 @@ fn parse_u64(flag: &str, value: Option<&str>) -> Result<u64, CliError> {
 /// # Errors
 ///
 /// Returns a [`CliError`] with a user-facing message on unknown flags,
-/// missing values, or out-of-range selections. `--help` surfaces as an
-/// error whose message is the usage text.
-pub fn parse_args<I, S>(args: I) -> Result<CliOptions, CliError>
+/// missing values, out-of-range selections, or an unreadable/invalid
+/// `--fault-plan` file or spec. `--help` parses to [`Cli::Help`], which
+/// the binary prints and exits successfully on.
+pub fn parse_args<I, S>(args: I) -> Result<Cli, CliError>
 where
     I: IntoIterator<Item = S>,
     S: AsRef<str>,
@@ -92,7 +113,7 @@ where
         let flag = args[i].as_str();
         let value = args.get(i + 1).map(String::as_str);
         match flag {
-            "--help" | "-h" => return Err(CliError(USAGE.to_string())),
+            "--help" | "-h" => return Ok(Cli::Help),
             "--ir" => {
                 config.ir = parse_u64(flag, value)? as u32;
                 if config.ir == 0 {
@@ -136,11 +157,26 @@ where
                 config.jvm.minor_every_bytes = Some(parse_u64(flag, value)? << 20);
                 i += 1;
             }
+            "--fault-plan" => {
+                let spec = value
+                    .ok_or_else(|| CliError("--fault-plan requires a value".into()))?
+                    .to_string();
+                let spec = match spec.strip_prefix('@') {
+                    Some(path) => std::fs::read_to_string(path).map_err(|e| {
+                        CliError(format!("--fault-plan: cannot read '{path}': {e}"))
+                    })?,
+                    None => spec,
+                };
+                config.faults.plan = FaultPlan::parse(spec.trim())
+                    .map_err(|e| CliError(format!("--fault-plan: {e}")))?;
+                i += 1;
+            }
             "--figure" => {
                 select = match value {
                     Some("all") => FigureSelect::All,
                     Some("locking") => FigureSelect::Locking,
                     Some("utilization") => FigureSelect::Utilization,
+                    Some("resilience") => FigureSelect::Resilience,
                     Some(n) => {
                         let n: u8 = n
                             .parse()
@@ -161,11 +197,11 @@ where
     if plan.steady.is_zero() {
         return Err(CliError("--steady must be positive".into()));
     }
-    Ok(CliOptions {
+    Ok(Cli::Run(Box::new(CliOptions {
         config,
         plan,
         select,
-    })
+    })))
 }
 
 #[cfg(test)]
@@ -173,12 +209,16 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> Result<CliOptions, CliError> {
-        parse_args(args.iter().copied())
+        match parse_args(args.iter().copied())? {
+            Cli::Run(o) => Ok(*o),
+            Cli::Help => panic!("expected a run, got help"),
+        }
     }
 
     #[test]
     fn defaults_with_no_flags() {
         let o = parse(&[]).unwrap();
+        assert!(o.config.faults.plan.is_empty());
         assert_eq!(o.config.ir, 40);
         assert_eq!(o.select, FigureSelect::All);
         assert_eq!(o.config.scenario, ScenarioKind::JAppServer);
@@ -233,9 +273,44 @@ mod tests {
             parse(&["--figure", "utilization"]).unwrap().select,
             FigureSelect::Utilization
         );
+        assert_eq!(
+            parse(&["--figure", "resilience"]).unwrap().select,
+            FigureSelect::Resilience
+        );
         assert!(parse(&["--figure", "1"]).is_err());
         assert!(parse(&["--figure", "11"]).is_err());
         assert!(parse(&["--figure", "xyz"]).is_err());
+    }
+
+    #[test]
+    fn fault_plan_inline_spec_parses() {
+        let o = parse(&["--fault-plan", "db-lock@10-20:0.5,gc-storm@5-6:1"]).unwrap();
+        assert_eq!(o.config.faults.plan.windows().len(), 2);
+    }
+
+    #[test]
+    fn fault_plan_errors_are_descriptive() {
+        assert!(parse(&["--fault-plan"])
+            .unwrap_err()
+            .0
+            .contains("requires a value"));
+        assert!(parse(&["--fault-plan", "bogus@1-2:0.5"])
+            .unwrap_err()
+            .0
+            .contains("--fault-plan"));
+        assert!(parse(&["--fault-plan", "@/no/such/file"])
+            .unwrap_err()
+            .0
+            .contains("cannot read"));
+    }
+
+    #[test]
+    fn fault_plan_reads_spec_from_file() {
+        let path = std::env::temp_dir().join("jas2004-cli-fault-plan-test.txt");
+        std::fs::write(&path, "db-io@1-2:0.25\n").unwrap();
+        let o = parse(&["--fault-plan", &format!("@{}", path.display())]).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(o.config.faults.plan.windows().len(), 1);
     }
 
     #[test]
@@ -258,8 +333,8 @@ mod tests {
     }
 
     #[test]
-    fn help_returns_usage() {
-        let err = parse(&["--help"]).unwrap_err();
-        assert!(err.0.contains("USAGE"));
+    fn help_is_not_an_error() {
+        assert!(matches!(parse_args(["--help"]).unwrap(), Cli::Help));
+        assert!(matches!(parse_args(["-h"]).unwrap(), Cli::Help));
     }
 }

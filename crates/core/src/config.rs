@@ -1,8 +1,9 @@
 //! System-under-test and experiment configuration.
 
-use jas_appserver::AppServerConfig;
+use jas_appserver::{AppServerConfig, BreakerConfig, RetryPolicy};
 use jas_cpu::MachineConfig;
 use jas_db::DbConfig;
+use jas_faults::FaultPlan;
 use jas_jvm::JvmConfig;
 use jas_simkernel::{SimDuration, SimTime};
 
@@ -19,6 +20,37 @@ pub enum ScenarioKind {
 /// The full-scale clock the modeled frequency is scaled against (POWER4 at
 /// 1.3 GHz).
 pub const REAL_CORE_HZ: f64 = 1.3e9;
+
+/// Fault-injection plan plus the resilience policies that answer it.
+///
+/// The default carries an empty plan: no faults fire, and the engine's
+/// resilience paths stay cold (bit-identical to a build without them).
+#[derive(Clone, Debug)]
+pub struct FaultsConfig {
+    /// Scheduled fault windows (empty = healthy run).
+    pub plan: FaultPlan,
+    /// Bounded-retry policy for failed database statements.
+    pub retry: RetryPolicy,
+    /// Circuit breaker guarding the database tier.
+    pub breaker: BreakerConfig,
+    /// Optional per-request deadline; requests running past it fail.
+    pub deadline: Option<SimDuration>,
+    /// JMS delivery attempts (first + redeliveries) before a message is
+    /// dead-lettered.
+    pub max_deliveries: u32,
+}
+
+impl Default for FaultsConfig {
+    fn default() -> Self {
+        FaultsConfig {
+            plan: FaultPlan::empty(),
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            deadline: None,
+            max_deliveries: 4,
+        }
+    }
+}
 
 /// Complete configuration of the system under test.
 #[derive(Clone, Debug)]
@@ -50,6 +82,8 @@ pub struct SutConfig {
     /// Clamped to the simulated core count; results are bit-identical for
     /// every value — `1` runs the identical code path serially.
     pub threads: usize,
+    /// Fault injection and resilience tuning (empty plan = healthy run).
+    pub faults: FaultsConfig,
 }
 
 impl Default for SutConfig {
@@ -68,6 +102,7 @@ impl Default for SutConfig {
             kernel_overhead: 0.22,
             scenario: ScenarioKind::JAppServer,
             threads: 1,
+            faults: FaultsConfig::default(),
         }
     }
 }

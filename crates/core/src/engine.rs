@@ -41,10 +41,14 @@
 
 use crate::config::{RunPlan, ScenarioKind, SutConfig};
 use crate::profiles::{profile_for, FootprintConfig};
-use jas_appserver::{Admission, AppServer, Message, PlanStep, PoolKind, TxPlan};
+use jas_appserver::{
+    Admission, AppServer, BreakerState, CircuitBreaker, Message, PlanStep, PoolKind, QueueId,
+    TxPlan,
+};
 use jas_cpu::{AddressMap, CorePrivate, CostModel, Machine, MemEvent, StreamGen};
-use jas_db::{Database, DbError};
-use jas_hpm::{CpuState, GcLogEntry, OmniscientHpm, Tprof, VerboseGc, Vmstat};
+use jas_db::{Database, DbError, DbFault, Query};
+use jas_faults::{EventKind, FaultCounters, FaultInjector, FaultKind, FaultLog};
+use jas_hpm::{CpuState, FaultMonitor, GcLogEntry, OmniscientHpm, Tprof, VerboseGc, Vmstat};
 use jas_jvm::{Component, GcCycle, Jvm, LockOutcome, MethodId, TxHandle};
 use jas_simkernel::{Rng, SimDuration, SimTime};
 use jas_workload::{JasScenario, Metrics, RequestKind, Scenario, TradeScenario};
@@ -92,6 +96,15 @@ struct Task {
     /// Quantum stamp preventing one task from running on two cores within
     /// the same quantum.
     last_run_quantum: u64,
+    /// Failed attempts of the current statement (resets on success; only
+    /// touched when the fault plan is armed).
+    attempts: u32,
+    /// Absolute per-request deadline, when the fault config sets one.
+    deadline: Option<SimTime>,
+    /// The consumed-but-uncommitted work-order message: on permanent
+    /// failure it goes back to its queue (redelivery) or the dead-letter
+    /// queue.
+    mq_msg: Option<(QueueId, Message)>,
 }
 
 struct GcPause {
@@ -220,6 +233,13 @@ pub struct Engine {
     metrics: Metrics,
     completed_requests: u64,
     aborted_requests: u64,
+    // Fault injection + resilience (inert when the plan is empty).
+    injector: FaultInjector,
+    breaker: CircuitBreaker,
+    faultmon: FaultMonitor,
+    /// Cached `injector.armed()`: gates every resilience path so a healthy
+    /// run takes the byte-identical legacy code.
+    faults_active: bool,
 }
 
 impl Engine {
@@ -273,6 +293,13 @@ impl Engine {
         let end = run.end();
         let hpm = OmniscientHpm::new(run.hpm_period);
         let metrics = Metrics::new(run.throughput_bin, steady_start, end);
+        // The injector's RNG is seeded independently of the master stream
+        // (salted inside FaultInjector), so arming a plan never shifts the
+        // healthy workload draws.
+        let injector = FaultInjector::new(cfg.seed, cfg.faults.plan.clone());
+        let faults_active = injector.armed();
+        let breaker = CircuitBreaker::new(cfg.faults.breaker);
+        let faultmon = FaultMonitor::new(run.hpm_period);
         let mut engine = Engine {
             cfg,
             run,
@@ -303,6 +330,10 @@ impl Engine {
             metrics,
             completed_requests: 0,
             aborted_requests: 0,
+            injector,
+            breaker,
+            faultmon,
+            faults_active,
         };
         // Pre-warm the session store so the live set starts near its
         // steady-state target (the paper measures after a long warm-up; a
@@ -313,7 +344,7 @@ impl Engine {
         while engine.jvm.heap().live_bytes() < target {
             engine.jvm.touch_session(&mut warm_rng);
         }
-        let _ = engine.jvm.take_gc_cycles(); // warm-up GCs are not measured
+        engine.jvm.take_gc_cycles(); // warm-up GCs are discarded, not measured
         let (gap, kind) = engine.scenario.next_arrival();
         engine.next_arrival = (SimTime::ZERO + gap, kind);
         engine
@@ -332,6 +363,9 @@ impl Engine {
             self.step_quantum();
         }
         self.hpm.finish(end);
+        if self.faults_active {
+            self.faultmon.finish(end);
+        }
     }
 
     /// Enqueues a task on its affinity core's ready queue.
@@ -367,6 +401,12 @@ impl Engine {
     pub fn step_quantum(&mut self) {
         let quantum = self.cfg.quantum;
         let quantum_end = self.clock + quantum;
+
+        // 0. Apply quantum-granular faults (pool seizures, GC storms) at
+        // the boundary, sequentially: the decisions are thread-invariant.
+        if self.faults_active {
+            self.apply_quantum_faults();
+        }
 
         // 1. Admit arrivals due in this quantum.
         while self.next_arrival.0 < quantum_end {
@@ -436,8 +476,45 @@ impl Engine {
         self.clock = quantum_end;
         self.quantum_counter += 1;
         self.hpm.observe(self.clock, &self.machine.total_counters());
+        if self.faults_active {
+            let counters = *self.injector.counters();
+            self.faultmon.observe(self.clock, &counters);
+        }
         if self.steady_base.is_none() && self.clock >= self.run.steady_start() {
             self.steady_base = Some(self.machine.total_counters());
+        }
+    }
+
+    /// Applies faults that act at quantum granularity: the pool-seizure
+    /// level tracks the active window (lifting a window resumes admitted
+    /// waiters), and a GC-storm roll forces a real collection.
+    fn apply_quantum_faults(&mut self) {
+        let now = self.clock;
+        // Seize web-container threads: the front door of the whole stack,
+        // so exhaustion backs up into admission queueing and response
+        // times, exactly like a stuck thread pool.
+        let kind = PoolKind::WebContainer;
+        let capacity = self.cfg.appserver.web_threads;
+        let level = self.injector.seize_level(now, capacity);
+        let current = self.appserver.seized(kind);
+        if level != current {
+            if level > current {
+                self.injector
+                    .note(now, EventKind::Injected(FaultKind::PoolSeize));
+            }
+            for token in self.appserver.set_seized(kind, level) {
+                let waiter = token as usize;
+                if self.tasks[waiter].state == TaskState::WaitingPool {
+                    self.tasks[waiter].state = TaskState::Ready;
+                    self.enqueue(waiter);
+                }
+            }
+        }
+        // GC storm: force a real collection so pause accounting, verbose-gc
+        // logging, and heap state stay consistent with organic cycles.
+        if self.gc.is_none() && self.injector.roll(FaultKind::GcStorm, now) {
+            self.jvm.force_gc();
+            self.drain_gc_cycles();
         }
     }
 
@@ -769,6 +846,13 @@ impl Engine {
             state: TaskState::Ready,
             io_blocked: false,
             last_run_quantum: u64::MAX,
+            attempts: 0,
+            deadline: if self.faults_active {
+                self.cfg.faults.deadline.map(|d| at + d)
+            } else {
+                None
+            },
+            mq_msg: None,
         });
         self.tasks.len() - 1
     }
@@ -872,6 +956,15 @@ impl Engine {
     /// condition, or the end of the plan.
     fn interpret_until_compute(&mut self, task_idx: usize) -> StepOutcome {
         loop {
+            if self.faults_active {
+                if let Some(deadline) = self.tasks[task_idx].deadline {
+                    if self.clock >= deadline {
+                        self.injector.note(self.clock, EventKind::DeadlineExceeded);
+                        self.fail_task(task_idx);
+                        return StepOutcome::Finished;
+                    }
+                }
+            }
             if let Some(&(_, instr)) = self.tasks[task_idx].extra.front() {
                 self.tasks[task_idx].remaining_modeled = instr;
                 return StepOutcome::Compute;
@@ -933,6 +1026,12 @@ impl Engine {
                     // under no-wait locking would livelock on hot rows (the
                     // real system holds row latches for microseconds, far
                     // below our scheduling resolution).
+                    if self.faults_active {
+                        if let Some(outcome) = self.db_step_faulted(task_idx, query) {
+                            return outcome;
+                        }
+                        continue;
+                    }
                     let txn = self.db.begin();
                     let result = self.db.execute(txn, query, self.clock);
                     match result {
@@ -986,23 +1085,223 @@ impl Engine {
                 } => {
                     self.correlation_seq += 1;
                     let correlation = self.correlation_seq;
-                    self.appserver.broker_mut().send(
-                        queue,
-                        Message {
-                            correlation,
-                            payload_bytes,
-                        },
-                    );
+                    self.appserver
+                        .broker_mut()
+                        .send(queue, Message::new(correlation, payload_bytes));
+                    if self.faults_active && self.injector.roll(FaultKind::JmsDuplicate, self.clock)
+                    {
+                        // At-least-once delivery: the producer's ack was
+                        // lost and it sent the same message again.
+                        self.appserver
+                            .broker_mut()
+                            .send(queue, Message::new(correlation, payload_bytes));
+                        self.injector.note(self.clock, EventKind::Duplicated);
+                    }
                     self.tasks[task_idx].step += 1;
                     self.maybe_spawn_workorders();
                 }
                 PlanStep::MqReceive { queue } => {
-                    let _ = self.appserver.broker_mut().receive(queue);
+                    if self.faults_active {
+                        if let Some(outcome) = self.mq_receive_faulted(task_idx, queue) {
+                            return outcome;
+                        }
+                        continue;
+                    }
+                    if let Some(msg) = self.appserver.broker_mut().receive(queue) {
+                        self.tasks[task_idx].mq_msg = Some((queue, msg));
+                    }
                     self.pending_workorders = self.pending_workorders.saturating_sub(1);
                     self.tasks[task_idx].step += 1;
                 }
             }
         }
+    }
+
+    /// Interprets one `PlanStep::Db` under an armed fault plan: circuit
+    /// breaker at the front, scheduled fault rolls before the statement,
+    /// bounded backoff retry after a failure. Returns `None` when the
+    /// statement committed and interpretation should continue.
+    fn db_step_faulted(&mut self, task_idx: usize, query: Query) -> Option<StepOutcome> {
+        let now = self.clock;
+        let before = self.breaker.state();
+        let admitted = self.breaker.try_acquire(now);
+        self.note_breaker_transition(before);
+        if !admitted {
+            // Fail fast without touching the database at all.
+            self.injector.note_fast_fail();
+            return Some(self.retry_or_fail(task_idx));
+        }
+        // Scheduled faults ride on the next statement; the rolls happen
+        // here, in the sequential phase, so they are thread-invariant.
+        if self.injector.roll(FaultKind::DbLockTimeout, now) {
+            self.db.inject(DbFault::LockTimeout);
+        } else if self.injector.roll(FaultKind::DbIoStall, now) {
+            self.db.inject(DbFault::IoStall);
+        }
+        let txn = self.db.begin();
+        match self.db.execute(txn, query, now) {
+            Ok(report) => {
+                let before = self.breaker.state();
+                self.breaker.on_success();
+                self.note_breaker_transition(before);
+                self.db.commit(txn);
+                let scale = self.cfg.instruction_scale();
+                let t = &mut self.tasks[task_idx];
+                t.attempts = 0;
+                t.step += 1;
+                t.extra
+                    .push_back((Component::Database, report.cpu_instructions / scale));
+                if report.pool_misses > 0 {
+                    t.extra.push_back((
+                        Component::Kernel,
+                        f64::from(report.pool_misses) * 8_000.0 / scale,
+                    ));
+                }
+                if let Some(done) = report.io_done {
+                    if done > now + SimDuration::from_millis(2) {
+                        t.state = TaskState::BlockedUntil(done);
+                        t.io_blocked = true;
+                        self.outstanding_io += 1;
+                        return Some(StepOutcome::Blocked);
+                    }
+                }
+                None
+            }
+            Err(DbError::Conflict(_)) => {
+                // Organic row contention, not an injected fault: the legacy
+                // no-wait backoff, with no breaker penalty.
+                self.db.abort(txn);
+                self.tasks[task_idx].state =
+                    TaskState::BlockedUntil(now + SimDuration::from_millis(1));
+                Some(StepOutcome::Blocked)
+            }
+            Err(DbError::Timeout(_)) => {
+                self.db.abort(txn);
+                let before = self.breaker.state();
+                self.breaker.on_failure(now);
+                self.note_breaker_transition(before);
+                Some(self.retry_or_fail(task_idx))
+            }
+            Err(_) => {
+                // Business-level anomaly: fail the request outright.
+                self.db.abort(txn);
+                self.fail_task(task_idx);
+                Some(StepOutcome::Finished)
+            }
+        }
+    }
+
+    /// Interprets one `PlanStep::MqReceive` under an armed fault plan: a
+    /// redelivery roll can bounce the message back (or dead-letter a
+    /// poison one). Returns `None` when interpretation should continue.
+    fn mq_receive_faulted(&mut self, task_idx: usize, queue: QueueId) -> Option<StepOutcome> {
+        let now = self.clock;
+        let Some(msg) = self.appserver.broker_mut().receive(queue) else {
+            // Empty queue: keep the legacy bookkeeping.
+            self.pending_workorders = self.pending_workorders.saturating_sub(1);
+            self.tasks[task_idx].step += 1;
+            return None;
+        };
+        if self.injector.roll(FaultKind::JmsRedelivery, now) {
+            if msg.deliveries < self.cfg.faults.max_deliveries {
+                // The listener session rolls back: the message returns to
+                // the front of its queue and this consumer backs off on
+                // the delivery count, then tries again.
+                let attempt = msg.deliveries;
+                self.appserver.broker_mut().redeliver(queue, msg);
+                self.injector.note(now, EventKind::Redelivered);
+                let delay = self
+                    .cfg
+                    .faults
+                    .retry
+                    .delay(self.cfg.seed ^ task_idx as u64, attempt);
+                self.tasks[task_idx].state = TaskState::BlockedUntil(now + delay);
+                return Some(StepOutcome::Blocked);
+            }
+            // Poison message: park it and fail the work order. The step
+            // advances first so the failure path sees the message as
+            // consumed.
+            self.appserver.broker_mut().dead_letter(msg);
+            self.injector.note(now, EventKind::DeadLettered);
+            self.pending_workorders = self.pending_workorders.saturating_sub(1);
+            self.tasks[task_idx].step += 1;
+            self.fail_task(task_idx);
+            return Some(StepOutcome::Finished);
+        }
+        self.pending_workorders = self.pending_workorders.saturating_sub(1);
+        let t = &mut self.tasks[task_idx];
+        t.mq_msg = Some((queue, msg));
+        t.step += 1;
+        None
+    }
+
+    /// Books one failed attempt of the current statement: schedules a
+    /// deterministic backoff retry, or fails the request once the retry
+    /// budget is spent.
+    fn retry_or_fail(&mut self, task_idx: usize) -> StepOutcome {
+        self.tasks[task_idx].attempts += 1;
+        let attempt = self.tasks[task_idx].attempts;
+        if attempt > self.cfg.faults.retry.max_retries {
+            self.fail_task(task_idx);
+            return StepOutcome::Finished;
+        }
+        let delay = self
+            .cfg
+            .faults
+            .retry
+            .delay(self.cfg.seed ^ task_idx as u64, attempt);
+        self.tasks[task_idx].state = TaskState::BlockedUntil(self.clock + delay);
+        self.injector
+            .note(self.clock, EventKind::RetryScheduled { attempt });
+        self.metrics.record_retry(self.clock);
+        StepOutcome::Blocked
+    }
+
+    /// Permanently fails a request: a consumed work-order message goes
+    /// back for redelivery (or to the dead-letter queue), in-flight
+    /// work-order accounting is settled, and the task finishes
+    /// uncommitted.
+    fn fail_task(&mut self, task_idx: usize) {
+        if let Some((queue, msg)) = self.tasks[task_idx].mq_msg.take() {
+            if msg.deliveries < self.cfg.faults.max_deliveries {
+                self.appserver.broker_mut().redeliver(queue, msg);
+                self.injector.note(self.clock, EventKind::Redelivered);
+            } else {
+                self.appserver.broker_mut().dead_letter(msg);
+                self.injector.note(self.clock, EventKind::DeadLettered);
+            }
+        } else if self.tasks[task_idx].kind == RequestKind::WorkOrder {
+            // Died before consuming its message: it will never reach the
+            // `MqReceive` decrement, so settle the in-flight count here.
+            let t = &self.tasks[task_idx];
+            let unconsumed = t
+                .plan
+                .steps
+                .iter()
+                .skip(t.step)
+                .any(|s| matches!(s, PlanStep::MqReceive { .. }));
+            if unconsumed {
+                self.pending_workorders = self.pending_workorders.saturating_sub(1);
+            }
+        }
+        self.injector.note(self.clock, EventKind::RequestFailed);
+        self.metrics.record_error(self.clock);
+        self.finish_task(task_idx, false);
+    }
+
+    /// Logs a breaker state change observed across one breaker call
+    /// (`before` is the state captured just before it).
+    fn note_breaker_transition(&mut self, before: BreakerState) {
+        let after = self.breaker.state();
+        if before == after {
+            return;
+        }
+        let what = match after {
+            BreakerState::Open => EventKind::BreakerOpened,
+            BreakerState::HalfOpen => EventKind::BreakerHalfOpen,
+            BreakerState::Closed => EventKind::BreakerClosed,
+        };
+        self.injector.note(self.clock, what);
     }
 
     fn ensure_jvm_tx(&mut self, task_idx: usize) -> TxHandle {
@@ -1075,6 +1374,11 @@ impl Engine {
     }
 
     fn finish_task(&mut self, task_idx: usize, committed: bool) {
+        if self.tasks[task_idx].state == TaskState::Done {
+            // Already finished (aborted inside interpretation before the
+            // scheduler saw `Finished`): the first verdict stands.
+            return;
+        }
         let kind;
         let issued;
         {
@@ -1196,6 +1500,24 @@ impl Engine {
     #[must_use]
     pub fn aborted_requests(&self) -> u64 {
         self.aborted_requests
+    }
+
+    /// Cumulative fault/resilience counters (all zero on a healthy run).
+    #[must_use]
+    pub fn fault_counters(&self) -> &FaultCounters {
+        self.injector.counters()
+    }
+
+    /// The fault/resilience event log (empty on a healthy run).
+    #[must_use]
+    pub fn fault_log(&self) -> &FaultLog {
+        self.injector.log()
+    }
+
+    /// The periodic fault monitor ([`Engine::run_to_end`] finishes it).
+    #[must_use]
+    pub fn fault_monitor(&self) -> &FaultMonitor {
+        &self.faultmon
     }
 
     /// Consumes the engine, handing out the owned instruments that the
@@ -1359,5 +1681,92 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A fault plan covering every kind, inside `RunPlan::quick`'s 45 s.
+    fn storm_config() -> SutConfig {
+        let mut cfg = SutConfig::at_ir(10);
+        cfg.machine.frequency_hz = 100_000.0;
+        cfg.jvm.heap.capacity = 8 << 20;
+        cfg.jvm.live_target = 2 << 20;
+        cfg.faults.plan = jas_faults::FaultPlan::parse(
+            "db-lock@10-25:0.35,db-io@12-30:0.25,jms-redeliver@8-30:0.5,\
+             jms-dup@8-30:0.3,pool-seize@15-30:0.6,gc-storm@10-30:0.08",
+        )
+        .expect("valid spec");
+        cfg
+    }
+
+    #[test]
+    fn faulted_run_exercises_resilience_and_still_finishes() {
+        let mut e = Engine::new(storm_config(), RunPlan::quick());
+        e.run_to_end();
+        let c = *e.fault_counters();
+        assert!(c.total_injected() > 0, "storm fired nothing: {c:?}");
+        assert!(c.retries > 0, "no retries under a db-fault storm: {c:?}");
+        assert!(
+            c.injected[FaultKind::GcStorm.index()] > 0,
+            "gc storms never rolled: {c:?}"
+        );
+        assert!(!e.fault_log().is_empty());
+        assert!(
+            e.completed_requests() > 50,
+            "the stack should keep serving through the storm, completed {}",
+            e.completed_requests()
+        );
+        let v = e.metrics().verdict();
+        assert!(v.degraded, "retries/errors must mark the run degraded");
+        assert!(
+            !e.fault_monitor().active_series().is_empty(),
+            "the fault monitor saw nothing move"
+        );
+    }
+
+    #[test]
+    fn faulted_runs_are_thread_invariant() {
+        let serial = {
+            let mut e = Engine::new(storm_config(), RunPlan::quick());
+            e.run_to_end();
+            e
+        };
+        let mut cfg = storm_config();
+        cfg.threads = 4;
+        let mut parallel = Engine::new(cfg, RunPlan::quick());
+        parallel.run_to_end();
+        assert_eq!(serial.fault_log().digest(), parallel.fault_log().digest());
+        assert_eq!(serial.fault_counters(), parallel.fault_counters());
+        assert_eq!(serial.completed_requests(), parallel.completed_requests());
+        assert_eq!(serial.aborted_requests(), parallel.aborted_requests());
+        assert_eq!(serial.steady_counters(), parallel.steady_counters());
+    }
+
+    #[test]
+    fn empty_plan_keeps_resilience_machinery_cold() {
+        let mut e = quick_engine();
+        e.run_to_end();
+        assert_eq!(*e.fault_counters(), jas_faults::FaultCounters::default());
+        assert!(e.fault_log().is_empty());
+        assert!(e.fault_monitor().active_series().is_empty());
+    }
+
+    #[test]
+    fn deadlines_fail_requests_when_armed() {
+        let mut cfg = SutConfig::at_ir(10);
+        cfg.machine.frequency_hz = 100_000.0;
+        cfg.jvm.heap.capacity = 8 << 20;
+        cfg.jvm.live_target = 2 << 20;
+        // A zero-rate window arms the plan without firing anything, so the
+        // deadline machinery alone is under test.
+        cfg.faults.plan = jas_faults::FaultPlan::parse("db-lock@0-1:0").expect("valid spec");
+        cfg.faults.deadline = Some(SimDuration::from_millis(40));
+        let mut e = Engine::new(cfg, RunPlan::quick());
+        e.run_to_end();
+        let c = *e.fault_counters();
+        assert!(
+            c.deadline_exceeded > 0,
+            "a 40 ms deadline must fail some multi-quantum requests: {c:?}"
+        );
+        assert_eq!(c.errors, c.deadline_exceeded, "only deadlines failed");
+        assert!(e.aborted_requests() >= c.deadline_exceeded);
     }
 }

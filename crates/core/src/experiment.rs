@@ -6,6 +6,7 @@ use crate::engine::Engine;
 use jas_appserver::PoolKind;
 use jas_cpu::CounterFile;
 use jas_db::{DeviceStats, PoolStats, TxnStats};
+use jas_faults::FaultCounters;
 use jas_hpm::{Flatness, GcLogEntry, GcLogSummary, OmniscientHpm, Tprof, Utilization};
 use jas_jvm::LockStats;
 use jas_workload::{RequestKind, Verdict};
@@ -57,6 +58,12 @@ pub struct RunArtifacts {
     pub jit_compilations: u64,
     /// Web-container pool usage.
     pub web_pool: jas_appserver::PoolUsage,
+    /// Cumulative fault/resilience counters (all zero on a healthy run).
+    pub fault_counters: FaultCounters,
+    /// Fault/resilience events recorded over the run.
+    pub fault_events: usize,
+    /// Thread-count-invariant digest of the fault-event series.
+    pub fault_digest: u64,
 }
 
 /// Runs `cfg` under `plan` to completion and collects the artifacts.
@@ -92,6 +99,9 @@ pub fn run_artifacts_from(config: SutConfig, plan: RunPlan, engine: Engine) -> R
     let jit_code_bytes = engine.jvm().jit().compiled_bytes();
     let jit_compilations = engine.jvm().jit().compilations();
     let web_pool = engine.appserver().usage(PoolKind::WebContainer);
+    let fault_counters = *engine.fault_counters();
+    let fault_events = engine.fault_log().len();
+    let fault_digest = engine.fault_log().digest();
     let (hpm, tprof) = engine.into_instruments();
     RunArtifacts {
         config,
@@ -116,6 +126,9 @@ pub fn run_artifacts_from(config: SutConfig, plan: RunPlan, engine: Engine) -> R
         jit_code_bytes,
         jit_compilations,
         web_pool,
+        fault_counters,
+        fault_events,
+        fault_digest,
     }
 }
 
@@ -140,5 +153,7 @@ mod tests {
         assert!(art.locks.acquisitions > 0);
         assert!(art.db_pool.accesses > 0);
         assert!(!art.gc_log_text.is_empty());
+        assert_eq!(art.fault_counters, FaultCounters::default());
+        assert_eq!(art.fault_events, 0, "healthy runs record no fault events");
     }
 }

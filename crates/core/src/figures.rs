@@ -462,3 +462,58 @@ pub fn utilization_table(art: &RunArtifacts) -> UtilizationTable {
         passed: art.verdict.passed,
     }
 }
+
+/// The fault/resilience table: what the fault plan injected and how the
+/// stack absorbed it (this repo's robustness extension; no paper analogue).
+#[derive(Clone, Debug)]
+pub struct ResilienceTable {
+    /// `(fault name, injections)` for every fault kind that fired.
+    pub injected: Vec<(&'static str, u64)>,
+    /// Retries scheduled by the backoff policy.
+    pub retries: u64,
+    /// Requests failed permanently.
+    pub errors: u64,
+    /// Failed fraction of steady-window outcomes.
+    pub error_rate: f64,
+    /// Circuit-breaker open transitions.
+    pub breaker_opens: u64,
+    /// Statements rejected while the breaker was open.
+    pub breaker_fast_fails: u64,
+    /// Work orders pushed back for redelivery.
+    pub redeliveries: u64,
+    /// Work orders dead-lettered after their delivery budget.
+    pub dead_letters: u64,
+    /// Requests that blew their per-request deadline.
+    pub deadline_exceeded: u64,
+    /// Fault/resilience events recorded.
+    pub events: usize,
+    /// Thread-count-invariant digest of the event series.
+    pub digest: u64,
+    /// Whether the run leaned on its resilience machinery at all.
+    pub degraded: bool,
+}
+
+/// Computes the resilience table.
+#[must_use]
+pub fn resilience_table(art: &RunArtifacts) -> ResilienceTable {
+    let c = &art.fault_counters;
+    let injected = jas_faults::FaultKind::ALL
+        .iter()
+        .map(|k| (k.name(), c.injected[k.index()]))
+        .filter(|&(_, n)| n > 0)
+        .collect();
+    ResilienceTable {
+        injected,
+        retries: c.retries,
+        errors: c.errors,
+        error_rate: art.verdict.error_rate,
+        breaker_opens: c.breaker_opens,
+        breaker_fast_fails: c.breaker_fast_fails,
+        redeliveries: c.redeliveries,
+        dead_letters: c.dead_letters,
+        deadline_exceeded: c.deadline_exceeded,
+        events: art.fault_events,
+        digest: art.fault_digest,
+        degraded: art.verdict.degraded,
+    }
+}

@@ -35,7 +35,8 @@ pub mod figures;
 pub mod profiles;
 pub mod report;
 
-pub use config::{RunPlan, ScenarioKind, SutConfig};
+pub use config::{FaultsConfig, RunPlan, ScenarioKind, SutConfig};
 pub use engine::Engine;
 pub use experiment::{run_artifacts_from, run_experiment, RunArtifacts};
 pub use jas_cpu::{CounterFile, HpmEvent};
+pub use jas_faults::{FaultCounters, FaultKind, FaultPlan, FaultWindow};

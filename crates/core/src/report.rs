@@ -2,7 +2,7 @@
 
 use crate::figures::{
     Fig10Correlation, Fig2Throughput, Fig3Gc, Fig4Profile, Fig5Cpi, Fig6Branch, Fig7Tlb, Fig8L1d,
-    Fig9DataFrom, LockingTable, UtilizationTable,
+    Fig9DataFrom, LockingTable, ResilienceTable, UtilizationTable,
 };
 use std::fmt::Write as _;
 
@@ -271,6 +271,43 @@ pub fn render_utilization(t: &UtilizationTable) -> String {
     out
 }
 
+/// Renders the fault/resilience table.
+#[must_use]
+pub fn render_resilience(t: &ResilienceTable) -> String {
+    let mut out = String::from("Fault Injection and Resilience\n");
+    if t.injected.is_empty() {
+        let _ = writeln!(out, "  no faults fired");
+    }
+    for (name, n) in &t.injected {
+        let _ = writeln!(out, "  injected {name:<14} {n}");
+    }
+    let _ = writeln!(
+        out,
+        "  retries {}   errors {} ({:.2}% of outcomes)",
+        t.retries,
+        t.errors,
+        t.error_rate * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  breaker opens {}   fast-fails {}",
+        t.breaker_opens, t.breaker_fast_fails
+    );
+    let _ = writeln!(
+        out,
+        "  redeliveries {}   dead letters {}   deadline blown {}",
+        t.redeliveries, t.dead_letters, t.deadline_exceeded
+    );
+    let _ = writeln!(
+        out,
+        "  events {}   digest {:#018x}   {}",
+        t.events,
+        t.digest,
+        if t.degraded { "DEGRADED" } else { "healthy" }
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,5 +409,51 @@ mod tests {
             passed: false,
         });
         assert!(failed.contains("FAILED"));
+    }
+
+    #[test]
+    fn render_resilience_lists_fired_faults() {
+        let text = render_resilience(&ResilienceTable {
+            injected: vec![("db-lock", 12), ("gc-storm", 3)],
+            retries: 9,
+            errors: 2,
+            error_rate: 0.015,
+            breaker_opens: 1,
+            breaker_fast_fails: 4,
+            redeliveries: 5,
+            dead_letters: 1,
+            deadline_exceeded: 2,
+            events: 37,
+            digest: 0xdead_beef,
+            degraded: true,
+        });
+        assert!(text.contains("injected db-lock"));
+        assert!(text.contains("injected gc-storm"));
+        assert!(text.contains("retries 9"));
+        assert!(text.contains("1.50% of outcomes"));
+        assert!(text.contains("breaker opens 1"));
+        assert!(text.contains("dead letters 1"));
+        assert!(text.contains("DEGRADED"));
+        assert!(!text.contains("no faults fired"));
+    }
+
+    #[test]
+    fn render_resilience_healthy_run_says_so() {
+        let text = render_resilience(&ResilienceTable {
+            injected: vec![],
+            retries: 0,
+            errors: 0,
+            error_rate: 0.0,
+            breaker_opens: 0,
+            breaker_fast_fails: 0,
+            redeliveries: 0,
+            dead_letters: 0,
+            deadline_exceeded: 0,
+            events: 0,
+            digest: 0,
+            degraded: false,
+        });
+        assert!(text.contains("no faults fired"));
+        assert!(text.contains("healthy"));
     }
 }

@@ -58,6 +58,7 @@ pub struct BufferPool {
     free_slots: Vec<usize>,
     tick: u64,
     stats: PoolStats,
+    stall_reads: bool,
 }
 
 impl BufferPool {
@@ -77,7 +78,16 @@ impl BufferPool {
             free_slots: (0..capacity_pages).rev().collect(),
             tick: 0,
             stats: PoolStats::default(),
+            stall_reads: false,
         }
+    }
+
+    /// Turns read-stall mode on or off. While on, touches of resident
+    /// pages are degraded to misses (the page stays resident but the
+    /// caller is charged a device round trip) — the buffer-pool face of an
+    /// injected I/O stall.
+    pub fn set_stall_reads(&mut self, on: bool) {
+        self.stall_reads = on;
     }
 
     /// Page size in bytes.
@@ -100,6 +110,14 @@ impl BufferPool {
         self.stats.accesses += 1;
         if let Some((slot, stamp)) = self.resident.get_mut(&page) {
             *stamp = self.tick;
+            if self.stall_reads {
+                // Injected stall: the page is resident but the read goes
+                // back to the device anyway.
+                return PageAccess {
+                    hit: false,
+                    slot_offset: *slot as u64 * self.page_bytes,
+                };
+            }
             self.stats.hits += 1;
             return PageAccess {
                 hit: true,
@@ -209,6 +227,19 @@ mod tests {
             }
         }
         assert!(bp.stats().hit_rate() > 0.85);
+    }
+
+    #[test]
+    fn stalled_reads_miss_without_losing_residency() {
+        let mut bp = BufferPool::new(4, 8192);
+        let slot = bp.touch(page(1)).slot_offset;
+        bp.set_stall_reads(true);
+        let stalled = bp.touch(page(1));
+        assert!(!stalled.hit, "stalled read must be charged as a miss");
+        assert_eq!(stalled.slot_offset, slot, "page keeps its slot");
+        bp.set_stall_reads(false);
+        assert!(bp.touch(page(1)).hit, "back to normal once the stall lifts");
+        assert_eq!(bp.resident_pages(), 1);
     }
 
     #[test]

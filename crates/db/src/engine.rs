@@ -112,6 +112,9 @@ pub enum DbError {
     DuplicateKey(u64),
     /// Key not found on update.
     NoSuchKey(u64),
+    /// Lock wait exceeded its timeout (injected fault); the statement
+    /// fails instead of blocking.
+    Timeout(TableId),
 }
 
 impl core::fmt::Display for DbError {
@@ -121,8 +124,20 @@ impl core::fmt::Display for DbError {
             DbError::Conflict(c) => write!(f, "{c}"),
             DbError::DuplicateKey(k) => write!(f, "duplicate key {k}"),
             DbError::NoSuchKey(k) => write!(f, "no row with key {k}"),
+            DbError::Timeout(t) => write!(f, "lock wait timeout on table {}", t.0),
         }
     }
+}
+
+/// A fault armed against the next statement (injected by the fault plan).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DbFault {
+    /// The next statement's lock wait times out: it fails with
+    /// [`DbError::Timeout`] without doing any work.
+    LockTimeout,
+    /// The next statement's reads stall: every page touch is charged a
+    /// device round trip even when the page is resident.
+    IoStall,
 }
 
 impl std::error::Error for DbError {}
@@ -152,6 +167,7 @@ pub struct Database {
     pool: BufferPool,
     device: StorageDevice,
     txns: TxnManager,
+    pending_fault: Option<DbFault>,
 }
 
 impl Database {
@@ -164,7 +180,15 @@ impl Database {
             pool: BufferPool::new(cfg.pool_pages, cfg.page_bytes),
             device: StorageDevice::new(cfg.device),
             txns: TxnManager::new(),
+            pending_fault: None,
         }
+    }
+
+    /// Arms `fault` against the next [`Database::execute`] call. The fault
+    /// is consumed by that call whether or not the statement would have
+    /// succeeded; injecting twice before executing keeps only the second.
+    pub fn inject(&mut self, fault: DbFault) {
+        self.pending_fault = Some(fault);
     }
 
     /// The configuration in force.
@@ -230,6 +254,22 @@ impl Database {
         query: Query,
         now: SimTime,
     ) -> Result<WorkReport, DbError> {
+        match self.pending_fault.take() {
+            None => self.run_query(txn, query, now),
+            Some(DbFault::LockTimeout) => {
+                self.txns.note_timeout();
+                Err(DbError::Timeout(query.table()))
+            }
+            Some(DbFault::IoStall) => {
+                self.pool.set_stall_reads(true);
+                let result = self.run_query(txn, query, now);
+                self.pool.set_stall_reads(false);
+                result
+            }
+        }
+    }
+
+    fn run_query(&mut self, txn: TxnId, query: Query, now: SimTime) -> Result<WorkReport, DbError> {
         let table_id = query.table();
         if table_id.0 as usize >= self.tables.len() {
             return Err(DbError::NoSuchTable(table_id));
@@ -533,6 +573,44 @@ mod tests {
             .execute(txn, Query::Delete { table: t, key: 7 }, SimTime::ZERO)
             .unwrap();
         assert_eq!(r.rows, 0);
+        d.commit(txn);
+    }
+
+    #[test]
+    fn injected_lock_timeout_fails_exactly_one_statement() {
+        let (mut d, t) = db();
+        let txn = d.begin();
+        d.inject(DbFault::LockTimeout);
+        let err = d
+            .execute(txn, Query::SelectByKey { table: t, key: 1 }, SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, DbError::Timeout(t));
+        assert_eq!(d.txn_stats().timeouts, 1);
+        // The fault is consumed; the retry goes through.
+        let r = d
+            .execute(txn, Query::SelectByKey { table: t, key: 1 }, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(r.rows, 1);
+        d.commit(txn);
+    }
+
+    #[test]
+    fn injected_io_stall_degrades_one_statement_to_device_reads() {
+        let (mut d, t) = db();
+        let txn = d.begin();
+        // Warm the page so a healthy re-read would hit.
+        d.execute(txn, Query::SelectByKey { table: t, key: 1 }, SimTime::ZERO)
+            .unwrap();
+        d.inject(DbFault::IoStall);
+        let stalled = d
+            .execute(txn, Query::SelectByKey { table: t, key: 1 }, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(stalled.pool_misses, 1, "stalled read is charged as a miss");
+        assert!(stalled.io_done.is_some(), "device round trip charged");
+        let healthy = d
+            .execute(txn, Query::SelectByKey { table: t, key: 1 }, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(healthy.pool_hits, 1, "stall does not outlive its statement");
         d.commit(txn);
     }
 

@@ -43,7 +43,7 @@ mod txn;
 
 pub use btree::{BTree, Lookup};
 pub use bufferpool::{BufferPool, PageAccess, PageId, PoolStats};
-pub use engine::{Database, DbConfig, DbError, Query, WorkReport};
+pub use engine::{Database, DbConfig, DbError, DbFault, Query, WorkReport};
 pub use storage::{DeviceKind, DeviceStats, StorageDevice};
 pub use table::{Table, TableId};
 pub use txn::{LockConflict, LockMode, TxnId, TxnManager, TxnStats};

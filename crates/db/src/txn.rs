@@ -61,6 +61,8 @@ pub struct TxnStats {
     pub locks_granted: u64,
     /// Lock acquisitions refused.
     pub conflicts: u64,
+    /// Lock waits that timed out (injected faults).
+    pub timeouts: u64,
 }
 
 /// The lock and transaction table.
@@ -173,6 +175,12 @@ impl TxnManager {
                 }
             }
         }
+    }
+
+    /// Records a lock-wait timeout (the fault injector fails the wait; the
+    /// manager only accounts for it).
+    pub fn note_timeout(&mut self) {
+        self.stats.timeouts += 1;
     }
 
     /// Statistics so far.

@@ -1,0 +1,277 @@
+//! The injector: rolls fault opportunities against the plan and keeps the
+//! cumulative fault/resilience counters.
+
+use crate::log::{EventKind, FaultLog};
+use crate::plan::{FaultKind, FaultPlan};
+use jas_simkernel::{Rng, SimTime};
+
+/// Salt folded into the injector's RNG seed so the fault stream is
+/// decoupled from every workload stream: an empty plan draws nothing, and
+/// a non-empty plan never shifts the healthy-run draws.
+const SEED_SALT: u64 = 0x4641_554C_5453_3031; // "FAULTS01"
+
+/// Cumulative fault/resilience counters for a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Faults fired, indexed by [`FaultKind::index`].
+    pub injected: [u64; 6],
+    /// Retries scheduled by the appserver.
+    pub retries: u64,
+    /// Requests failed permanently.
+    pub errors: u64,
+    /// Breaker closed/half-open → open transitions.
+    pub breaker_opens: u64,
+    /// Statements rejected without touching the DB while the breaker was
+    /// open.
+    pub breaker_fast_fails: u64,
+    /// Work orders dead-lettered after exhausting their delivery budget.
+    pub dead_letters: u64,
+    /// Work orders pushed back for redelivery.
+    pub redeliveries: u64,
+    /// Messages duplicated in a queue.
+    pub duplicates: u64,
+    /// Requests that blew their per-request deadline.
+    pub deadline_exceeded: u64,
+}
+
+impl FaultCounters {
+    /// Report labels, aligned with [`FaultCounters::values`].
+    pub const LABELS: [&'static str; 14] = [
+        "db-lock",
+        "db-io",
+        "jms-redeliver",
+        "jms-dup",
+        "pool-seize",
+        "gc-storm",
+        "retries",
+        "errors",
+        "breaker-opens",
+        "breaker-fast-fails",
+        "dead-letters",
+        "redeliveries",
+        "duplicates",
+        "deadline-exceeded",
+    ];
+
+    /// Counter values, aligned with [`FaultCounters::LABELS`].
+    #[must_use]
+    pub fn values(&self) -> [u64; 14] {
+        [
+            self.injected[0],
+            self.injected[1],
+            self.injected[2],
+            self.injected[3],
+            self.injected[4],
+            self.injected[5],
+            self.retries,
+            self.errors,
+            self.breaker_opens,
+            self.breaker_fast_fails,
+            self.dead_letters,
+            self.redeliveries,
+            self.duplicates,
+            self.deadline_exceeded,
+        ]
+    }
+
+    /// Total injected faults across all kinds.
+    #[must_use]
+    pub fn total_injected(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+}
+
+/// Rolls fault opportunities against a [`FaultPlan`] and records every
+/// outcome.
+///
+/// All rolls must happen from sequential engine phases (statement
+/// interpretation, quantum boundaries); the injector owns a single RNG
+/// stream whose draw order is then thread-count-invariant by construction.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Rng,
+    counters: FaultCounters,
+    log: FaultLog,
+}
+
+impl FaultInjector {
+    /// Builds an injector for `plan`, seeded from the run seed.
+    #[must_use]
+    pub fn new(seed: u64, plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            rng: Rng::new(seed ^ SEED_SALT),
+            counters: FaultCounters::default(),
+            log: FaultLog::default(),
+        }
+    }
+
+    /// `true` when the plan schedules at least one window. The engine uses
+    /// this to keep every resilience path off the healthy hot path.
+    #[must_use]
+    pub fn armed(&self) -> bool {
+        !self.plan.is_empty()
+    }
+
+    /// Rolls one opportunity of `kind` at `now`. Draws from the RNG only
+    /// while a window of that kind is active; fires with the window's
+    /// fixed-point rate and logs the injection when it does.
+    pub fn roll(&mut self, kind: FaultKind, now: SimTime) -> bool {
+        let Some(rate_fp) = self.plan.active_rate(kind, now) else {
+            return false;
+        };
+        let fired = (self.rng.next_u64() >> 32) < rate_fp;
+        if fired {
+            self.counters.injected[kind.index()] += 1;
+            self.log.push(now, EventKind::Injected(kind));
+        }
+        fired
+    }
+
+    /// Deterministic (no RNG) pool-seize target at `now`: the number of
+    /// connections a pool of `capacity` should have seized. Zero outside
+    /// any `pool-seize` window.
+    #[must_use]
+    pub fn seize_level(&self, now: SimTime, capacity: usize) -> usize {
+        match self.plan.active_rate(FaultKind::PoolSeize, now) {
+            // 32.32 fixed-point multiply; rate 1.0 would seize everything,
+            // so leave at least one connection usable.
+            Some(rate_fp) if capacity > 0 => {
+                (((capacity as u64 * rate_fp) >> 32) as usize).min(capacity - 1)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Records a resilience reaction (retry, breaker transition, …) and
+    /// bumps the matching counter.
+    pub fn note(&mut self, now: SimTime, what: EventKind) {
+        match what {
+            EventKind::Injected(kind) => self.counters.injected[kind.index()] += 1,
+            EventKind::RetryScheduled { .. } => self.counters.retries += 1,
+            EventKind::BreakerOpened => self.counters.breaker_opens += 1,
+            EventKind::BreakerHalfOpen | EventKind::BreakerClosed => {}
+            EventKind::DeadLettered => self.counters.dead_letters += 1,
+            EventKind::RequestFailed => self.counters.errors += 1,
+            EventKind::Redelivered => self.counters.redeliveries += 1,
+            EventKind::Duplicated => self.counters.duplicates += 1,
+            EventKind::DeadlineExceeded => self.counters.deadline_exceeded += 1,
+        }
+        self.log.push(now, what);
+    }
+
+    /// Bumps the breaker fast-fail counter (no log entry: fast-fails can
+    /// be frequent and the open/closed transitions already mark the span).
+    pub fn note_fast_fail(&mut self) {
+        self.counters.breaker_fast_fails += 1;
+    }
+
+    /// The plan this injector executes.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Cumulative counters so far.
+    #[must_use]
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+
+    /// The event log so far.
+    #[must_use]
+    pub fn log(&self) -> &FaultLog {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultWindow;
+
+    fn storm_plan() -> FaultPlan {
+        FaultPlan::from_windows(vec![
+            FaultWindow::new(FaultKind::DbLockTimeout, 1.0, 2.0, 0.5),
+            FaultWindow::new(FaultKind::PoolSeize, 1.0, 2.0, 0.25),
+        ])
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let mut inj = FaultInjector::new(1, FaultPlan::empty());
+        assert!(!inj.armed());
+        for _ in 0..100 {
+            assert!(!inj.roll(FaultKind::DbLockTimeout, SimTime::from_millis(1_500)));
+        }
+        assert_eq!(inj.counters().total_injected(), 0);
+        assert!(inj.log().is_empty());
+    }
+
+    #[test]
+    fn rolls_only_inside_windows_and_at_roughly_the_rate() {
+        let mut inj = FaultInjector::new(1, storm_plan());
+        assert!(inj.armed());
+        assert!(!inj.roll(FaultKind::DbLockTimeout, SimTime::from_millis(500)));
+        let fired = (0..10_000)
+            .filter(|_| inj.roll(FaultKind::DbLockTimeout, SimTime::from_millis(1_500)))
+            .count();
+        assert!(
+            (4_000..6_000).contains(&fired),
+            "~50% expected, got {fired}"
+        );
+        assert_eq!(
+            inj.counters().injected[FaultKind::DbLockTimeout.index()],
+            fired as u64
+        );
+        assert_eq!(inj.log().len(), fired);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_roll_sequences() {
+        let mut a = FaultInjector::new(7, storm_plan());
+        let mut b = FaultInjector::new(7, storm_plan());
+        for i in 0..1_000 {
+            let at = SimTime::from_micros(1_000_000 + i * 100);
+            assert_eq!(
+                a.roll(FaultKind::DbLockTimeout, at),
+                b.roll(FaultKind::DbLockTimeout, at)
+            );
+        }
+        assert_eq!(a.log().digest(), b.log().digest());
+    }
+
+    #[test]
+    fn seize_level_is_deterministic_and_leaves_one_connection() {
+        let inj = FaultInjector::new(1, storm_plan());
+        assert_eq!(inj.seize_level(SimTime::from_millis(500), 40), 0);
+        assert_eq!(inj.seize_level(SimTime::from_millis(1_500), 40), 10);
+        let full =
+            FaultPlan::from_windows(vec![FaultWindow::new(FaultKind::PoolSeize, 0.0, 1.0, 1.0)]);
+        let inj = FaultInjector::new(1, full);
+        assert_eq!(inj.seize_level(SimTime::from_millis(500), 8), 7);
+    }
+
+    #[test]
+    fn notes_update_counters_and_log() {
+        let mut inj = FaultInjector::new(1, storm_plan());
+        inj.note(SimTime::ZERO, EventKind::RetryScheduled { attempt: 1 });
+        inj.note(SimTime::ZERO, EventKind::BreakerOpened);
+        inj.note(SimTime::ZERO, EventKind::DeadLettered);
+        inj.note(SimTime::ZERO, EventKind::RequestFailed);
+        inj.note_fast_fail();
+        let c = inj.counters();
+        assert_eq!(
+            (
+                c.retries,
+                c.breaker_opens,
+                c.dead_letters,
+                c.errors,
+                c.breaker_fast_fails
+            ),
+            (1, 1, 1, 1, 1)
+        );
+        assert_eq!(inj.log().len(), 4);
+    }
+}

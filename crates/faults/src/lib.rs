@@ -1,0 +1,25 @@
+//! `jas-faults` — deterministic fault injection for the simulated 3-tier
+//! stack.
+//!
+//! A [`FaultPlan`] is a set of typed fault windows ("between t=40s and
+//! t=60s, DB lock waits time out with probability 0.3"). The engine hands
+//! the plan to a [`FaultInjector`], which rolls each opportunity with its
+//! own seeded [`jas_simkernel::Rng`] stream — never wall-clock, never the
+//! engine's workload streams — so a faulted run is bit-identical at any
+//! `--threads` count and a plan of zero windows perturbs nothing.
+//!
+//! Every injected fault and every resilience reaction (retry scheduled,
+//! breaker transition, dead-lettered message, …) is appended to a
+//! [`FaultLog`], whose FNV-1a [`FaultLog::digest`] is the reproducibility
+//! fingerprint CI diffs across thread counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod inject;
+mod log;
+mod plan;
+
+pub use inject::{FaultCounters, FaultInjector};
+pub use log::{EventKind, FaultEvent, FaultLog};
+pub use plan::{FaultKind, FaultPlan, FaultWindow};

@@ -1,0 +1,167 @@
+//! The fault/resilience event series and its reproducibility digest.
+
+use crate::plan::FaultKind;
+use jas_simkernel::SimTime;
+
+/// What happened: an injected fault or a resilience reaction to one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A fault of the given kind fired at an injection point.
+    Injected(FaultKind),
+    /// A failed statement was scheduled for retry attempt `attempt`.
+    RetryScheduled {
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
+    /// The DB circuit breaker tripped open.
+    BreakerOpened,
+    /// The breaker moved open → half-open and admits probe requests.
+    BreakerHalfOpen,
+    /// A half-open probe succeeded and the breaker closed.
+    BreakerClosed,
+    /// A work order exhausted its delivery budget and was dead-lettered.
+    DeadLettered,
+    /// A request failed permanently (retries exhausted, deadline blown,
+    /// or failed while the breaker was open).
+    RequestFailed,
+    /// A consumed work order was pushed back for redelivery.
+    Redelivered,
+    /// A sent message was duplicated in its queue.
+    Duplicated,
+    /// A request exceeded its per-request deadline.
+    DeadlineExceeded,
+}
+
+impl EventKind {
+    /// Stable digest code; changing any value invalidates pinned digests.
+    #[must_use]
+    fn code(self) -> u64 {
+        match self {
+            EventKind::Injected(kind) => kind.index() as u64,
+            EventKind::RetryScheduled { attempt } => 0x10 + u64::from(attempt),
+            EventKind::BreakerOpened => 0x100,
+            EventKind::BreakerHalfOpen => 0x101,
+            EventKind::BreakerClosed => 0x102,
+            EventKind::DeadLettered => 0x103,
+            EventKind::RequestFailed => 0x104,
+            EventKind::Redelivered => 0x105,
+            EventKind::Duplicated => 0x106,
+            EventKind::DeadlineExceeded => 0x107,
+        }
+    }
+
+    /// Short report label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Injected(kind) => kind.name(),
+            EventKind::RetryScheduled { .. } => "retry",
+            EventKind::BreakerOpened => "breaker-open",
+            EventKind::BreakerHalfOpen => "breaker-half-open",
+            EventKind::BreakerClosed => "breaker-closed",
+            EventKind::DeadLettered => "dead-letter",
+            EventKind::RequestFailed => "request-failed",
+            EventKind::Redelivered => "redelivered",
+            EventKind::Duplicated => "duplicated",
+            EventKind::DeadlineExceeded => "deadline",
+        }
+    }
+}
+
+/// One entry in the fault/resilience series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Sim-clock instant the event was recorded.
+    pub at: SimTime,
+    /// What happened.
+    pub what: EventKind,
+}
+
+/// Append-only log of every fault and resilience event in a run.
+///
+/// Events are recorded from the engine's sequential phases only, so the
+/// log order — and therefore [`FaultLog::digest`] — is independent of the
+/// `--threads` count.
+#[derive(Clone, Debug, Default)]
+pub struct FaultLog {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultLog {
+    /// Appends an event.
+    pub fn push(&mut self, at: SimTime, what: EventKind) {
+        self.events.push(FaultEvent { at, what });
+    }
+
+    /// All recorded events, in record order.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// FNV-1a digest over `(at, code)` of every event — the fingerprint
+    /// the determinism suite and the CI `faults-smoke` job compare across
+    /// thread counts.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for ev in &self.events {
+            mix(ev.at.as_nanos());
+            mix(ev.what.code());
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_depends_on_order_time_and_kind() {
+        let mut a = FaultLog::default();
+        a.push(SimTime::from_secs(1), EventKind::BreakerOpened);
+        a.push(SimTime::from_secs(2), EventKind::BreakerClosed);
+        let mut b = FaultLog::default();
+        b.push(SimTime::from_secs(2), EventKind::BreakerClosed);
+        b.push(SimTime::from_secs(1), EventKind::BreakerOpened);
+        assert_ne!(a.digest(), b.digest());
+
+        let mut c = FaultLog::default();
+        c.push(SimTime::from_secs(1), EventKind::BreakerOpened);
+        c.push(SimTime::from_secs(2), EventKind::BreakerClosed);
+        assert_eq!(a.digest(), c.digest());
+        assert_ne!(a.digest(), FaultLog::default().digest());
+    }
+
+    #[test]
+    fn injected_codes_are_distinct_per_kind() {
+        let mut digests = Vec::new();
+        for kind in FaultKind::ALL {
+            let mut log = FaultLog::default();
+            log.push(SimTime::ZERO, EventKind::Injected(kind));
+            digests.push(log.digest());
+        }
+        digests.sort_unstable();
+        digests.dedup();
+        assert_eq!(digests.len(), FaultKind::ALL.len());
+    }
+}

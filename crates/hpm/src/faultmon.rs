@@ -1,0 +1,143 @@
+//! The fault/resilience monitor: an `hpmstat`-style periodic sampler over
+//! the fault injector's cumulative counters.
+//!
+//! Where [`crate::Hpmstat`] samples hardware events, this instrument
+//! samples [`FaultCounters`] snapshots, producing per-window deltas of
+//! injected faults, retries, breaker trips, and dead letters — the
+//! degraded-mode companion series to the HPM counters.
+
+use jas_faults::FaultCounters;
+use jas_simkernel::{SimDuration, SimTime};
+
+/// Periodic sampler over cumulative fault counters.
+#[derive(Clone, Debug)]
+pub struct FaultMonitor {
+    period: SimDuration,
+    window_start: SimTime,
+    last: FaultCounters,
+    window_base: FaultCounters,
+    values: Vec<Vec<u64>>, // indexed like FaultCounters::LABELS
+}
+
+impl FaultMonitor {
+    /// Creates a monitor sampling every `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn new(period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "sampling period must be positive");
+        FaultMonitor {
+            period,
+            window_start: SimTime::ZERO,
+            last: FaultCounters::default(),
+            window_base: FaultCounters::default(),
+            values: vec![Vec::new(); FaultCounters::LABELS.len()],
+        }
+    }
+
+    /// Feeds the current cumulative counters at time `now`; whole windows
+    /// are closed as `now` crosses period boundaries.
+    pub fn observe(&mut self, now: SimTime, counters: &FaultCounters) {
+        while now >= self.window_start + self.period {
+            self.close_window();
+        }
+        self.last = *counters;
+    }
+
+    fn close_window(&mut self) {
+        let base = self.window_base.values();
+        for (series, (cur, before)) in self
+            .values
+            .iter_mut()
+            .zip(self.last.values().into_iter().zip(base))
+        {
+            series.push(cur - before);
+        }
+        self.window_base = self.last;
+        self.window_start += self.period;
+    }
+
+    /// Finishes sampling at `end`, closing remaining whole windows plus a
+    /// final partial one if anything accumulated past the last boundary.
+    pub fn finish(&mut self, end: SimTime) {
+        while end >= self.window_start + self.period {
+            self.close_window();
+        }
+        let base = self.window_base.values();
+        if self
+            .last
+            .values()
+            .into_iter()
+            .zip(base)
+            .any(|(cur, before)| cur > before)
+        {
+            self.close_window();
+        }
+    }
+
+    /// Per-window deltas for the counter named `label` (one of
+    /// [`FaultCounters::LABELS`]).
+    #[must_use]
+    pub fn series(&self, label: &str) -> Option<&[u64]> {
+        let idx = FaultCounters::LABELS.iter().position(|&l| l == label)?;
+        Some(&self.values[idx])
+    }
+
+    /// `(label, per-window deltas)` for every counter that moved at all.
+    #[must_use]
+    pub fn active_series(&self) -> Vec<(&'static str, &[u64])> {
+        FaultCounters::LABELS
+            .iter()
+            .zip(&self.values)
+            .filter(|(_, v)| v.iter().any(|&x| x > 0))
+            .map(|(&l, v)| (l, v.as_slice()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_carry_deltas_not_cumulative_counts() {
+        let mut mon = FaultMonitor::new(SimDuration::from_secs(1));
+        let mut c = FaultCounters {
+            retries: 3,
+            ..FaultCounters::default()
+        };
+        mon.observe(SimTime::from_millis(500), &c);
+        c.retries = 5;
+        mon.observe(SimTime::from_millis(1_500), &c);
+        mon.finish(SimTime::from_secs(2));
+        assert_eq!(mon.series("retries"), Some([3, 2].as_slice()));
+    }
+
+    #[test]
+    fn residual_partial_window_is_conserved() {
+        let mut mon = FaultMonitor::new(SimDuration::from_secs(1));
+        let c = FaultCounters {
+            errors: 1,
+            ..FaultCounters::default()
+        };
+        mon.observe(SimTime::from_millis(2_300), &c);
+        mon.finish(SimTime::from_millis(2_300));
+        let total: u64 = mon.series("errors").expect("known label").iter().sum();
+        assert_eq!(total, 1, "nothing lost past the last whole window");
+    }
+
+    #[test]
+    fn active_series_hides_flat_counters() {
+        let mut mon = FaultMonitor::new(SimDuration::from_secs(1));
+        let mut c = FaultCounters::default();
+        c.injected[0] = 7;
+        mon.observe(SimTime::from_millis(100), &c);
+        mon.finish(SimTime::from_millis(100));
+        let active = mon.active_series();
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].0, "db-lock");
+        assert!(mon.series("no-such-label").is_none());
+    }
+}

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod faultmon;
 mod groups;
 mod hpmstat;
 mod tprof;
@@ -24,6 +25,7 @@ mod verbosegc;
 mod vertical;
 mod vmstat;
 
+pub use faultmon::FaultMonitor;
 pub use groups::CounterGroup;
 pub use hpmstat::{EventSeries, Hpmstat, OmniscientHpm};
 pub use tprof::{ComponentShare, Flatness, Tprof};

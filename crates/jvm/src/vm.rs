@@ -289,6 +289,14 @@ impl Jvm {
         self.allocated_since_gc = 0;
     }
 
+    /// Forces a full collection right now, regardless of heap pressure —
+    /// the injection point for GC-storm faults. The cycle is recorded like
+    /// any allocation-triggered one, so verbose-gc logs and pause
+    /// accounting stay consistent.
+    pub fn force_gc(&mut self) {
+        self.run_gc(0);
+    }
+
     /// Drains collections that happened since the last call (the execution
     /// layer injects their pauses into the timeline).
     pub fn take_gc_cycles(&mut self) -> Vec<GcCycle> {
@@ -331,6 +339,18 @@ mod tests {
             live_target: 400 * 1024,
             ..JvmConfig::default()
         })
+    }
+
+    #[test]
+    fn forced_gc_records_a_cycle_like_any_other() {
+        let mut vm = small_vm();
+        assert_eq!(vm.gc_count(), 0);
+        vm.force_gc();
+        assert_eq!(vm.gc_count(), 1);
+        let cycles = vm.take_gc_cycles();
+        assert_eq!(cycles.len(), 1);
+        assert!(!cycles[0].minor);
+        assert_eq!(cycles[0].trigger_bytes, 0);
     }
 
     #[test]

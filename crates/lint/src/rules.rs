@@ -1,4 +1,4 @@
-//! The determinism & invariant rules, D001–D006.
+//! The determinism & invariant rules, D001–D007.
 //!
 //! Every rule is a pure function over the token stream (plus comment trivia
 //! for D004) that yields [`RuleHit`]s. Path scoping, severity, test-span
@@ -13,13 +13,14 @@
 //! | D004 | `unsafe` without a `// SAFETY:` comment | unauditable unsafety; the workspace is `forbid(unsafe_code)` today and must stay justified if that ever changes |
 //! | D005 | `Ordering::Relaxed` | relaxed atomics make cross-thread reconciliation order observable |
 //! | D006 | `.unwrap()` / `.expect("")` | panics without context; library paths must say what invariant broke |
+//! | D007 | `let _ = <expr>` / bare `.ok();` | silently discards a `Result`; a swallowed error turns a deterministic failure into divergent state |
 
 use crate::lexer::{Lexed, TokKind, Token};
 
 /// One raw rule match, before severity/suppression filtering.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RuleHit {
-    /// Rule identifier (`D001`…`D006`).
+    /// Rule identifier (`D001`…`D007`).
     pub rule: &'static str,
     /// 1-based line of the match.
     pub line: u32,
@@ -28,7 +29,7 @@ pub struct RuleHit {
 }
 
 /// All rule identifiers, in order.
-pub const ALL_RULES: &[&str] = &["D001", "D002", "D003", "D004", "D005", "D006"];
+pub const ALL_RULES: &[&str] = &["D001", "D002", "D003", "D004", "D005", "D006", "D007"];
 
 /// Runs every rule over one lexed file.
 #[must_use]
@@ -40,6 +41,7 @@ pub fn check(lexed: &Lexed) -> Vec<RuleHit> {
     d004_unsafe_without_safety(lexed, &mut hits);
     d005_relaxed_ordering(lexed, &mut hits);
     d006_unwrap(lexed, &mut hits);
+    d007_discarded_result(lexed, &mut hits);
     hits.sort_by_key(|h| (h.line, h.rule));
     hits
 }
@@ -171,7 +173,7 @@ fn d003_counter_truncation(lexed: &Lexed, hits: &mut Vec<RuleHit>) {
 /// D004: `unsafe` without a `// SAFETY:` justification on the same line or
 /// in the contiguous comment block immediately above.
 fn d004_unsafe_without_safety(lexed: &Lexed, hits: &mut Vec<RuleHit>) {
-    for (i, t) in lexed.tokens.iter().enumerate() {
+    for t in &lexed.tokens {
         if !(t.kind == TokKind::Ident && t.text == "unsafe") {
             continue;
         }
@@ -179,7 +181,6 @@ fn d004_unsafe_without_safety(lexed: &Lexed, hits: &mut Vec<RuleHit>) {
         // introduces an unsafe block; the identifier there is `unsafe_code`,
         // which already fails the ident comparison. What can precede a real
         // unsafe block/fn/impl/trait is anything, so no further filtering.
-        let _ = i;
         if has_safety_comment(lexed, t.line) {
             continue;
         }
@@ -267,6 +268,70 @@ fn d006_unwrap(lexed: &Lexed, hits: &mut Vec<RuleHit>) {
             });
         }
     }
+}
+
+/// D007: a silently discarded `Result` — `let _ = <expr>;` or a bare
+/// `.ok();` statement. A swallowed `Err` keeps the simulation running with
+/// state that diverges from the path the error was meant to guard; handle
+/// it or propagate it. The one sanctioned form is `let _ = write!/writeln!`
+/// into a `String`, which is infallible by construction.
+fn d007_discarded_result(lexed: &Lexed, hits: &mut Vec<RuleHit>) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if ident_at(toks, i, "let")
+            && ident_at(toks, i + 1, "_")
+            && punct_at(toks, i + 2, '=')
+            // `let _ == …` is not an assignment (and not Rust); skip.
+            && !punct_at(toks, i + 3, '=')
+        {
+            let infallible_write = (ident_at(toks, i + 3, "write")
+                || ident_at(toks, i + 3, "writeln"))
+                && punct_at(toks, i + 4, '!');
+            if !infallible_write {
+                hits.push(RuleHit {
+                    rule: "D007",
+                    line: toks[i].line,
+                    message:
+                        "`let _ =` discards a value (likely a Result); handle or propagate the error instead of swallowing it"
+                            .to_string(),
+                });
+            }
+        }
+        if punct_at(toks, i, '.')
+            && ident_at(toks, i + 1, "ok")
+            && punct_at(toks, i + 2, '(')
+            && punct_at(toks, i + 3, ')')
+            && punct_at(toks, i + 4, ';')
+            && !ok_value_is_consumed(toks, i)
+        {
+            hits.push(RuleHit {
+                rule: "D007",
+                line: toks[i + 1].line,
+                message: "bare `.ok();` throws away the `Err`; handle or propagate the error"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// True when the statement ending in `.ok();` binds or returns the value
+/// (`let v = f().ok();`, `x = f().ok();`, `return f().ok();`): scan back to
+/// the previous statement boundary looking for a sink.
+fn ok_value_is_consumed(toks: &[Token], dot: usize) -> bool {
+    let mut j = dot;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.kind == TokKind::Punct && t.text.len() == 1 && ";{}".contains(&t.text[..]) {
+            return false;
+        }
+        if punct_at(toks, j, '=')
+            || (t.kind == TokKind::Ident && matches!(t.text.as_str(), "let" | "return"))
+        {
+            return true;
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -365,6 +430,21 @@ mod tests {
         // unwrap_or / unwrap_or_default are fine.
         assert!(rules_hit("let v = x.unwrap_or(0);").is_empty());
         assert!(rules_hit("let v = x.unwrap_or_default();").is_empty());
+    }
+
+    #[test]
+    fn d007_flags_discarded_results() {
+        assert_eq!(rules_hit("let _ = sender.send(msg);"), [("D007", 1)]);
+        assert_eq!(rules_hit("file.sync_all().ok();"), [("D007", 1)]);
+        // The infallible String-formatting idiom is sanctioned.
+        assert!(rules_hit("let _ = writeln!(out, \"x {y}\");").is_empty());
+        assert!(rules_hit("let _ = write!(out, \"x\");").is_empty());
+        // `.ok()` whose value is used is fine; so are named discards.
+        assert!(rules_hit("let v = parse(s).ok();").is_empty());
+        assert!(rules_hit("if x.parse::<u32>().ok().is_some() {}").is_empty());
+        assert!(rules_hit("let _ignored = sender.send(msg);").is_empty());
+        // Wildcards inside patterns are not discards.
+        assert!(rules_hit("let (_, rest) = pair;").is_empty());
     }
 
     #[test]

@@ -1,0 +1,19 @@
+//! D007 fixture: silently discarded Results.
+
+pub fn notify(tx: &std::sync::mpsc::Sender<u64>) {
+    let _ = tx.send(7);
+}
+
+pub fn flush(file: &std::fs::File) {
+    file.sync_all().ok();
+}
+
+pub fn sanctioned(out: &mut String) {
+    use core::fmt::Write;
+    let _ = writeln!(out, "formatting into a String is infallible");
+}
+
+pub fn bound_ok(s: &str) -> Option<u64> {
+    let v = s.parse::<u64>().ok();
+    v
+}

@@ -17,7 +17,16 @@ pub struct Verdict {
     pub web_p90: f64,
     /// 90th-percentile RMI response time.
     pub rmi_p90: f64,
-    /// Whether both limits were met.
+    /// Retries observed in the steady window.
+    pub retries: u64,
+    /// Requests that failed permanently in the steady window.
+    pub errors: u64,
+    /// Failed fraction of steady-window outcomes (completions + errors).
+    pub error_rate: f64,
+    /// `true` when the run leaned on its resilience machinery (any retry
+    /// or error): the verdict was earned in degraded mode.
+    pub degraded: bool,
+    /// Whether both response-time limits and the error budget were met.
     pub passed: bool,
 }
 
@@ -33,6 +42,8 @@ pub struct Metrics {
     steady_start: SimTime,
     steady_end: SimTime,
     timeouts: u64,
+    retries: u64,
+    errors: u64,
 }
 
 impl Metrics {
@@ -40,6 +51,8 @@ impl Metrics {
     pub const WEB_LIMIT: f64 = 2.0;
     /// RMI response-time limit (seconds).
     pub const RMI_LIMIT: f64 = 5.0;
+    /// Highest failed fraction of requests the verdict tolerates.
+    pub const ERROR_LIMIT: f64 = 0.01;
 
     /// Creates a collector binning throughput every `interval`, counting
     /// only completions within `[steady_start, steady_end)`.
@@ -62,6 +75,8 @@ impl Metrics {
             steady_start,
             steady_end,
             timeouts: 0,
+            retries: 0,
+            errors: 0,
         }
     }
 
@@ -95,6 +110,33 @@ impl Metrics {
                 self.timeouts += 1;
             }
         }
+    }
+
+    /// Records one retry at `at` (steady window only, like completions).
+    pub fn record_retry(&mut self, at: SimTime) {
+        if at >= self.steady_start && at < self.steady_end {
+            self.retries += 1;
+        }
+    }
+
+    /// Records one permanently failed request at `at` (steady window
+    /// only).
+    pub fn record_error(&mut self, at: SimTime) {
+        if at >= self.steady_start && at < self.steady_end {
+            self.errors += 1;
+        }
+    }
+
+    /// Retries observed in the steady window.
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Permanently failed requests in the steady window.
+    #[must_use]
+    pub fn errors(&self) -> u64 {
+        self.errors
     }
 
     /// Completions per second of `kind`, one value per interval bin
@@ -135,10 +177,22 @@ impl Metrics {
         };
         let web_p90 = p90(&self.web_times);
         let rmi_p90 = p90(&self.rmi_times);
+        let outcomes = self.totals.iter().sum::<u64>() + self.errors;
+        let error_rate = if outcomes == 0 {
+            0.0
+        } else {
+            self.errors as f64 / outcomes as f64
+        };
         Verdict {
             web_p90,
             rmi_p90,
-            passed: web_p90 <= Self::WEB_LIMIT && rmi_p90 <= Self::RMI_LIMIT,
+            retries: self.retries,
+            errors: self.errors,
+            error_rate,
+            degraded: self.retries > 0 || self.errors > 0,
+            passed: web_p90 <= Self::WEB_LIMIT
+                && rmi_p90 <= Self::RMI_LIMIT
+                && error_rate <= Self::ERROR_LIMIT,
         }
     }
 
@@ -243,6 +297,50 @@ mod tests {
         let v = m.verdict();
         assert!(v.passed, "4s RMI responses are within the 5s limit");
         assert!((v.rmi_p90 - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn healthy_runs_are_not_degraded() {
+        let mut m = metrics();
+        let t = SimTime::from_secs(150);
+        m.record(RequestKind::Browse, t, t + SimDuration::from_millis(10));
+        let v = m.verdict();
+        assert!(!v.degraded);
+        assert_eq!((v.retries, v.errors), (0, 0));
+        assert_eq!(v.error_rate, 0.0);
+        assert!(v.passed);
+    }
+
+    #[test]
+    fn errors_gate_the_verdict_and_mark_degradation() {
+        let mut m = metrics();
+        let t = SimTime::from_secs(150);
+        for _ in 0..96 {
+            m.record(RequestKind::Browse, t, t + SimDuration::from_millis(10));
+        }
+        m.record_retry(t);
+        m.record_error(t); // 1 error / 97 outcomes > 1%
+                           // Outside the window: ignored, like completions.
+        m.record_retry(SimTime::from_secs(10));
+        m.record_error(SimTime::from_secs(10));
+        let v = m.verdict();
+        assert_eq!((v.retries, v.errors), (1, 1));
+        assert!(v.degraded);
+        assert!(v.error_rate > Metrics::ERROR_LIMIT);
+        assert!(!v.passed, "response times fine, error budget blown");
+    }
+
+    #[test]
+    fn retries_alone_degrade_but_do_not_fail() {
+        let mut m = metrics();
+        let t = SimTime::from_secs(150);
+        for _ in 0..100 {
+            m.record(RequestKind::Browse, t, t + SimDuration::from_millis(10));
+        }
+        m.record_retry(t);
+        let v = m.verdict();
+        assert!(v.degraded);
+        assert!(v.passed, "retried-but-recovered work still passes");
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Injection-rate sweep through a mid-run fault storm: every fault kind
+//! fires during the middle third of each run, and the stack has to ride
+//! it out on retries, redelivery, and the DB circuit breaker.
+//!
+//! Prints the per-IR degraded-mode verdicts plus two machine-readable
+//! digest lines (`FAULT_DIGEST=`, `HPM_DIGEST=`) that the CI
+//! `faults-smoke` job diffs across `--threads` values: a faulted run is
+//! bit-identical no matter how many host threads execute it.
+//!
+//! ```sh
+//! cargo run --release --example fault_storm -- --threads 4
+//! ```
+
+use jas2004::{figures, report, run_artifacts_from, Engine, FaultPlan, RunPlan, SutConfig};
+use jas_cpu::HpmEvent;
+use jas_simkernel::SimDuration;
+
+/// FNV-1a over every per-core HPM counter in (core, event) order.
+fn hpm_digest(e: &Engine) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for core in 0..e.machine().cores() {
+        for ev in HpmEvent::ALL {
+            mix(e.machine().counters(core).get(ev));
+        }
+    }
+    h
+}
+
+fn main() {
+    let mut threads = 1usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                threads = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads requires a positive integer");
+                        std::process::exit(1);
+                    });
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown flag '{other}' (only --threads <N>)");
+                std::process::exit(1);
+            }
+        }
+        i += 1;
+    }
+
+    let plan = RunPlan {
+        ramp_up: SimDuration::from_secs(5),
+        steady: SimDuration::from_secs(30),
+        hpm_period: SimDuration::from_millis(500),
+        throughput_bin: SimDuration::from_secs(5),
+    };
+    // The storm owns the middle third of the 35 s run (t = 12..24 s).
+    let storm = "db-lock@12-24:0.35,db-io@14-24:0.25,jms-redeliver@12-24:0.5,\
+                 jms-dup@12-24:0.3,pool-seize@15-24:0.6,gc-storm@12-24:0.08";
+
+    println!("fault storm sweep ({threads} host thread(s), storm at t=12..24s)");
+    println!("  IR    JOPS  retries  errors  dead-letters  breaker-opens  verdict");
+    let mut fault_digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut machine_digest = 0xcbf2_9ce4_8422_2325u64;
+    let mix = |h: &mut u64, v: u64| {
+        for byte in v.to_le_bytes() {
+            *h ^= u64::from(byte);
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for ir in [10, 25, 40] {
+        let mut cfg = SutConfig::at_ir(ir);
+        cfg.machine.frequency_hz = 500_000.0;
+        cfg.threads = threads;
+        cfg.faults.plan = FaultPlan::parse(storm).expect("storm spec parses");
+        let mut engine = Engine::new(cfg.clone(), plan);
+        engine.run_to_end();
+        mix(&mut fault_digest, engine.fault_log().digest());
+        mix(&mut machine_digest, hpm_digest(&engine));
+        let art = run_artifacts_from(cfg, plan, engine);
+        println!(
+            "  {:>2}  {:>6.1}  {:>7}  {:>6}  {:>12}  {:>13}  {}",
+            ir,
+            art.jops,
+            art.fault_counters.retries,
+            art.fault_counters.errors,
+            art.fault_counters.dead_letters,
+            art.fault_counters.breaker_opens,
+            if art.verdict.degraded {
+                "DEGRADED"
+            } else {
+                "healthy"
+            }
+        );
+        if ir == 40 {
+            println!();
+            print!(
+                "{}",
+                report::render_resilience(&figures::resilience_table(&art))
+            );
+            println!();
+        }
+    }
+    // Machine-readable lines for the CI faults-smoke diff.
+    println!("FAULT_DIGEST={fault_digest:#018x}");
+    println!("HPM_DIGEST={machine_digest:#018x}");
+}

@@ -1,10 +1,13 @@
 //! The measurement-tool layer driven against a live engine: `hpmstat`
-//! group-at-a-time sampling, the verbose-GC log, and `vmstat`.
+//! group-at-a-time sampling, the verbose-GC log, and `vmstat` — plus the
+//! `jas2004` binary's error paths (bad flags must exit nonzero with a
+//! diagnostic, never run with a half-parsed configuration).
 
 use jas2004::{Engine, RunPlan, SutConfig};
 use jas_cpu::HpmEvent;
 use jas_hpm::{CounterGroup, Hpmstat};
 use jas_simkernel::{SimDuration, SimTime};
+use std::process::Command;
 
 fn tiny_cfg() -> SutConfig {
     let mut cfg = SutConfig::at_ir(15);
@@ -122,4 +125,60 @@ fn omniscient_and_grouped_sampling_agree_on_shared_events() {
     // Omniscient may lag by the unfinished tail window at most.
     assert!(omni_total <= machine_total);
     assert!(omni_total > machine_total * 0.95);
+}
+
+/// Runs the `jas2004` binary with `args`, returning (exit code, stdout,
+/// stderr).
+fn run_binary(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_jas2004"))
+        .args(args)
+        .output()
+        .expect("jas2004 binary runs");
+    (
+        out.status.code().expect("binary exits normally"),
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+    )
+}
+
+#[test]
+fn binary_rejects_invalid_threads() {
+    let (code, _, err) = run_binary(&["--threads", "0"]);
+    assert_ne!(code, 0, "--threads 0 must fail");
+    assert!(err.contains("--threads must be positive"), "stderr: {err}");
+}
+
+#[test]
+fn binary_rejects_unreadable_fault_plan_file() {
+    let (code, _, err) = run_binary(&["--fault-plan", "@/no/such/fault-plan.txt"]);
+    assert_ne!(code, 0);
+    assert!(err.contains("cannot read"), "stderr: {err}");
+}
+
+#[test]
+fn binary_rejects_malformed_fault_plan_spec() {
+    let (code, _, err) = run_binary(&["--fault-plan", "bogus@1-2:0.5"]);
+    assert_ne!(code, 0);
+    assert!(err.contains("--fault-plan"), "stderr: {err}");
+}
+
+#[test]
+fn binary_rejects_unknown_figure_and_flags() {
+    let (code, _, err) = run_binary(&["--figure", "99"]);
+    assert_ne!(code, 0);
+    assert!(err.contains("2..=10"), "stderr: {err}");
+    let (code, _, err) = run_binary(&["--figure", "nope"]);
+    assert_ne!(code, 0);
+    assert!(err.contains("bad selector"), "stderr: {err}");
+    let (code, _, err) = run_binary(&["--frobnicate"]);
+    assert_ne!(code, 0);
+    assert!(err.contains("unknown flag"), "stderr: {err}");
+}
+
+#[test]
+fn binary_help_exits_zero_with_usage() {
+    let (code, out, _) = run_binary(&["--help"]);
+    assert_eq!(code, 0, "--help is not an error");
+    assert!(out.contains("USAGE"), "stdout: {out}");
+    assert!(out.contains("--fault-plan"), "stdout: {out}");
 }
