@@ -17,6 +17,20 @@ pub enum PoolKind {
     JmsListener,
 }
 
+impl PoolKind {
+    /// Stable small-integer id, for compact encodings like trace-event
+    /// payloads.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        match self {
+            PoolKind::WebContainer => 0,
+            PoolKind::Orb => 1,
+            PoolKind::Jdbc => 2,
+            PoolKind::JmsListener => 3,
+        }
+    }
+}
+
 /// Pool sizing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AppServerConfig {

@@ -31,6 +31,7 @@ fn run(options: CliOptions) {
         config,
         plan,
         select,
+        trace_out,
     } = options;
     eprintln!(
         "running IR{} ({:?}), {:.0}s steady after {:.0}s ramp-up...",
@@ -84,6 +85,12 @@ fn run(options: CliOptions) {
             report::render_utilization(&figures::utilization_table(&art))
         );
     }
+    if matches!(select, FigureSelect::Tprof) {
+        print!("{}", report::render_tprof(&figures::tprof_table(&art)));
+    }
+    if matches!(select, FigureSelect::Vmstat) {
+        print!("{}", report::render_vmstat(&figures::vmstat_table(&art)));
+    }
     // The resilience table prints on request, or in `all` mode whenever a
     // fault plan actually ran.
     if matches!(select, FigureSelect::Resilience)
@@ -93,5 +100,22 @@ fn run(options: CliOptions) {
             "{}",
             report::render_resilience(&figures::resilience_table(&art))
         );
+    }
+    if art.config.trace.enabled() {
+        println!(
+            "TRACE_DIGEST={:#018x} events={}",
+            art.trace_digest,
+            art.trace.len()
+        );
+    }
+    if let Some(path) = trace_out {
+        let json = jas_trace::export::to_chrome_json(art.trace.events());
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("trace written to {}", path.display()),
+            Err(e) => eprintln!("cannot write trace to {}: {e}", path.display()),
+        }
+    }
+    if let Some(text) = &art.hostprof_text {
+        print!("{text}");
     }
 }

@@ -7,6 +7,8 @@
 use crate::config::{RunPlan, ScenarioKind, SutConfig};
 use jas_faults::FaultPlan;
 use jas_simkernel::SimDuration;
+use jas_trace::TraceSpec;
+use std::path::PathBuf;
 
 /// Which outputs to print.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -21,6 +23,10 @@ pub enum FigureSelect {
     Utilization,
     /// The fault/resilience table.
     Resilience,
+    /// The tick-profile report.
+    Tprof,
+    /// The periodic vmstat interval rows.
+    Vmstat,
 }
 
 /// Parsed command line.
@@ -32,6 +38,8 @@ pub struct CliOptions {
     pub plan: RunPlan,
     /// Output selection.
     pub select: FigureSelect,
+    /// Where to export the trace (chrome://tracing JSON), if anywhere.
+    pub trace_out: Option<PathBuf>,
 }
 
 /// What the command line asked for.
@@ -80,8 +88,15 @@ OPTIONS:
                          jms-dup | pool-seize | gc-storm, start/end in
                          seconds, rate in [0,1]; @FILE reads the spec
                          from FILE
-    --figure <SEL>       all | 2..10 | locking | utilization | resilience
-                         (default all)
+    --figure <SEL>       all | 2..10 | locking | utilization | resilience |
+                         tprof | vmstat (default all)
+    --trace <SPEC>       record trace events: all | off | a comma list of
+                         req,pool,rmi,jms,db,resil,gc,alloc,quantum,hpm;
+                         prints TRACE_DIGEST after the run (default off)
+    --trace-out <PATH>   export the trace as chrome://tracing JSON
+                         (open in chrome://tracing or ui.perfetto.dev)
+    --host-prof          print the HOSTPROF host self-profile (host
+                         wall-clock; never enters simulation state)
     --help               print this help
 ";
 
@@ -108,6 +123,7 @@ where
     let mut config = SutConfig::at_ir(40);
     let mut plan = RunPlan::default();
     let mut select = FigureSelect::All;
+    let mut trace_out = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -171,12 +187,26 @@ where
                     .map_err(|e| CliError(format!("--fault-plan: {e}")))?;
                 i += 1;
             }
+            "--trace" => {
+                let spec = value.ok_or_else(|| CliError("--trace requires a value".into()))?;
+                config.trace =
+                    TraceSpec::parse(spec).map_err(|e| CliError(format!("--trace: {e}")))?;
+                i += 1;
+            }
+            "--trace-out" => {
+                let path = value.ok_or_else(|| CliError("--trace-out requires a value".into()))?;
+                trace_out = Some(PathBuf::from(path));
+                i += 1;
+            }
+            "--host-prof" => config.host_prof = true,
             "--figure" => {
                 select = match value {
                     Some("all") => FigureSelect::All,
                     Some("locking") => FigureSelect::Locking,
                     Some("utilization") => FigureSelect::Utilization,
                     Some("resilience") => FigureSelect::Resilience,
+                    Some("tprof") => FigureSelect::Tprof,
+                    Some("vmstat") => FigureSelect::Vmstat,
                     Some(n) => {
                         let n: u8 = n
                             .parse()
@@ -201,6 +231,7 @@ where
         config,
         plan,
         select,
+        trace_out,
     })))
 }
 
@@ -222,6 +253,9 @@ mod tests {
         assert_eq!(o.config.ir, 40);
         assert_eq!(o.select, FigureSelect::All);
         assert_eq!(o.config.scenario, ScenarioKind::JAppServer);
+        assert!(!o.config.trace.enabled());
+        assert!(!o.config.host_prof);
+        assert!(o.trace_out.is_none());
     }
 
     #[test]
@@ -277,9 +311,35 @@ mod tests {
             parse(&["--figure", "resilience"]).unwrap().select,
             FigureSelect::Resilience
         );
+        assert_eq!(
+            parse(&["--figure", "tprof"]).unwrap().select,
+            FigureSelect::Tprof
+        );
+        assert_eq!(
+            parse(&["--figure", "vmstat"]).unwrap().select,
+            FigureSelect::Vmstat
+        );
         assert!(parse(&["--figure", "1"]).is_err());
         assert!(parse(&["--figure", "11"]).is_err());
         assert!(parse(&["--figure", "xyz"]).is_err());
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let o = parse(&["--trace", "all", "--trace-out", "out.json", "--host-prof"]).unwrap();
+        assert!(o.config.trace.enabled());
+        assert!(o.config.host_prof);
+        assert_eq!(o.trace_out, Some(PathBuf::from("out.json")));
+        let o = parse(&["--trace", "db,jms,gc"]).unwrap();
+        assert!(o.config.trace.wants(jas_trace::TraceCategory::Db));
+        assert!(o.config.trace.wants(jas_trace::TraceCategory::Jms));
+        assert!(!o.config.trace.wants(jas_trace::TraceCategory::Pool));
+        assert!(parse(&["--trace"]).unwrap_err().0.contains("requires"));
+        assert!(parse(&["--trace", "bogus"])
+            .unwrap_err()
+            .0
+            .contains("unknown trace category"));
+        assert!(parse(&["--trace-out"]).unwrap_err().0.contains("requires"));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use jas_db::DbConfig;
 use jas_faults::FaultPlan;
 use jas_jvm::JvmConfig;
 use jas_simkernel::{SimDuration, SimTime};
+use jas_trace::TraceSpec;
 
 /// Which benchmark application the SUT runs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -84,6 +85,12 @@ pub struct SutConfig {
     pub threads: usize,
     /// Fault injection and resilience tuning (empty plan = healthy run).
     pub faults: FaultsConfig,
+    /// Trace-event categories to record (off by default; an off spec keeps
+    /// every emission site cold, leaving digests byte-identical).
+    pub trace: TraceSpec,
+    /// Record the host self-profile (`HOSTPROF` section). Host wall-clock
+    /// never enters simulation state either way.
+    pub host_prof: bool,
 }
 
 impl Default for SutConfig {
@@ -103,6 +110,8 @@ impl Default for SutConfig {
             scenario: ScenarioKind::JAppServer,
             threads: 1,
             faults: FaultsConfig::default(),
+            trace: TraceSpec::off(),
+            host_prof: false,
         }
     }
 }

@@ -45,12 +45,13 @@ use jas_appserver::{
     Admission, AppServer, BreakerState, CircuitBreaker, Message, PlanStep, PoolKind, QueueId,
     TxPlan,
 };
-use jas_cpu::{AddressMap, CorePrivate, CostModel, Machine, MemEvent, StreamGen};
+use jas_cpu::{AddressMap, CorePrivate, CostModel, HpmEvent, Machine, MemEvent, StreamGen};
 use jas_db::{Database, DbError, DbFault, Query};
 use jas_faults::{EventKind, FaultCounters, FaultInjector, FaultKind, FaultLog};
 use jas_hpm::{CpuState, FaultMonitor, GcLogEntry, OmniscientHpm, Tprof, VerboseGc, Vmstat};
 use jas_jvm::{Component, GcCycle, Jvm, LockOutcome, MethodId, TxHandle};
 use jas_simkernel::{Rng, SimDuration, SimTime};
+use jas_trace::{HostProf, HostProfReport, HostSection, TraceEventKind, Tracer};
 use jas_workload::{JasScenario, Metrics, RequestKind, Scenario, TradeScenario};
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -240,6 +241,14 @@ pub struct Engine {
     /// Cached `injector.armed()`: gates every resilience path so a healthy
     /// run takes the byte-identical legacy code.
     faults_active: bool,
+    // Request tracing + host self-profiling (inert when disabled).
+    tracer: Tracer,
+    /// Cached `tracer.active()`: gates every emission site so an untraced
+    /// run takes the byte-identical legacy code (jas-faults discipline).
+    trace_active: bool,
+    /// Host scoped timers (`--host-prof`); wall-clock readings stay here
+    /// and never feed back into simulation state.
+    hostprof: Option<HostProf>,
 }
 
 impl Engine {
@@ -300,6 +309,9 @@ impl Engine {
         let faults_active = injector.armed();
         let breaker = CircuitBreaker::new(cfg.faults.breaker);
         let faultmon = FaultMonitor::new(run.hpm_period);
+        let tracer = Tracer::new(cfg.trace, cores);
+        let trace_active = tracer.active();
+        let hostprof = cfg.host_prof.then(HostProf::new);
         let mut engine = Engine {
             cfg,
             run,
@@ -334,6 +346,9 @@ impl Engine {
             breaker,
             faultmon,
             faults_active,
+            tracer,
+            trace_active,
+            hostprof,
         };
         // Pre-warm the session store so the live set starts near its
         // steady-state target (the paper measures after a long warm-up; a
@@ -397,10 +412,26 @@ impl Engine {
         Some(ids[i])
     }
 
+    /// Opens a host-profiler scope for `section` (no-op when profiling is
+    /// off; closes any scope already open).
+    fn prof(&mut self, section: HostSection) {
+        if let Some(hp) = self.hostprof.as_mut() {
+            hp.begin(section);
+        }
+    }
+
+    /// Closes the open host-profiler scope, if any.
+    fn prof_end(&mut self) {
+        if let Some(hp) = self.hostprof.as_mut() {
+            hp.end();
+        }
+    }
+
     /// Advances exactly one scheduler quantum.
     pub fn step_quantum(&mut self) {
         let quantum = self.cfg.quantum;
         let quantum_end = self.clock + quantum;
+        self.prof(HostSection::Schedule);
 
         // 0. Apply quantum-granular faults (pool seizures, GC storms) at
         // the boundary, sequentially: the decisions are thread-invariant.
@@ -473,15 +504,46 @@ impl Engine {
         }
 
         // 4. Advance the clock and feed the samplers.
+        self.prof(HostSection::Instruments);
+        // Did this quantum cross an HPM sampling-period boundary? Computed
+        // from integer nanosecond arithmetic so it is trivially
+        // thread-invariant; drives the periodic vmstat row and the
+        // `HpmSample` trace event at the same cadence the HPM uses.
+        let crossed_hpm_period = {
+            let period = self.run.hpm_period.as_nanos().max(1);
+            self.clock.as_nanos() / period != quantum_end.as_nanos() / period
+        };
         self.clock = quantum_end;
         self.quantum_counter += 1;
-        self.hpm.observe(self.clock, &self.machine.total_counters());
+        let totals = self.machine.total_counters();
+        self.hpm.observe(self.clock, &totals);
+        if crossed_hpm_period && self.clock >= self.run.steady_start() {
+            self.vmstat.sample(self.clock);
+        }
+        if self.trace_active {
+            // Per-core staged events (quantum boundaries) merge here, in
+            // the sequential phase, in fixed core order.
+            self.tracer.merge_staged();
+            if crossed_hpm_period {
+                self.tracer.emit(
+                    self.clock,
+                    0,
+                    TraceEventKind::HpmSample {
+                        instructions: totals.get(HpmEvent::InstCompleted),
+                    },
+                );
+            }
+        }
         if self.faults_active {
             let counters = *self.injector.counters();
             self.faultmon.observe(self.clock, &counters);
         }
         if self.steady_base.is_none() && self.clock >= self.run.steady_start() {
             self.steady_base = Some(self.machine.total_counters());
+        }
+        self.prof_end();
+        if let Some(hp) = self.hostprof.as_mut() {
+            hp.note_quantum();
         }
     }
 
@@ -501,6 +563,15 @@ impl Engine {
             if level > current {
                 self.injector
                     .note(now, EventKind::Injected(FaultKind::PoolSeize));
+                if self.trace_active {
+                    self.tracer.emit(
+                        now,
+                        0,
+                        TraceEventKind::PoolSeized {
+                            level: level as u64,
+                        },
+                    );
+                }
             }
             for token in self.appserver.set_seized(kind, level) {
                 let waiter = token as usize;
@@ -555,6 +626,7 @@ impl Engine {
             // Stop-the-world GC runs sequentially: it is a global pause,
             // and the paper's collector is single-threaded per quantum.
             if self.gc.is_some() {
+                self.prof(HostSection::Gc);
                 for core in 0..cores {
                     if self.gc.is_none() {
                         break;
@@ -580,6 +652,7 @@ impl Engine {
             }
 
             // Phase 1 (sequential): assign at most one slice per core.
+            self.prof(HostSection::Plan);
             let mut slices: Vec<Slice> = Vec::new();
             let mut jit_assigned = false;
             for core in 0..cores {
@@ -636,10 +709,12 @@ impl Engine {
             }
 
             // Phase 2: execute — on workers or inline, identically.
+            self.prof(HostSection::Execute);
             let results = dispatch(slices);
 
             // Phase 3 (sequential, fixed core order): reconcile recorded
             // shared-hierarchy traffic, then task bookkeeping.
+            self.prof(HostSection::Reconcile);
             let mut slots: Vec<Option<SliceDone>> = (0..cores).map(|_| None).collect();
             for r in results {
                 let core = r.core;
@@ -715,6 +790,18 @@ impl Engine {
             // task rejoins its affinity queue for the next quantum.
             if let Some(t) = current[core].take() {
                 self.enqueue(t);
+            }
+            if self.trace_active {
+                // Quantum-boundary events go through the per-core staging
+                // buffers; `step_quantum` merges them in fixed core order.
+                self.tracer.stage(
+                    core,
+                    self.clock,
+                    core as u64,
+                    TraceEventKind::CoreQuantum {
+                        cycles: (user[core] + sys[core]).round() as u64,
+                    },
+                );
             }
             if in_steady {
                 let user_t = SimDuration::from_secs_f64(user[core] / freq);
@@ -803,13 +890,32 @@ impl Engine {
             PoolKind::Orb
         };
         let idx = self.spawn_task(kind, plan, Some(pool), at);
+        if self.trace_active {
+            let id = idx as u64 + 1;
+            self.tracer.emit(
+                at,
+                id,
+                TraceEventKind::RequestAdmitted { kind: kind.index() },
+            );
+            if pool == PoolKind::Orb {
+                self.tracer.emit(at, id, TraceEventKind::RmiDispatch);
+            }
+        }
         match self.appserver.acquire(pool, idx as u64) {
             Admission::Granted => {
                 self.tasks[idx].state = TaskState::Ready;
                 self.enqueue(idx);
+                if self.trace_active {
+                    let what = TraceEventKind::PoolGranted { pool: pool.index() };
+                    self.tracer.emit(at, idx as u64 + 1, what);
+                }
             }
             Admission::Queued { .. } => {
                 self.tasks[idx].state = TaskState::WaitingPool;
+                if self.trace_active {
+                    let what = TraceEventKind::PoolQueued { pool: pool.index() };
+                    self.tracer.emit(at, idx as u64 + 1, what);
+                }
             }
         }
     }
@@ -912,6 +1018,12 @@ impl Engine {
         if remaining <= 0.0 {
             let gc = self.gc.take().expect("gc pause active");
             let pause = self.clock + self.cfg.quantum - gc.start;
+            if self.trace_active {
+                let what = TraceEventKind::GcPauseEnd {
+                    pause_nanos: pause.as_nanos(),
+                };
+                self.tracer.emit(self.clock + self.cfg.quantum, 0, what);
+            }
             let mark = SimDuration::from_secs_f64(pause.as_secs_f64() * gc.mark_fraction);
             self.vgc.push(GcLogEntry {
                 at: gc.start,
@@ -988,6 +1100,12 @@ impl Engine {
                     for _ in 0..n {
                         self.jvm.alloc_in_tx(tx, class, &mut self.rng);
                     }
+                    if self.trace_active {
+                        let what = TraceEventKind::AllocEpoch {
+                            allocated_bytes: self.jvm.allocated_bytes(),
+                        };
+                        self.tracer.emit(self.clock, task_idx as u64 + 1, what);
+                    }
                     self.drain_gc_cycles();
                     self.tasks[task_idx].step += 1;
                     if self.gc.is_some() {
@@ -1037,6 +1155,9 @@ impl Engine {
                     match result {
                         Ok(report) => {
                             self.db.commit(txn);
+                            if self.trace_active {
+                                self.emit_db_commit(task_idx, &report);
+                            }
                             let scale = self.cfg.instruction_scale();
                             let t = &mut self.tasks[task_idx];
                             t.step += 1;
@@ -1062,9 +1183,15 @@ impl Engine {
                                 }
                             }
                         }
-                        Err(DbError::Conflict(_)) => {
+                        Err(DbError::Conflict(conflict)) => {
                             // No-wait locking: release and retry shortly.
                             self.db.abort(txn);
+                            if self.trace_active {
+                                let what = TraceEventKind::DbLockWait {
+                                    table: u64::from(conflict.table.0),
+                                };
+                                self.tracer.emit(self.clock, task_idx as u64 + 1, what);
+                            }
                             let until = self.clock + SimDuration::from_millis(1);
                             self.tasks[task_idx].state = TaskState::BlockedUntil(until);
                             return StepOutcome::Blocked;
@@ -1097,6 +1224,10 @@ impl Engine {
                             .send(queue, Message::new(correlation, payload_bytes));
                         self.injector.note(self.clock, EventKind::Duplicated);
                     }
+                    if self.trace_active {
+                        let what = TraceEventKind::JmsSend { queue: queue.0 };
+                        self.tracer.emit(self.clock, task_idx as u64 + 1, what);
+                    }
                     self.tasks[task_idx].step += 1;
                     self.maybe_spawn_workorders();
                 }
@@ -1108,12 +1239,32 @@ impl Engine {
                         continue;
                     }
                     if let Some(msg) = self.appserver.broker_mut().receive(queue) {
+                        if self.trace_active {
+                            let what = TraceEventKind::JmsDeliver { queue: queue.0 };
+                            self.tracer.emit(self.clock, task_idx as u64 + 1, what);
+                        }
                         self.tasks[task_idx].mq_msg = Some((queue, msg));
                     }
                     self.pending_workorders = self.pending_workorders.saturating_sub(1);
                     self.tasks[task_idx].step += 1;
                 }
             }
+        }
+    }
+
+    /// Emits the trace events of one committed database statement (only
+    /// called with tracing active).
+    fn emit_db_commit(&mut self, task_idx: usize, report: &jas_db::WorkReport) {
+        let id = task_idx as u64 + 1;
+        let what = TraceEventKind::DbCommit {
+            instructions: report.cpu_instructions as u64,
+        };
+        self.tracer.emit(self.clock, id, what);
+        if report.pool_misses > 0 {
+            let what = TraceEventKind::DbIo {
+                misses: u64::from(report.pool_misses),
+            };
+            self.tracer.emit(self.clock, id, what);
         }
     }
 
@@ -1145,6 +1296,9 @@ impl Engine {
                 self.breaker.on_success();
                 self.note_breaker_transition(before);
                 self.db.commit(txn);
+                if self.trace_active {
+                    self.emit_db_commit(task_idx, &report);
+                }
                 let scale = self.cfg.instruction_scale();
                 let t = &mut self.tasks[task_idx];
                 t.attempts = 0;
@@ -1167,10 +1321,16 @@ impl Engine {
                 }
                 None
             }
-            Err(DbError::Conflict(_)) => {
+            Err(DbError::Conflict(conflict)) => {
                 // Organic row contention, not an injected fault: the legacy
                 // no-wait backoff, with no breaker penalty.
                 self.db.abort(txn);
+                if self.trace_active {
+                    let what = TraceEventKind::DbLockWait {
+                        table: u64::from(conflict.table.0),
+                    };
+                    self.tracer.emit(now, task_idx as u64 + 1, what);
+                }
                 self.tasks[task_idx].state =
                     TaskState::BlockedUntil(now + SimDuration::from_millis(1));
                 Some(StepOutcome::Blocked)
@@ -1210,6 +1370,10 @@ impl Engine {
                 let attempt = msg.deliveries;
                 self.appserver.broker_mut().redeliver(queue, msg);
                 self.injector.note(now, EventKind::Redelivered);
+                if self.trace_active {
+                    let what = TraceEventKind::JmsRedeliver { attempt };
+                    self.tracer.emit(now, task_idx as u64 + 1, what);
+                }
                 let delay = self
                     .cfg
                     .faults
@@ -1223,12 +1387,20 @@ impl Engine {
             // consumed.
             self.appserver.broker_mut().dead_letter(msg);
             self.injector.note(now, EventKind::DeadLettered);
+            if self.trace_active {
+                self.tracer
+                    .emit(now, task_idx as u64 + 1, TraceEventKind::JmsDeadLetter);
+            }
             self.pending_workorders = self.pending_workorders.saturating_sub(1);
             self.tasks[task_idx].step += 1;
             self.fail_task(task_idx);
             return Some(StepOutcome::Finished);
         }
         self.pending_workorders = self.pending_workorders.saturating_sub(1);
+        if self.trace_active {
+            let what = TraceEventKind::JmsDeliver { queue: queue.0 };
+            self.tracer.emit(now, task_idx as u64 + 1, what);
+        }
         let t = &mut self.tasks[task_idx];
         t.mq_msg = Some((queue, msg));
         t.step += 1;
@@ -1253,6 +1425,10 @@ impl Engine {
         self.tasks[task_idx].state = TaskState::BlockedUntil(self.clock + delay);
         self.injector
             .note(self.clock, EventKind::RetryScheduled { attempt });
+        if self.trace_active {
+            let what = TraceEventKind::Retry { attempt };
+            self.tracer.emit(self.clock, task_idx as u64 + 1, what);
+        }
         self.metrics.record_retry(self.clock);
         StepOutcome::Blocked
     }
@@ -1264,11 +1440,23 @@ impl Engine {
     fn fail_task(&mut self, task_idx: usize) {
         if let Some((queue, msg)) = self.tasks[task_idx].mq_msg.take() {
             if msg.deliveries < self.cfg.faults.max_deliveries {
+                let attempt = msg.deliveries;
                 self.appserver.broker_mut().redeliver(queue, msg);
                 self.injector.note(self.clock, EventKind::Redelivered);
+                if self.trace_active {
+                    let what = TraceEventKind::JmsRedeliver { attempt };
+                    self.tracer.emit(self.clock, task_idx as u64 + 1, what);
+                }
             } else {
                 self.appserver.broker_mut().dead_letter(msg);
                 self.injector.note(self.clock, EventKind::DeadLettered);
+                if self.trace_active {
+                    self.tracer.emit(
+                        self.clock,
+                        task_idx as u64 + 1,
+                        TraceEventKind::JmsDeadLetter,
+                    );
+                }
             }
         } else if self.tasks[task_idx].kind == RequestKind::WorkOrder {
             // Died before consuming its message: it will never reach the
@@ -1302,6 +1490,14 @@ impl Engine {
             BreakerState::Closed => EventKind::BreakerClosed,
         };
         self.injector.note(self.clock, what);
+        if self.trace_active {
+            let ev = match after {
+                BreakerState::Open => TraceEventKind::BreakerOpen,
+                BreakerState::HalfOpen => TraceEventKind::BreakerHalfOpen,
+                BreakerState::Closed => TraceEventKind::BreakerClosed,
+            };
+            self.tracer.emit(self.clock, 0, ev);
+        }
     }
 
     fn ensure_jvm_tx(&mut self, task_idx: usize) -> TxHandle {
@@ -1328,12 +1524,19 @@ impl Engine {
             let compact = r.compact_moved_bytes as f64 * COMPACT_INSTR_PER_BYTE * scale;
             let total_real = mark + sweep + compact;
             let total_modeled = total_real / self.cfg.instruction_scale();
+            let used_after = cycle.used_after;
             self.gc = Some(GcPause {
                 remaining_modeled: total_modeled,
                 mark_fraction: mark / total_real.max(1.0),
                 start: self.clock,
                 cycle,
             });
+            if self.trace_active {
+                let what = TraceEventKind::GcPauseStart {
+                    used_bytes: used_after,
+                };
+                self.tracer.emit(self.clock, 0, what);
+            }
         }
     }
 
@@ -1353,6 +1556,20 @@ impl Engine {
                     );
                     self.pending_workorders += 1;
                     self.enqueue(idx);
+                    if self.trace_active {
+                        let id = idx as u64 + 1;
+                        self.tracer.emit(
+                            at,
+                            id,
+                            TraceEventKind::RequestAdmitted {
+                                kind: RequestKind::WorkOrder.index(),
+                            },
+                        );
+                        let what = TraceEventKind::PoolGranted {
+                            pool: PoolKind::JmsListener.index(),
+                        };
+                        self.tracer.emit(at, id, what);
+                    }
                 }
                 Admission::Queued { .. } => {
                     // Pool exhausted: cancel the reservation and try again
@@ -1401,6 +1618,14 @@ impl Engine {
             if pool == PoolKind::JmsListener {
                 self.maybe_spawn_workorders();
             }
+        }
+        if self.trace_active {
+            let what = if committed {
+                TraceEventKind::RequestDone
+            } else {
+                TraceEventKind::RequestFailed
+            };
+            self.tracer.emit(self.clock, task_idx as u64 + 1, what);
         }
         if committed {
             self.completed_requests += 1;
@@ -1520,11 +1745,23 @@ impl Engine {
         &self.faultmon
     }
 
+    /// The request tracer (empty when tracing is off).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// A snapshot of the host self-profile, when `--host-prof` is on.
+    #[must_use]
+    pub fn host_profile(&self) -> Option<HostProfReport> {
+        self.hostprof.as_ref().map(HostProf::report)
+    }
+
     /// Consumes the engine, handing out the owned instruments that the
     /// artifact layer keeps (the rest is summarized before calling this).
     #[must_use]
-    pub fn into_instruments(self) -> (OmniscientHpm, Tprof) {
-        (self.hpm, self.tprof)
+    pub fn into_instruments(self) -> (OmniscientHpm, Tprof, Tracer) {
+        (self.hpm, self.tprof, self.tracer)
     }
 
     /// Machine-wide counter deltas accumulated during the steady-state

@@ -7,8 +7,11 @@ use jas_appserver::PoolKind;
 use jas_cpu::CounterFile;
 use jas_db::{DeviceStats, PoolStats, TxnStats};
 use jas_faults::FaultCounters;
-use jas_hpm::{Flatness, GcLogEntry, GcLogSummary, OmniscientHpm, Tprof, Utilization};
+use jas_hpm::{
+    Flatness, GcLogEntry, GcLogSummary, OmniscientHpm, Tprof, Utilization, VmstatSample,
+};
 use jas_jvm::LockStats;
+use jas_trace::Tracer;
 use jas_workload::{RequestKind, Verdict};
 
 /// Everything one run produced.
@@ -64,6 +67,16 @@ pub struct RunArtifacts {
     pub fault_events: usize,
     /// Thread-count-invariant digest of the fault-event series.
     pub fault_digest: u64,
+    /// Rendered tick-profile report (top methods by sampled ticks).
+    pub tprof_text: String,
+    /// Periodic vmstat interval rows over the steady window.
+    pub vmstat_samples: Vec<VmstatSample>,
+    /// The request trace (empty when tracing was off).
+    pub trace: Tracer,
+    /// Thread-count-invariant digest of the trace-event series.
+    pub trace_digest: u64,
+    /// Rendered `HOSTPROF` section, when host profiling was on.
+    pub hostprof_text: Option<String>,
 }
 
 /// Runs `cfg` under `plan` to completion and collects the artifacts.
@@ -102,7 +115,11 @@ pub fn run_artifacts_from(config: SutConfig, plan: RunPlan, engine: Engine) -> R
     let fault_counters = *engine.fault_counters();
     let fault_events = engine.fault_log().len();
     let fault_digest = engine.fault_log().digest();
-    let (hpm, tprof) = engine.into_instruments();
+    let tprof_text = engine.tprof().render(engine.jvm().registry(), 20);
+    let vmstat_samples = engine.vmstat().samples().to_vec();
+    let hostprof_text = engine.host_profile().map(|r| r.render());
+    let (hpm, tprof, trace) = engine.into_instruments();
+    let trace_digest = trace.digest();
     RunArtifacts {
         config,
         plan,
@@ -129,6 +146,11 @@ pub fn run_artifacts_from(config: SutConfig, plan: RunPlan, engine: Engine) -> R
         fault_counters,
         fault_events,
         fault_digest,
+        tprof_text,
+        vmstat_samples,
+        trace,
+        trace_digest,
+        hostprof_text,
     }
 }
 
@@ -155,5 +177,31 @@ mod tests {
         assert!(!art.gc_log_text.is_empty());
         assert_eq!(art.fault_counters, FaultCounters::default());
         assert_eq!(art.fault_events, 0, "healthy runs record no fault events");
+        assert!(art.trace.is_empty(), "tracing defaults to off");
+        assert!(
+            !art.vmstat_samples.is_empty(),
+            "steady window produces rows"
+        );
+        assert!(art.tprof_text.contains("Process/Component Ticks"));
+        assert!(
+            art.hostprof_text.is_none(),
+            "host profiling defaults to off"
+        );
+    }
+
+    #[test]
+    fn traced_run_collects_events() {
+        let mut cfg = SutConfig::at_ir(10);
+        cfg.machine.frequency_hz = 100_000.0;
+        cfg.jvm.heap.capacity = 8 << 20;
+        cfg.jvm.live_target = 2 << 20;
+        cfg.trace = jas_trace::TraceSpec::all();
+        cfg.host_prof = true;
+        let art = run_experiment(cfg, RunPlan::quick());
+        assert!(!art.trace.is_empty());
+        assert_ne!(art.trace_digest, 0);
+        assert_eq!(art.trace_digest, art.trace.digest());
+        let text = art.hostprof_text.expect("host profile requested");
+        assert!(text.starts_with("HOSTPROF"));
     }
 }

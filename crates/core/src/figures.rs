@@ -517,3 +517,65 @@ pub fn resilience_table(art: &RunArtifacts) -> ResilienceTable {
         degraded: art.verdict.degraded,
     }
 }
+
+/// The `tprof` tick-bucket view (Section 3.1's tool, previously only
+/// reachable through the raw [`jas_hpm::Tprof`] instrument).
+#[derive(Clone, Debug)]
+pub struct TprofTable {
+    /// Total ticks sampled over the steady window.
+    pub total_ticks: u64,
+    /// The full rendered profile (component buckets + top subroutines).
+    pub text: String,
+    /// Share of JIT'd-code ticks taken by the hottest method (the paper's
+    /// flat-profile observation).
+    pub hottest_share: f64,
+    /// Methods needed to cover half the JIT'd-code ticks.
+    pub methods_for_half: usize,
+}
+
+/// Computes the tick-profile table.
+#[must_use]
+pub fn tprof_table(art: &RunArtifacts) -> TprofTable {
+    TprofTable {
+        total_ticks: art.tprof.total_ticks(),
+        text: art.tprof_text.clone(),
+        hottest_share: art.flatness.hottest_share,
+        methods_for_half: art.flatness.methods_for_half,
+    }
+}
+
+/// The periodic `vmstat` view: interval rows over the steady window plus
+/// the cumulative breakdown (Section 4.1's monitor).
+#[derive(Clone, Debug)]
+pub struct VmstatTable {
+    /// `(sim seconds, user, system, iowait, idle)` fractions per interval.
+    pub rows: Vec<(f64, f64, f64, f64, f64)>,
+    /// Cumulative user fraction.
+    pub user: f64,
+    /// Cumulative system fraction.
+    pub system: f64,
+    /// Cumulative I/O-wait fraction.
+    pub iowait: f64,
+    /// Cumulative idle fraction.
+    pub idle: f64,
+}
+
+/// Computes the vmstat table from the periodic interval samples.
+#[must_use]
+pub fn vmstat_table(art: &RunArtifacts) -> VmstatTable {
+    let rows = art
+        .vmstat_samples
+        .iter()
+        .map(|s| {
+            let u = s.utilization();
+            (s.at.as_secs_f64(), u.user, u.system, u.iowait, u.idle)
+        })
+        .collect();
+    VmstatTable {
+        rows,
+        user: art.utilization.user,
+        system: art.utilization.system,
+        iowait: art.utilization.iowait,
+        idle: art.utilization.idle,
+    }
+}

@@ -40,3 +40,4 @@ pub use engine::Engine;
 pub use experiment::{run_artifacts_from, run_experiment, RunArtifacts};
 pub use jas_cpu::{CounterFile, HpmEvent};
 pub use jas_faults::{FaultCounters, FaultKind, FaultPlan, FaultWindow};
+pub use jas_trace::{TraceCategory, TraceEvent, TraceEventKind, TraceSpec, Tracer};

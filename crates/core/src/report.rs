@@ -2,7 +2,7 @@
 
 use crate::figures::{
     Fig10Correlation, Fig2Throughput, Fig3Gc, Fig4Profile, Fig5Cpi, Fig6Branch, Fig7Tlb, Fig8L1d,
-    Fig9DataFrom, LockingTable, ResilienceTable, UtilizationTable,
+    Fig9DataFrom, LockingTable, ResilienceTable, TprofTable, UtilizationTable, VmstatTable,
 };
 use std::fmt::Write as _;
 
@@ -308,6 +308,57 @@ pub fn render_resilience(t: &ResilienceTable) -> String {
     out
 }
 
+/// Renders the tick-profile report.
+#[must_use]
+pub fn render_tprof(t: &TprofTable) -> String {
+    let mut out = String::from("Tick Profile (tprof)\n");
+    let _ = writeln!(
+        out,
+        "  total ticks {}   hottest method {:.1}%   {} methods cover half",
+        t.total_ticks,
+        t.hottest_share * 100.0,
+        t.methods_for_half
+    );
+    for line in t.text.lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+    out
+}
+
+/// Renders the periodic vmstat report.
+#[must_use]
+pub fn render_vmstat(t: &VmstatTable) -> String {
+    let mut out = String::from("Periodic Utilization (vmstat)\n");
+    let _ = writeln!(
+        out,
+        "  cumulative: user {:.0}%  system {:.0}%  iowait {:.0}%  idle {:.0}%",
+        t.user * 100.0,
+        t.system * 100.0,
+        t.iowait * 100.0,
+        t.idle * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  {:>8} {:>6} {:>6} {:>6} {:>6}",
+        "sim s", "us", "sy", "wa", "id"
+    );
+    for &(at, user, system, iowait, idle) in &t.rows {
+        let _ = writeln!(
+            out,
+            "  {:>8.1} {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}%",
+            at,
+            user * 100.0,
+            system * 100.0,
+            iowait * 100.0,
+            idle * 100.0
+        );
+    }
+    if t.rows.is_empty() {
+        let _ = writeln!(out, "  (no samples: steady window never opened)");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,5 +506,43 @@ mod tests {
         });
         assert!(text.contains("no faults fired"));
         assert!(text.contains("healthy"));
+    }
+
+    #[test]
+    fn render_tprof_embeds_the_profile_text() {
+        let text = render_tprof(&TprofTable {
+            total_ticks: 4200,
+            text: "Process/Component Ticks    %\n  java  100  50.0\n".to_owned(),
+            hottest_share: 0.031,
+            methods_for_half: 57,
+        });
+        assert!(text.starts_with("Tick Profile"));
+        assert!(text.contains("total ticks 4200"));
+        assert!(text.contains("hottest method 3.1%"));
+        assert!(text.contains("57 methods cover half"));
+        assert!(text.contains("Process/Component Ticks"));
+    }
+
+    #[test]
+    fn render_vmstat_prints_interval_rows() {
+        let text = render_vmstat(&VmstatTable {
+            rows: vec![(30.0, 0.8, 0.2, 0.0, 0.0), (30.5, 0.5, 0.1, 0.3, 0.1)],
+            user: 0.65,
+            system: 0.15,
+            iowait: 0.15,
+            idle: 0.05,
+        });
+        assert!(text.starts_with("Periodic Utilization"));
+        assert!(text.contains("cumulative: user 65%"));
+        assert!(text.contains("30.0"));
+        assert!(text.contains("30.5"));
+        let empty = render_vmstat(&VmstatTable {
+            rows: vec![],
+            user: 0.0,
+            system: 0.0,
+            iowait: 0.0,
+            idle: 0.0,
+        });
+        assert!(empty.contains("no samples"));
     }
 }

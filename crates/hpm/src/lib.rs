@@ -31,4 +31,4 @@ pub use hpmstat::{EventSeries, Hpmstat, OmniscientHpm};
 pub use tprof::{ComponentShare, Flatness, Tprof};
 pub use verbosegc::{GcLogEntry, GcLogSummary, VerboseGc};
 pub use vertical::VerticalProfiler;
-pub use vmstat::{CpuState, Utilization, Vmstat};
+pub use vmstat::{CpuState, Utilization, Vmstat, VmstatSample};

@@ -41,6 +41,40 @@ impl Utilization {
     }
 }
 
+/// One interval row of the monitor: the time accounted to each state
+/// since the previous [`Vmstat::sample`] call — what a periodic `vmstat N`
+/// printout shows per line, as opposed to the run-cumulative totals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VmstatSample {
+    /// When the interval closed.
+    pub at: SimTime,
+    /// User time accounted in the interval.
+    pub user: SimDuration,
+    /// System time accounted in the interval.
+    pub system: SimDuration,
+    /// I/O-wait time accounted in the interval.
+    pub iowait: SimDuration,
+    /// Idle time accounted in the interval.
+    pub idle: SimDuration,
+}
+
+impl VmstatSample {
+    /// Fraction breakdown of the interval.
+    #[must_use]
+    pub fn utilization(&self) -> Utilization {
+        let total = (self.user + self.system + self.iowait + self.idle).as_secs_f64();
+        if total == 0.0 {
+            return Utilization::default();
+        }
+        Utilization {
+            user: self.user.as_secs_f64() / total,
+            system: self.system.as_secs_f64() / total,
+            iowait: self.iowait.as_secs_f64() / total,
+            idle: self.idle.as_secs_f64() / total,
+        }
+    }
+}
+
 /// The utilization monitor.
 #[derive(Clone, Debug)]
 pub struct Vmstat {
@@ -49,6 +83,9 @@ pub struct Vmstat {
     iowait: SimDuration,
     idle: SimDuration,
     start: SimTime,
+    /// Totals as of the last `sample` call (the open interval's baseline).
+    mark: (SimDuration, SimDuration, SimDuration, SimDuration),
+    samples: Vec<VmstatSample>,
 }
 
 impl Vmstat {
@@ -61,6 +98,13 @@ impl Vmstat {
             iowait: SimDuration::ZERO,
             idle: SimDuration::ZERO,
             start,
+            mark: (
+                SimDuration::ZERO,
+                SimDuration::ZERO,
+                SimDuration::ZERO,
+                SimDuration::ZERO,
+            ),
+            samples: Vec::new(),
         }
     }
 
@@ -78,6 +122,28 @@ impl Vmstat {
     #[must_use]
     pub fn start(&self) -> SimTime {
         self.start
+    }
+
+    /// Closes the open interval at `at`, appending a [`VmstatSample`] with
+    /// the time accounted since the previous call (or since the window
+    /// opened, for the first). Empty intervals still produce a row — a
+    /// fully idle machine prints `vmstat` lines too.
+    pub fn sample(&mut self, at: SimTime) {
+        let (user0, system0, iowait0, idle0) = self.mark;
+        self.samples.push(VmstatSample {
+            at,
+            user: self.user - user0,
+            system: self.system - system0,
+            iowait: self.iowait - iowait0,
+            idle: self.idle - idle0,
+        });
+        self.mark = (self.user, self.system, self.iowait, self.idle);
+    }
+
+    /// The periodic interval rows recorded so far.
+    #[must_use]
+    pub fn samples(&self) -> &[VmstatSample] {
+        &self.samples
     }
 
     /// Fraction breakdown of all accounted time.
@@ -118,6 +184,34 @@ mod tests {
         let v = Vmstat::new(SimTime::from_secs(5));
         assert_eq!(v.utilization(), Utilization::default());
         assert_eq!(v.start(), SimTime::from_secs(5));
+        assert!(v.samples().is_empty());
+    }
+
+    #[test]
+    fn samples_cover_disjoint_intervals() {
+        let mut v = Vmstat::new(SimTime::ZERO);
+        v.account(CpuState::User, SimDuration::from_secs(3));
+        v.account(CpuState::Idle, SimDuration::from_secs(1));
+        v.sample(SimTime::from_secs(4));
+        v.account(CpuState::User, SimDuration::from_secs(1));
+        v.account(CpuState::System, SimDuration::from_secs(2));
+        v.sample(SimTime::from_secs(8));
+        v.sample(SimTime::from_secs(12)); // empty interval still rows
+        let s = v.samples();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].user, SimDuration::from_secs(3));
+        assert_eq!(s[0].idle, SimDuration::from_secs(1));
+        assert_eq!(s[1].user, SimDuration::from_secs(1));
+        assert_eq!(s[1].system, SimDuration::from_secs(2));
+        assert_eq!(s[2].user, SimDuration::ZERO);
+        // Interval rows sum back to the cumulative totals.
+        let total_user: SimDuration = s
+            .iter()
+            .map(|r| r.user)
+            .fold(SimDuration::ZERO, |a, b| a + b);
+        assert_eq!(total_user, SimDuration::from_secs(4));
+        assert!((s[0].utilization().user - 0.75).abs() < 1e-12);
+        assert_eq!(s[2].utilization(), Utilization::default());
     }
 
     #[test]

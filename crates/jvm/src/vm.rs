@@ -123,6 +123,13 @@ impl Jvm {
         &self.heap
     }
 
+    /// Cumulative bytes allocated over the VM's lifetime (monotonic; the
+    /// allocation-epoch trace events carry this value).
+    #[must_use]
+    pub fn allocated_bytes(&self) -> u64 {
+        self.heap.total_allocated_bytes()
+    }
+
     /// The method registry.
     #[must_use]
     pub fn registry(&self) -> &MethodRegistry {

@@ -1,0 +1,8 @@
+//! D002 fixture for the host-profiler carve-out: `lint.toml` exempts
+//! `crates/trace/src/hostprof.rs`, the one sanctioned host-clock consumer,
+//! but the identical scoped-timer pattern at any other path stays flagged.
+
+pub fn host_elapsed_nanos() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

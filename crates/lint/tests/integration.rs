@@ -34,6 +34,7 @@ fn every_rule_detects_its_fixture_violation() {
         ("D006", "crates/fixture/src/d006.rs", 4),
         ("D007", "crates/fixture/src/d007.rs", 4),
         ("D007", "crates/fixture/src/d007.rs", 8),
+        ("D002", "crates/fixture/src/host_timer.rs", 6),
         ("S000", "crates/fixture/src/suppressed.rs", 12),
         ("D006", "crates/fixture/src/suppressed.rs", 14),
     ]
@@ -118,6 +119,32 @@ fn binary_without_deny_exits_zero() {
         .output()
         .expect("jas-lint binary runs");
     assert_eq!(out.status.code(), Some(0), "advisory mode always exits 0");
+}
+
+#[test]
+fn host_profiler_exemption_is_path_scoped() {
+    // The committed lint.toml exempts exactly one module from D002: the
+    // host self-profiler. The same host-timer source at the exempt path
+    // is clean; anywhere else it stays a deny finding (the fixture
+    // `host_timer.rs` proves the tree-walk side of this).
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint is two levels below the repo root")
+        .to_path_buf();
+    let toml = std::fs::read_to_string(repo.join("lint.toml")).expect("lint.toml is committed");
+    let cfg = Config::parse(&toml).expect("committed lint.toml parses");
+    let src = "pub fn t() -> u128 { std::time::Instant::now().elapsed().as_nanos() }\n";
+    let exempt = jas_lint::lint_source(&cfg, "crates/trace/src/hostprof.rs", src);
+    assert!(
+        !exempt.iter().any(|f| f.rule == "D002"),
+        "hostprof.rs is the sanctioned host-clock consumer: {exempt:?}"
+    );
+    let flagged = jas_lint::lint_source(&cfg, "crates/trace/src/tracer.rs", src);
+    assert!(
+        flagged.iter().any(|f| f.rule == "D002"),
+        "host timers outside the profiler module must stay flagged"
+    );
 }
 
 #[test]

@@ -49,6 +49,19 @@ impl RequestKind {
         }
     }
 
+    /// Stable small-integer id (the position in [`RequestKind::ALL`]),
+    /// for compact encodings like trace-event payloads.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        match self {
+            RequestKind::Purchase => 0,
+            RequestKind::Manage => 1,
+            RequestKind::Browse => 2,
+            RequestKind::CreateVehicle => 3,
+            RequestKind::WorkOrder => 4,
+        }
+    }
+
     /// `true` for requests arriving over HTTP (response-time limit 2 s).
     #[must_use]
     pub fn is_web(self) -> bool {

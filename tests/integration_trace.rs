@@ -1,0 +1,176 @@
+//! End-to-end gates for `jas-trace`: the trace-event stream is
+//! bit-identical at any `--threads` value, a disabled tracer leaves the
+//! golden HPM digest byte-for-byte unchanged (tracing observes the
+//! simulation, it never perturbs it), and the exporters round-trip the
+//! event stream losslessly.
+
+use jas2004::{Engine, RunPlan, SutConfig, TraceSpec};
+use jas_cpu::HpmEvent;
+use jas_simkernel::SimDuration;
+use jas_trace::{digest_of, export, json};
+use proptest::prelude::*;
+
+fn plan() -> RunPlan {
+    RunPlan {
+        ramp_up: SimDuration::from_secs(5),
+        steady: SimDuration::from_secs(30),
+        hpm_period: SimDuration::from_millis(500),
+        throughput_bin: SimDuration::from_secs(5),
+    }
+}
+
+fn cfg(seed: u64) -> SutConfig {
+    let mut c = SutConfig::at_ir(15);
+    c.machine.frequency_hz = 500_000.0;
+    c.seed = seed;
+    c
+}
+
+fn traced_engine(seed: u64, threads: usize) -> Engine {
+    let mut c = cfg(seed);
+    c.trace = TraceSpec::all();
+    c.threads = threads;
+    let mut e = Engine::new(c, plan());
+    e.run_to_end();
+    e
+}
+
+/// FNV-1a over every per-core HPM counter in (core, event) order — the
+/// same digest the determinism gate pins (see
+/// `integration_determinism.rs`).
+fn hpm_digest(e: &Engine) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for core in 0..e.machine().cores() {
+        for ev in HpmEvent::ALL {
+            mix(e.machine().counters(core).get(ev));
+        }
+    }
+    h
+}
+
+/// Golden value shared with `integration_determinism.rs`: the complete
+/// per-core counter state of the seed configuration.
+const GOLDEN_HPM_DIGEST: u64 = 4_647_797_724_068_322_213;
+
+/// The CI trace gate: the merged event stream — not just its digest —
+/// is bit-identical at `--threads` 1, 4, and 8.
+#[test]
+fn trace_digest_is_thread_invariant() {
+    let serial = traced_engine(1, 1);
+    let events = serial.tracer().events().to_vec();
+    assert!(!events.is_empty(), "a traced run must record events");
+    let digest = serial.tracer().digest();
+    assert_ne!(digest, 0);
+    for threads in [4usize, 8] {
+        let parallel = traced_engine(1, threads);
+        assert_eq!(
+            digest,
+            parallel.tracer().digest(),
+            "trace digest diverges at --threads {threads}"
+        );
+        assert_eq!(
+            events,
+            parallel.tracer().events(),
+            "trace events diverge at --threads {threads}"
+        );
+    }
+}
+
+/// Tracing-off runs reproduce the committed golden HPM digest exactly:
+/// every emission site is behind the cached `trace_active` flag, so a
+/// build with tracing compiled in but disabled is byte-identical to the
+/// pre-tracing engine.
+#[test]
+fn disabled_tracer_reproduces_golden_hpm_digest() {
+    let mut e = Engine::new(cfg(1), plan());
+    e.run_to_end();
+    assert!(e.tracer().is_empty(), "an off tracer records nothing");
+    assert_eq!(
+        hpm_digest(&e),
+        GOLDEN_HPM_DIGEST,
+        "a disabled tracer must leave the simulation byte-identical"
+    );
+}
+
+/// The stronger property: tracing ON does not perturb the simulation
+/// either — the golden HPM digest still holds with every category live.
+#[test]
+fn enabled_tracer_does_not_perturb_the_simulation() {
+    let e = traced_engine(1, 1);
+    assert!(!e.tracer().is_empty());
+    assert_eq!(
+        hpm_digest(&e),
+        GOLDEN_HPM_DIGEST,
+        "tracing must observe the run, never alter it"
+    );
+}
+
+/// Binary export is lossless: decode(encode(events)) gives back the same
+/// events in the same order, and the digest computed from the decoded
+/// stream matches the tracer's.
+#[test]
+fn binary_export_round_trips() {
+    let e = traced_engine(1, 1);
+    let events = e.tracer().events();
+    let blob = export::to_binary(events);
+    let back = export::from_binary(&blob).expect("own output must decode");
+    assert_eq!(events, back.as_slice());
+    assert_eq!(digest_of(&back), e.tracer().digest());
+}
+
+/// The chrome://tracing JSON exporter produces parseable JSON carrying
+/// every event, in order, with the digest stamped in `otherData`.
+#[test]
+fn chrome_json_export_is_well_formed() {
+    let e = traced_engine(1, 1);
+    let text = export::to_chrome_json(e.tracer().events());
+    let doc = json::parse(&text).expect("exporter output must parse");
+    let events = doc
+        .get("traceEvents")
+        .and_then(json::JsonValue::as_array)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), e.tracer().len());
+    let other = doc.get("otherData").expect("otherData object");
+    let digest = other
+        .get("traceDigest")
+        .and_then(json::JsonValue::as_str)
+        .expect("traceDigest string");
+    assert_eq!(digest, format!("{:#018x}", e.tracer().digest()));
+    let count = other
+        .get("eventCount")
+        .and_then(json::JsonValue::as_f64)
+        .expect("eventCount number");
+    assert_eq!(count as usize, e.tracer().len());
+}
+
+proptest! {
+    /// Thread invariance holds for arbitrary seeds, not just the golden
+    /// one: a short traced run at `--threads 1` and `--threads 4` yields
+    /// the same digest and event count.
+    #[test]
+    fn any_seed_trace_is_thread_invariant(seed in any::<u64>()) {
+        let short = RunPlan {
+            ramp_up: SimDuration::from_secs(2),
+            steady: SimDuration::from_secs(8),
+            hpm_period: SimDuration::from_millis(500),
+            throughput_bin: SimDuration::from_secs(2),
+        };
+        let run = |threads: usize| {
+            let mut c = SutConfig::at_ir(10);
+            c.machine.frequency_hz = 100_000.0;
+            c.seed = seed;
+            c.trace = TraceSpec::all();
+            c.threads = threads;
+            let mut e = Engine::new(c, short);
+            e.run_to_end();
+            (e.tracer().digest(), e.tracer().len())
+        };
+        prop_assert_eq!(run(1), run(4));
+    }
+}
