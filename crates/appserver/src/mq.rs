@@ -8,7 +8,7 @@
 use std::collections::VecDeque;
 
 /// Identifier of a queue within the broker.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct QueueId(pub u32);
 
 /// A queued message.
@@ -151,6 +151,49 @@ impl Broker {
     #[must_use]
     pub fn stats(&self) -> BrokerStats {
         self.stats
+    }
+}
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Default for Message {
+    fn default() -> Self {
+        Message::new(0, 0)
+    }
+}
+
+impl Persist for Message {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.correlation.persist(io);
+        self.payload_bytes.persist(io);
+        self.deliveries.persist(io);
+    }
+}
+
+impl Persist for BrokerStats {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.sent.persist(io);
+        self.received.persist(io);
+        self.redelivered.persist(io);
+        self.dead_lettered.persist(io);
+        self.peak_depth.persist(io);
+    }
+}
+
+impl Persist for Broker {
+    // The queue count is set by `declare_queue` during server boot, so
+    // the outer Vec persists in place; queue contents are growable.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        snap::persist_slice(io, &mut self.queues);
+        snap::persist_vec(io, &mut self.dead);
+        self.stats.persist(io);
+    }
+}
+
+impl Persist for QueueId {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.0.persist(io);
     }
 }
 

@@ -14,7 +14,7 @@ use jas_jvm::{Component, MonitorId, ObjectClass};
 use crate::mq::QueueId;
 
 /// One step of a transaction plan.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub enum PlanStep {
     /// Burn `instructions` of full-scale CPU work in `component`'s code.
     Compute {
@@ -53,6 +53,7 @@ pub enum PlanStep {
         monitor: MonitorId,
     },
     /// Touch (or create) long-lived session state.
+    #[default]
     SessionTouch,
 }
 
@@ -101,6 +102,78 @@ impl TxPlan {
             .iter()
             .filter(|s| matches!(s, PlanStep::Db { .. }))
             .count()
+    }
+}
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for PlanStep {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        let mut tag: u64 = match self {
+            PlanStep::Compute { .. } => 0,
+            PlanStep::Allocate { .. } => 1,
+            PlanStep::Db { .. } => 2,
+            PlanStep::MqSend { .. } => 3,
+            PlanStep::MqReceive { .. } => 4,
+            PlanStep::Lock { .. } => 5,
+            PlanStep::SessionTouch => 6,
+        };
+        io.word(&mut tag);
+        if !io.saving() {
+            *self = match tag {
+                0 => PlanStep::Compute {
+                    component: jas_jvm::Component::default(),
+                    instructions: 0.0,
+                },
+                1 => PlanStep::Allocate {
+                    class: jas_jvm::ObjectClass::default(),
+                    count: 0,
+                },
+                2 => PlanStep::Db {
+                    query: jas_db::Query::default(),
+                },
+                3 => PlanStep::MqSend {
+                    queue: QueueId(0),
+                    payload_bytes: 0,
+                },
+                4 => PlanStep::MqReceive { queue: QueueId(0) },
+                5 => PlanStep::Lock {
+                    monitor: jas_jvm::MonitorId::default(),
+                },
+                _ => PlanStep::SessionTouch,
+            };
+        }
+        match self {
+            PlanStep::Compute {
+                component,
+                instructions,
+            } => {
+                component.persist(io);
+                instructions.persist(io);
+            }
+            PlanStep::Allocate { class, count } => {
+                class.persist(io);
+                count.persist(io);
+            }
+            PlanStep::Db { query } => query.persist(io),
+            PlanStep::MqSend {
+                queue,
+                payload_bytes,
+            } => {
+                queue.0.persist(io);
+                payload_bytes.persist(io);
+            }
+            PlanStep::MqReceive { queue } => queue.0.persist(io),
+            PlanStep::Lock { monitor } => monitor.persist(io),
+            PlanStep::SessionTouch => {}
+        }
+    }
+}
+
+impl Persist for TxPlan {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        snap::persist_vec(io, &mut self.steps);
     }
 }
 

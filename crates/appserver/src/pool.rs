@@ -185,6 +185,28 @@ impl BoundedPool {
         self.usage
     }
 }
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for PoolUsage {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.requests.persist(io);
+        self.queued.persist(io);
+        self.peak_in_use.persist(io);
+        self.peak_waiters.persist(io);
+    }
+}
+
+impl Persist for BoundedPool {
+    // `name` and `capacity` are construction-time config.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.in_use.persist(io);
+        self.seized.persist(io);
+        snap::persist_deque(io, &mut self.waiters);
+        self.usage.persist(io);
+    }
+}
 
 #[cfg(test)]
 mod tests {

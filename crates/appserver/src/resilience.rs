@@ -182,6 +182,37 @@ impl CircuitBreaker {
         self.consecutive_failures = 0;
     }
 }
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{Persist, StateIo};
+
+impl Persist for BreakerState {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        let mut tag: u64 = match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        };
+        io.word(&mut tag);
+        if !io.saving() {
+            *self = match tag {
+                0 => BreakerState::Closed,
+                1 => BreakerState::Open,
+                _ => BreakerState::HalfOpen,
+            };
+        }
+    }
+}
+
+impl Persist for CircuitBreaker {
+    // `cfg` is immutable tuning.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.state.persist(io);
+        self.consecutive_failures.persist(io);
+        self.opened_at.persist(io);
+        self.probes_admitted.persist(io);
+    }
+}
 
 #[cfg(test)]
 mod tests {

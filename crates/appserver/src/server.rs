@@ -5,9 +5,10 @@ use crate::mq::{Broker, QueueId};
 use crate::pool::{Admission, BoundedPool, PoolUsage};
 
 /// Which pool a request needs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum PoolKind {
     /// Web-container worker threads (HTTP requests).
+    #[default]
     WebContainer,
     /// ORB threads (RMI requests).
     Orb,
@@ -156,6 +157,36 @@ impl AppServer {
             PoolKind::Orb => self.orb.usage(),
             PoolKind::Jdbc => self.jdbc.usage(),
             PoolKind::JmsListener => self.jms.usage(),
+        }
+    }
+}
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{Persist, StateIo};
+
+impl Persist for AppServer {
+    // `work_order_queue` is assigned at boot and never changes.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.web.persist(io);
+        self.orb.persist(io);
+        self.jdbc.persist(io);
+        self.jms.persist(io);
+        self.broker.persist(io);
+    }
+}
+
+impl Persist for PoolKind {
+    // Encoded as the stable `index()`.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        let mut tag = u64::from(self.index());
+        io.word(&mut tag);
+        if !io.saving() {
+            *self = match tag {
+                0 => PoolKind::WebContainer,
+                1 => PoolKind::Orb,
+                2 => PoolKind::Jdbc,
+                _ => PoolKind::JmsListener,
+            };
         }
     }
 }

@@ -4,10 +4,18 @@
 //! ```sh
 //! cargo run --release --bin jas2004 -- --ir 40 --figure 9
 //! jas2004 --scenario trade --figure 3
+//! jas2004 --checkpoint-at 60 --checkpoint-out mid.jckpt
+//! jas2004 --restore-from mid.jckpt --threads 4
+//! jas2004 --fault-plan db-lock@120-180:0.5 --reduce --witness-out w.jwit
 //! ```
 
 use jas2004::cli::{parse_args, Cli, CliOptions, FigureSelect, USAGE};
-use jas2004::{figures, report, run_experiment};
+use jas2004::{
+    checkpoint_bytes, figures, reduce_divergence, report, restore_engine, run_artifacts_from,
+    Engine, FaultPlan, FaultWindow, RunPlan, SutConfig,
+};
+use jas_workload::ReplayLog;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -22,17 +30,40 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    run(options);
-    ExitCode::SUCCESS
+    match run(options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
-fn run(options: CliOptions) {
+fn read_file(path: &Path) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("cannot read '{}': {e}", path.display()))
+}
+
+fn write_file(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    std::fs::write(path, bytes).map_err(|e| format!("cannot write '{}': {e}", path.display()))
+}
+
+fn run(options: CliOptions) -> Result<(), String> {
     let CliOptions {
         config,
         plan,
         select,
         trace_out,
+        checkpoint_at,
+        checkpoint_out,
+        restore_from,
+        record_out,
+        replay_from,
+        reduce,
+        witness_out,
     } = options;
+    if reduce {
+        return run_reduce(config, plan, witness_out.as_deref());
+    }
     eprintln!(
         "running IR{} ({:?}), {:.0}s steady after {:.0}s ramp-up...",
         config.ir,
@@ -40,67 +71,55 @@ fn run(options: CliOptions) {
         plan.steady.as_secs_f64(),
         plan.ramp_up.as_secs_f64()
     );
-    let art = run_experiment(config, plan);
-    let want = |n: u8| match select {
-        FigureSelect::All => true,
-        FigureSelect::Figure(x) => x == n,
-        _ => false,
+
+    let mut engine = match restore_from.as_deref() {
+        Some(path) => {
+            let engine = restore_engine(&config, plan, &read_file(path)?)?;
+            eprintln!(
+                "restored {} at t={:.3}s",
+                path.display(),
+                engine.now().as_secs_f64()
+            );
+            engine
+        }
+        None => Engine::new(config.clone(), plan),
     };
-    if want(2) {
-        print!("{}", report::render_fig2(&figures::fig2_throughput(&art)));
+    if record_out.is_some() {
+        engine.start_recording();
     }
-    if want(3) {
-        print!("{}", report::render_fig3(&figures::fig3_gc(&art)));
+    if let Some(path) = replay_from.as_deref() {
+        let log = ReplayLog::from_bytes(&read_file(path)?)?;
+        engine.arm_replay(log);
+        eprintln!("replaying {}", path.display());
     }
-    if want(4) {
-        print!("{}", report::render_fig4(&figures::fig4_profile(&art)));
-    }
-    if want(5) {
-        print!("{}", report::render_fig5(&figures::fig5_cpi(&art)));
-    }
-    if want(6) {
-        print!("{}", report::render_fig6(&figures::fig6_branch(&art)));
-    }
-    if want(7) {
-        print!("{}", report::render_fig7(&figures::fig7_tlb(&art)));
-    }
-    if want(8) {
-        print!("{}", report::render_fig8(&figures::fig8_l1d(&art)));
-    }
-    if want(9) {
-        print!("{}", report::render_fig9(&figures::fig9_data_from(&art)));
-    }
-    if want(10) {
-        print!(
-            "{}",
-            report::render_fig10(&figures::fig10_correlation(&art))
+    if let (Some(at), Some(out)) = (checkpoint_at, checkpoint_out.as_deref()) {
+        engine.run_to(jas_simkernel::SimTime::ZERO + at);
+        let bytes = checkpoint_bytes(&mut engine);
+        write_file(out, &bytes)?;
+        println!(
+            "CKPT={} tick_ns={} bytes={}",
+            out.display(),
+            engine.now().as_nanos(),
+            bytes.len()
         );
     }
-    if matches!(select, FigureSelect::All | FigureSelect::Locking) {
-        print!("{}", report::render_locking(&figures::locking_table(&art)));
-    }
-    if matches!(select, FigureSelect::All | FigureSelect::Utilization) {
-        print!(
-            "{}",
-            report::render_utilization(&figures::utilization_table(&art))
+    engine.run_to_end();
+    if let Some(out) = record_out.as_deref() {
+        let log = engine
+            .take_recording()
+            .expect("recording was started before the run");
+        let bytes = log.to_bytes();
+        write_file(out, &bytes)?;
+        println!(
+            "REPLAY_LOG={} arrivals={} bytes={}",
+            out.display(),
+            log.arrivals.len(),
+            bytes.len()
         );
     }
-    if matches!(select, FigureSelect::Tprof) {
-        print!("{}", report::render_tprof(&figures::tprof_table(&art)));
-    }
-    if matches!(select, FigureSelect::Vmstat) {
-        print!("{}", report::render_vmstat(&figures::vmstat_table(&art)));
-    }
-    // The resilience table prints on request, or in `all` mode whenever a
-    // fault plan actually ran.
-    if matches!(select, FigureSelect::Resilience)
-        || (matches!(select, FigureSelect::All) && !art.config.faults.plan.is_empty())
-    {
-        print!(
-            "{}",
-            report::render_resilience(&figures::resilience_table(&art))
-        );
-    }
+    let art = run_artifacts_from(config, plan, engine);
+    print_figures(&art, select);
+    println!("HPM_DIGEST={:#018x}", art.hpm_digest);
     if art.config.trace.enabled() {
         println!(
             "TRACE_DIGEST={:#018x} events={}",
@@ -110,12 +129,112 @@ fn run(options: CliOptions) {
     }
     if let Some(path) = trace_out {
         let json = jas_trace::export::to_chrome_json(art.trace.events());
-        match std::fs::write(&path, json) {
-            Ok(()) => eprintln!("trace written to {}", path.display()),
-            Err(e) => eprintln!("cannot write trace to {}: {e}", path.display()),
-        }
+        write_file(&path, json.as_bytes())?;
+        eprintln!("trace written to {}", path.display());
     }
     if let Some(text) = &art.hostprof_text {
         print!("{text}");
+    }
+    Ok(())
+}
+
+/// `--reduce`: bisect the first divergence between the configured fault
+/// plan and the same windows at rate zero (both sides keep identical
+/// window bounds so the fault monitor and injector draw RNG identically —
+/// the first state difference is the first actual injection).
+fn run_reduce(config: SutConfig, plan: RunPlan, witness_out: Option<&Path>) -> Result<(), String> {
+    let faulty = config.clone();
+    let mut healthy = config;
+    healthy.faults.plan = FaultPlan::from_windows(
+        faulty
+            .faults
+            .plan
+            .windows()
+            .iter()
+            .map(|w| FaultWindow { rate_fp: 0, ..*w })
+            .collect(),
+    );
+    eprintln!(
+        "reducing: {} fault window(s) vs the same windows at rate 0...",
+        faulty.faults.plan.windows().len()
+    );
+    let witness = reduce_divergence(&healthy, &faulty, plan, 16)?;
+    println!(
+        "REDUCE_WINDOW={:.3}s-{:.3}s fraction={:.4} digest_a={:#018x} digest_b={:#018x}",
+        witness.window_start.as_secs_f64(),
+        witness.window_end.as_secs_f64(),
+        witness.window_fraction(),
+        witness.digest_a,
+        witness.digest_b
+    );
+    if let Some(path) = witness_out {
+        let bytes = witness.to_bytes();
+        write_file(path, &bytes)?;
+        eprintln!(
+            "witness written to {} ({} bytes)",
+            path.display(),
+            bytes.len()
+        );
+    }
+    Ok(())
+}
+
+fn print_figures(art: &jas2004::RunArtifacts, select: FigureSelect) {
+    let want = |n: u8| match select {
+        FigureSelect::All => true,
+        FigureSelect::Figure(x) => x == n,
+        _ => false,
+    };
+    if want(2) {
+        print!("{}", report::render_fig2(&figures::fig2_throughput(art)));
+    }
+    if want(3) {
+        print!("{}", report::render_fig3(&figures::fig3_gc(art)));
+    }
+    if want(4) {
+        print!("{}", report::render_fig4(&figures::fig4_profile(art)));
+    }
+    if want(5) {
+        print!("{}", report::render_fig5(&figures::fig5_cpi(art)));
+    }
+    if want(6) {
+        print!("{}", report::render_fig6(&figures::fig6_branch(art)));
+    }
+    if want(7) {
+        print!("{}", report::render_fig7(&figures::fig7_tlb(art)));
+    }
+    if want(8) {
+        print!("{}", report::render_fig8(&figures::fig8_l1d(art)));
+    }
+    if want(9) {
+        print!("{}", report::render_fig9(&figures::fig9_data_from(art)));
+    }
+    if want(10) {
+        print!("{}", report::render_fig10(&figures::fig10_correlation(art)));
+    }
+    if matches!(select, FigureSelect::All | FigureSelect::Locking) {
+        print!("{}", report::render_locking(&figures::locking_table(art)));
+    }
+    if matches!(select, FigureSelect::All | FigureSelect::Utilization) {
+        print!(
+            "{}",
+            report::render_utilization(&figures::utilization_table(art))
+        );
+    }
+    if matches!(select, FigureSelect::Tprof) {
+        print!("{}", report::render_tprof(&figures::tprof_table(art)));
+    }
+    if matches!(select, FigureSelect::Vmstat) {
+        print!("{}", report::render_vmstat(&figures::vmstat_table(art)));
+    }
+    // The resilience table prints on request, or in `all` mode whenever a
+    // fault plan actually ran.
+    if matches!(select, FigureSelect::Resilience)
+        || (matches!(select, FigureSelect::All) && !art.config.faults.plan.is_empty())
+    {
+        print!(
+            "{}",
+            report::render_resilience(&figures::resilience_table(art))
+        );
     }
 }

@@ -40,6 +40,20 @@ pub struct CliOptions {
     pub select: FigureSelect,
     /// Where to export the trace (chrome://tracing JSON), if anywhere.
     pub trace_out: Option<PathBuf>,
+    /// Simulated time at which to write a `.jckpt` checkpoint.
+    pub checkpoint_at: Option<SimDuration>,
+    /// Where the checkpoint goes (required alongside `checkpoint_at`).
+    pub checkpoint_out: Option<PathBuf>,
+    /// Resume from this `.jckpt` instead of starting at tick zero.
+    pub restore_from: Option<PathBuf>,
+    /// Record the request stream to this `.jrpl` replay log.
+    pub record_out: Option<PathBuf>,
+    /// Re-execute this `.jrpl` in place of the workload generator.
+    pub replay_from: Option<PathBuf>,
+    /// Reduce the configured fault plan's divergence to a witness window.
+    pub reduce: bool,
+    /// Where the `.jwit` witness goes (only with `reduce`).
+    pub witness_out: Option<PathBuf>,
 }
 
 /// What the command line asked for.
@@ -97,6 +111,26 @@ OPTIONS:
                          (open in chrome://tracing or ui.perfetto.dev)
     --host-prof          print the HOSTPROF host self-profile (host
                          wall-clock; never enters simulation state)
+
+CHECKPOINT / REPLAY (docs/jckpt-format.md):
+    --checkpoint-at <SECONDS>
+                         write a .jckpt of the full engine state at the
+                         given simulated time, then keep running
+    --checkpoint-out <PATH>
+                         where the .jckpt goes (required with
+                         --checkpoint-at)
+    --restore-from <PATH>
+                         resume a .jckpt instead of starting at tick zero;
+                         any --threads value restores bit-identically, but
+                         every other knob must fingerprint-match
+    --record <PATH>      record the request stream to a .jrpl replay log
+    --replay <PATH>      re-execute a .jrpl request stream in place of the
+                         workload generator (same verdicts and digests)
+    --reduce             bisect the configured --fault-plan's divergence
+                         (vs the same windows at rate 0) to a minimal
+                         witness window; prints a REDUCE_WINDOW= line
+    --witness-out <PATH> write the self-contained .jwit witness
+                         (only with --reduce)
     --help               print this help
 ";
 
@@ -104,6 +138,22 @@ fn parse_u64(flag: &str, value: Option<&str>) -> Result<u64, CliError> {
     let v = value.ok_or_else(|| CliError(format!("{flag} requires a value")))?;
     v.parse()
         .map_err(|_| CliError(format!("{flag}: '{v}' is not a number")))
+}
+
+fn parse_secs(flag: &str, value: Option<&str>) -> Result<SimDuration, CliError> {
+    let v = value.ok_or_else(|| CliError(format!("{flag} requires a value")))?;
+    let secs: f64 = v
+        .parse()
+        .map_err(|_| CliError(format!("{flag}: '{v}' is not a number")))?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(CliError(format!("{flag}: '{v}' is not a duration")));
+    }
+    Ok(SimDuration::from_secs_f64(secs))
+}
+
+fn parse_path(flag: &str, value: Option<&str>) -> Result<PathBuf, CliError> {
+    let v = value.ok_or_else(|| CliError(format!("{flag} requires a value")))?;
+    Ok(PathBuf::from(v))
 }
 
 /// Parses the argument list (without the program name).
@@ -124,6 +174,13 @@ where
     let mut plan = RunPlan::default();
     let mut select = FigureSelect::All;
     let mut trace_out = None;
+    let mut checkpoint_at = None;
+    let mut checkpoint_out = None;
+    let mut restore_from = None;
+    let mut record_out = None;
+    let mut replay_from = None;
+    let mut reduce = false;
+    let mut witness_out = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -199,6 +256,31 @@ where
                 i += 1;
             }
             "--host-prof" => config.host_prof = true,
+            "--checkpoint-at" => {
+                checkpoint_at = Some(parse_secs(flag, value)?);
+                i += 1;
+            }
+            "--checkpoint-out" => {
+                checkpoint_out = Some(parse_path(flag, value)?);
+                i += 1;
+            }
+            "--restore-from" => {
+                restore_from = Some(parse_path(flag, value)?);
+                i += 1;
+            }
+            "--record" => {
+                record_out = Some(parse_path(flag, value)?);
+                i += 1;
+            }
+            "--replay" => {
+                replay_from = Some(parse_path(flag, value)?);
+                i += 1;
+            }
+            "--reduce" => reduce = true,
+            "--witness-out" => {
+                witness_out = Some(parse_path(flag, value)?);
+                i += 1;
+            }
             "--figure" => {
                 select = match value {
                     Some("all") => FigureSelect::All,
@@ -227,11 +309,55 @@ where
     if plan.steady.is_zero() {
         return Err(CliError("--steady must be positive".into()));
     }
+    if checkpoint_at.is_some() && checkpoint_out.is_none() {
+        return Err(CliError("--checkpoint-at requires --checkpoint-out".into()));
+    }
+    if checkpoint_out.is_some() && checkpoint_at.is_none() {
+        return Err(CliError("--checkpoint-out requires --checkpoint-at".into()));
+    }
+    if record_out.is_some() && replay_from.is_some() {
+        return Err(CliError(
+            "--record and --replay are mutually exclusive".into(),
+        ));
+    }
+    if restore_from.is_some() && (record_out.is_some() || replay_from.is_some()) {
+        // Recording and replay both anchor at tick zero; a restored engine
+        // resumes mid-run.
+        return Err(CliError(
+            "--restore-from cannot be combined with --record/--replay".into(),
+        ));
+    }
+    if witness_out.is_some() && !reduce {
+        return Err(CliError("--witness-out requires --reduce".into()));
+    }
+    if reduce {
+        if config.faults.plan.is_empty() {
+            return Err(CliError(
+                "--reduce needs a --fault-plan to diverge from".into(),
+            ));
+        }
+        if checkpoint_at.is_some()
+            || restore_from.is_some()
+            || record_out.is_some()
+            || replay_from.is_some()
+        {
+            return Err(CliError(
+                "--reduce runs its own engines; drop the checkpoint/replay flags".into(),
+            ));
+        }
+    }
     Ok(Cli::Run(Box::new(CliOptions {
         config,
         plan,
         select,
         trace_out,
+        checkpoint_at,
+        checkpoint_out,
+        restore_from,
+        record_out,
+        replay_from,
+        reduce,
+        witness_out,
     })))
 }
 
@@ -390,6 +516,51 @@ mod tests {
             .0
             .contains("unknown scenario"));
         assert!(parse(&["--bogus"]).unwrap_err().0.contains("unknown flag"));
+    }
+
+    #[test]
+    fn checkpoint_and_replay_flags_parse() {
+        let o = parse(&["--checkpoint-at", "7.5", "--checkpoint-out", "x.jckpt"]).unwrap();
+        assert_eq!(
+            o.checkpoint_at,
+            Some(SimDuration::from_secs_f64(7.5)),
+            "fractional seconds survive parsing"
+        );
+        assert_eq!(o.checkpoint_out, Some(PathBuf::from("x.jckpt")));
+        let o = parse(&["--restore-from", "x.jckpt"]).unwrap();
+        assert_eq!(o.restore_from, Some(PathBuf::from("x.jckpt")));
+        let o = parse(&["--record", "run.jrpl"]).unwrap();
+        assert_eq!(o.record_out, Some(PathBuf::from("run.jrpl")));
+        let o = parse(&["--replay", "run.jrpl"]).unwrap();
+        assert_eq!(o.replay_from, Some(PathBuf::from("run.jrpl")));
+        let o = parse(&[
+            "--fault-plan",
+            "db-lock@10-20:0.5",
+            "--reduce",
+            "--witness-out",
+            "w.jwit",
+        ])
+        .unwrap();
+        assert!(o.reduce);
+        assert_eq!(o.witness_out, Some(PathBuf::from("w.jwit")));
+    }
+
+    #[test]
+    fn checkpoint_and_replay_flag_combinations_are_validated() {
+        let err = |args: &[&str]| parse(args).unwrap_err().0;
+        assert!(err(&["--checkpoint-at", "5"]).contains("--checkpoint-out"));
+        assert!(err(&["--checkpoint-out", "x.jckpt"]).contains("--checkpoint-at"));
+        assert!(err(&["--checkpoint-at", "-1", "--checkpoint-out", "x"]).contains("duration"));
+        assert!(err(&["--checkpoint-at", "abc", "--checkpoint-out", "x"]).contains("number"));
+        assert!(err(&["--record", "a", "--replay", "b"]).contains("mutually exclusive"));
+        assert!(err(&["--restore-from", "a", "--record", "b"]).contains("--restore-from"));
+        assert!(err(&["--restore-from", "a", "--replay", "b"]).contains("--restore-from"));
+        assert!(err(&["--witness-out", "w"]).contains("--reduce"));
+        assert!(err(&["--reduce"]).contains("--fault-plan"));
+        assert!(
+            err(&["--fault-plan", "db-lock@1-2:1", "--reduce", "--record", "a"])
+                .contains("--reduce")
+        );
     }
 
     #[test]

@@ -50,9 +50,12 @@ use jas_db::{Database, DbError, DbFault, Query};
 use jas_faults::{EventKind, FaultCounters, FaultInjector, FaultKind, FaultLog};
 use jas_hpm::{CpuState, FaultMonitor, GcLogEntry, OmniscientHpm, Tprof, VerboseGc, Vmstat};
 use jas_jvm::{Component, GcCycle, Jvm, LockOutcome, MethodId, TxHandle};
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo, WordDigest};
 use jas_simkernel::{Rng, SimDuration, SimTime};
 use jas_trace::{HostProf, HostProfReport, HostSection, TraceEventKind, Tracer};
-use jas_workload::{JasScenario, Metrics, RequestKind, Scenario, TradeScenario};
+use jas_workload::{
+    JasScenario, Metrics, ReplayLog, ReplayScenario, RequestKind, Scenario, TradeScenario,
+};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 
@@ -249,6 +252,9 @@ pub struct Engine {
     /// Host scoped timers (`--host-prof`); wall-clock readings stay here
     /// and never feed back into simulation state.
     hostprof: Option<HostProf>,
+    /// When recording, every arrival and compiled plan lands here so the
+    /// run can later be replayed without the load generator.
+    recorder: Option<ReplayLog>,
 }
 
 impl Engine {
@@ -349,6 +355,7 @@ impl Engine {
             tracer,
             trace_active,
             hostprof,
+            recorder: None,
         };
         // Pre-warm the session store so the live set starts near its
         // steady-state target (the paper measures after a long warm-up; a
@@ -444,6 +451,9 @@ impl Engine {
             let (at, kind) = self.next_arrival;
             self.admit(kind, at.max(self.clock));
             let (gap, next_kind) = self.scenario.next_arrival();
+            if let Some(log) = self.recorder.as_mut() {
+                log.arrivals.push((gap, next_kind));
+            }
             self.next_arrival = (self.next_arrival.0 + gap, next_kind);
         }
 
@@ -884,6 +894,9 @@ impl Engine {
 
     fn admit(&mut self, kind: RequestKind, at: SimTime) {
         let plan = self.scenario.build(kind, self.appserver.work_order_queue());
+        if let Some(log) = self.recorder.as_mut() {
+            log.plans.push((kind, plan.clone()));
+        }
         let pool = if kind.is_web() {
             PoolKind::WebContainer
         } else {
@@ -1547,6 +1560,9 @@ impl Engine {
             match self.appserver.acquire(PoolKind::JmsListener, idx as u64) {
                 Admission::Granted => {
                     let plan = self.scenario.build(RequestKind::WorkOrder, queue);
+                    if let Some(log) = self.recorder.as_mut() {
+                        log.plans.push((RequestKind::WorkOrder, plan.clone()));
+                    }
                     let at = self.clock;
                     let idx = self.spawn_task(
                         RequestKind::WorkOrder,
@@ -1798,6 +1814,325 @@ enum StepOutcome {
     Compute,
     Blocked,
     Finished,
+}
+// --- Checkpoint persistence ---
+//
+// Everything below serializes the engine's *mutable* state for jas-replay
+// checkpoints. Config-derived structures (plans, CDFs, pool capacities,
+// per-core generators' static tables) are rebuilt by `Engine::new` from the
+// same `SutConfig`; a restore overlays only what a run mutates. The same
+// visitor doubles as the divergence probe: running it through a
+// `WordDigest` fingerprints the complete simulation state at a quantum
+// boundary without allocating.
+
+impl Persist for TaskState {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        let mut tag: u64 = match self {
+            TaskState::Ready => 0,
+            TaskState::BlockedUntil(_) => 1,
+            TaskState::WaitingPool => 2,
+            TaskState::Done => 3,
+        };
+        io.word(&mut tag);
+        if !io.saving() {
+            *self = match tag {
+                0 => TaskState::Ready,
+                1 => TaskState::BlockedUntil(SimTime::ZERO),
+                2 => TaskState::WaitingPool,
+                _ => TaskState::Done,
+            };
+        }
+        if let TaskState::BlockedUntil(at) = self {
+            at.persist(io);
+        }
+    }
+}
+
+impl Default for Task {
+    fn default() -> Self {
+        Task {
+            kind: RequestKind::default(),
+            plan: TxPlan::default(),
+            step: 0,
+            remaining_modeled: 0.0,
+            extra: VecDeque::new(),
+            issued: SimTime::ZERO,
+            jvm_tx: None,
+            pool: None,
+            state: TaskState::Ready,
+            io_blocked: false,
+            last_run_quantum: 0,
+            attempts: 0,
+            deadline: None,
+            mq_msg: None,
+        }
+    }
+}
+
+impl Persist for Task {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.kind.persist(io);
+        self.plan.persist(io);
+        self.step.persist(io);
+        self.remaining_modeled.persist(io);
+        snap::persist_deque(io, &mut self.extra);
+        self.issued.persist(io);
+        snap::persist_opt(io, &mut self.jvm_tx);
+        snap::persist_opt(io, &mut self.pool);
+        self.state.persist(io);
+        self.io_blocked.persist(io);
+        self.last_run_quantum.persist(io);
+        self.attempts.persist(io);
+        snap::persist_opt(io, &mut self.deadline);
+        snap::persist_opt(io, &mut self.mq_msg);
+    }
+}
+
+impl Default for GcPause {
+    fn default() -> Self {
+        GcPause {
+            remaining_modeled: 0.0,
+            mark_fraction: 0.0,
+            start: SimTime::ZERO,
+            cycle: GcCycle::default(),
+        }
+    }
+}
+
+impl Persist for GcPause {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.remaining_modeled.persist(io);
+        self.mark_fraction.persist(io);
+        self.start.persist(io);
+        self.cycle.persist(io);
+    }
+}
+
+impl Engine {
+    /// Saves or restores every piece of mutable simulation state.
+    ///
+    /// Must be called at a quantum boundary (checkpointing mid-quantum is
+    /// meaningless: per-core event buffers are drained and tasks are
+    /// reconciled only between quanta). Restore overlays a freshly built
+    /// `Engine::new(cfg, run)` with the same configuration — the scenario
+    /// type, DB schema, and warm session store come from construction, and
+    /// only run-mutated state is replayed from the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when loading a stream whose scenario tag does not match the
+    /// engine's configured scenario (a config/checkpoint mismatch).
+    pub fn persist_state(&mut self, io: &mut dyn StateIo) {
+        self.rng.persist(io);
+        self.clock.persist(io);
+        self.next_arrival.0.persist(io);
+        self.next_arrival.1.persist(io);
+        snap::persist_vec(io, &mut self.tasks);
+        snap::persist_slice(io, &mut self.ready);
+        self.pending_workorders.persist(io);
+        snap::persist_opt(io, &mut self.gc);
+        self.jit_backlog_modeled.persist(io);
+        for row in &mut self.gens {
+            snap::persist_slice(io, row);
+        }
+        self.correlation_seq.persist(io);
+        self.outstanding_io.persist(io);
+        self.quantum_counter.persist(io);
+        snap::persist_opt_with(io, &mut self.steady_base, jas_cpu::CounterFile::new);
+        self.hpm.persist(io);
+        self.tprof.persist(io);
+        self.vmstat.persist(io);
+        self.vgc.persist(io);
+        self.metrics.persist(io);
+        self.completed_requests.persist(io);
+        self.aborted_requests.persist(io);
+        self.injector.persist(io);
+        self.breaker.persist(io);
+        self.faultmon.persist(io);
+        self.tracer.persist(io);
+        self.machine.persist(io);
+        self.jvm.persist(io);
+        self.db.persist(io);
+        self.appserver.persist(io);
+        let mut tag = self.scenario.kind_tag();
+        io.word(&mut tag);
+        assert_eq!(
+            tag,
+            self.scenario.kind_tag(),
+            "checkpoint scenario does not match the configured scenario"
+        );
+        self.scenario.persist_state(io);
+        snap::persist_opt(io, &mut self.recorder);
+        // Skipped on purpose: cfg/run (identity — must match at restore),
+        // method_cdf (config-derived), event_bufs (drained every quantum),
+        // faults_active/trace_active (cached config flags), hostprof
+        // (host wall-clock; never simulation state).
+    }
+
+    /// FNV-1a fingerprint of the complete mutable simulation state.
+    ///
+    /// Two engines with equal probe digests are in bit-identical states
+    /// and will evolve identically; the reducer uses this to localize the
+    /// first diverging quantum.
+    pub fn probe_digest(&mut self) -> u64 {
+        let mut d = WordDigest::new();
+        self.persist_state(&mut d);
+        d.value()
+    }
+
+    /// Per-subsystem FNV-1a digests of the mutable state: when two
+    /// engines' probe digests differ, this localizes the mismatch to the
+    /// subsystem that caused it (the reducer prints the differing
+    /// sections alongside the witness window).
+    pub fn state_section_digests(&mut self) -> Vec<(&'static str, u64)> {
+        let mut out: Vec<(&'static str, u64)> = Vec::new();
+        let mut dg = WordDigest::new();
+        self.rng.persist(&mut dg);
+        out.push(("rng", dg.value()));
+        let mut dg = WordDigest::new();
+        self.clock.persist(&mut dg);
+        self.next_arrival.0.persist(&mut dg);
+        self.next_arrival.1.persist(&mut dg);
+        out.push(("clock", dg.value()));
+        let mut dg = WordDigest::new();
+        snap::persist_vec(&mut dg, &mut self.tasks);
+        snap::persist_slice(&mut dg, &mut self.ready);
+        self.pending_workorders.persist(&mut dg);
+        snap::persist_opt(&mut dg, &mut self.gc);
+        out.push(("tasks", dg.value()));
+        let mut dg = WordDigest::new();
+        self.jit_backlog_modeled.persist(&mut dg);
+        for row in &mut self.gens {
+            snap::persist_slice(&mut dg, row);
+        }
+        out.push(("gens", dg.value()));
+        let mut dg = WordDigest::new();
+        self.correlation_seq.persist(&mut dg);
+        self.outstanding_io.persist(&mut dg);
+        self.quantum_counter.persist(&mut dg);
+        snap::persist_opt_with(&mut dg, &mut self.steady_base, jas_cpu::CounterFile::new);
+        out.push(("bookkeeping", dg.value()));
+        let mut dg = WordDigest::new();
+        self.hpm.persist(&mut dg);
+        out.push(("hpm", dg.value()));
+        let mut dg = WordDigest::new();
+        self.tprof.persist(&mut dg);
+        out.push(("tprof", dg.value()));
+        let mut dg = WordDigest::new();
+        self.vmstat.persist(&mut dg);
+        out.push(("vmstat", dg.value()));
+        let mut dg = WordDigest::new();
+        self.vgc.persist(&mut dg);
+        out.push(("vgc", dg.value()));
+        let mut dg = WordDigest::new();
+        self.metrics.persist(&mut dg);
+        self.completed_requests.persist(&mut dg);
+        self.aborted_requests.persist(&mut dg);
+        out.push(("metrics", dg.value()));
+        let mut dg = WordDigest::new();
+        self.injector.persist(&mut dg);
+        self.breaker.persist(&mut dg);
+        self.faultmon.persist(&mut dg);
+        out.push(("faults", dg.value()));
+        let mut dg = WordDigest::new();
+        self.tracer.persist(&mut dg);
+        out.push(("tracer", dg.value()));
+        let mut dg = WordDigest::new();
+        self.machine.persist(&mut dg);
+        out.push(("machine", dg.value()));
+        let mut dg = WordDigest::new();
+        self.jvm.persist(&mut dg);
+        out.push(("jvm", dg.value()));
+        let mut dg = WordDigest::new();
+        self.db.persist(&mut dg);
+        out.push(("db", dg.value()));
+        let mut dg = WordDigest::new();
+        self.appserver.persist(&mut dg);
+        out.push(("appserver", dg.value()));
+        let mut dg = WordDigest::new();
+        self.scenario.persist_state(&mut dg);
+        out.push(("scenario", dg.value()));
+        let mut dg = WordDigest::new();
+        snap::persist_opt(&mut dg, &mut self.recorder);
+        out.push(("recorder", dg.value()));
+        out
+    }
+
+    /// FNV-1a fingerprint of the machine-wide HPM counter totals, the
+    /// cheap end-of-run identity check used by `replay-smoke`.
+    #[must_use]
+    pub fn hpm_digest(&self) -> u64 {
+        let mut totals = self.machine.total_counters();
+        let mut d = WordDigest::new();
+        totals.persist(&mut d);
+        d.value()
+    }
+
+    /// Runs quantum-by-quantum until the clock reaches `until` (clamped to
+    /// the plan end). Unlike [`Engine::run_to_end`] this does not close the
+    /// instrument windows, so the run can be resumed — or checkpointed.
+    pub fn run_to(&mut self, until: SimTime) {
+        let until = until.min(self.run.end());
+        while self.clock < until {
+            self.step_quantum();
+        }
+    }
+
+    /// Starts recording arrivals and compiled plans for later replay.
+    ///
+    /// Must be called before the first quantum: the arrival drawn during
+    /// construction is re-recorded here so the log is complete from tick
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already advanced.
+    pub fn start_recording(&mut self) {
+        assert_eq!(
+            self.clock,
+            SimTime::ZERO,
+            "recording must start before the first quantum"
+        );
+        let mut log = ReplayLog::default();
+        log.arrivals.push((
+            self.next_arrival.0.saturating_since(SimTime::ZERO),
+            self.next_arrival.1,
+        ));
+        self.recorder = Some(log);
+    }
+
+    /// Takes the recorded request stream, ending recording.
+    pub fn take_recording(&mut self) -> Option<ReplayLog> {
+        self.recorder.take()
+    }
+
+    /// Replaces the configured workload generator with a recorded stream.
+    ///
+    /// The engine must be freshly constructed: the real scenario has
+    /// already seeded the DB schema and warmed the session store, and the
+    /// replay log supplies everything the generator would have produced
+    /// from tick zero on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already advanced.
+    pub fn arm_replay(&mut self, log: ReplayLog) {
+        assert_eq!(
+            self.clock,
+            SimTime::ZERO,
+            "replay must be armed before the first quantum"
+        );
+        let mut scenario = ReplayScenario::new(log);
+        let (gap, kind) = scenario.next_arrival();
+        self.next_arrival = (SimTime::ZERO + gap, kind);
+        self.scenario = Box::new(scenario);
+    }
+
+    /// The configured run plan (checkpoint tooling needs the end time).
+    #[must_use]
+    pub fn plan(&self) -> &RunPlan {
+        &self.run
+    }
 }
 
 #[cfg(test)]

@@ -67,6 +67,9 @@ pub struct RunArtifacts {
     pub fault_events: usize,
     /// Thread-count-invariant digest of the fault-event series.
     pub fault_digest: u64,
+    /// FNV-1a digest of the machine-wide HPM counter totals: the cheap
+    /// end-of-run identity check used by the replay-smoke CI gate.
+    pub hpm_digest: u64,
     /// Rendered tick-profile report (top methods by sampled ticks).
     pub tprof_text: String,
     /// Periodic vmstat interval rows over the steady window.
@@ -115,6 +118,7 @@ pub fn run_artifacts_from(config: SutConfig, plan: RunPlan, engine: Engine) -> R
     let fault_counters = *engine.fault_counters();
     let fault_events = engine.fault_log().len();
     let fault_digest = engine.fault_log().digest();
+    let hpm_digest = engine.hpm_digest();
     let tprof_text = engine.tprof().render(engine.jvm().registry(), 20);
     let vmstat_samples = engine.vmstat().samples().to_vec();
     let hostprof_text = engine.host_profile().map(|r| r.render());
@@ -146,6 +150,7 @@ pub fn run_artifacts_from(config: SutConfig, plan: RunPlan, engine: Engine) -> R
         fault_counters,
         fault_events,
         fault_digest,
+        hpm_digest,
         tprof_text,
         vmstat_samples,
         trace,

@@ -27,17 +27,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod cli;
 pub mod config;
 pub mod engine;
 pub mod experiment;
 pub mod figures;
 pub mod profiles;
+pub mod reduce;
 pub mod report;
 
+pub use checkpoint::{checkpoint_bytes, config_fingerprint, restore_engine, validate_checkpoint};
 pub use config::{FaultsConfig, RunPlan, ScenarioKind, SutConfig};
 pub use engine::Engine;
 pub use experiment::{run_artifacts_from, run_experiment, RunArtifacts};
 pub use jas_cpu::{CounterFile, HpmEvent};
 pub use jas_faults::{FaultCounters, FaultKind, FaultPlan, FaultWindow};
 pub use jas_trace::{TraceCategory, TraceEvent, TraceEventKind, TraceSpec, Tracer};
+pub use reduce::{reduce_divergence, DivergenceWitness};

@@ -181,6 +181,29 @@ impl BranchUnit {
         (self.ind_seen, self.ind_mispredicted)
     }
 }
+// --- Checkpoint persistence -------------------------------------------------
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for LinkStack {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        snap::persist_vec(io, &mut self.entries);
+    }
+}
+
+impl Persist for BranchUnit {
+    /// `history_mask` is config-derived; tables, global history, and the
+    /// prediction statistics are the mutable state.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        snap::persist_slice(io, &mut self.pht);
+        self.history.persist(io);
+        snap::persist_slice(io, &mut self.btb);
+        self.cond_seen.persist(io);
+        self.cond_mispredicted.persist(io);
+        self.ind_seen.persist(io);
+        self.ind_mispredicted.persist(io);
+    }
+}
 
 #[cfg(test)]
 mod tests {

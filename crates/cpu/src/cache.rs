@@ -372,6 +372,40 @@ impl SetAssocCache {
             .count()
     }
 }
+// --- Checkpoint persistence -------------------------------------------------
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for Mesi {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        let mut tag = match self {
+            Mesi::Invalid => 0u64,
+            Mesi::Shared => 1,
+            Mesi::Exclusive => 2,
+            Mesi::Modified => 3,
+        };
+        io.word(&mut tag);
+        *self = match tag {
+            1 => Mesi::Shared,
+            2 => Mesi::Exclusive,
+            3 => Mesi::Modified,
+            _ => Mesi::Invalid,
+        };
+    }
+}
+
+impl Persist for SetAssocCache {
+    /// Sizing (`cfg`, `sets`, fastmod constants) is config-derived and
+    /// rebuilt by construction; only line contents and statistics persist.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        snap::persist_slice(io, &mut self.tags);
+        snap::persist_slice(io, &mut self.states);
+        snap::persist_slice(io, &mut self.stamps);
+        self.tick.persist(io);
+        self.hits.persist(io);
+        self.misses.persist(io);
+    }
+}
 
 #[cfg(test)]
 mod tests {

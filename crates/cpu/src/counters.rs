@@ -290,6 +290,15 @@ impl CounterFile {
         }
     }
 }
+// --- Checkpoint persistence -------------------------------------------------
+
+use jas_simkernel::snapshot::{Persist, StateIo};
+
+impl Persist for CounterFile {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.counts.persist(io);
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -358,6 +358,19 @@ impl MemorySystem {
         slot
     }
 }
+// --- Checkpoint persistence -------------------------------------------------
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for MemorySystem {
+    /// The topology is config-derived; every shared cache bank and the
+    /// store-combining scratch survive the checkpoint.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        snap::persist_slice(io, &mut self.l2s);
+        snap::persist_slice(io, &mut self.l3s);
+        snap::persist_opt(io, &mut self.last_store);
+    }
+}
 
 #[cfg(test)]
 mod tests {

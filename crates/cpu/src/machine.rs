@@ -701,6 +701,44 @@ impl Machine {
         cycles + correction
     }
 }
+// --- Checkpoint persistence -------------------------------------------------
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for CorePrivate {
+    /// `fast` and `mru_ok` are config-derived and `pf_decision` is
+    /// per-miss scratch; everything else a core mutates while executing
+    /// survives the checkpoint.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.l1i.persist(io);
+        self.l1d.persist(io);
+        self.mmu.persist(io);
+        self.branch.persist(io);
+        self.link_stack.persist(io);
+        self.prefetch.persist(io);
+        self.counters.persist(io);
+        self.cyc.persist(io);
+        self.disp.persist(io);
+        self.cmpl_cyc.persist(io);
+        self.srq.persist(io);
+        self.op_index.persist(io);
+        self.last_l1d_miss_op.persist(io);
+        self.last_fetch_line.persist(io);
+        self.last_inst_frame.persist(io);
+        self.last_data_frame.persist(io);
+        self.mru_line.persist(io);
+        self.mru_slot.persist(io);
+        self.mru_resident.persist(io);
+        self.noise.persist(io);
+    }
+}
+
+impl Persist for Machine {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        snap::persist_slice(io, &mut self.cores);
+        self.mem.persist(io);
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -143,6 +143,15 @@ impl FracCounter {
         self.carry -= whole;
     }
 }
+// --- Checkpoint persistence -------------------------------------------------
+
+use jas_simkernel::snapshot::{Persist, StateIo};
+
+impl Persist for FracCounter {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.carry.persist(io);
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -211,6 +211,32 @@ impl Prefetcher {
         self.note_ok = false;
     }
 }
+// --- Checkpoint persistence -------------------------------------------------
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for Stream {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.next_line.persist(io);
+        self.dir.persist(io);
+        self.depth.persist(io);
+        self.last_use.persist(io);
+        self.valid.persist(io);
+    }
+}
+
+impl Persist for Prefetcher {
+    /// `cfg` is immutable; stream slots, the miss-guess ring, and the
+    /// note-back scratch words are the mutable state.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        snap::persist_slice(io, &mut self.streams);
+        snap::persist_slice(io, &mut self.recent_misses);
+        self.recent_head.persist(io);
+        self.tick.persist(io);
+        self.note_line.persist(io);
+        self.note_ok.persist(io);
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -794,6 +794,41 @@ impl StreamGen {
         }
     }
 }
+// --- Checkpoint persistence -------------------------------------------------
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for Window {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.base.persist(io);
+        self.len.persist(io);
+    }
+}
+
+impl Persist for RegionState {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.seq_pos.persist(io);
+        self.burst_left.persist(io);
+        self.burst_frame.persist(io);
+    }
+}
+
+impl Persist for StreamGen {
+    /// The profile, mix table, Zipf tables, and region weights are all
+    /// config-derived; the RNG cursor, per-region walkers, reservation and
+    /// allocation scratch, software return stack, and the buffered op
+    /// block are the mutable state.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.rng.persist(io);
+        self.ia.persist(io);
+        snap::persist_slice(io, &mut self.region_state);
+        snap::persist_opt(io, &mut self.pending_stcx);
+        snap::persist_opt(io, &mut self.fresh);
+        snap::persist_vec(io, &mut self.ret_stack);
+        snap::persist_vec(io, &mut self.block);
+        self.blk_pos.persist(io);
+    }
+}
 
 #[cfg(test)]
 mod tests {

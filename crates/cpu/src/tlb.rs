@@ -356,6 +356,53 @@ impl Mmu {
         }
     }
 }
+// --- Checkpoint persistence -------------------------------------------------
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Default for Slot {
+    fn default() -> Self {
+        Slot {
+            tag: 0,
+            prev: NIL,
+            next: NIL,
+        }
+    }
+}
+
+impl Persist for Slot {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.tag.persist(io);
+        self.prev.persist(io);
+        self.next.persist(io);
+    }
+}
+
+impl Persist for TranslationCache {
+    /// `mask` and `capacity` are config-derived; the slot array (which
+    /// grows lazily up to capacity), hash map array, and LRU chain
+    /// endpoints are the mutable state.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        snap::persist_vec(io, &mut self.slots);
+        snap::persist_slice(io, &mut self.map);
+        self.head.persist(io);
+        self.tail.persist(io);
+    }
+}
+
+impl Persist for Erat {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.cache.persist(io);
+    }
+}
+
+impl Persist for Mmu {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.ierat.persist(io);
+        self.derat.persist(io);
+        self.tlb.persist(io);
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -8,9 +8,10 @@
 //! one completed instruction.
 
 /// One modeled instruction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum MicroOp {
     /// A non-memory, non-branch instruction.
+    #[default]
     Alu,
     /// A load from effective address `ea`.
     Load {
@@ -88,6 +89,65 @@ impl MicroOp {
                 | MicroOp::Call { .. }
                 | MicroOp::Return { .. }
         )
+    }
+}
+// --- Checkpoint persistence -------------------------------------------------
+
+use jas_simkernel::snapshot::{Persist, StateIo};
+
+impl Persist for MicroOp {
+    /// Integer tag plus up to two argument words (format is
+    /// variant-shaped, not fixed-width — the visitor replays the same
+    /// shape on load).
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        let mut tag = match self {
+            MicroOp::Alu => 0u64,
+            MicroOp::Load { .. } => 1,
+            MicroOp::Store { .. } => 2,
+            MicroOp::CondBranch { .. } => 3,
+            MicroOp::IndBranch { .. } => 4,
+            MicroOp::Larx { .. } => 5,
+            MicroOp::Stcx { .. } => 6,
+            MicroOp::Sync => 7,
+            MicroOp::Call { .. } => 8,
+            MicroOp::Return { .. } => 9,
+        };
+        io.word(&mut tag);
+        if !io.saving() {
+            *self = match tag {
+                1 => MicroOp::Load { ea: 0 },
+                2 => MicroOp::Store { ea: 0 },
+                3 => MicroOp::CondBranch {
+                    site: 0,
+                    taken: false,
+                },
+                4 => MicroOp::IndBranch { site: 0, target: 0 },
+                5 => MicroOp::Larx { ea: 0 },
+                6 => MicroOp::Stcx { ea: 0, fail: false },
+                7 => MicroOp::Sync,
+                8 => MicroOp::Call { ret: 0 },
+                9 => MicroOp::Return { to: 0 },
+                _ => MicroOp::Alu,
+            };
+        }
+        match self {
+            MicroOp::Alu | MicroOp::Sync => {}
+            MicroOp::Load { ea } | MicroOp::Store { ea } | MicroOp::Larx { ea } => ea.persist(io),
+            MicroOp::CondBranch { site, taken } => {
+                site.persist(io);
+                taken.persist(io);
+            }
+            MicroOp::IndBranch { site, target } => {
+                site.persist(io);
+                target.persist(io);
+            }
+            MicroOp::Stcx { ea, fail } => {
+                ea.persist(io);
+                fail.persist(io);
+            }
+            MicroOp::Call { ret } => ret.persist(io),
+            MicroOp::Return { to } => to.persist(io),
+        }
     }
 }
 

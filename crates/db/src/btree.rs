@@ -269,6 +269,27 @@ impl BTree {
         parent_node.children.insert(child_pos + 1, right);
     }
 }
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for Node {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.keys.persist(io);
+        self.values.persist(io);
+        self.children.persist(io);
+    }
+}
+
+impl Persist for BTree {
+    // `order` is fixed at construction (schema config) and not persisted.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.root.persist(io);
+        snap::persist_vec(io, &mut self.nodes);
+        self.len.persist(io);
+        self.depth.persist(io);
+    }
+}
 
 #[cfg(test)]
 mod tests {

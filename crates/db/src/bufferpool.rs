@@ -10,7 +10,7 @@
 use jas_simkernel::DetMap;
 
 /// Identifier of an 8 KB data page: `(table, page_number)`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId {
     /// Owning table.
     pub table: u32,
@@ -156,6 +156,36 @@ impl BufferPool {
     #[must_use]
     pub fn stats(&self) -> PoolStats {
         self.stats
+    }
+}
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for PageId {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.table.persist(io);
+        self.page.persist(io);
+    }
+}
+
+impl Persist for PoolStats {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.accesses.persist(io);
+        self.hits.persist(io);
+    }
+}
+
+impl Persist for BufferPool {
+    // `page_bytes` and `capacity` come from config; `slot_of` is
+    // capacity-sized, so it persists in place.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        snap::persist_map(io, &mut self.resident);
+        snap::persist_slice(io, &mut self.slot_of);
+        snap::persist_vec(io, &mut self.free_slots);
+        self.tick.persist(io);
+        self.stats.persist(io);
+        self.stall_reads.persist(io);
     }
 }
 

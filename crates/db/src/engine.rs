@@ -130,10 +130,11 @@ impl core::fmt::Display for DbError {
 }
 
 /// A fault armed against the next statement (injected by the fault plan).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum DbFault {
     /// The next statement's lock wait times out: it fails with
     /// [`DbError::Timeout`] without doing any work.
+    #[default]
     LockTimeout,
     /// The next statement's reads stall: every page touch is charged a
     /// device round trip even when the page is resident.
@@ -365,6 +366,89 @@ impl Database {
     #[must_use]
     pub fn txn_stats(&self) -> TxnStats {
         self.txns.stats()
+    }
+}
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for DbFault {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        let mut tag: u64 = match self {
+            DbFault::LockTimeout => 0,
+            DbFault::IoStall => 1,
+        };
+        io.word(&mut tag);
+        if !io.saving() {
+            *self = if tag == 0 {
+                DbFault::LockTimeout
+            } else {
+                DbFault::IoStall
+            };
+        }
+    }
+}
+
+impl Persist for Database {
+    // `cfg` is immutable config. Tables are created by the scenario's
+    // schema setup before a restore overlays state, so the count is
+    // already correct and they persist in place.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        snap::persist_slice(io, &mut self.tables);
+        self.pool.persist(io);
+        self.device.persist(io);
+        self.txns.persist(io);
+        snap::persist_opt(io, &mut self.pending_fault);
+    }
+}
+
+impl Default for Query {
+    fn default() -> Self {
+        Query::SelectByKey {
+            table: TableId(0),
+            key: 0,
+        }
+    }
+}
+
+impl Persist for Query {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        let mut tag: u64 = match self {
+            Query::SelectByKey { .. } => 0,
+            Query::RangeScan { .. } => 1,
+            Query::Insert { .. } => 2,
+            Query::Update { .. } => 3,
+            Query::Delete { .. } => 4,
+        };
+        io.word(&mut tag);
+        if !io.saving() {
+            let t = TableId(0);
+            *self = match tag {
+                0 => Query::SelectByKey { table: t, key: 0 },
+                1 => Query::RangeScan {
+                    table: t,
+                    lo: 0,
+                    hi: 0,
+                },
+                2 => Query::Insert { table: t, key: 0 },
+                3 => Query::Update { table: t, key: 0 },
+                _ => Query::Delete { table: t, key: 0 },
+            };
+        }
+        match self {
+            Query::SelectByKey { table, key }
+            | Query::Insert { table, key }
+            | Query::Update { table, key }
+            | Query::Delete { table, key } => {
+                table.persist(io);
+                key.persist(io);
+            }
+            Query::RangeScan { table, lo, hi } => {
+                table.persist(io);
+                lo.persist(io);
+                hi.persist(io);
+            }
+        }
     }
 }
 

@@ -104,6 +104,26 @@ impl StorageDevice {
         self.stats
     }
 }
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for DeviceStats {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.requests.persist(io);
+        self.busy_time.persist(io);
+        self.queue_time.persist(io);
+    }
+}
+
+impl Persist for StorageDevice {
+    // `kind` (and therefore the spindle count) is config-derived.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        snap::persist_slice(io, &mut self.spindle_free_at);
+        self.rr_next.persist(io);
+        self.stats.persist(io);
+    }
+}
 
 #[cfg(test)]
 mod tests {

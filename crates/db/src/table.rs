@@ -3,7 +3,7 @@
 use crate::btree::BTree;
 
 /// Identifier of a table within a [`crate::Database`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct TableId(pub u32);
 
 /// A table: fixed-size rows packed into pages, indexed by primary key.
@@ -99,6 +99,24 @@ impl Table {
         let mut pages: Vec<u64> = ordinals.iter().map(|o| o / rpp).collect();
         pages.dedup();
         (pages, touched)
+    }
+}
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{Persist, StateIo};
+
+impl Persist for Table {
+    // Name and page geometry come from the schema; only growth state
+    // (row count and the index) is checkpointed.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.rows.persist(io);
+        self.index.persist(io);
+    }
+}
+
+impl Persist for TableId {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.0.persist(io);
     }
 }
 

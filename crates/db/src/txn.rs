@@ -9,7 +9,7 @@ use crate::table::TableId;
 use jas_simkernel::DetMap;
 
 /// Identifier of an open transaction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TxnId(u64);
 
 /// Lock mode.
@@ -193,6 +193,68 @@ impl TxnManager {
     #[must_use]
     pub fn held_locks(&self) -> usize {
         self.locks.len()
+    }
+}
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for TxnId {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.0.persist(io);
+    }
+}
+
+impl Persist for LockMode {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        let mut tag: u64 = match self {
+            LockMode::Shared => 0,
+            LockMode::Exclusive => 1,
+        };
+        io.word(&mut tag);
+        if !io.saving() {
+            *self = if tag == 0 {
+                LockMode::Shared
+            } else {
+                LockMode::Exclusive
+            };
+        }
+    }
+}
+
+impl Default for LockEntry {
+    fn default() -> Self {
+        LockEntry {
+            mode: LockMode::Shared,
+            owners: Vec::new(),
+        }
+    }
+}
+
+impl Persist for LockEntry {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.mode.persist(io);
+        self.owners.persist(io);
+    }
+}
+
+impl Persist for TxnStats {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.begun.persist(io);
+        self.committed.persist(io);
+        self.aborted.persist(io);
+        self.locks_granted.persist(io);
+        self.conflicts.persist(io);
+        self.timeouts.persist(io);
+    }
+}
+
+impl Persist for TxnManager {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.next_id.persist(io);
+        snap::persist_map(io, &mut self.locks);
+        snap::persist_map(io, &mut self.held_by);
+        self.stats.persist(io);
     }
 }
 

@@ -185,6 +185,33 @@ impl FaultInjector {
         &self.log
     }
 }
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{Persist, StateIo};
+
+impl Persist for FaultCounters {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.injected.persist(io);
+        self.retries.persist(io);
+        self.errors.persist(io);
+        self.breaker_opens.persist(io);
+        self.breaker_fast_fails.persist(io);
+        self.dead_letters.persist(io);
+        self.redeliveries.persist(io);
+        self.duplicates.persist(io);
+        self.deadline_exceeded.persist(io);
+    }
+}
+
+impl Persist for FaultInjector {
+    // The plan is parsed from configuration; RNG cursor, counters, and
+    // the event log are the run's mutable state.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.rng.persist(io);
+        self.counters.persist(io);
+        self.log.persist(io);
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -4,7 +4,7 @@ use crate::plan::FaultKind;
 use jas_simkernel::SimTime;
 
 /// What happened: an injected fault or a resilience reaction to one.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum EventKind {
     /// A fault of the given kind fired at an injection point.
     Injected(FaultKind),
@@ -14,6 +14,7 @@ pub enum EventKind {
         attempt: u32,
     },
     /// The DB circuit breaker tripped open.
+    #[default]
     BreakerOpened,
     /// The breaker moved open → half-open and admits probe requests.
     BreakerHalfOpen,
@@ -128,6 +129,68 @@ impl FaultLog {
             mix(ev.what.code());
         }
         hash
+    }
+}
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for EventKind {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        let mut tag: u64 = match self {
+            EventKind::Injected(_) => 0,
+            EventKind::RetryScheduled { .. } => 1,
+            EventKind::BreakerOpened => 2,
+            EventKind::BreakerHalfOpen => 3,
+            EventKind::BreakerClosed => 4,
+            EventKind::DeadLettered => 5,
+            EventKind::RequestFailed => 6,
+            EventKind::Redelivered => 7,
+            EventKind::Duplicated => 8,
+            EventKind::DeadlineExceeded => 9,
+        };
+        io.word(&mut tag);
+        if !io.saving() {
+            *self = match tag {
+                0 => EventKind::Injected(FaultKind::default()),
+                1 => EventKind::RetryScheduled { attempt: 0 },
+                2 => EventKind::BreakerOpened,
+                3 => EventKind::BreakerHalfOpen,
+                4 => EventKind::BreakerClosed,
+                5 => EventKind::DeadLettered,
+                6 => EventKind::RequestFailed,
+                7 => EventKind::Redelivered,
+                8 => EventKind::Duplicated,
+                _ => EventKind::DeadlineExceeded,
+            };
+        }
+        match self {
+            EventKind::Injected(kind) => kind.persist(io),
+            EventKind::RetryScheduled { attempt } => attempt.persist(io),
+            _ => {}
+        }
+    }
+}
+
+impl Default for FaultEvent {
+    fn default() -> Self {
+        FaultEvent {
+            at: SimTime::ZERO,
+            what: EventKind::default(),
+        }
+    }
+}
+
+impl Persist for FaultEvent {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.at.persist(io);
+        self.what.persist(io);
+    }
+}
+
+impl Persist for FaultLog {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        snap::persist_vec(io, &mut self.events);
     }
 }
 

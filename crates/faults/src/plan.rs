@@ -3,10 +3,11 @@
 use jas_simkernel::SimTime;
 
 /// The kinds of fault the stack knows how to inject.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub enum FaultKind {
     /// A DB lock wait exceeds its timeout; the statement fails with
     /// `DbError::Timeout` instead of blocking.
+    #[default]
     DbLockTimeout,
     /// A bufferpool read stalls: the touched page misses even if resident
     /// and the device round-trip is charged.
@@ -224,6 +225,20 @@ fn parse_secs(s: &str) -> Result<f64, String> {
         return Err(format!("time must be finite and non-negative, got {s}"));
     }
     Ok(v)
+}
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{Persist, StateIo};
+
+impl Persist for FaultKind {
+    // Encoded as the stable `index()` position in `ALL`.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        let mut tag = self.index() as u64;
+        io.word(&mut tag);
+        if !io.saving() {
+            *self = FaultKind::ALL[(tag as usize).min(FaultKind::ALL.len() - 1)];
+        }
+    }
 }
 
 #[cfg(test)]

@@ -96,6 +96,20 @@ impl FaultMonitor {
             .collect()
     }
 }
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for FaultMonitor {
+    // `period` is configuration; `values` has one row per counter label,
+    // fixed at construction.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.window_start.persist(io);
+        self.last.persist(io);
+        self.window_base.persist(io);
+        snap::persist_slice(io, &mut self.values);
+    }
+}
 
 #[cfg(test)]
 mod tests {

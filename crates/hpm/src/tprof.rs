@@ -177,6 +177,18 @@ impl Tprof {
         }
     }
 }
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for Tprof {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        snap::persist_map(io, &mut self.component_ticks);
+        snap::persist_map(io, &mut self.method_ticks);
+        self.jitted_ticks.persist(io);
+        self.total_ticks.persist(io);
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -144,6 +144,43 @@ impl VerboseGc {
         })
     }
 }
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Default for GcLogEntry {
+    fn default() -> Self {
+        GcLogEntry {
+            at: SimTime::ZERO,
+            pause: SimDuration::ZERO,
+            mark: SimDuration::ZERO,
+            sweep: SimDuration::ZERO,
+            compacted: false,
+            free_after: 0,
+            used_after: 0,
+            cycle: GcCycle::default(),
+        }
+    }
+}
+
+impl Persist for GcLogEntry {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.at.persist(io);
+        self.pause.persist(io);
+        self.mark.persist(io);
+        self.sweep.persist(io);
+        self.compacted.persist(io);
+        self.free_after.persist(io);
+        self.used_after.persist(io);
+        self.cycle.persist(io);
+    }
+}
+
+impl Persist for VerboseGc {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        snap::persist_vec(io, &mut self.entries);
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -161,6 +161,46 @@ impl Vmstat {
         }
     }
 }
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Default for VmstatSample {
+    fn default() -> Self {
+        VmstatSample {
+            at: SimTime::ZERO,
+            user: SimDuration::ZERO,
+            system: SimDuration::ZERO,
+            iowait: SimDuration::ZERO,
+            idle: SimDuration::ZERO,
+        }
+    }
+}
+
+impl Persist for VmstatSample {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.at.persist(io);
+        self.user.persist(io);
+        self.system.persist(io);
+        self.iowait.persist(io);
+        self.idle.persist(io);
+    }
+}
+
+impl Persist for Vmstat {
+    // `start` is fixed at construction from the run plan.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.user.persist(io);
+        self.system.persist(io);
+        self.iowait.persist(io);
+        self.idle.persist(io);
+        self.mark.0.persist(io);
+        self.mark.1.persist(io);
+        self.mark.2.persist(io);
+        self.mark.3.persist(io);
+        snap::persist_vec(io, &mut self.samples);
+    }
+}
 
 #[cfg(test)]
 mod tests {

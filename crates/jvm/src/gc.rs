@@ -259,6 +259,25 @@ fn mark(heap: &mut SimHeap, roots: &[ObjectId], traversal: Traversal, report: &m
         jump_total / steps as f64
     };
 }
+// --- Checkpoint persistence -------------------------------------------------
+
+use jas_simkernel::snapshot::{Persist, StateIo};
+
+impl Persist for GcReport {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.marked_objects.persist(io);
+        self.marked_bytes.persist(io);
+        self.edges_traversed.persist(io);
+        self.swept_objects.persist(io);
+        self.freed_bytes.persist(io);
+        self.compacted.persist(io);
+        self.compact_moved_bytes.persist(io);
+        self.free_after.persist(io);
+        self.dark_matter_after.persist(io);
+        self.live_after.persist(io);
+        self.mark_jump_mean.persist(io);
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -365,6 +365,26 @@ impl SimHeap {
         self.add_free_chunk(cursor, self.cfg.capacity - cursor);
     }
 }
+// --- Checkpoint persistence -------------------------------------------------
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for SimHeap {
+    /// `cfg` is immutable; the object table, both free-list views, the
+    /// byte accounting, and the remembered set are the mutable state.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.slots.persist(io);
+        self.free_slot_ids.persist(io);
+        snap::persist_map(io, &mut self.free_by_addr);
+        snap::persist_set(io, &mut self.free_by_size);
+        self.free_bytes.persist(io);
+        self.dark_matter.persist(io);
+        self.live_bytes.persist(io);
+        self.live_objects.persist(io);
+        self.total_allocated_bytes.persist(io);
+        snap::persist_set(io, &mut self.remembered);
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -15,9 +15,10 @@ use crate::method::{MethodId, MethodRegistry};
 use jas_cpu::{Region, Window};
 
 /// Optimization level of a compiled method.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub enum OptLevel {
     /// Quick, low-optimization compile.
+    #[default]
     Cold,
     /// Standard optimization.
     Warm,
@@ -190,6 +191,40 @@ impl Jit {
     /// execution layer turns these into JIT-compiler-thread CPU time.
     pub fn take_pending_work(&mut self) -> f64 {
         core::mem::take(&mut self.pending_work)
+    }
+}
+// --- Checkpoint persistence -------------------------------------------------
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for OptLevel {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        let mut tag = match self {
+            OptLevel::Cold => 0u64,
+            OptLevel::Warm => 1,
+            OptLevel::Hot => 2,
+            OptLevel::Scorching => 3,
+        };
+        io.word(&mut tag);
+        *self = match tag {
+            1 => OptLevel::Warm,
+            2 => OptLevel::Hot,
+            3 => OptLevel::Scorching,
+            _ => OptLevel::Cold,
+        };
+    }
+}
+
+impl Persist for Jit {
+    /// `code_limit` is config-derived; invocation counts, compiled levels,
+    /// the code-cache bump pointer, and the backlog are the mutable state.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        snap::persist_slice(io, &mut self.invocations);
+        snap::persist_slice(io, &mut self.levels);
+        self.code_cursor.persist(io);
+        self.compiled_bytes.persist(io);
+        self.compilations.persist(io);
+        self.pending_work.persist(io);
     }
 }
 

@@ -11,7 +11,7 @@
 use jas_simkernel::Rng;
 
 /// Identifier of a monitor (one per locked object class in the model).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct MonitorId(pub u32);
 
 /// How an acquisition was satisfied.
@@ -112,6 +112,32 @@ impl MonitorTable {
     #[must_use]
     pub fn stats(&self) -> LockStats {
         self.stats
+    }
+}
+// --- Checkpoint persistence -------------------------------------------------
+
+use jas_simkernel::snapshot::{Persist, StateIo};
+
+impl Persist for LockStats {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.acquisitions.persist(io);
+        self.fast.persist(io);
+        self.spins.persist(io);
+        self.stcx_failures.persist(io);
+        self.os_blocks.persist(io);
+    }
+}
+
+impl Persist for MonitorTable {
+    /// The probabilities are config-derived; only the statistics persist.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.stats.persist(io);
+    }
+}
+
+impl Persist for MonitorId {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.0.persist(io);
     }
 }
 

@@ -14,7 +14,7 @@
 use jas_cpu::{Region, Window};
 
 /// Identifier of a registered method.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MethodId(pub(crate) u32);
 
 impl MethodId {
@@ -27,9 +27,10 @@ impl MethodId {
 
 /// Software component a method belongs to (the paper's Figure 4 slices plus
 /// the finer-grained JIT'd-code split of its Section 4.1.2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Component {
     /// The SPECjAppServer-like benchmark application itself.
+    #[default]
     Application,
     /// WebSphere-like application-server framework code.
     AppServer,
@@ -254,6 +255,43 @@ impl MethodRegistry {
             }
         }
         reg
+    }
+}
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for MethodRegistry {
+    /// Names, components, weights, and bytecode sizes are all fixed at
+    /// registration, but `code` and `jitted` flip when the JIT compiles a
+    /// method — they must travel with a checkpoint or a restored run
+    /// classifies jitted ticks differently. The registry length is fixed
+    /// by construction, so no length word is written.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        for m in &mut self.methods {
+            snap::persist_opt_with(io, &mut m.code, || Window { base: 0, len: 0 });
+            m.jitted.persist(io);
+        }
+    }
+}
+
+impl Persist for MethodId {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.0.persist(io);
+    }
+}
+
+impl Persist for Component {
+    // Encoded as the position in `Component::ALL` (a stable order).
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        let mut tag = Component::ALL
+            .iter()
+            .position(|c| c == self)
+            .expect("component is in ALL") as u64;
+        io.word(&mut tag);
+        if !io.saving() {
+            *self = Component::ALL[(tag as usize).min(Component::ALL.len() - 1)];
+        }
     }
 }
 

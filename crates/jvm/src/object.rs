@@ -6,7 +6,7 @@
 //! rather than being constants.
 
 /// Identifier of a live-or-dead object slot in the heap's object table.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ObjectId(pub(crate) u32);
 
 impl ObjectId {
@@ -18,9 +18,10 @@ impl ObjectId {
 }
 
 /// Coarse class shapes the workload allocates, with realistic size classes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum ObjectClass {
     /// Small scalar-ish object (boxed primitive, small bean field holder).
+    #[default]
     Small,
     /// Typical entity/bean instance.
     Bean,
@@ -63,7 +64,7 @@ impl ObjectClass {
 }
 
 /// One slot of the object table.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct ObjectSlot {
     /// Heap byte offset of the object (relative to heap base).
     pub(crate) addr: u64,
@@ -78,6 +79,50 @@ pub(crate) struct ObjectSlot {
     /// Whether the object is in the young generation (allocated since the
     /// last collection that promoted survivors).
     pub(crate) young: bool,
+}
+// --- Checkpoint persistence -------------------------------------------------
+
+use jas_simkernel::snapshot::{Persist, StateIo};
+
+impl Persist for ObjectId {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.0.persist(io);
+    }
+}
+
+impl Persist for ObjectSlot {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.addr.persist(io);
+        self.size.persist(io);
+        self.refs.persist(io);
+        self.marked.persist(io);
+        self.allocated.persist(io);
+        self.young.persist(io);
+    }
+}
+
+impl Persist for ObjectClass {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        let mut tag: u64 = match self {
+            ObjectClass::Small => 0,
+            ObjectClass::Bean => 1,
+            ObjectClass::CharArray => 2,
+            ObjectClass::Array => 3,
+            ObjectClass::Session => 4,
+            ObjectClass::Buffer => 5,
+        };
+        io.word(&mut tag);
+        if !io.saving() {
+            *self = match tag {
+                0 => ObjectClass::Small,
+                1 => ObjectClass::Bean,
+                2 => ObjectClass::CharArray,
+                3 => ObjectClass::Array,
+                4 => ObjectClass::Session,
+                _ => ObjectClass::Buffer,
+            };
+        }
+    }
 }
 
 #[cfg(test)]

@@ -52,11 +52,11 @@ impl Default for JvmConfig {
 }
 
 /// Handle for allocations scoped to one in-flight transaction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct TxHandle(u64);
 
 /// One recorded garbage collection.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct GcCycle {
     /// Ordinal of the collection (1-based).
     pub index: u64,
@@ -329,6 +329,45 @@ impl Jvm {
     /// Acquires a monitor on behalf of running Java code.
     pub fn lock(&mut self, monitor: MonitorId, rng: &mut Rng) -> LockOutcome {
         self.monitors.acquire(monitor, rng)
+    }
+}
+// --- Checkpoint persistence -------------------------------------------------
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for TxHandle {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.0.persist(io);
+    }
+}
+
+impl Persist for GcCycle {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.index.persist(io);
+        self.minor.persist(io);
+        self.trigger_bytes.persist(io);
+        self.report.persist(io);
+        self.used_after.persist(io);
+        self.allocated_since_last.persist(io);
+    }
+}
+
+impl Persist for Jvm {
+    /// `cfg` is rebuilt from configuration; the heap, JIT, registry
+    /// JIT-status bits, lock statistics, GC roots and bookkeeping are the
+    /// mutable state.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.heap.persist(io);
+        self.jit.persist(io);
+        self.registry.persist(io);
+        self.monitors.persist(io);
+        self.long_roots.persist(io);
+        self.long_root_bytes.persist(io);
+        snap::persist_map(io, &mut self.tx_roots);
+        self.next_tx.persist(io);
+        self.gc_cycles.persist(io);
+        self.gc_count.persist(io);
+        self.allocated_since_gc.persist(io);
     }
 }
 

@@ -44,10 +44,12 @@ mod event;
 mod proptests;
 mod rng;
 mod series;
+pub mod snapshot;
 mod time;
 
 pub use det::{DetMap, DetSet};
 pub use event::{EventQueue, Scheduler};
 pub use rng::Rng;
 pub use series::{SeriesRecorder, SeriesSample};
+pub use snapshot::{Loader, Persist, Saver, StateIo};
 pub use time::{SimDuration, SimTime};

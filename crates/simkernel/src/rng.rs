@@ -61,6 +61,13 @@ impl Rng {
         Rng::new(self.next_u64() ^ h)
     }
 
+    /// Mutable access to the raw generator state, for checkpoint
+    /// persistence only — overwriting it mid-stream changes every
+    /// subsequent draw.
+    pub(crate) fn state_mut(&mut self) -> &mut [u64; 4] {
+        &mut self.s
+    }
+
     /// Returns the next 64 random bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

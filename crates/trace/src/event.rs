@@ -75,7 +75,7 @@ impl TraceCategory {
 /// What happened. Every variant carries at most one `u64`-encodable
 /// argument so the binary format stays fixed-width and the digest covers
 /// the full payload.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum TraceEventKind {
     /// A request entered the system; the argument is its
     /// `RequestKind` index.
@@ -84,6 +84,7 @@ pub enum TraceEventKind {
         kind: u8,
     },
     /// The request committed.
+    #[default]
     RequestDone,
     /// The request failed permanently.
     RequestFailed,
@@ -355,6 +356,41 @@ pub struct TraceEvent {
     pub trace_id: u64,
     /// What happened.
     pub what: TraceEventKind,
+}
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{Persist, StateIo};
+
+impl Persist for TraceEventKind {
+    // Reuses the stable wire encoding: `(code, arg)` round-trips every
+    // variant via `from_code`.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        let mut code = self.code();
+        let mut arg = self.arg();
+        io.word(&mut code);
+        io.word(&mut arg);
+        if !io.saving() {
+            *self = TraceEventKind::from_code(code, arg).unwrap_or_default();
+        }
+    }
+}
+
+impl Default for TraceEvent {
+    fn default() -> Self {
+        TraceEvent {
+            at: SimTime::ZERO,
+            trace_id: 0,
+            what: TraceEventKind::default(),
+        }
+    }
+}
+
+impl Persist for TraceEvent {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.at.persist(io);
+        self.trace_id.persist(io);
+        self.what.persist(io);
+    }
 }
 
 #[cfg(test)]

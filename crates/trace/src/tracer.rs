@@ -191,6 +191,19 @@ pub fn digest_of(events: &[TraceEvent]) -> u64 {
     }
     hash
 }
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for Tracer {
+    // The spec mask is configuration; the staging buffers are per-core
+    // (config-sized) and drain at quantum boundaries, but a checkpoint
+    // may land while they hold staged events, so they persist in place.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        snap::persist_vec(io, &mut self.events);
+        snap::persist_slice(io, &mut self.staged);
+    }
+}
 
 #[cfg(test)]
 mod tests {

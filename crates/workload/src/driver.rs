@@ -78,6 +78,17 @@ impl Driver {
         (gap, self.kinds[idx])
     }
 }
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{Persist, StateIo};
+
+impl Persist for Driver {
+    // The interarrival distribution and the kind mix are config-derived;
+    // only the RNG cursor advances during a run.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.rng.persist(io);
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -33,12 +33,14 @@
 mod domain;
 mod driver;
 mod metrics;
+pub mod replay;
 mod requests;
 mod scenario;
 
 pub use domain::{InitialRows, Schema};
 pub use driver::{Driver, DriverConfig};
 pub use metrics::{Metrics, Verdict};
+pub use replay::{ReplayLog, ReplayScenario};
 pub use requests::{
     build_plan, catalog_popularity, injection_mix, RequestKind, PATH_LENGTH_MULTIPLIER,
 };

@@ -202,6 +202,23 @@ impl Metrics {
         self.timeouts
     }
 }
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
+
+impl Persist for Metrics {
+    // Interval and steady window come from the run plan; the bin matrix
+    // is sized at construction, so it persists in place.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        snap::persist_slice(io, &mut self.bins);
+        self.totals.persist(io);
+        snap::persist_vec(io, &mut self.web_times);
+        snap::persist_vec(io, &mut self.rmi_times);
+        self.timeouts.persist(io);
+        self.retries.persist(io);
+        self.errors.persist(io);
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -13,9 +13,10 @@ use jas_simkernel::Rng;
 use crate::domain::Schema;
 
 /// The externally driven request categories (Figure 2's four series).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RequestKind {
     /// Dealer purchases vehicles (web).
+    #[default]
     Purchase,
     /// Dealer manages inventory/sales (web).
     Manage,
@@ -237,6 +238,20 @@ pub fn build_plan(
         }
     }
     plan
+}
+// --- Checkpoint persistence ---
+
+use jas_simkernel::snapshot::{Persist, StateIo};
+
+impl Persist for RequestKind {
+    // Encoded as the stable `index()` position in `ALL`.
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        let mut tag = u64::from(self.index());
+        io.word(&mut tag);
+        if !io.saving() {
+            *self = RequestKind::ALL[(tag as usize).min(RequestKind::ALL.len() - 1)];
+        }
+    }
 }
 
 #[cfg(test)]

@@ -32,6 +32,16 @@ pub trait Scenario {
 
     /// Business label of a request slot under this scenario.
     fn label(&self, kind: RequestKind) -> &'static str;
+
+    /// Stable tag identifying the scenario type inside a checkpoint
+    /// stream, so a restore into the wrong scenario fails loudly.
+    fn kind_tag(&self) -> u64;
+
+    /// Persists the scenario's mutable state (RNG cursors and key
+    /// counters) for checkpoint/restore. Config-derived members (schema,
+    /// popularity tables, arrival distributions) are reconstructed from
+    /// configuration and not serialized.
+    fn persist_state(&mut self, io: &mut dyn jas_simkernel::StateIo);
 }
 
 /// The SPECjAppServer2004-like dealer/manufacturing workload (the paper's).
@@ -85,6 +95,17 @@ impl Scenario for JasScenario {
 
     fn label(&self, kind: RequestKind) -> &'static str {
         kind.name()
+    }
+
+    fn kind_tag(&self) -> u64 {
+        1
+    }
+
+    fn persist_state(&mut self, io: &mut dyn jas_simkernel::StateIo) {
+        use jas_simkernel::Persist as _;
+        self.driver.persist(io);
+        self.rng.persist(io);
+        self.fresh_key.persist(io);
     }
 }
 
@@ -268,6 +289,17 @@ impl Scenario for TradeScenario {
             RequestKind::CreateVehicle => "UpdateProfile",
             RequestKind::WorkOrder => "Settlement",
         }
+    }
+
+    fn kind_tag(&self) -> u64 {
+        2
+    }
+
+    fn persist_state(&mut self, io: &mut dyn jas_simkernel::StateIo) {
+        use jas_simkernel::Persist as _;
+        self.driver.persist(io);
+        self.rng.persist(io);
+        self.fresh_key.persist(io);
     }
 }
 

@@ -89,6 +89,7 @@ impl Criterion {
 
         let mut times_ns: Vec<f64> = Vec::with_capacity(samples);
         let mut work: Option<(f64, f64)> = None;
+        let mut fields: Vec<(&'static str, f64)> = Vec::new();
         let deadline = Instant::now() + budget.max(Duration::from_millis(1)) * 4;
         for _ in 0..samples {
             let mut b = Bencher::new();
@@ -97,7 +98,18 @@ impl Criterion {
             if b.work.is_some() {
                 work = b.work; // deterministic workloads: identical each sample
             }
-            if Instant::now() > deadline {
+            for (key, value) in b.fields {
+                // Keep the minimum across samples: extra fields are
+                // wall-clock stage timings, and min is the least noisy
+                // summary of a cold-cache-free cost.
+                match fields.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, best)) => *best = best.min(value),
+                    None => fields.push((key, value)),
+                }
+            }
+            // The budget can expire mid-run, but min/median/max are
+            // meaningless from a single sample — always take at least two.
+            if times_ns.len() >= 2 && Instant::now() > deadline {
                 break; // sampling budget exhausted; keep what we have
             }
         }
@@ -114,7 +126,7 @@ impl Criterion {
             fmt_ns(hi),
             n
         );
-        self.emit_json(name, mean, median, lo, hi, n, work);
+        self.emit_json(name, mean, median, lo, hi, n, work, &fields);
         self
     }
 
@@ -128,6 +140,7 @@ impl Criterion {
         hi: f64,
         samples: usize,
         work: Option<(f64, f64)>,
+        fields: &[(&'static str, f64)],
     ) {
         let Ok(path) = std::env::var("JAS_BENCH_JSON") else {
             return;
@@ -154,6 +167,13 @@ impl Criterion {
             self.quick,
             git_sha()
         );
+        // Bench-declared extra fields (stage timings from
+        // `iter_with_fields`) ride on the same row, before the closing
+        // brace.
+        for (key, value) in fields {
+            line.pop();
+            let _ = write!(line, ",\"{key}\":{value:.3}}}");
+        }
         if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(&path) {
             let _ = writeln!(file, "{line}");
         }
@@ -166,6 +186,7 @@ pub struct Bencher {
     elapsed: Duration,
     iters: u64,
     work: Option<(f64, f64)>,
+    fields: Vec<(&'static str, f64)>,
 }
 
 impl Bencher {
@@ -174,6 +195,7 @@ impl Bencher {
             elapsed: Duration::ZERO,
             iters: 0,
             work: None,
+            fields: Vec::new(),
         }
     }
 
@@ -196,6 +218,18 @@ impl Bencher {
         self.elapsed = start.elapsed();
         self.iters = 1;
         self.work = Some(work);
+    }
+
+    /// Like [`Bencher::iter`], for routines that time internal stages
+    /// themselves: the routine returns `(key, milliseconds)` pairs that
+    /// land as extra fields on the benchmark's JSON row (the minimum over
+    /// samples is kept per key).
+    pub fn iter_with_fields<R: FnMut() -> Vec<(&'static str, f64)>>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let fields = black_box(routine());
+        self.elapsed = start.elapsed();
+        self.iters = 1;
+        self.fields = fields;
     }
 }
 
