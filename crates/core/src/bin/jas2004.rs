@@ -127,6 +127,12 @@ fn run(options: CliOptions) -> Result<(), String> {
             art.trace.len()
         );
     }
+    if !art.config.faults.plan.is_empty() {
+        println!(
+            "FAULT_DIGEST={:#018x} events={}",
+            art.fault_digest, art.fault_events
+        );
+    }
     if let Some(path) = trace_out {
         let json = jas_trace::export::to_chrome_json(art.trace.events());
         write_file(&path, json.as_bytes())?;
@@ -226,6 +232,9 @@ fn print_figures(art: &jas2004::RunArtifacts, select: FigureSelect) {
     }
     if matches!(select, FigureSelect::Vmstat) {
         print!("{}", report::render_vmstat(&figures::vmstat_table(art)));
+    }
+    if matches!(select, FigureSelect::Sched) {
+        print!("{}", report::render_sched(&figures::sched_table(art)));
     }
     // The resilience table prints on request, or in `all` mode whenever a
     // fault plan actually ran.

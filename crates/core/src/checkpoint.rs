@@ -13,7 +13,7 @@
 //! format test in `crates/replay`; bump [`JCKPT_VERSION`] on any layout
 //! change.
 
-use crate::config::{RunPlan, SutConfig};
+use crate::config::{RunPlan, SchedMode, SutConfig};
 use crate::engine::Engine;
 use jas_simkernel::snapshot::WordDigest;
 use jas_simkernel::{Loader, Saver, StateIo};
@@ -25,8 +25,9 @@ pub const JCKPT_MAGIC: u64 = 0x4A41_5343_4B50_5431;
 /// Container layout version. Bump on any change to the header layout *or*
 /// to the engine's `persist_state` field order (the payload has no
 /// per-field tags; the version is what keeps old streams from being
-/// misinterpreted).
-pub const JCKPT_VERSION: u64 = 1;
+/// misinterpreted). Version 2 appended the event scheduler's wake heap
+/// and occupancy counters to the payload.
+pub const JCKPT_VERSION: u64 = 2;
 
 /// Words in the container header (magic, version, fingerprint, payload
 /// length).
@@ -37,15 +38,19 @@ const HEADER_WORDS: usize = 4;
 ///
 /// `threads` is normalized out (results are bit-identical at every thread
 /// count, so a checkpoint from a `--threads 8` run must restore under
-/// `--threads 1`) and `host_prof` is normalized out (host self-profiling
-/// never enters simulation state). Everything else — seed, IR, machine,
-/// heap, fault plan, trace spec — must match exactly for a restore to make
+/// `--threads 1`), `host_prof` is normalized out (host self-profiling
+/// never enters simulation state), and `sched` is normalized out (both
+/// schedulers evolve the same state; a checkpoint taken under one restores
+/// under the other — the event scheduler rebuilds any missing wake-ups
+/// from the restored state). Everything else — seed, IR, machine, heap,
+/// fault plan, trace spec — must match exactly for a restore to make
 /// sense, because config-derived state is rebuilt rather than recorded.
 #[must_use]
 pub fn config_fingerprint(cfg: &SutConfig) -> u64 {
     let mut canon = cfg.clone();
     canon.threads = 1;
     canon.host_prof = false;
+    canon.sched = SchedMode::Quantum;
     let mut digest = WordDigest::new();
     for byte in format!("{canon:?}").bytes() {
         digest.mix(u64::from(byte));
@@ -264,14 +269,44 @@ mod tests {
     }
 
     #[test]
-    fn fingerprint_normalizes_threads_and_host_prof() {
+    fn fingerprint_normalizes_threads_host_prof_and_sched() {
         let cfg = quick_cfg();
         let mut other = cfg.clone();
         other.threads = 8;
         other.host_prof = true;
+        other.sched = SchedMode::Event;
         assert_eq!(config_fingerprint(&cfg), config_fingerprint(&other));
         let mut different = cfg.clone();
         different.ir += 1;
         assert_ne!(config_fingerprint(&cfg), config_fingerprint(&different));
+    }
+
+    #[test]
+    fn checkpoints_are_scheduler_portable() {
+        // A checkpoint taken mid-run under one scheduler restores under
+        // the other and finishes with identical digests either way.
+        let plan = RunPlan::quick();
+        let mut quantum_cfg = quick_cfg();
+        quantum_cfg.sched = SchedMode::Quantum;
+        let mut event_cfg = quick_cfg();
+        event_cfg.sched = SchedMode::Event;
+
+        let mut straight = Engine::new(quantum_cfg.clone(), plan);
+        straight.run_to_end();
+
+        let mut first = Engine::new(quantum_cfg.clone(), plan);
+        first.run_to(SimTime::from_millis(400));
+        let bytes = checkpoint_bytes(&mut first);
+
+        let mut as_event = restore_engine(&event_cfg, plan, &bytes).unwrap();
+        as_event.run_to_end();
+        assert_eq!(as_event.hpm_digest(), straight.hpm_digest());
+
+        let mut event_first = Engine::new(event_cfg.clone(), plan);
+        event_first.run_to(SimTime::from_millis(400));
+        let event_bytes = checkpoint_bytes(&mut event_first);
+        let mut as_quantum = restore_engine(&quantum_cfg, plan, &event_bytes).unwrap();
+        as_quantum.run_to_end();
+        assert_eq!(as_quantum.hpm_digest(), straight.hpm_digest());
     }
 }

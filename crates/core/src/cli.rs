@@ -4,7 +4,7 @@
 //! a library, and the binary is a thin convenience wrapper (run a
 //! configuration, print selected figures).
 
-use crate::config::{RunPlan, ScenarioKind, SutConfig};
+use crate::config::{RunPlan, ScenarioKind, SchedMode, SutConfig};
 use jas_faults::FaultPlan;
 use jas_simkernel::SimDuration;
 use jas_trace::TraceSpec;
@@ -27,6 +27,8 @@ pub enum FigureSelect {
     Tprof,
     /// The periodic vmstat interval rows.
     Vmstat,
+    /// The scheduler-occupancy report.
+    Sched,
 }
 
 /// Parsed command line.
@@ -92,6 +94,10 @@ OPTIONS:
     --seed <N>           RNG seed (default: fixed project seed)
     --threads <N>        host threads for per-core execution (default 1;
                          results are identical for every value)
+    --sched <MODE>       quantum | event (default quantum); `event` runs
+                         the discrete-event scheduler, which skips
+                         provably idle quanta and produces bit-identical
+                         digests to `quantum`
     --scenario <NAME>    jas | trade (default jas)
     --no-large-pages     back the Java heap with 4 KB pages
     --code-large-pages   put JIT/native code on 16 MB pages
@@ -103,7 +109,7 @@ OPTIONS:
                          seconds, rate in [0,1]; @FILE reads the spec
                          from FILE
     --figure <SEL>       all | 2..10 | locking | utilization | resilience |
-                         tprof | vmstat (default all)
+                         tprof | vmstat | sched (default all)
     --trace <SPEC>       record trace events: all | off | a comma list of
                          req,pool,rmi,jms,db,resil,gc,alloc,quantum,hpm;
                          prints TRACE_DIGEST after the run (default off)
@@ -213,6 +219,17 @@ where
                 }
                 i += 1;
             }
+            "--sched" => {
+                config.sched = match value {
+                    Some("quantum") => SchedMode::Quantum,
+                    Some("event") => SchedMode::Event,
+                    Some(other) => {
+                        return Err(CliError(format!("unknown sched '{other}' (quantum|event)")))
+                    }
+                    None => return Err(CliError("--sched requires a value".into())),
+                };
+                i += 1;
+            }
             "--scenario" => {
                 config.scenario = match value {
                     Some("jas") => ScenarioKind::JAppServer,
@@ -289,6 +306,7 @@ where
                     Some("resilience") => FigureSelect::Resilience,
                     Some("tprof") => FigureSelect::Tprof,
                     Some("vmstat") => FigureSelect::Vmstat,
+                    Some("sched") => FigureSelect::Sched,
                     Some(n) => {
                         let n: u8 = n
                             .parse()
@@ -445,9 +463,31 @@ mod tests {
             parse(&["--figure", "vmstat"]).unwrap().select,
             FigureSelect::Vmstat
         );
+        assert_eq!(
+            parse(&["--figure", "sched"]).unwrap().select,
+            FigureSelect::Sched
+        );
         assert!(parse(&["--figure", "1"]).is_err());
         assert!(parse(&["--figure", "11"]).is_err());
         assert!(parse(&["--figure", "xyz"]).is_err());
+    }
+
+    #[test]
+    fn sched_flag_parses() {
+        assert_eq!(parse(&[]).unwrap().config.sched, SchedMode::Quantum);
+        assert_eq!(
+            parse(&["--sched", "quantum"]).unwrap().config.sched,
+            SchedMode::Quantum
+        );
+        assert_eq!(
+            parse(&["--sched", "event"]).unwrap().config.sched,
+            SchedMode::Event
+        );
+        assert!(parse(&["--sched"]).unwrap_err().0.contains("requires"));
+        assert!(parse(&["--sched", "cfs"])
+            .unwrap_err()
+            .0
+            .contains("unknown sched"));
     }
 
     #[test]

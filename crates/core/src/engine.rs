@@ -39,7 +39,7 @@
 //! wall-clock time only. Stop-the-world GC runs sequentially (it is a
 //! global pause by definition).
 
-use crate::config::{RunPlan, ScenarioKind, SutConfig};
+use crate::config::{RunPlan, ScenarioKind, SchedMode, SutConfig};
 use crate::profiles::{profile_for, FootprintConfig};
 use jas_appserver::{
     Admission, AppServer, BreakerState, CircuitBreaker, Message, PlanStep, PoolKind, QueueId,
@@ -48,10 +48,12 @@ use jas_appserver::{
 use jas_cpu::{AddressMap, CorePrivate, CostModel, HpmEvent, Machine, MemEvent, StreamGen};
 use jas_db::{Database, DbError, DbFault, Query};
 use jas_faults::{EventKind, FaultCounters, FaultInjector, FaultKind, FaultLog};
-use jas_hpm::{CpuState, FaultMonitor, GcLogEntry, OmniscientHpm, Tprof, VerboseGc, Vmstat};
+use jas_hpm::{
+    CpuState, FaultMonitor, GcLogEntry, OmniscientHpm, SchedStats, Tprof, VerboseGc, Vmstat,
+};
 use jas_jvm::{Component, GcCycle, Jvm, LockOutcome, MethodId, TxHandle};
 use jas_simkernel::snapshot::{self as snap, Persist, StateIo, WordDigest};
-use jas_simkernel::{Rng, SimDuration, SimTime};
+use jas_simkernel::{ComponentId, Rng, SimDuration, SimTime, WakeHeap};
 use jas_trace::{HostProf, HostProfReport, HostSection, TraceEventKind, Tracer};
 use jas_workload::{
     JasScenario, Metrics, ReplayLog, ReplayScenario, RequestKind, Scenario, TradeScenario,
@@ -74,6 +76,16 @@ const MARK_INSTR_PER_BYTE: f64 = 0.32;
 const SWEEP_INSTR_PER_OBJECT: f64 = 14.0;
 const SWEEP_INSTR_PER_BYTE: f64 = 0.06;
 const COMPACT_INSTR_PER_BYTE: f64 = 1.0;
+
+/// Wake-heap component ids (the deterministic tie-breaker for wake-ups
+/// sharing a tick — see the registration contract in DESIGN.md §12): the
+/// arrival stream, then the HPM-period sampler, then two slots per fault
+/// window (start/end edges), then one slot per task. A running GC registers
+/// nothing: an active pause already pins the engine non-idle.
+const WAKE_ARRIVAL: ComponentId = 0;
+const WAKE_SAMPLER: ComponentId = 1;
+const WAKE_FAULT_BASE: ComponentId = 16;
+const WAKE_TASK_BASE: ComponentId = 1024;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum TaskState {
@@ -255,6 +267,14 @@ pub struct Engine {
     /// When recording, every arrival and compiled plan lands here so the
     /// run can later be replayed without the load generator.
     recorder: Option<ReplayLog>,
+    /// Cached `cfg.sched == SchedMode::Event`: gates wake-up registration
+    /// so the quantum scheduler takes the byte-identical legacy code
+    /// (jas-faults discipline).
+    sched_event: bool,
+    /// The event scheduler's wake-up heap (empty under `--sched quantum`).
+    wakes: WakeHeap,
+    /// Scheduler-occupancy counters (`--figure sched`).
+    sched_stats: SchedStats,
 }
 
 impl Engine {
@@ -318,6 +338,7 @@ impl Engine {
         let tracer = Tracer::new(cfg.trace, cores);
         let trace_active = tracer.active();
         let hostprof = cfg.host_prof.then(HostProf::new);
+        let sched_event = cfg.sched == SchedMode::Event;
         let mut engine = Engine {
             cfg,
             run,
@@ -356,6 +377,9 @@ impl Engine {
             trace_active,
             hostprof,
             recorder: None,
+            sched_event,
+            wakes: WakeHeap::new(),
+            sched_stats: SchedStats::default(),
         };
         // Pre-warm the session store so the live set starts near its
         // steady-state target (the paper measures after a long warm-up; a
@@ -369,6 +393,9 @@ impl Engine {
         engine.jvm.take_gc_cycles(); // warm-up GCs are discarded, not measured
         let (gap, kind) = engine.scenario.next_arrival();
         engine.next_arrival = (SimTime::ZERO + gap, kind);
+        if engine.sched_event {
+            engine.rebuild_wakes();
+        }
         engine
     }
 
@@ -381,12 +408,198 @@ impl Engine {
     /// Runs the whole configured plan (ramp-up + steady state).
     pub fn run_to_end(&mut self) {
         let end = self.run.end();
-        while self.clock < end {
-            self.step_quantum();
-        }
+        self.advance_to(end);
         self.hpm.finish(end);
         if self.faults_active {
             self.faultmon.finish(end);
+        }
+    }
+
+    /// Advances to `until` under the configured scheduler. The quantum
+    /// scheduler executes every quantum; the event scheduler consults the
+    /// wake heap and fast-forwards over provably idle quanta, replicating
+    /// their observable per-quantum effects exactly (DESIGN.md §12), so
+    /// both produce bit-identical simulation state at every boundary.
+    fn advance_to(&mut self, until: SimTime) {
+        if !self.sched_event {
+            while self.clock < until {
+                self.step_quantum();
+            }
+            return;
+        }
+        let q = self.cfg.quantum.as_nanos().max(1);
+        // Quanta [quantum_counter, limit) remain: quantum `n` spans
+        // `[n*q, (n+1)*q)`, and `clock = quantum_counter * q` holds at
+        // every boundary, so `clock < until` ⟺ `quantum_counter < limit`.
+        let limit = until.as_nanos().div_ceil(q);
+        while self.quantum_counter < limit {
+            self.register_standing_wakes();
+            if self.quantum_is_idle() {
+                let wake = self.wakes.next_wake().unwrap_or(limit).min(limit);
+                if wake > self.quantum_counter {
+                    self.skip_idle_quanta(wake - self.quantum_counter);
+                    continue;
+                }
+            }
+            self.step_quantum();
+            self.sched_stats.quanta_executed += 1;
+            self.sched_stats.events_dispatched += self.wakes.take_due(self.quantum_counter - 1);
+        }
+    }
+
+    /// The quantum index whose *start* clock first reaches `at` — the
+    /// quantum that must execute for a `BlockedUntil(at)` unblock check
+    /// (`at <= clock`, evaluated at the quantum start) to see the event.
+    fn wake_tick_at_start(&self, at: SimTime) -> u64 {
+        at.as_nanos().div_ceil(self.cfg.quantum.as_nanos().max(1))
+    }
+
+    /// Registers the standing wake-ups that always exist: the next
+    /// workload arrival (admitted when it falls *before* a quantum's end,
+    /// hence the floor) and the quantum crossing the next HPM-period
+    /// boundary (which must execute so the periodic vmstat row and
+    /// `HpmSample` trace event land at their exact timestamps). Both are
+    /// re-registered — a no-op when unchanged — every scheduler decision.
+    fn register_standing_wakes(&mut self) {
+        let q = self.cfg.quantum.as_nanos().max(1);
+        self.wakes
+            .register(WAKE_ARRIVAL, self.next_arrival.0.as_nanos() / q);
+        let period = self.run.hpm_period.as_nanos().max(1);
+        let boundary = (self.clock.as_nanos() / period + 1) * period;
+        // The quantum whose end first reaches the boundary: every skipped
+        // quantum ends strictly before it, so skipped idle time stays in
+        // the vmstat interval that closes at the boundary.
+        self.wakes.register(WAKE_SAMPLER, (boundary - 1) / q);
+    }
+
+    /// (Re-)registers every wake-up derivable from current state: the
+    /// standing pair, the static fault-window edges, and each blocked
+    /// task. Called at construction and after a checkpoint restore;
+    /// registrations agreeing with an already-populated heap are no-ops,
+    /// and a checkpoint taken under the quantum scheduler (whose heap is
+    /// empty) gets its wake-ups rebuilt from scratch here.
+    fn rebuild_wakes(&mut self) {
+        self.register_standing_wakes();
+        for (w, window) in self.cfg.faults.plan.windows().iter().enumerate() {
+            let comp = WAKE_FAULT_BASE + 2 * w as u64;
+            let start = self.wake_tick_at_start(window.start);
+            let end = self.wake_tick_at_start(window.end);
+            self.wakes.register(comp, start);
+            self.wakes.register(comp + 1, end);
+        }
+        for i in 0..self.tasks.len() {
+            if let TaskState::BlockedUntil(at) = self.tasks[i].state {
+                let tick = self.wake_tick_at_start(at);
+                self.wakes.register(WAKE_TASK_BASE + i as u64, tick);
+            }
+        }
+    }
+
+    /// Whether executing the next quantum would change nothing beyond the
+    /// per-quantum accounting the skip path replicates: no GC pause, no
+    /// JIT backlog, no runnable or due-to-unblock task, no arrival due,
+    /// and — under an armed fault plan — no state-changing fault activity
+    /// at this boundary. Spurious `false` costs only host time; the wake
+    /// heap exists so `true` stretches are skipped in one step.
+    fn quantum_is_idle(&self) -> bool {
+        if self.gc.is_some()
+            || self.jit_backlog_modeled > 1.0
+            || self.ready.iter().any(|r| !r.is_empty())
+            || self.next_arrival.0 < self.clock + self.cfg.quantum
+        {
+            return false;
+        }
+        if self
+            .tasks
+            .iter()
+            .any(|t| matches!(t.state, TaskState::BlockedUntil(at) if at <= self.clock))
+        {
+            return false;
+        }
+        if self.faults_active {
+            // A GC-storm roll draws from the injector RNG whenever its
+            // window is active, and a seize-level change mutates pool
+            // state; either forces the quantum to execute. Window
+            // activity is constant over any skipped range because the
+            // window edges are registered wake-ups.
+            let plan = self.injector.plan();
+            if plan.active_rate(FaultKind::GcStorm, self.clock).is_some() {
+                return false;
+            }
+            let capacity = self.cfg.appserver.web_threads;
+            if self.injector.seize_level(self.clock, capacity)
+                != self.appserver.seized(PoolKind::WebContainer)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Fast-forwards over `k` provably idle quanta, replicating exactly
+    /// what executing each of them would have done: the clock and quantum
+    /// counter advance, traced runs stage-and-merge one zero-cycle
+    /// `CoreQuantum` per core per quantum, steady-state quanta account a
+    /// full idle (or I/O-wait) quantum per core, and the steady-state
+    /// counter snapshot is taken if its boundary was crossed. Everything
+    /// else — HPM counters, RNG streams, every subsystem — is untouched,
+    /// which is precisely what [`Engine::quantum_is_idle`] guarantees.
+    fn skip_idle_quanta(&mut self, k: u64) {
+        let quantum = self.cfg.quantum;
+        let cores = self.cfg.machine.topology.cores();
+        if self.trace_active {
+            let mut at = self.clock;
+            for _ in 0..k {
+                for core in 0..cores {
+                    self.tracer.stage(
+                        core,
+                        at,
+                        core as u64,
+                        TraceEventKind::CoreQuantum { cycles: 0 },
+                    );
+                }
+                self.tracer.merge_staged();
+                at += quantum;
+            }
+        }
+        // Idle accounting batches into one call per state: the spans are
+        // integer nanoseconds, so the sum is exact and order-free.
+        let steady_start = self.run.steady_start();
+        let first_steady = self
+            .quantum_counter
+            .max(self.wake_tick_at_start(steady_start));
+        let k_steady = (self.quantum_counter + k).saturating_sub(first_steady);
+        if k_steady > 0 {
+            let span = quantum * (k_steady * cores as u64);
+            if self.outstanding_io > 0 {
+                self.vmstat.account(CpuState::IoWait, span);
+            } else {
+                self.vmstat.account(CpuState::Idle, span);
+            }
+        }
+        self.quantum_counter += k;
+        self.clock += quantum * k;
+        if self.steady_base.is_none() && self.clock >= steady_start {
+            // Counters did not move inside the batch, so snapshotting at
+            // the batch end equals the executed path's snapshot at the
+            // first steady quantum boundary.
+            self.steady_base = Some(self.machine.total_counters());
+        }
+        self.sched_stats.idle_ticks_skipped += k;
+        if let Some(hp) = self.hostprof.as_mut() {
+            for _ in 0..k {
+                hp.note_quantum();
+            }
+        }
+    }
+
+    /// Blocks `task_idx` until `until`, registering the task's wake-up
+    /// with the event scheduler (heap-free under the quantum scheduler).
+    fn block_until(&mut self, task_idx: usize, until: SimTime) {
+        self.tasks[task_idx].state = TaskState::BlockedUntil(until);
+        if self.sched_event {
+            let tick = self.wake_tick_at_start(until);
+            self.wakes.register(WAKE_TASK_BASE + task_idx as u64, tick);
         }
     }
 
@@ -1147,7 +1360,7 @@ impl Engine {
                             12_000.0 / self.cfg.instruction_scale(),
                         ));
                         let until = self.clock + SimDuration::from_micros(500);
-                        self.tasks[task_idx].state = TaskState::BlockedUntil(until);
+                        self.block_until(task_idx, until);
                         return StepOutcome::Blocked;
                     }
                 }
@@ -1189,9 +1402,9 @@ impl Engine {
                                 // as I/O wait exactly as in the paper's
                                 // hard-disk runs.
                                 if done > self.clock + SimDuration::from_millis(2) {
-                                    t.state = TaskState::BlockedUntil(done);
                                     t.io_blocked = true;
                                     self.outstanding_io += 1;
+                                    self.block_until(task_idx, done);
                                     return StepOutcome::Blocked;
                                 }
                             }
@@ -1206,7 +1419,7 @@ impl Engine {
                                 self.tracer.emit(self.clock, task_idx as u64 + 1, what);
                             }
                             let until = self.clock + SimDuration::from_millis(1);
-                            self.tasks[task_idx].state = TaskState::BlockedUntil(until);
+                            self.block_until(task_idx, until);
                             return StepOutcome::Blocked;
                         }
                         Err(_) => {
@@ -1326,9 +1539,9 @@ impl Engine {
                 }
                 if let Some(done) = report.io_done {
                     if done > now + SimDuration::from_millis(2) {
-                        t.state = TaskState::BlockedUntil(done);
                         t.io_blocked = true;
                         self.outstanding_io += 1;
+                        self.block_until(task_idx, done);
                         return Some(StepOutcome::Blocked);
                     }
                 }
@@ -1344,8 +1557,7 @@ impl Engine {
                     };
                     self.tracer.emit(now, task_idx as u64 + 1, what);
                 }
-                self.tasks[task_idx].state =
-                    TaskState::BlockedUntil(now + SimDuration::from_millis(1));
+                self.block_until(task_idx, now + SimDuration::from_millis(1));
                 Some(StepOutcome::Blocked)
             }
             Err(DbError::Timeout(_)) => {
@@ -1392,7 +1604,7 @@ impl Engine {
                     .faults
                     .retry
                     .delay(self.cfg.seed ^ task_idx as u64, attempt);
-                self.tasks[task_idx].state = TaskState::BlockedUntil(now + delay);
+                self.block_until(task_idx, now + delay);
                 return Some(StepOutcome::Blocked);
             }
             // Poison message: park it and fail the work order. The step
@@ -1435,7 +1647,7 @@ impl Engine {
             .faults
             .retry
             .delay(self.cfg.seed ^ task_idx as u64, attempt);
-        self.tasks[task_idx].state = TaskState::BlockedUntil(self.clock + delay);
+        self.block_until(task_idx, self.clock + delay);
         self.injector
             .note(self.clock, EventKind::RetryScheduled { attempt });
         if self.trace_active {
@@ -1800,6 +2012,19 @@ impl Engine {
         self.machine.total_counters()
     }
 
+    /// Scheduler-occupancy counters ([`SchedStats`]). Under the quantum
+    /// scheduler the wake heap stays empty, nothing is ever skipped, and
+    /// `quanta_executed` is simply the quantum counter.
+    #[must_use]
+    pub fn sched_stats(&self) -> SchedStats {
+        let mut s = self.sched_stats;
+        if !self.sched_event {
+            s.quanta_executed = self.quantum_counter;
+        }
+        s.heap_high_water = s.heap_high_water.max(self.wakes.high_water());
+        s
+    }
+
     /// Fraction of a GC pause spent marking, from the most recent pause
     /// composition (`None` before the first completed GC).
     #[must_use]
@@ -1963,10 +2188,20 @@ impl Engine {
         );
         self.scenario.persist_state(io);
         snap::persist_opt(io, &mut self.recorder);
+        // Version 2 tail: the wake heap (canonical live-registration form)
+        // and scheduler-occupancy counters. Written under both schedulers
+        // so the payload layout is scheduler-independent (the fingerprint
+        // normalizes `sched` out); restoring under the event scheduler
+        // re-derives any wake-ups a quantum-mode checkpoint lacks.
+        self.wakes.persist(io);
+        self.sched_stats.persist(io);
+        if !io.saving() && self.sched_event {
+            self.rebuild_wakes();
+        }
         // Skipped on purpose: cfg/run (identity — must match at restore),
         // method_cdf (config-derived), event_bufs (drained every quantum),
-        // faults_active/trace_active (cached config flags), hostprof
-        // (host wall-clock; never simulation state).
+        // faults_active/trace_active/sched_event (cached config flags),
+        // hostprof (host wall-clock; never simulation state).
     }
 
     /// FNV-1a fingerprint of the complete mutable simulation state.
@@ -2055,6 +2290,10 @@ impl Engine {
         let mut dg = WordDigest::new();
         snap::persist_opt(&mut dg, &mut self.recorder);
         out.push(("recorder", dg.value()));
+        let mut dg = WordDigest::new();
+        self.wakes.persist(&mut dg);
+        self.sched_stats.persist(&mut dg);
+        out.push(("sched", dg.value()));
         out
     }
 
@@ -2073,9 +2312,7 @@ impl Engine {
     /// instrument windows, so the run can be resumed — or checkpointed.
     pub fn run_to(&mut self, until: SimTime) {
         let until = until.min(self.run.end());
-        while self.clock < until {
-            self.step_quantum();
-        }
+        self.advance_to(until);
     }
 
     /// Starts recording arrivals and compiled plans for later replay.
@@ -2253,6 +2490,66 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The event scheduler must be an exact drop-in: every state section
+    /// except its own heap/counters is bit-identical to the quantum
+    /// scheduler's at end of run.
+    #[test]
+    fn event_scheduler_is_bit_identical_on_a_quick_run() {
+        let mut quantum = quick_engine();
+        quantum.run_to_end();
+        let mut cfg = SutConfig::at_ir(10);
+        cfg.machine.frequency_hz = 100_000.0;
+        cfg.jvm.heap.capacity = 8 << 20;
+        cfg.jvm.live_target = 2 << 20;
+        cfg.sched = SchedMode::Event;
+        let mut event = Engine::new(cfg, RunPlan::quick());
+        event.run_to_end();
+        assert_eq!(event.hpm_digest(), quantum.hpm_digest());
+        assert_eq!(event.completed_requests(), quantum.completed_requests());
+        for ((name_q, dig_q), (name_e, dig_e)) in quantum
+            .state_section_digests()
+            .into_iter()
+            .zip(event.state_section_digests())
+        {
+            assert_eq!(name_q, name_e);
+            if name_q == "sched" {
+                continue; // the wake heap itself differs by construction
+            }
+            assert_eq!(dig_q, dig_e, "section '{name_q}' diverged");
+        }
+    }
+
+    /// Under a light load on a fast machine the event scheduler actually
+    /// skips quanta — and still lands on identical results.
+    #[test]
+    fn event_scheduler_skips_idle_quanta() {
+        let idle_cfg = || {
+            let mut cfg = SutConfig::at_ir(1);
+            cfg.machine.frequency_hz = 50_000_000.0;
+            cfg
+        };
+        let mut quantum = Engine::new(idle_cfg(), RunPlan::quick());
+        quantum.run_to_end();
+        let mut cfg = idle_cfg();
+        cfg.sched = SchedMode::Event;
+        let mut event = Engine::new(cfg, RunPlan::quick());
+        event.run_to_end();
+        let stats = event.sched_stats();
+        assert!(
+            stats.idle_ticks_skipped > 0,
+            "a near-idle run must skip quanta: {stats:?}"
+        );
+        assert_eq!(
+            stats.total_ticks(),
+            quantum.sched_stats().quanta_executed,
+            "skipped + executed must cover the whole run"
+        );
+        assert!(stats.heap_high_water > 0);
+        assert_eq!(event.hpm_digest(), quantum.hpm_digest());
+        assert_eq!(event.completed_requests(), quantum.completed_requests());
+        assert_eq!(event.steady_counters(), quantum.steady_counters());
     }
 
     /// A fault plan covering every kind, inside `RunPlan::quick`'s 45 s.

@@ -8,7 +8,7 @@ use jas_cpu::CounterFile;
 use jas_db::{DeviceStats, PoolStats, TxnStats};
 use jas_faults::FaultCounters;
 use jas_hpm::{
-    Flatness, GcLogEntry, GcLogSummary, OmniscientHpm, Tprof, Utilization, VmstatSample,
+    Flatness, GcLogEntry, GcLogSummary, OmniscientHpm, SchedStats, Tprof, Utilization, VmstatSample,
 };
 use jas_jvm::LockStats;
 use jas_trace::Tracer;
@@ -80,6 +80,9 @@ pub struct RunArtifacts {
     pub trace_digest: u64,
     /// Rendered `HOSTPROF` section, when host profiling was on.
     pub hostprof_text: Option<String>,
+    /// Scheduler-occupancy counters (quanta executed/skipped, wake-ups
+    /// dispatched, heap high-water mark).
+    pub sched: SchedStats,
 }
 
 /// Runs `cfg` under `plan` to completion and collects the artifacts.
@@ -122,6 +125,7 @@ pub fn run_artifacts_from(config: SutConfig, plan: RunPlan, engine: Engine) -> R
     let tprof_text = engine.tprof().render(engine.jvm().registry(), 20);
     let vmstat_samples = engine.vmstat().samples().to_vec();
     let hostprof_text = engine.host_profile().map(|r| r.render());
+    let sched = engine.sched_stats();
     let (hpm, tprof, trace) = engine.into_instruments();
     let trace_digest = trace.digest();
     RunArtifacts {
@@ -156,6 +160,7 @@ pub fn run_artifacts_from(config: SutConfig, plan: RunPlan, engine: Engine) -> R
         trace,
         trace_digest,
         hostprof_text,
+        sched,
     }
 }
 
@@ -191,6 +196,30 @@ mod tests {
         assert!(
             art.hostprof_text.is_none(),
             "host profiling defaults to off"
+        );
+        assert!(art.sched.quanta_executed > 0);
+        assert_eq!(
+            art.sched.idle_ticks_skipped, 0,
+            "the quantum scheduler never skips"
+        );
+    }
+
+    #[test]
+    fn event_sched_experiment_matches_quantum() {
+        let mut cfg = SutConfig::at_ir(10);
+        cfg.machine.frequency_hz = 100_000.0;
+        cfg.jvm.heap.capacity = 8 << 20;
+        cfg.jvm.live_target = 2 << 20;
+        let quantum = run_experiment(cfg.clone(), RunPlan::quick());
+        cfg.sched = crate::config::SchedMode::Event;
+        let event = run_experiment(cfg, RunPlan::quick());
+        assert_eq!(event.hpm_digest, quantum.hpm_digest);
+        assert_eq!(event.completed, quantum.completed);
+        assert_eq!(event.jops, quantum.jops);
+        assert_eq!(
+            event.sched.total_ticks(),
+            quantum.sched.quanta_executed,
+            "skipped + executed quanta must cover the same timeline"
         );
     }
 

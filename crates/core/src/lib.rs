@@ -38,7 +38,7 @@ pub mod reduce;
 pub mod report;
 
 pub use checkpoint::{checkpoint_bytes, config_fingerprint, restore_engine, validate_checkpoint};
-pub use config::{FaultsConfig, RunPlan, ScenarioKind, SutConfig};
+pub use config::{FaultsConfig, RunPlan, ScenarioKind, SchedMode, SutConfig};
 pub use engine::Engine;
 pub use experiment::{run_artifacts_from, run_experiment, RunArtifacts};
 pub use jas_cpu::{CounterFile, HpmEvent};

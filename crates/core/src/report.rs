@@ -2,7 +2,8 @@
 
 use crate::figures::{
     Fig10Correlation, Fig2Throughput, Fig3Gc, Fig4Profile, Fig5Cpi, Fig6Branch, Fig7Tlb, Fig8L1d,
-    Fig9DataFrom, LockingTable, ResilienceTable, TprofTable, UtilizationTable, VmstatTable,
+    Fig9DataFrom, LockingTable, ResilienceTable, SchedTable, TprofTable, UtilizationTable,
+    VmstatTable,
 };
 use std::fmt::Write as _;
 
@@ -325,6 +326,26 @@ pub fn render_tprof(t: &TprofTable) -> String {
     out
 }
 
+/// Renders the scheduler-occupancy report.
+#[must_use]
+pub fn render_sched(t: &SchedTable) -> String {
+    let mut out = String::from("Scheduler Occupancy\n");
+    let _ = writeln!(out, "  mode {:?}", t.mode);
+    let _ = writeln!(
+        out,
+        "  quanta executed {}   skipped {}   ({:.1}% of the timeline was free)",
+        t.executed,
+        t.skipped,
+        t.skip_fraction * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  wake-ups dispatched {}   heap high-water {}",
+        t.events_dispatched, t.heap_high_water
+    );
+    out
+}
+
 /// Renders the periodic vmstat report.
 #[must_use]
 pub fn render_vmstat(t: &VmstatTable) -> String {
@@ -544,5 +565,24 @@ mod tests {
             idle: 0.0,
         });
         assert!(empty.contains("no samples"));
+    }
+
+    #[test]
+    fn render_sched_reports_occupancy() {
+        let text = render_sched(&SchedTable {
+            mode: crate::config::SchedMode::Event,
+            executed: 250,
+            skipped: 750,
+            events_dispatched: 412,
+            heap_high_water: 9,
+            skip_fraction: 0.75,
+        });
+        assert!(text.starts_with("Scheduler Occupancy"));
+        assert!(text.contains("mode Event"));
+        assert!(text.contains("executed 250"));
+        assert!(text.contains("skipped 750"));
+        assert!(text.contains("75.0% of the timeline was free"));
+        assert!(text.contains("dispatched 412"));
+        assert!(text.contains("high-water 9"));
     }
 }

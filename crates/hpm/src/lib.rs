@@ -13,6 +13,9 @@
 //! * [`VerticalProfiler`] — cross-layer (vertical) correlation of series
 //!   from different tools, including lagged correlation (the methodology
 //!   the paper's future work points at).
+//! * [`SchedStats`] — scheduler-occupancy counters for the event-driven
+//!   engine scheduler (`--figure sched`): wake-ups dispatched, idle quanta
+//!   skipped, wake-heap high-water mark.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +23,7 @@
 mod faultmon;
 mod groups;
 mod hpmstat;
+mod sched;
 mod tprof;
 mod verbosegc;
 mod vertical;
@@ -28,6 +32,7 @@ mod vmstat;
 pub use faultmon::FaultMonitor;
 pub use groups::CounterGroup;
 pub use hpmstat::{EventSeries, Hpmstat, OmniscientHpm};
+pub use sched::SchedStats;
 pub use tprof::{ComponentShare, Flatness, Tprof};
 pub use verbosegc::{GcLogEntry, GcLogSummary, VerboseGc};
 pub use vertical::VerticalProfiler;

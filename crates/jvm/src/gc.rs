@@ -230,6 +230,7 @@ fn mark(heap: &mut SimHeap, roots: &[ObjectId], traversal: Traversal, report: &m
         let next = match traversal {
             Traversal::DepthFirst => stack.pop(),
             Traversal::BreadthFirst => queue.pop_front(),
+            // jas-lint: allow(D008, reason = "key is (addr, ObjectId); addresses are unique per live object and ObjectId breaks any residual tie")
             Traversal::AddressOrdered => addr_heap.pop().map(|Reverse((_, id))| id),
         };
         let Some(id) = next else { break };

@@ -1,4 +1,4 @@
-//! The determinism & invariant rules, D001–D007.
+//! The determinism & invariant rules, D001–D008.
 //!
 //! Every rule is a pure function over the token stream (plus comment trivia
 //! for D004) that yields [`RuleHit`]s. Path scoping, severity, test-span
@@ -14,13 +14,14 @@
 //! | D005 | `Ordering::Relaxed` | relaxed atomics make cross-thread reconciliation order observable |
 //! | D006 | `.unwrap()` / `.expect("")` | panics without context; library paths must say what invariant broke |
 //! | D007 | `let _ = <expr>` / bare `.ok();` | silently discards a `Result`; a swallowed error turns a deterministic failure into divergent state |
+//! | D008 | `.pop()` / `.peek()` on a `BinaryHeap` binding | equal-key pop order is heap-internal; without a total ordering key (a deterministic tie-breaker), dispatch order leaks insertion history into simulation state |
 
 use crate::lexer::{Lexed, TokKind, Token};
 
 /// One raw rule match, before severity/suppression filtering.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RuleHit {
-    /// Rule identifier (`D001`…`D007`).
+    /// Rule identifier (`D001`…`D008`).
     pub rule: &'static str,
     /// 1-based line of the match.
     pub line: u32,
@@ -29,7 +30,9 @@ pub struct RuleHit {
 }
 
 /// All rule identifiers, in order.
-pub const ALL_RULES: &[&str] = &["D001", "D002", "D003", "D004", "D005", "D006", "D007"];
+pub const ALL_RULES: &[&str] = &[
+    "D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008",
+];
 
 /// Runs every rule over one lexed file.
 #[must_use]
@@ -42,6 +45,7 @@ pub fn check(lexed: &Lexed) -> Vec<RuleHit> {
     d005_relaxed_ordering(lexed, &mut hits);
     d006_unwrap(lexed, &mut hits);
     d007_discarded_result(lexed, &mut hits);
+    d008_heap_pop_ordering(lexed, &mut hits);
     hits.sort_by_key(|h| (h.line, h.rule));
     hits
 }
@@ -334,6 +338,71 @@ fn ok_value_is_consumed(toks: &[Token], dot: usize) -> bool {
     false
 }
 
+/// D008: `.pop()` / `.peek()` on a binding declared as a `BinaryHeap`.
+///
+/// `BinaryHeap` pops equal keys in a heap-internal order that depends on
+/// insertion history, so a dispatch loop driven by a heap whose ordering
+/// key is not total (no deterministic tie-breaker) leaks that history into
+/// simulation state. The rule is lexical and cannot see the key type, so
+/// it flags *every* pop/peek on a heap-typed binding; each sanctioned site
+/// documents its tie-breaker with
+/// `// jas-lint: allow(D008, reason = "key is (…, seq)")`.
+fn d008_heap_pop_ordering(lexed: &Lexed, hits: &mut Vec<RuleHit>) {
+    let toks = &lexed.tokens;
+    // Pass 1: bindings introduced as `BinaryHeap` — a type annotation or
+    // struct field (`name: [path::]BinaryHeap<…>`) or an initializer
+    // (`name = [path::]BinaryHeap::new()`).
+    let mut heaps: Vec<&str> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.kind == TokKind::Ident && t.text == "BinaryHeap") {
+            continue;
+        }
+        // Walk back over a qualifying path (`std::collections::`).
+        let mut j = i;
+        while j >= 3
+            && punct_at(toks, j - 1, ':')
+            && punct_at(toks, j - 2, ':')
+            && toks[j - 3].kind == TokKind::Ident
+        {
+            j -= 3;
+        }
+        if j < 2 {
+            continue;
+        }
+        let binds = (punct_at(toks, j - 1, ':') && !punct_at(toks, j - 2, ':'))
+            || punct_at(toks, j - 1, '=');
+        if binds && toks[j - 2].kind == TokKind::Ident {
+            heaps.push(&toks[j - 2].text);
+        }
+    }
+    if heaps.is_empty() {
+        return;
+    }
+    // Pass 2: `.pop()` / `.peek()` where the receiver is a heap binding.
+    for i in 2..toks.len() {
+        let method = &toks[i];
+        if !(method.kind == TokKind::Ident && (method.text == "pop" || method.text == "peek")) {
+            continue;
+        }
+        if !(punct_at(toks, i - 1, '.') && punct_at(toks, i + 1, '(')) {
+            continue;
+        }
+        let recv = &toks[i - 2];
+        if recv.kind == TokKind::Ident && heaps.contains(&recv.text.as_str()) {
+            hits.push(RuleHit {
+                rule: "D008",
+                line: method.line,
+                message: format!(
+                    "`{}.{}()` dispatches from a `BinaryHeap`; equal keys pop in heap-internal \
+                     order, so the ordering key needs a deterministic tie-breaker — document it \
+                     with `jas-lint: allow(D008, reason = \"…\")`",
+                    recv.text, method.text
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -445,6 +514,42 @@ mod tests {
         assert!(rules_hit("let _ignored = sender.send(msg);").is_empty());
         // Wildcards inside patterns are not discards.
         assert!(rules_hit("let (_, rest) = pair;").is_empty());
+    }
+
+    #[test]
+    fn d008_flags_pops_on_heap_bindings() {
+        // Type-annotated local.
+        assert_eq!(
+            rules_hit("let mut h: BinaryHeap<u64> = BinaryHeap::new();\nh.pop();"),
+            [("D008", 2)]
+        );
+        // Struct field, popped through `self`.
+        assert_eq!(
+            rules_hit("struct Q { heap: BinaryHeap<Entry> }\nfn f(q: &mut Q) { q.heap.pop(); }"),
+            [("D008", 2)]
+        );
+        // Initializer without an annotation, fully qualified path, peek.
+        assert_eq!(
+            rules_hit("let h = std::collections::BinaryHeap::from(v);\nh.peek();"),
+            [("D008", 2)]
+        );
+    }
+
+    #[test]
+    fn d008_ignores_non_heap_receivers() {
+        // Vec::pop and VecDeque::pop_front are deterministic.
+        assert!(rules_hit("let mut stack = Vec::new();\nstack.pop();").is_empty());
+        assert!(rules_hit("queue.pop_front();").is_empty());
+        // A wrapper method named `pop` on a non-heap binding is not the
+        // heap's pop, even when the file also declares a heap.
+        assert!(rules_hit(
+            "struct Q { heap: BinaryHeap<Entry> }\nfn f(q: &mut Q) { q.inner.pop(); }"
+        )
+        .is_empty());
+        // push never fires.
+        assert!(
+            rules_hit("let mut h: BinaryHeap<u64> = BinaryHeap::new();\nh.push(1);").is_empty()
+        );
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! D008 fixture: a `BinaryHeap` dispatch loop whose ordering key has no
+//! deterministic tie-breaker.
+
+use std::collections::BinaryHeap;
+
+pub struct Pending {
+    heap: BinaryHeap<u64>,
+}
+
+impl Pending {
+    pub fn next(&self) -> Option<u64> {
+        self.heap.peek().copied()
+    }
+
+    pub fn take(&mut self) -> Option<u64> {
+        self.heap.pop()
+    }
+}
+
+pub fn drain(mut work: BinaryHeap<(u64, u64)>) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    // jas-lint: allow(D008, reason = "key is (priority, seq); seq is a unique FIFO tie-breaker")
+    while let Some(item) = work.pop() {
+        out.push(item);
+    }
+    out
+}
+
+pub fn not_a_heap(stack: &mut Vec<u64>) -> Option<u64> {
+    stack.pop()
+}

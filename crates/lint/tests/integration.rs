@@ -34,6 +34,8 @@ fn every_rule_detects_its_fixture_violation() {
         ("D006", "crates/fixture/src/d006.rs", 4),
         ("D007", "crates/fixture/src/d007.rs", 4),
         ("D007", "crates/fixture/src/d007.rs", 8),
+        ("D008", "crates/fixture/src/d008.rs", 12),
+        ("D008", "crates/fixture/src/d008.rs", 16),
         ("D002", "crates/fixture/src/host_timer.rs", 6),
         ("S000", "crates/fixture/src/suppressed.rs", 12),
         ("D006", "crates/fixture/src/suppressed.rs", 14),
@@ -85,7 +87,7 @@ fn severity_config_downgrades_to_warn() {
     let toml = "\n[rules.D001]\nseverity = \"warn\"\n[rules.D002]\nseverity = \"warn\"\n\
 [rules.D003]\nseverity = \"warn\"\n[rules.D004]\nseverity = \"warn\"\n\
 [rules.D005]\nseverity = \"warn\"\n[rules.D006]\nseverity = \"warn\"\n\
-[rules.D007]\nseverity = \"warn\"\n";
+[rules.D007]\nseverity = \"warn\"\n[rules.D008]\nseverity = \"warn\"\n";
     let cfg = Config::parse(toml).expect("config parses");
     let f = lint_tree(&cfg, &fixture_base());
     // The S000 meta-finding stays deny; everything else is a warning.
@@ -105,7 +107,7 @@ fn binary_deny_exits_nonzero_on_fixtures() {
     assert_eq!(out.status.code(), Some(2), "deny findings must exit 2");
     let stdout = String::from_utf8(out.stdout).expect("utf8 output");
     for rule in [
-        "D001", "D002", "D003", "D004", "D005", "D006", "D007", "S000",
+        "D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008", "S000",
     ] {
         assert!(stdout.contains(rule), "JSON mentions {rule}: {stdout}");
     }

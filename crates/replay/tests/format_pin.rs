@@ -42,8 +42,9 @@ fn magic_words_match_the_spec() {
 #[test]
 fn container_version_is_pinned() {
     // Bumping this constant invalidates every committed checkpoint: do it
-    // only with a matching docs/jckpt-format.md update.
-    assert_eq!(JCKPT_VERSION, 1);
+    // only with a matching docs/jckpt-format.md update. Version 2 appended
+    // the event scheduler's wake heap and occupancy counters.
+    assert_eq!(JCKPT_VERSION, 2);
 }
 
 #[test]
@@ -69,11 +70,12 @@ fn jckpt_header_layout_is_pinned() {
 }
 
 #[test]
-fn fingerprint_is_thread_and_hostprof_invariant_only() {
+fn fingerprint_is_thread_hostprof_and_sched_invariant_only() {
     let cfg = quick_cfg();
     let mut threaded = cfg.clone();
     threaded.threads = 8;
     threaded.host_prof = true;
+    threaded.sched = jas_replay::SchedMode::Event;
     assert_eq!(config_fingerprint(&cfg), config_fingerprint(&threaded));
 
     let mut reseeded = cfg.clone();

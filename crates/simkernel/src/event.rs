@@ -81,6 +81,7 @@ impl EventQueue {
     /// Firing time of the earliest pending event, if any.
     #[must_use]
     pub fn next_time(&self) -> Option<SimTime> {
+        // jas-lint: allow(D008, reason = "Entry orders on (at, seq); the seq counter is a FIFO tie-breaker for simultaneous events")
         self.heap.peek().map(|e| e.at)
     }
 
@@ -91,6 +92,7 @@ impl EventQueue {
     }
 
     fn pop(&mut self) -> Option<(SimTime, BoxedEvent)> {
+        // jas-lint: allow(D008, reason = "Entry orders on (at, seq); the seq counter is a FIFO tie-breaker for simultaneous events")
         self.heap.pop().map(|e| (e.at, e.run))
     }
 }

@@ -1,12 +1,15 @@
 //! Discrete-event simulation kernel used by every layer of the `jas2004`
 //! full-system simulator.
 //!
-//! The kernel provides five things and nothing else:
+//! The kernel provides six things and nothing else:
 //!
 //! * **Simulated time** ([`SimTime`], [`SimDuration`]) — nanosecond-resolution
 //!   newtypes so wall-clock and simulated time can never be confused.
 //! * **An event queue** ([`EventQueue`], [`Scheduler`]) — a monotonic
 //!   priority queue of closures with deterministic FIFO tie-breaking.
+//! * **A wake-up heap** ([`WakeHeap`]) — the event-driven engine scheduler's
+//!   deterministic min-heap of `(tick, component, seq)` wake-ups, with lazy
+//!   invalidation and a canonical checkpoint form.
 //! * **Deterministic randomness** ([`Rng`]) and the distributions the
 //!   workload model needs ([`dist`]).
 //! * **Time-series recording** ([`SeriesRecorder`]) — fixed-interval sampling
@@ -46,6 +49,7 @@ mod rng;
 mod series;
 pub mod snapshot;
 mod time;
+mod wake;
 
 pub use det::{DetMap, DetSet};
 pub use event::{EventQueue, Scheduler};
@@ -53,3 +57,4 @@ pub use rng::Rng;
 pub use series::{SeriesRecorder, SeriesSample};
 pub use snapshot::{Loader, Persist, Saver, StateIo};
 pub use time::{SimDuration, SimTime};
+pub use wake::{ComponentId, WakeHeap};

@@ -231,6 +231,21 @@ impl Bencher {
         self.iters = 1;
         self.fields = fields;
     }
+
+    /// [`Bencher::iter_with_work`] and [`Bencher::iter_with_fields`]
+    /// combined: the routine reports both its simulated work totals and
+    /// extra per-row JSON fields (e.g. a scheduler's skip fraction).
+    pub fn iter_with_work_fields<R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> ((f64, f64), Vec<(&'static str, f64)>),
+    {
+        let start = Instant::now();
+        let (work, fields) = black_box(routine());
+        self.elapsed = start.elapsed();
+        self.iters = 1;
+        self.work = Some(work);
+        self.fields = fields;
+    }
 }
 
 /// Commit hash for provenance of bench artifacts: `$GITHUB_SHA` when CI
