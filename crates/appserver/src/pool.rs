@@ -199,7 +199,7 @@ impl Persist for PoolUsage {
 }
 
 impl Persist for BoundedPool {
-    // `name` and `capacity` are construction-time config.
+    // jas-lint: allow(D009, reason = "name and capacity are construction-time configuration")
     fn persist(&mut self, io: &mut dyn StateIo) {
         self.in_use.persist(io);
         self.seized.persist(io);

@@ -206,6 +206,7 @@ impl Persist for BreakerState {
 
 impl Persist for CircuitBreaker {
     // `cfg` is immutable tuning.
+    // jas-lint: allow(D009, reason = "cfg is construction-time configuration, rebuilt from the run plan on restore")
     fn persist(&mut self, io: &mut dyn StateIo) {
         self.state.persist(io);
         self.consecutive_failures.persist(io);

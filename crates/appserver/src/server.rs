@@ -166,6 +166,7 @@ use jas_simkernel::snapshot::{Persist, StateIo};
 
 impl Persist for AppServer {
     // `work_order_queue` is assigned at boot and never changes.
+    // jas-lint: allow(D009, reason = "work_order_queue is assigned at boot from config and never mutated")
     fn persist(&mut self, io: &mut dyn StateIo) {
         self.web.persist(io);
         self.orb.persist(io);

@@ -186,6 +186,7 @@ impl BranchUnit {
 use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
 
 impl Persist for LinkStack {
+    // jas-lint: allow(D009, reason = "capacity is config-derived sizing, rebuilt by construction")
     fn persist(&mut self, io: &mut dyn StateIo) {
         snap::persist_vec(io, &mut self.entries);
     }
@@ -194,6 +195,7 @@ impl Persist for LinkStack {
 impl Persist for BranchUnit {
     /// `history_mask` is config-derived; tables, global history, and the
     /// prediction statistics are the mutable state.
+    // jas-lint: allow(D009, reason = "history_mask is config-derived sizing, rebuilt by construction")
     fn persist(&mut self, io: &mut dyn StateIo) {
         snap::persist_slice(io, &mut self.pht);
         self.history.persist(io);

@@ -365,6 +365,7 @@ use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
 impl Persist for MemorySystem {
     /// The topology is config-derived; every shared cache bank and the
     /// store-combining scratch survive the checkpoint.
+    // jas-lint: allow(D009, reason = "topo is the machine topology, pure configuration")
     fn persist(&mut self, io: &mut dyn StateIo) {
         snap::persist_slice(io, &mut self.l2s);
         snap::persist_slice(io, &mut self.l3s);

@@ -709,6 +709,7 @@ impl Persist for CorePrivate {
     /// `fast` and `mru_ok` are config-derived and `pf_decision` is
     /// per-miss scratch; everything else a core mutates while executing
     /// survives the checkpoint.
+    // jas-lint: allow(D009, reason = "fast and mru_ok are config-derived; pf_decision is per-miss scratch, dead at quantum boundaries")
     fn persist(&mut self, io: &mut dyn StateIo) {
         self.l1i.persist(io);
         self.l1d.persist(io);
@@ -734,6 +735,7 @@ impl Persist for CorePrivate {
 }
 
 impl Persist for Machine {
+    // jas-lint: allow(D009, reason = "cfg is configuration; scratch is a per-op event buffer, drained before any checkpoint boundary")
     fn persist(&mut self, io: &mut dyn StateIo) {
         snap::persist_slice(io, &mut self.cores);
         self.mem.persist(io);

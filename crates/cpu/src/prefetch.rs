@@ -228,6 +228,7 @@ impl Persist for Stream {
 impl Persist for Prefetcher {
     /// `cfg` is immutable; stream slots, the miss-guess ring, and the
     /// note-back scratch words are the mutable state.
+    // jas-lint: allow(D009, reason = "cfg is construction-time configuration")
     fn persist(&mut self, io: &mut dyn StateIo) {
         snap::persist_slice(io, &mut self.streams);
         snap::persist_slice(io, &mut self.recent_misses);

@@ -818,6 +818,7 @@ impl Persist for StreamGen {
     /// config-derived; the RNG cursor, per-region walkers, reservation and
     /// allocation scratch, software return stack, and the buffered op
     /// block are the mutable state.
+    // jas-lint: allow(D009, reason = "profile, mix, zipf and region tables and the salt are derived from config plus core id at construction")
     fn persist(&mut self, io: &mut dyn StateIo) {
         self.rng.persist(io);
         self.ia.persist(io);

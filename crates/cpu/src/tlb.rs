@@ -382,6 +382,7 @@ impl Persist for TranslationCache {
     /// `mask` and `capacity` are config-derived; the slot array (which
     /// grows lazily up to capacity), hash map array, and LRU chain
     /// endpoints are the mutable state.
+    // jas-lint: allow(D009, reason = "capacity and mask are config-derived sizing, rebuilt by construction")
     fn persist(&mut self, io: &mut dyn StateIo) {
         snap::persist_vec(io, &mut self.slots);
         snap::persist_slice(io, &mut self.map);

@@ -283,6 +283,7 @@ impl Persist for Node {
 
 impl Persist for BTree {
     // `order` is fixed at construction (schema config) and not persisted.
+    // jas-lint: allow(D009, reason = "order is construction-time configuration")
     fn persist(&mut self, io: &mut dyn StateIo) {
         self.root.persist(io);
         snap::persist_vec(io, &mut self.nodes);

@@ -179,6 +179,7 @@ impl Persist for PoolStats {
 impl Persist for BufferPool {
     // `page_bytes` and `capacity` come from config; `slot_of` is
     // capacity-sized, so it persists in place.
+    // jas-lint: allow(D009, reason = "capacity and page_bytes are construction-time configuration")
     fn persist(&mut self, io: &mut dyn StateIo) {
         snap::persist_map(io, &mut self.resident);
         snap::persist_slice(io, &mut self.slot_of);

@@ -393,6 +393,7 @@ impl Persist for Database {
     // `cfg` is immutable config. Tables are created by the scenario's
     // schema setup before a restore overlays state, so the count is
     // already correct and they persist in place.
+    // jas-lint: allow(D009, reason = "cfg is construction-time configuration")
     fn persist(&mut self, io: &mut dyn StateIo) {
         snap::persist_slice(io, &mut self.tables);
         self.pool.persist(io);

@@ -118,6 +118,7 @@ impl Persist for DeviceStats {
 
 impl Persist for StorageDevice {
     // `kind` (and therefore the spindle count) is config-derived.
+    // jas-lint: allow(D009, reason = "kind is the device model, pure configuration")
     fn persist(&mut self, io: &mut dyn StateIo) {
         snap::persist_slice(io, &mut self.spindle_free_at);
         self.rr_next.persist(io);

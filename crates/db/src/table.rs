@@ -108,6 +108,7 @@ use jas_simkernel::snapshot::{Persist, StateIo};
 impl Persist for Table {
     // Name and page geometry come from the schema; only growth state
     // (row count and the index) is checkpointed.
+    // jas-lint: allow(D009, reason = "name, page_bytes and row_bytes come from the schema, pure configuration")
     fn persist(&mut self, io: &mut dyn StateIo) {
         self.rows.persist(io);
         self.index.persist(io);

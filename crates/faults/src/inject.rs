@@ -206,6 +206,7 @@ impl Persist for FaultCounters {
 impl Persist for FaultInjector {
     // The plan is parsed from configuration; RNG cursor, counters, and
     // the event log are the run's mutable state.
+    // jas-lint: allow(D009, reason = "plan is parsed from configuration, identical across save and restore")
     fn persist(&mut self, io: &mut dyn StateIo) {
         self.rng.persist(io);
         self.counters.persist(io);

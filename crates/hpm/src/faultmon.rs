@@ -103,6 +103,7 @@ use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
 impl Persist for FaultMonitor {
     // `period` is configuration; `values` has one row per counter label,
     // fixed at construction.
+    // jas-lint: allow(D009, reason = "period comes from the run plan")
     fn persist(&mut self, io: &mut dyn StateIo) {
         self.window_start.persist(io);
         self.last.persist(io);

@@ -205,6 +205,7 @@ use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
 impl Persist for OmniscientHpm {
     // `period` is configuration; `values` has one row per HPM event,
     // fixed at construction.
+    // jas-lint: allow(D009, reason = "period comes from the run plan")
     fn persist(&mut self, io: &mut dyn StateIo) {
         self.window_start.persist(io);
         self.last.persist(io);

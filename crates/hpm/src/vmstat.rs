@@ -189,6 +189,7 @@ impl Persist for VmstatSample {
 
 impl Persist for Vmstat {
     // `start` is fixed at construction from the run plan.
+    // jas-lint: allow(D009, reason = "start is the window opening from the run plan")
     fn persist(&mut self, io: &mut dyn StateIo) {
         self.user.persist(io);
         self.system.persist(io);

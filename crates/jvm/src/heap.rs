@@ -372,6 +372,7 @@ use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
 impl Persist for SimHeap {
     /// `cfg` is immutable; the object table, both free-list views, the
     /// byte accounting, and the remembered set are the mutable state.
+    // jas-lint: allow(D009, reason = "cfg is construction-time configuration")
     fn persist(&mut self, io: &mut dyn StateIo) {
         self.slots.persist(io);
         self.free_slot_ids.persist(io);

@@ -218,6 +218,7 @@ impl Persist for OptLevel {
 impl Persist for Jit {
     /// `code_limit` is config-derived; invocation counts, compiled levels,
     /// the code-cache bump pointer, and the backlog are the mutable state.
+    // jas-lint: allow(D009, reason = "code_limit is construction-time configuration")
     fn persist(&mut self, io: &mut dyn StateIo) {
         snap::persist_slice(io, &mut self.invocations);
         snap::persist_slice(io, &mut self.levels);

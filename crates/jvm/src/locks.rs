@@ -130,6 +130,7 @@ impl Persist for LockStats {
 
 impl Persist for MonitorTable {
     /// The probabilities are config-derived; only the statistics persist.
+    // jas-lint: allow(D009, reason = "contention_prob and os_block_prob come from the JVM config")
     fn persist(&mut self, io: &mut dyn StateIo) {
         self.stats.persist(io);
     }

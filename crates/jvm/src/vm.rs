@@ -356,6 +356,7 @@ impl Persist for Jvm {
     /// `cfg` is rebuilt from configuration; the heap, JIT, registry
     /// JIT-status bits, lock statistics, GC roots and bookkeeping are the
     /// mutable state.
+    // jas-lint: allow(D009, reason = "cfg is construction-time configuration")
     fn persist(&mut self, io: &mut dyn StateIo) {
         self.heap.persist(io);
         self.jit.persist(io);

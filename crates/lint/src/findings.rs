@@ -80,8 +80,8 @@ pub fn to_text(findings: &[Finding]) -> String {
     out
 }
 
-/// Minimal JSON string escaping.
-fn json_str(s: &str) -> String {
+/// Minimal JSON string escaping (shared with the SARIF writer).
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

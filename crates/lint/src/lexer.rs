@@ -346,6 +346,16 @@ impl Lexer {
                 // `1.5` but not the range `1..5`.
                 text.push(c);
                 self.bump();
+            } else if (c == '+' || c == '-')
+                && text.ends_with(['e', 'E'])
+                && !text.starts_with("0x")
+                && !text.starts_with("0X")
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // Signed exponent: `1e+5`, `2.5E-3`. Excluded for hex
+                // literals, where `0x1e+5` really is `0x1e + 5`.
+                text.push(c);
+                self.bump();
             } else {
                 break;
             }
@@ -478,6 +488,77 @@ mod tests {
             .map(|t| t.text.clone())
             .collect();
         assert_eq!(nums, ["0", "10", "1.5e3"]);
+    }
+
+    #[test]
+    fn signed_exponents_stay_one_token() {
+        let l = lex("let a = 1e+5; let b = 2.5E-3; let c = 0x1e+5; let d = 1e5-2;");
+        let nums: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        // `0x1e+5` is addition (e is a hex digit), `1e5-2` is subtraction.
+        assert_eq!(nums, ["1e+5", "2.5E-3", "0x1e", "5", "1e5", "2"]);
+    }
+
+    #[test]
+    fn raw_byte_strings_hide_contents() {
+        let l = lex("let s = br#\"HashMap \"inner\" unsafe\"#; fn f() {}");
+        let strs: Vec<_> = l.tokens.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.starts_with("br#\""));
+        assert!(!l.tokens.iter().any(|t| t.text == "HashMap"));
+        assert!(l.tokens.iter().any(|t| t.text == "fn"));
+    }
+
+    #[test]
+    fn zero_hash_raw_string_and_multi_hash() {
+        assert!(!idents("let s = r\"HashMap\";").contains(&"HashMap".to_string()));
+        let l = lex("let s = r##\"one \"# two\"##; let t = 1;");
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+        assert!(l.tokens.iter().any(|t| t.text == "t"), "lexer resynced");
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        let l = lex("/* a /* b /* c */ d */ e */ let x = 1;");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.tokens.iter().any(|t| t.text == "x"));
+        // An unbalanced opener runs to end of input without panicking.
+        let l = lex("/* open /* forever\nlet y = 1;");
+        assert!(l.tokens.is_empty());
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn underscore_lifetime_and_static() {
+        let l = lex("fn f(x: &'_ u8, s: &'static str) { let c = '_'; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, ["'_", "'static"]);
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "'_'"));
+    }
+
+    #[test]
+    fn escaped_quote_in_char_literal() {
+        let l = lex(r"let q = '\''; let bs = '\\'; let ok = 1;");
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            2
+        );
+        assert!(l.tokens.iter().any(|t| t.text == "ok"), "lexer resynced");
     }
 
     #[test]

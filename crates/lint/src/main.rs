@@ -4,6 +4,7 @@
 //! cargo run -p jas-lint                  # report all findings, exit 0
 //! cargo run -p jas-lint -- --deny        # exit 2 on any deny finding (CI)
 //! cargo run -p jas-lint -- --json        # machine-readable output
+//! cargo run -p jas-lint -- --sarif out.sarif --cache-dir target/jas-lint-cache
 //! cargo run -p jas-lint -- --root DIR --config FILE
 //! ```
 //!
@@ -13,7 +14,7 @@
 #![forbid(unsafe_code)]
 
 use jas_lint::config::Config;
-use jas_lint::{findings, has_deny, lint_tree};
+use jas_lint::{findings, has_deny, lint_tree_cached, sarif};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -21,11 +22,13 @@ const USAGE: &str = "\
 jas-lint — workspace determinism & invariant static analysis
 
 USAGE:
-    jas-lint [--deny] [--json] [--root DIR] [--config FILE]
+    jas-lint [--deny] [--json] [--sarif FILE] [--cache-dir DIR] [--root DIR] [--config FILE]
 
 OPTIONS:
     --deny           exit with status 2 when any deny-severity finding exists
     --json           print findings as a JSON array instead of text
+    --sarif FILE     additionally write findings as SARIF 2.1.0 to FILE
+    --cache-dir DIR  reuse per-file analyses across runs, keyed by content hash
     --root DIR       scan base directory (default: current directory)
     --config FILE    config path (default: <root>/lint.toml; missing = defaults)
     --help           print this help
@@ -34,6 +37,8 @@ OPTIONS:
 struct Options {
     deny: bool,
     json: bool,
+    sarif: Option<PathBuf>,
+    cache_dir: Option<PathBuf>,
     root: PathBuf,
     config: Option<PathBuf>,
 }
@@ -42,28 +47,26 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut o = Options {
         deny: false,
         json: false,
+        sarif: None,
+        cache_dir: None,
         root: PathBuf::from("."),
         config: None,
     };
     let mut i = 0;
+    let path_arg = |args: &[String], i: &mut usize, flag: &str| {
+        *i += 1;
+        args.get(*i)
+            .map(PathBuf::from)
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
     while i < args.len() {
         match args[i].as_str() {
             "--deny" => o.deny = true,
             "--json" => o.json = true,
-            "--root" => {
-                i += 1;
-                o.root = PathBuf::from(
-                    args.get(i)
-                        .ok_or_else(|| "--root requires a value".to_string())?,
-                );
-            }
-            "--config" => {
-                i += 1;
-                o.config = Some(PathBuf::from(
-                    args.get(i)
-                        .ok_or_else(|| "--config requires a value".to_string())?,
-                ));
-            }
+            "--sarif" => o.sarif = Some(path_arg(args, &mut i, "--sarif")?),
+            "--cache-dir" => o.cache_dir = Some(path_arg(args, &mut i, "--cache-dir")?),
+            "--root" => o.root = path_arg(args, &mut i, "--root")?,
+            "--config" => o.config = Some(path_arg(args, &mut i, "--config")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
         }
@@ -108,7 +111,13 @@ fn main() -> ExitCode {
         Config::default()
     };
 
-    let results = lint_tree(&cfg, &opts.root);
+    let results = lint_tree_cached(&cfg, &opts.root, opts.cache_dir.as_deref());
+    if let Some(path) = &opts.sarif {
+        if let Err(e) = std::fs::write(path, sarif::to_sarif(&results)) {
+            eprintln!("jas-lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
     if opts.json {
         print!("{}", findings::to_json(&results));
     } else {

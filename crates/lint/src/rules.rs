@@ -29,10 +29,55 @@ pub struct RuleHit {
     pub message: String,
 }
 
-/// All rule identifiers, in order.
+/// All rule identifiers, in order: token rules (this module), semantic
+/// rules ([`crate::rules_semantic`]), and the meta rules the driver
+/// raises itself.
 pub const ALL_RULES: &[&str] = &[
-    "D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008",
+    "D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008", "D009", "D010", "D011", "D012",
+    "S000", "S001",
 ];
+
+/// One-line description per rule id, for `--sarif` rule metadata and docs.
+pub const RULE_SUMMARIES: &[(&str, &str)] = &[
+    ("D001", "unordered HashMap/HashSet in simulation code"),
+    ("D002", "wall-clock or OS-entropy read in simulation code"),
+    ("D003", "64-bit counter silently truncated by `as` cast"),
+    ("D004", "unsafe block without a SAFETY comment"),
+    ("D005", "relaxed atomic memory ordering"),
+    ("D006", "contextless unwrap/expect"),
+    ("D007", "silently discarded Result"),
+    (
+        "D008",
+        "BinaryHeap pop/peek without a deterministic tie-breaker",
+    ),
+    (
+        "D009",
+        "Persist impl does not visit every named field of its type",
+    ),
+    (
+        "D010",
+        "fn reachable from the parallel plan/execute phase takes &mut of a shared-hierarchy type",
+    ),
+    (
+        "D011",
+        "counter struct field missing from its digest/report path",
+    ),
+    (
+        "D012",
+        "idle-predicate state mutated without a paired wake registration",
+    ),
+    ("S000", "malformed jas-lint suppression directive"),
+    ("S001", "unreadable source file"),
+];
+
+/// The one-line summary for `rule`, if known.
+#[must_use]
+pub fn summary_of(rule: &str) -> Option<&'static str> {
+    RULE_SUMMARIES
+        .iter()
+        .find(|(id, _)| *id == rule)
+        .map(|(_, s)| *s)
+}
 
 /// Runs every rule over one lexed file.
 #[must_use]

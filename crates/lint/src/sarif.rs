@@ -1,0 +1,105 @@
+//! SARIF 2.1.0 output, so findings surface as GitHub PR annotations via
+//! `codeql-action/upload-sarif`.
+//!
+//! The writer emits the minimal valid document shape — `version`, one run
+//! with a tool driver (name, rule metadata) and a flat `results` array —
+//! with stable key order and sorted results, so two runs over the same
+//! tree are byte-identical. Severities map `deny → error`,
+//! `warn → warning` (SARIF `level` values).
+
+use crate::config::Severity;
+use crate::findings::{json_str, Finding};
+use crate::rules;
+
+/// SARIF `level` for a finding severity.
+fn level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Deny => "error",
+        _ => "warning",
+    }
+}
+
+/// Renders findings (sorted input expected) as a SARIF 2.1.0 document.
+#[must_use]
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"jas-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/jas-lint\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, (id, summary)) in rules::RULE_SUMMARIES.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}{}\n",
+            json_str(id),
+            json_str(summary),
+            if i + 1 < rules::RULE_SUMMARIES.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\"ruleId\": {}, \"level\": {}, \"message\": {{\"text\": {}}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+            json_str(&f.rule),
+            json_str(level(f.severity)),
+            json_str(&f.message),
+            json_str(&f.path),
+            f.line.max(1),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &str, path: &str, line: u32, severity: Severity) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            line,
+            severity,
+            message: format!("{rule} at {path}:{line}"),
+        }
+    }
+
+    #[test]
+    fn emits_version_tool_and_results() {
+        let doc = to_sarif(&[
+            f("D001", "crates/a/src/x.rs", 3, Severity::Deny),
+            f("D009", "crates/b/src/y.rs", 7, Severity::Warn),
+        ]);
+        assert!(doc.contains("\"version\": \"2.1.0\""));
+        assert!(doc.contains("\"name\": \"jas-lint\""));
+        assert!(doc.contains("\"ruleId\": \"D001\""));
+        assert!(doc.contains("\"level\": \"error\""));
+        assert!(doc.contains("\"level\": \"warning\""));
+        assert!(doc.contains("\"uri\": \"crates/b/src/y.rs\""));
+        assert!(doc.contains("\"startLine\": 7"));
+    }
+
+    #[test]
+    fn zero_line_is_clamped_to_one() {
+        // S001 (unreadable file) reports line 0; SARIF requires >= 1.
+        let doc = to_sarif(&[f("S001", "crates/a/src/x.rs", 0, Severity::Deny)]);
+        assert!(doc.contains("\"startLine\": 1"));
+    }
+
+    #[test]
+    fn empty_findings_still_produce_a_valid_document() {
+        let doc = to_sarif(&[]);
+        assert!(doc.contains("\"results\": [\n      ]"));
+    }
+}

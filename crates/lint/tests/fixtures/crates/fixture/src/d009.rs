@@ -1,0 +1,24 @@
+//! D009 fixture: a `Persist` impl that misses a field of its type (the
+//! struct definitions live in `d009_types.rs`, proving cross-file
+//! resolution), plus fully covered and allowed-with-reason impls.
+
+impl Persist for GcState {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.phase.persist(io);
+        self.scanned.persist(io);
+    }
+}
+
+impl Persist for CoveredState {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.a.persist(io);
+        persist_vec(io, &mut self.b);
+    }
+}
+
+impl Persist for AllowedState {
+    // jas-lint: allow(D009, reason = "cap is construction-time configuration")
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.used.persist(io);
+    }
+}

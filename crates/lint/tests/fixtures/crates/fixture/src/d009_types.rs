@@ -1,0 +1,18 @@
+//! Struct definitions for the D009 fixture: resolved cross-file from
+//! `d009.rs` (same fixture crate).
+
+pub struct GcState {
+    pub phase: u64,
+    pub scanned: u64,
+    pub pending: u64,
+}
+
+pub struct CoveredState {
+    pub a: u64,
+    pub b: Vec<u64>,
+}
+
+pub struct AllowedState {
+    pub used: u64,
+    pub cap: u64,
+}

@@ -1,0 +1,27 @@
+//! D010 fixture: `stage_two` takes `&mut MemorySystem` and is reachable
+//! from the parallel root `exec_record` through `stage_one`;
+//! `reconcile_core` takes the same `&mut` but is not reachable from the
+//! roots, so it stays legal.
+
+pub struct Recorder {
+    pub ops: u64,
+}
+
+impl Recorder {
+    pub fn exec_record(&mut self, op: u64) {
+        self.ops += 1;
+        stage_one(op);
+    }
+}
+
+fn stage_one(op: u64) {
+    stage_two(op);
+}
+
+fn stage_two(mem: &mut MemorySystem) {
+    mem.bump();
+}
+
+pub fn reconcile_core(core: &mut CorePrivate, mem: &mut MemorySystem) {
+    mem.bump();
+}

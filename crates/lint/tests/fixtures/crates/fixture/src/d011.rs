@@ -1,0 +1,29 @@
+//! D011 fixture: `OrphanCounters` has no digest path at all;
+//! `PartialStats::values` misses a field; `CoveredStats` is fully folded
+//! through its `Persist` impl.
+
+pub struct OrphanCounters {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+pub struct PartialStats {
+    pub calls: u64,
+    pub errors: u64,
+}
+
+impl PartialStats {
+    pub fn values(&self) -> [u64; 1] {
+        [self.calls]
+    }
+}
+
+pub struct CoveredStats {
+    pub ticks: u64,
+}
+
+impl Persist for CoveredStats {
+    fn persist(&mut self, io: &mut dyn StateIo) {
+        self.ticks.persist(io);
+    }
+}

@@ -1,0 +1,39 @@
+//! D012 fixture: `roll_arrival` mutates idle-predicate state without a
+//! wake registration; the other mutators register a wake, delegate to a
+//! registering sibling, carry an audited allow, or touch unwatched state.
+
+pub struct Sched {
+    pub ready: u64,
+    pub next_arrival: u64,
+    pub clock: u64,
+    pub polls: u64,
+}
+
+impl Sched {
+    fn quantum_is_idle(&self) -> bool {
+        self.ready == 0 && self.next_arrival > self.clock
+    }
+
+    fn roll_arrival(&mut self) {
+        self.next_arrival += 64;
+    }
+
+    fn block_task(&mut self) {
+        self.ready -= 1;
+        self.wakes.register(1, 2);
+    }
+
+    fn retire(&mut self) {
+        self.ready += 1;
+        self.block_task();
+    }
+
+    // jas-lint: allow(D012, reason = "the idle fast-forward itself; the predicate is re-checked next quantum")
+    fn fast_forward(&mut self) {
+        self.clock += 1;
+    }
+
+    fn poll(&mut self) {
+        self.polls += 1;
+    }
+}

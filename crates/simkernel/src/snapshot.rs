@@ -197,6 +197,7 @@ impl Persist for SimDuration {
 }
 
 impl Persist for Rng {
+    // jas-lint: allow(D009, reason = "the full RNG state s is visited through the state_mut() accessor")
     fn persist(&mut self, io: &mut dyn StateIo) {
         for w in self.state_mut() {
             io.word(w);

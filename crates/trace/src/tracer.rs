@@ -199,6 +199,7 @@ impl Persist for Tracer {
     // The spec mask is configuration; the staging buffers are per-core
     // (config-sized) and drain at quantum boundaries, but a checkpoint
     // may land while they hold staged events, so they persist in place.
+    // jas-lint: allow(D009, reason = "spec is the trace specification from the run plan")
     fn persist(&mut self, io: &mut dyn StateIo) {
         snap::persist_vec(io, &mut self.events);
         snap::persist_slice(io, &mut self.staged);

@@ -85,6 +85,7 @@ use jas_simkernel::snapshot::{Persist, StateIo};
 impl Persist for Driver {
     // The interarrival distribution and the kind mix are config-derived;
     // only the RNG cursor advances during a run.
+    // jas-lint: allow(D009, reason = "interarrival, kinds and weights are the workload mix tables, pure configuration")
     fn persist(&mut self, io: &mut dyn StateIo) {
         self.rng.persist(io);
     }

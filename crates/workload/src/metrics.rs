@@ -209,6 +209,7 @@ use jas_simkernel::snapshot::{self as snap, Persist, StateIo};
 impl Persist for Metrics {
     // Interval and steady window come from the run plan; the bin matrix
     // is sized at construction, so it persists in place.
+    // jas-lint: allow(D009, reason = "interval and the steady window come from the run plan; bins are sized at construction")
     fn persist(&mut self, io: &mut dyn StateIo) {
         snap::persist_slice(io, &mut self.bins);
         self.totals.persist(io);
