@@ -55,6 +55,7 @@ impl BoundedPool {
     /// Panics if `capacity` is zero.
     #[must_use]
     pub fn new(name: &'static str, capacity: usize) -> Self {
+        // jas-lint: allow(D013, reason = "constructor-time config validation; runs before any request exists")
         assert!(capacity > 0, "pool {name} needs capacity");
         BoundedPool {
             name,
@@ -106,6 +107,7 @@ impl BoundedPool {
     /// Panics if `target` is not below the pool's capacity (a fully
     /// seized pool would deadlock every requester forever).
     pub fn set_seized(&mut self, target: usize) -> Vec<u64> {
+        // jas-lint: allow(D013, reason = "fault-injection control plane, not the dispatch path; a fully seized pool would deadlock every requester")
         assert!(
             target < self.capacity,
             "pool {} cannot seize its whole capacity",
@@ -150,6 +152,7 @@ impl BoundedPool {
     ///
     /// Panics if the pool has no resources outstanding.
     pub fn release(&mut self) -> Option<u64> {
+        // jas-lint: allow(D013, reason = "release below zero is caller memory corruption, not request state; no degraded continuation exists")
         assert!(
             self.in_use > 0,
             "pool {} released more than acquired",

@@ -150,12 +150,18 @@ proptest! {
             }
             if breaker.try_acquire(now) {
                 if state_before == BreakerState::Open {
-                    // The timed transition fired: this is probe #1; the
-                    // quota admits exactly `probes` before `on_*` is seen.
+                    // The timed transition fired: this is probe #1. The
+                    // rest of a same-tick burst must fail fast — the
+                    // quota drains at most one probe per instant.
+                    prop_assert!(!breaker.try_acquire(now), "one probe per instant");
+                    let mut t = now;
                     for _ in 1..probes {
-                        prop_assert!(breaker.try_acquire(now));
+                        t += SimDuration::from_millis(1);
+                        prop_assert!(breaker.try_acquire(t), "next instant admits a probe");
+                        prop_assert!(!breaker.try_acquire(t), "one probe per instant");
                     }
-                    prop_assert!(!breaker.try_acquire(now), "probe quota is exact");
+                    t += SimDuration::from_millis(1);
+                    prop_assert!(!breaker.try_acquire(t), "probe quota is exact");
                     // Settle the extra probes so state stays coherent.
                     for _ in 1..probes {
                         breaker.on_success();

@@ -111,6 +111,7 @@ pub struct CircuitBreaker {
     consecutive_failures: u32,
     opened_at: SimTime,
     probes_admitted: u32,
+    last_probe_at: SimTime,
 }
 
 impl CircuitBreaker {
@@ -123,6 +124,7 @@ impl CircuitBreaker {
             consecutive_failures: 0,
             opened_at: SimTime::ZERO,
             probes_admitted: 0,
+            last_probe_at: SimTime::ZERO,
         }
     }
 
@@ -134,7 +136,8 @@ impl CircuitBreaker {
     }
 
     /// Asks to perform one guarded operation at `now`. `false` means fail
-    /// fast: the breaker is open (or half-open with its probe quota spent).
+    /// fast: the breaker is open, or half-open with its probe quota spent
+    /// or a probe already admitted at this instant.
     pub fn try_acquire(&mut self, now: SimTime) -> bool {
         if self.state == BreakerState::Open && now >= self.opened_at + self.cfg.open_for {
             self.state = BreakerState::HalfOpen;
@@ -144,8 +147,13 @@ impl CircuitBreaker {
             BreakerState::Closed => true,
             BreakerState::Open => false,
             BreakerState::HalfOpen => {
-                if self.probes_admitted < self.cfg.half_open_probes {
+                // Exactly one probe per instant: a same-tick burst must
+                // not drain the whole quota before the first probe's
+                // outcome is known.
+                let spaced = self.probes_admitted == 0 || now > self.last_probe_at;
+                if spaced && self.probes_admitted < self.cfg.half_open_probes {
                     self.probes_admitted += 1;
+                    self.last_probe_at = now;
                     true
                 } else {
                     false
@@ -212,6 +220,7 @@ impl Persist for CircuitBreaker {
         self.consecutive_failures.persist(io);
         self.opened_at.persist(io);
         self.probes_admitted.persist(io);
+        self.last_probe_at.persist(io);
     }
 }
 
@@ -274,6 +283,35 @@ mod tests {
         assert!(!b.try_acquire(probe_at + SimDuration::from_millis(1)));
         // The open window restarts from the failed probe.
         assert!(b.try_acquire(probe_at + cfg.open_for));
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe_per_instant() {
+        let cfg = BreakerConfig::default();
+        assert!(cfg.half_open_probes >= 2, "test needs a quota above one");
+        let t0 = SimTime::from_secs(1);
+        let mut b = tripped(cfg, t0);
+        let probe_at = t0 + cfg.open_for;
+        // A same-tick burst: only the first request may pass.
+        assert!(b.try_acquire(probe_at), "first probe admitted");
+        for _ in 0..10 {
+            assert!(
+                !b.try_acquire(probe_at),
+                "same-tick burst must not drain the probe quota"
+            );
+        }
+        // The next instant admits the second (and last) quota slot.
+        let later = probe_at + SimDuration::from_millis(1);
+        assert!(b.try_acquire(later), "next instant admits one more probe");
+        assert!(!b.try_acquire(later), "still one per instant");
+        assert!(
+            !b.try_acquire(later + SimDuration::from_millis(1)),
+            "quota of {} probes is spent",
+            cfg.half_open_probes
+        );
+        // A successful probe closes the breaker as before.
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Pluggable front-end dispatch policies.
+
+/// How the load balancer picks a target node for an arriving request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Cycle through the available nodes in index order.
+    #[default]
+    RoundRobin,
+    /// Send to the node with the fewest requests in flight (ties go to
+    /// the lowest index).
+    LeastConn,
+    /// Processor-sharing request cloning: idempotent web requests are
+    /// cloned to the two least-loaded nodes (the request-cloning model of
+    /// the PAPERS.md reproducibility report); everything else falls back
+    /// to least-connections.
+    PsClone,
+}
+
+impl DispatchPolicy {
+    /// Every policy, in CLI-listing order.
+    pub const ALL: [DispatchPolicy; 3] = [
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::LeastConn,
+        DispatchPolicy::PsClone,
+    ];
+
+    /// Stable CLI / report name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchPolicy::RoundRobin => "round-robin",
+            DispatchPolicy::LeastConn => "least-conn",
+            DispatchPolicy::PsClone => "ps-clone",
+        }
+    }
+
+    /// Parses a CLI name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the accepted names.
+    pub fn parse(s: &str) -> Result<DispatchPolicy, String> {
+        DispatchPolicy::ALL
+            .into_iter()
+            .find(|p| p.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = DispatchPolicy::ALL.iter().map(|p| p.name()).collect();
+                format!(
+                    "unknown dispatch policy '{s}' (expected one of {})",
+                    names.join("|")
+                )
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in DispatchPolicy::ALL {
+            assert_eq!(DispatchPolicy::parse(p.name()), Ok(p));
+        }
+        assert!(DispatchPolicy::parse("random").is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! The node and arrival-stream abstractions the load balancer drives.
+//!
+//! `jas-cluster` is generic over the node implementation so the crate can
+//! be unit-tested against a cheap deterministic mock; the production
+//! implementation (an `Engine` in external-arrival mode) lives in the
+//! `jas2004` core crate, which depends on this one.
+
+use jas_cpu::CounterFile;
+use jas_simkernel::{SimDuration, SimTime};
+use jas_workload::{Metrics, RequestKind};
+
+/// One app-server node as the load balancer sees it: an independent
+/// deterministic stack that accepts dispatched arrivals, runs to epoch
+/// boundaries, and exposes cumulative outcome counters plus snapshot /
+/// warm-restore hooks (the PR 6 `Persist` machinery).
+///
+/// Every method must be thread-count- and scheduler-invariant at epoch
+/// boundaries — the LB's decisions are pure functions of these values, so
+/// the whole fleet inherits the single-node bit-identity guarantees.
+pub trait ClusterNode {
+    /// The node's simulation clock (nodes may overshoot an epoch boundary
+    /// to their next quantum edge; the LB clamps dispatch times forward).
+    fn now(&self) -> SimTime;
+
+    /// Advances the node to `until` (clamped to the node's own plan end).
+    fn run_to(&mut self, until: SimTime);
+
+    /// Queues one dispatched request to arrive at `at` (clamped into the
+    /// node's future by the caller).
+    fn push_arrival(&mut self, at: SimTime, kind: RequestKind);
+
+    /// Requests completed (committed) so far, cumulative.
+    fn completed(&self) -> u64;
+
+    /// Requests failed permanently so far, cumulative.
+    fn errored(&self) -> u64;
+
+    /// Requests admitted but not yet completed or failed.
+    fn in_flight(&self) -> u64;
+
+    /// Serializes the node's full mutable state. Only called when the
+    /// node is quiescent (no request in flight, no arrival queued), so a
+    /// restore never replays half-done work.
+    fn snapshot(&mut self) -> Vec<u8>;
+
+    /// Warm restart: resets the node to a previously captured snapshot.
+    /// The node's clock rewinds to the capture instant; the caller
+    /// fast-forwards with [`ClusterNode::run_to`] (cheap when idle).
+    fn restore(&mut self, bytes: &[u8]);
+
+    /// Closes the node's instrument windows at the end of the run.
+    fn finish(&mut self);
+
+    /// FNV-1a fingerprint of the node's HPM counter totals.
+    fn hpm_digest(&self) -> u64;
+
+    /// FNV-1a fingerprint of the node's trace event stream.
+    fn trace_digest(&self) -> u64;
+
+    /// FNV-1a fingerprint of the node's fault/resilience event log.
+    fn fault_digest(&self) -> u64;
+
+    /// The node's cumulative machine-wide HPM counter file.
+    fn counters(&self) -> CounterFile;
+
+    /// A copy of the node's workload metrics collector (for the fleet
+    /// merge).
+    fn metrics(&self) -> Metrics;
+}
+
+/// The front-end arrival process: the load balancer owns the workload's
+/// inter-arrival draws in cluster mode (node engines run with external
+/// arrivals only).
+pub trait ArrivalStream {
+    /// Draws the next arrival: gap until it occurs, and its kind.
+    fn next_arrival(&mut self) -> (SimDuration, RequestKind);
+}
+
+impl ArrivalStream for jas_workload::Driver {
+    fn next_arrival(&mut self) -> (SimDuration, RequestKind) {
+        jas_workload::Driver::next_arrival(self)
+    }
+}

@@ -12,7 +12,7 @@
 use jas2004::cli::{parse_args, Cli, CliOptions, FigureSelect, USAGE};
 use jas2004::{
     checkpoint_bytes, figures, reduce_divergence, report, restore_engine, run_artifacts_from,
-    Engine, FaultPlan, FaultWindow, RunPlan, SutConfig,
+    run_cluster, DispatchPolicy, Engine, FaultPlan, FaultWindow, RunPlan, SutConfig,
 };
 use jas_workload::ReplayLog;
 use std::path::Path;
@@ -60,9 +60,14 @@ fn run(options: CliOptions) -> Result<(), String> {
         replay_from,
         reduce,
         witness_out,
+        nodes,
+        dispatch,
     } = options;
     if reduce {
         return run_reduce(config, plan, witness_out.as_deref());
+    }
+    if nodes > 1 {
+        return run_fleet(config, plan, nodes, dispatch, select);
     }
     eprintln!(
         "running IR{} ({:?}), {:.0}s steady after {:.0}s ramp-up...",
@@ -141,6 +146,53 @@ fn run(options: CliOptions) -> Result<(), String> {
     if let Some(text) = &art.hostprof_text {
         print!("{text}");
     }
+    Ok(())
+}
+
+/// `--nodes N > 1`: run the load-balanced fleet and print the fleet
+/// digests plus the failover verdict (DESIGN.md §13).
+fn run_fleet(
+    config: SutConfig,
+    plan: RunPlan,
+    nodes: usize,
+    dispatch: DispatchPolicy,
+    select: FigureSelect,
+) -> Result<(), String> {
+    eprintln!(
+        "running IR{} ({:?}) on {} nodes ({}), {:.0}s steady after {:.0}s ramp-up...",
+        config.ir,
+        config.scenario,
+        nodes,
+        dispatch.name(),
+        plan.steady.as_secs_f64(),
+        plan.ramp_up.as_secs_f64()
+    );
+    let art = run_cluster(&config, plan, nodes, dispatch);
+    if matches!(select, FigureSelect::All | FigureSelect::Cluster) {
+        print!("{}", report::render_cluster(&figures::cluster_table(&art)));
+    }
+    println!("HPM_DIGEST={:#018x}", art.hpm_digest);
+    if config.trace.enabled() {
+        println!("TRACE_DIGEST={:#018x}", art.trace_digest);
+    }
+    if !config.faults.plan.is_empty() {
+        println!("FAULT_DIGEST={:#018x}", art.fault_digest);
+    }
+    for (i, digest) in art.node_hpm_digests.iter().enumerate() {
+        println!("NODE{i}_HPM_DIGEST={digest:#018x}");
+    }
+    let v = &art.verdict;
+    println!(
+        "CLUSTER_VERDICT={} lost={} shed={} shed_fraction={:.4}",
+        if v.lost == 0 && v.verdict.passed {
+            "pass"
+        } else {
+            "fail"
+        },
+        v.lost,
+        v.shed,
+        v.shed_fraction
+    );
     Ok(())
 }
 

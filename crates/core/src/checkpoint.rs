@@ -26,8 +26,11 @@ pub const JCKPT_MAGIC: u64 = 0x4A41_5343_4B50_5431;
 /// to the engine's `persist_state` field order (the payload has no
 /// per-field tags; the version is what keeps old streams from being
 /// misinterpreted). Version 2 appended the event scheduler's wake heap
-/// and occupancy counters to the payload.
-pub const JCKPT_VERSION: u64 = 2;
+/// and occupancy counters to the payload. Version 3 widened the fault
+/// counters for the fleet fault kinds, added the circuit breaker's
+/// half-open probe spacing, and added the engine's front-end outcome
+/// counters (cluster failover accounting).
+pub const JCKPT_VERSION: u64 = 3;
 
 /// Words in the container header (magic, version, fingerprint, payload
 /// length).

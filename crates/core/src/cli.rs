@@ -5,6 +5,7 @@
 //! configuration, print selected figures).
 
 use crate::config::{RunPlan, ScenarioKind, SchedMode, SutConfig};
+use jas_cluster::DispatchPolicy;
 use jas_faults::FaultPlan;
 use jas_simkernel::SimDuration;
 use jas_trace::TraceSpec;
@@ -29,6 +30,9 @@ pub enum FigureSelect {
     Vmstat,
     /// The scheduler-occupancy report.
     Sched,
+    /// The fleet table: per-node counter files plus aggregates
+    /// (`--nodes N > 1` only).
+    Cluster,
 }
 
 /// Parsed command line.
@@ -56,6 +60,11 @@ pub struct CliOptions {
     pub reduce: bool,
     /// Where the `.jwit` witness goes (only with `reduce`).
     pub witness_out: Option<PathBuf>,
+    /// App-server nodes behind the load balancer. `1` (the default) runs
+    /// the legacy single-engine path with no LB in the loop.
+    pub nodes: usize,
+    /// Front-end dispatch policy (`--nodes N > 1` only).
+    pub dispatch: DispatchPolicy,
 }
 
 /// What the command line asked for.
@@ -105,11 +114,18 @@ OPTIONS:
     --fault-plan <SPEC>  deterministic fault windows, as
                          kind@start-end:rate[,kind@start-end:rate...]
                          with kind in db-lock | db-io | jms-redeliver |
-                         jms-dup | pool-seize | gc-storm, start/end in
-                         seconds, rate in [0,1]; @FILE reads the spec
-                         from FILE
+                         jms-dup | pool-seize | gc-storm (per-node) or
+                         node-crash | node-slow | partition (fleet-level,
+                         acted on by the LB), start/end in seconds, rate
+                         in [0,1]; @FILE reads the spec from FILE
+    --nodes <N>          app-server nodes behind the load balancer
+                         (default 1 = the legacy single-engine path;
+                         fleet digests/verdict print for N > 1)
+    --dispatch <POLICY>  round-robin | least-conn | ps-clone front-end
+                         dispatch (default round-robin; N > 1 only)
     --figure <SEL>       all | 2..10 | locking | utilization | resilience |
-                         tprof | vmstat | sched (default all)
+                         tprof | vmstat | sched | cluster (default all;
+                         cluster needs --nodes N > 1)
     --trace <SPEC>       record trace events: all | off | a comma list of
                          req,pool,rmi,jms,db,resil,gc,alloc,quantum,hpm;
                          prints TRACE_DIGEST after the run (default off)
@@ -187,6 +203,8 @@ where
     let mut replay_from = None;
     let mut reduce = false;
     let mut witness_out = None;
+    let mut nodes = 1usize;
+    let mut dispatch = DispatchPolicy::default();
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -293,6 +311,19 @@ where
                 replay_from = Some(parse_path(flag, value)?);
                 i += 1;
             }
+            "--nodes" => {
+                nodes = parse_u64(flag, value)? as usize;
+                if nodes == 0 {
+                    return Err(CliError("--nodes must be positive".into()));
+                }
+                i += 1;
+            }
+            "--dispatch" => {
+                let v = value.ok_or_else(|| CliError("--dispatch requires a value".into()))?;
+                dispatch =
+                    DispatchPolicy::parse(v).map_err(|e| CliError(format!("--dispatch: {e}")))?;
+                i += 1;
+            }
             "--reduce" => reduce = true,
             "--witness-out" => {
                 witness_out = Some(parse_path(flag, value)?);
@@ -307,6 +338,7 @@ where
                     Some("tprof") => FigureSelect::Tprof,
                     Some("vmstat") => FigureSelect::Vmstat,
                     Some("sched") => FigureSelect::Sched,
+                    Some("cluster") => FigureSelect::Cluster,
                     Some(n) => {
                         let n: u8 = n
                             .parse()
@@ -348,6 +380,25 @@ where
     if witness_out.is_some() && !reduce {
         return Err(CliError("--witness-out requires --reduce".into()));
     }
+    if nodes > 1
+        && (checkpoint_at.is_some()
+            || restore_from.is_some()
+            || record_out.is_some()
+            || replay_from.is_some()
+            || trace_out.is_some()
+            || reduce)
+    {
+        // Per-node snapshots are the LB's business (warm restarts); the
+        // single-engine checkpoint/replay/reduce tooling has no fleet
+        // equivalent yet.
+        return Err(CliError(
+            "--nodes > 1 cannot be combined with checkpoint/record/replay/trace-export/reduce flags"
+                .into(),
+        ));
+    }
+    if select == FigureSelect::Cluster && nodes < 2 {
+        return Err(CliError("--figure cluster requires --nodes > 1".into()));
+    }
     if reduce {
         if config.faults.plan.is_empty() {
             return Err(CliError(
@@ -376,6 +427,8 @@ where
         replay_from,
         reduce,
         witness_out,
+        nodes,
+        dispatch,
     })))
 }
 
@@ -601,6 +654,66 @@ mod tests {
             err(&["--fault-plan", "db-lock@1-2:1", "--reduce", "--record", "a"])
                 .contains("--reduce")
         );
+    }
+
+    #[test]
+    fn cluster_flags_parse_and_validate() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.nodes, 1);
+        assert_eq!(o.dispatch, DispatchPolicy::RoundRobin);
+        let o = parse(&["--nodes", "3", "--dispatch", "least-conn"]).unwrap();
+        assert_eq!(o.nodes, 3);
+        assert_eq!(o.dispatch, DispatchPolicy::LeastConn);
+        let o = parse(&[
+            "--nodes",
+            "2",
+            "--dispatch",
+            "ps-clone",
+            "--figure",
+            "cluster",
+        ])
+        .unwrap();
+        assert_eq!(o.select, FigureSelect::Cluster);
+
+        let err = |args: &[&str]| parse(args).unwrap_err().0;
+        assert!(err(&["--nodes", "0"]).contains("positive"));
+        assert!(err(&["--nodes"]).contains("requires a value"));
+        assert!(err(&["--dispatch", "random"]).contains("unknown dispatch policy"));
+        assert!(err(&["--figure", "cluster"]).contains("--nodes"));
+        assert!(err(&["--nodes", "2", "--record", "a"]).contains("--nodes"));
+        assert!(err(&["--nodes", "2", "--replay", "a"]).contains("--nodes"));
+        assert!(err(&["--nodes", "2", "--restore-from", "a"]).contains("--nodes"));
+        assert!(err(&[
+            "--nodes",
+            "2",
+            "--checkpoint-at",
+            "5",
+            "--checkpoint-out",
+            "x"
+        ])
+        .contains("--nodes"));
+        assert!(err(&[
+            "--nodes",
+            "2",
+            "--fault-plan",
+            "node-crash@1-2:0.5",
+            "--reduce"
+        ])
+        .contains("--nodes"));
+    }
+
+    #[test]
+    fn fleet_fault_kinds_parse_from_the_cli() {
+        let o = parse(&[
+            "--nodes",
+            "2",
+            "--fault-plan",
+            "node-crash@10-20:0.1,node-slow@5-15:0.3,partition@8-9:1",
+        ])
+        .unwrap();
+        assert_eq!(o.config.faults.plan.windows().len(), 3);
+        assert!(o.config.faults.plan.has_fleet());
+        assert!(!o.config.faults.plan.has_local());
     }
 
     #[test]

@@ -222,6 +222,13 @@ pub struct Engine {
     rng: Rng,
     clock: SimTime,
     next_arrival: (SimTime, RequestKind),
+    /// External-arrival mode (cluster dispatch): when `Some`, the engine
+    /// never draws arrivals from its scenario. The queue holds
+    /// LB-dispatched requests sorted by arrival time and `next_arrival`
+    /// mirrors its front ([`Engine::NO_ARRIVAL`] when empty), so the idle
+    /// predicate and wake registration work unchanged. `None` keeps the
+    /// byte-identical legacy single-node path.
+    external: Option<VecDeque<(SimTime, RequestKind)>>,
     tasks: Vec<Task>,
     /// Per-core ready queues: tasks have core affinity (idx % cores) so
     /// their hot cache state stays on one L1; idle cores steal.
@@ -249,6 +256,11 @@ pub struct Engine {
     metrics: Metrics,
     completed_requests: u64,
     aborted_requests: u64,
+    /// Like `completed_requests`/`aborted_requests` but excluding the
+    /// internally spawned work-order follow-ups: outcomes of exactly the
+    /// requests a front-end (the cluster LB) handed to this node.
+    frontend_completed: u64,
+    frontend_aborted: u64,
     // Fault injection + resilience (inert when the plan is empty).
     injector: FaultInjector,
     breaker: CircuitBreaker,
@@ -350,6 +362,7 @@ impl Engine {
             rng,
             clock: SimTime::ZERO,
             next_arrival: (SimTime::ZERO, RequestKind::Browse),
+            external: None,
             tasks: Vec::new(),
             ready: vec![VecDeque::new(); cores],
             pending_workorders: 0,
@@ -369,6 +382,8 @@ impl Engine {
             metrics,
             completed_requests: 0,
             aborted_requests: 0,
+            frontend_completed: 0,
+            frontend_aborted: 0,
             injector,
             breaker,
             faultmon,
@@ -662,15 +677,30 @@ impl Engine {
             self.apply_quantum_faults();
         }
 
-        // 1. Admit arrivals due in this quantum.
-        while self.next_arrival.0 < quantum_end {
-            let (at, kind) = self.next_arrival;
-            self.admit(kind, at.max(self.clock));
-            let (gap, next_kind) = self.scenario.next_arrival();
-            if let Some(log) = self.recorder.as_mut() {
-                log.arrivals.push((gap, next_kind));
+        // 1. Admit arrivals due in this quantum. In external-arrival mode
+        // (cluster dispatch) the queue replaces the scenario's generator;
+        // otherwise this is the byte-identical legacy draw loop.
+        if self.external.is_some() {
+            while self.next_arrival.0 < quantum_end {
+                let (at, kind) = self.next_arrival;
+                self.admit(kind, at.max(self.clock));
+                let queue = self.external.as_mut().expect("external mode");
+                queue.pop_front();
+                self.next_arrival = queue
+                    .front()
+                    .copied()
+                    .unwrap_or((Engine::NO_ARRIVAL, RequestKind::Browse));
             }
-            self.next_arrival = (self.next_arrival.0 + gap, next_kind);
+        } else {
+            while self.next_arrival.0 < quantum_end {
+                let (at, kind) = self.next_arrival;
+                self.admit(kind, at.max(self.clock));
+                let (gap, next_kind) = self.scenario.next_arrival();
+                if let Some(log) = self.recorder.as_mut() {
+                    log.arrivals.push((gap, next_kind));
+                }
+                self.next_arrival = (self.next_arrival.0 + gap, next_kind);
+            }
         }
 
         // 2. Unblock tasks whose waits expired.
@@ -1864,9 +1894,15 @@ impl Engine {
         }
         if committed {
             self.completed_requests += 1;
+            if kind != RequestKind::WorkOrder {
+                self.frontend_completed += 1;
+            }
             self.metrics.record(kind, issued, self.clock);
         } else {
             self.aborted_requests += 1;
+            if kind != RequestKind::WorkOrder {
+                self.frontend_aborted += 1;
+            }
         }
     }
 
@@ -1960,6 +1996,20 @@ impl Engine {
     #[must_use]
     pub fn aborted_requests(&self) -> u64 {
         self.aborted_requests
+    }
+
+    /// Completions excluding internally spawned work-order follow-ups:
+    /// exactly the requests a front-end handed to this node.
+    #[must_use]
+    pub fn frontend_completed(&self) -> u64 {
+        self.frontend_completed
+    }
+
+    /// Permanent failures excluding internally spawned work-order
+    /// follow-ups.
+    #[must_use]
+    pub fn frontend_aborted(&self) -> u64 {
+        self.frontend_aborted
     }
 
     /// Cumulative fault/resilience counters (all zero on a healthy run).
@@ -2178,6 +2228,8 @@ impl Engine {
         self.metrics.persist(io);
         self.completed_requests.persist(io);
         self.aborted_requests.persist(io);
+        self.frontend_completed.persist(io);
+        self.frontend_aborted.persist(io);
         self.injector.persist(io);
         self.breaker.persist(io);
         self.faultmon.persist(io);
@@ -2208,7 +2260,10 @@ impl Engine {
         // Skipped on purpose: cfg/run (identity — must match at restore),
         // method_cdf (config-derived), event_bufs (drained every quantum),
         // faults_active/trace_active/sched_event (cached config flags),
-        // hostprof (host wall-clock; never simulation state).
+        // hostprof (host wall-clock; never simulation state), external
+        // (cluster snapshots are taken only at epoch boundaries, where
+        // every dispatched arrival has been admitted and the queue is
+        // provably empty — `next_arrival` then persists as the sentinel).
     }
 
     /// FNV-1a fingerprint of the complete mutable simulation state.
@@ -2270,6 +2325,8 @@ impl Engine {
         self.metrics.persist(&mut dg);
         self.completed_requests.persist(&mut dg);
         self.aborted_requests.persist(&mut dg);
+        self.frontend_completed.persist(&mut dg);
+        self.frontend_aborted.persist(&mut dg);
         out.push(("metrics", dg.value()));
         let mut dg = WordDigest::new();
         self.injector.persist(&mut dg);
@@ -2320,6 +2377,68 @@ impl Engine {
     pub fn run_to(&mut self, until: SimTime) {
         let until = until.min(self.run.end());
         self.advance_to(until);
+    }
+
+    /// The far-future instant standing in for "no external arrival
+    /// queued": late enough that neither the idle predicate nor wake
+    /// registration ever sees it as due.
+    const NO_ARRIVAL: SimTime = SimTime::from_nanos(u64::MAX);
+
+    /// Switches the engine to external-arrival mode (cluster dispatch):
+    /// the scenario keeps compiling request plans, but arrivals come
+    /// exclusively from [`Engine::push_external_arrival`]. The arrival
+    /// drawn at construction is discarded — in a cluster the front-end
+    /// load balancer owns the arrival process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already advanced.
+    pub fn enable_external_arrivals(&mut self) {
+        assert_eq!(
+            self.clock,
+            SimTime::ZERO,
+            "external-arrival mode must be enabled before the first quantum"
+        );
+        self.external = Some(VecDeque::new());
+        // jas-lint: allow(D012, reason = "the sentinel only moves the arrival later; the standing wake is re-registered at every scheduler decision")
+        self.next_arrival = (Engine::NO_ARRIVAL, RequestKind::Browse);
+    }
+
+    /// Queues one dispatched request to arrive at `at` (external-arrival
+    /// mode only). Insertion keeps the queue time-sorted, so the load
+    /// balancer may interleave redispatches behind already-queued work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if external-arrival mode is off or `at` is in the past.
+    // jas-lint: allow(D012, reason = "called between quanta; the standing arrival wake is re-registered at every scheduler decision")
+    pub fn push_external_arrival(&mut self, at: SimTime, kind: RequestKind) {
+        assert!(at >= self.clock, "arrival scheduled in the past");
+        let queue = self
+            .external
+            .as_mut()
+            .expect("push_external_arrival requires external-arrival mode");
+        let pos = queue.partition_point(|&(t, _)| t <= at);
+        queue.insert(pos, (at, kind));
+        self.next_arrival = *queue.front().expect("just inserted");
+    }
+
+    /// External arrivals queued but not yet admitted (external-arrival
+    /// mode only; zero otherwise).
+    #[must_use]
+    pub fn external_arrivals_queued(&self) -> usize {
+        self.external.as_ref().map_or(0, VecDeque::len)
+    }
+
+    /// Requests currently in flight: admitted tasks that have neither
+    /// completed nor aborted. The cluster load balancer uses this for
+    /// least-connection dispatch and admission control.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.state != TaskState::Done)
+            .count() as u64
     }
 
     /// Starts recording arrivals and compiled plans for later replay.

@@ -612,3 +612,85 @@ pub fn vmstat_table(art: &RunArtifacts) -> VmstatTable {
         idle: art.utilization.idle,
     }
 }
+
+/// One app-server node's row in the fleet view.
+#[derive(Clone, Debug)]
+pub struct ClusterNodeRow {
+    /// Node index (0-based, matches the seed derivation order).
+    pub node: usize,
+    /// Cumulative machine cycles.
+    pub cycles: u64,
+    /// Cumulative completed instructions.
+    pub instructions: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// The node's own HPM digest.
+    pub hpm_digest: u64,
+}
+
+/// The fleet view (`--figure cluster`): per-node counter files, the
+/// machine-room aggregate, the LB outcome counters, and the failover
+/// verdict — the multi-node analogue of the single-machine `hpmcount`
+/// totals.
+#[derive(Clone, Debug)]
+pub struct ClusterTable {
+    /// Node count.
+    pub nodes: usize,
+    /// Dispatch policy name (`round-robin` | `least-conn` | `ps-clone`).
+    pub dispatch: &'static str,
+    /// Per-node rows, node 0 first.
+    pub rows: Vec<ClusterNodeRow>,
+    /// Fleet-aggregate cycles (counter-wise sum).
+    pub agg_cycles: u64,
+    /// Fleet-aggregate completed instructions.
+    pub agg_instructions: u64,
+    /// Fleet HPM digest (node count + every node's counters in order).
+    pub fleet_hpm_digest: u64,
+    /// LB outcome counters, aligned with [`jas_cluster::FleetStats::LABELS`].
+    pub stats: jas_cluster::FleetStats,
+    /// Merged SLO verdict plus the failover conservation check.
+    pub verdict: jas_cluster::ClusterVerdict,
+    /// Merged fleet throughput over the steady window (JOPS).
+    pub jops: f64,
+    /// Mean simulated crash-to-warm-restart latency in milliseconds.
+    pub failover_ms: f64,
+}
+
+/// Computes the fleet table from a cluster run's artifacts.
+#[must_use]
+pub fn cluster_table(art: &crate::fleet::ClusterArtifacts) -> ClusterTable {
+    let rows = art
+        .fleet_hpm
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, file)| {
+            let cycles = file.get(HpmEvent::Cycles);
+            let instructions = file.get(HpmEvent::InstCompleted);
+            ClusterNodeRow {
+                node: i,
+                cycles,
+                instructions,
+                ipc: if cycles == 0 {
+                    0.0
+                } else {
+                    instructions as f64 / cycles as f64
+                },
+                hpm_digest: art.node_hpm_digests[i],
+            }
+        })
+        .collect();
+    let agg = art.fleet_hpm.aggregate();
+    ClusterTable {
+        nodes: art.nodes,
+        dispatch: art.dispatch.name(),
+        rows,
+        agg_cycles: agg.get(HpmEvent::Cycles),
+        agg_instructions: agg.get(HpmEvent::InstCompleted),
+        fleet_hpm_digest: art.fleet_hpm.digest(),
+        stats: art.stats,
+        verdict: art.verdict,
+        jops: art.metrics.jops(),
+        failover_ms: art.failover_ms,
+    }
+}

@@ -33,6 +33,7 @@ pub mod config;
 pub mod engine;
 pub mod experiment;
 pub mod figures;
+pub mod fleet;
 pub mod profiles;
 pub mod reduce;
 pub mod report;
@@ -41,6 +42,8 @@ pub use checkpoint::{checkpoint_bytes, config_fingerprint, restore_engine, valid
 pub use config::{FaultsConfig, RunPlan, ScenarioKind, SchedMode, SutConfig};
 pub use engine::Engine;
 pub use experiment::{run_artifacts_from, run_experiment, RunArtifacts};
+pub use fleet::{run_cluster, ClusterArtifacts, EngineNode};
+pub use jas_cluster::{ClusterVerdict, DispatchPolicy, FleetStats};
 pub use jas_cpu::{CounterFile, HpmEvent};
 pub use jas_faults::{FaultCounters, FaultKind, FaultPlan, FaultWindow};
 pub use jas_trace::{TraceCategory, TraceEvent, TraceEventKind, TraceSpec, Tracer};

@@ -1,9 +1,9 @@
 //! Plain-text rendering of figure data, used by the benches and examples.
 
 use crate::figures::{
-    Fig10Correlation, Fig2Throughput, Fig3Gc, Fig4Profile, Fig5Cpi, Fig6Branch, Fig7Tlb, Fig8L1d,
-    Fig9DataFrom, LockingTable, ResilienceTable, SchedTable, TprofTable, UtilizationTable,
-    VmstatTable,
+    ClusterTable, Fig10Correlation, Fig2Throughput, Fig3Gc, Fig4Profile, Fig5Cpi, Fig6Branch,
+    Fig7Tlb, Fig8L1d, Fig9DataFrom, LockingTable, ResilienceTable, SchedTable, TprofTable,
+    UtilizationTable, VmstatTable,
 };
 use std::fmt::Write as _;
 
@@ -377,6 +377,57 @@ pub fn render_vmstat(t: &VmstatTable) -> String {
     if t.rows.is_empty() {
         let _ = writeln!(out, "  (no samples: steady window never opened)");
     }
+    out
+}
+
+/// Renders the fleet report (`--figure cluster`).
+#[must_use]
+pub fn render_cluster(t: &ClusterTable) -> String {
+    let mut out = String::from("Fleet (cluster)\n");
+    let _ = writeln!(out, "  {} nodes, dispatch {}", t.nodes, t.dispatch);
+    let _ = writeln!(
+        out,
+        "  {:>6} {:>14} {:>14} {:>6}  {:<18}",
+        "node", "cycles", "instructions", "ipc", "hpm digest"
+    );
+    for row in &t.rows {
+        let _ = writeln!(
+            out,
+            "  {:>6} {:>14} {:>14} {:>6.2}  {:#018x}",
+            row.node, row.cycles, row.instructions, row.ipc, row.hpm_digest
+        );
+    }
+    let agg_ipc = if t.agg_cycles == 0 {
+        0.0
+    } else {
+        t.agg_instructions as f64 / t.agg_cycles as f64
+    };
+    let _ = writeln!(
+        out,
+        "  {:>6} {:>14} {:>14} {:>6.2}  {:#018x}",
+        "fleet", t.agg_cycles, t.agg_instructions, agg_ipc, t.fleet_hpm_digest
+    );
+    for (label, value) in jas_cluster::FleetStats::LABELS.iter().zip(t.stats.values()) {
+        let _ = writeln!(out, "  {label:>14} {value}");
+    }
+    let v = &t.verdict;
+    let _ = writeln!(
+        out,
+        "  jops {:.1}   web p90 {:.3}s   rmi p90 {:.3}s   mean failover {:.0} ms",
+        t.jops, v.verdict.web_p90, v.verdict.rmi_p90, t.failover_ms
+    );
+    let _ = writeln!(
+        out,
+        "  lost {}   shed {} ({:.1}% of offered)   {}",
+        v.lost,
+        v.shed,
+        v.shed_fraction * 100.0,
+        if v.lost == 0 && v.verdict.passed {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
     out
 }
 

@@ -14,7 +14,7 @@ const SEED_SALT: u64 = 0x4641_554C_5453_3031; // "FAULTS01"
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FaultCounters {
     /// Faults fired, indexed by [`FaultKind::index`].
-    pub injected: [u64; 6],
+    pub injected: [u64; 9],
     /// Retries scheduled by the appserver.
     pub retries: u64,
     /// Requests failed permanently.
@@ -36,13 +36,16 @@ pub struct FaultCounters {
 
 impl FaultCounters {
     /// Report labels, aligned with [`FaultCounters::values`].
-    pub const LABELS: [&'static str; 14] = [
+    pub const LABELS: [&'static str; 17] = [
         "db-lock",
         "db-io",
         "jms-redeliver",
         "jms-dup",
         "pool-seize",
         "gc-storm",
+        "node-crash",
+        "node-slow",
+        "partition",
         "retries",
         "errors",
         "breaker-opens",
@@ -55,7 +58,7 @@ impl FaultCounters {
 
     /// Counter values, aligned with [`FaultCounters::LABELS`].
     #[must_use]
-    pub fn values(&self) -> [u64; 14] {
+    pub fn values(&self) -> [u64; 17] {
         [
             self.injected[0],
             self.injected[1],
@@ -63,6 +66,9 @@ impl FaultCounters {
             self.injected[3],
             self.injected[4],
             self.injected[5],
+            self.injected[6],
+            self.injected[7],
+            self.injected[8],
             self.retries,
             self.errors,
             self.breaker_opens,
@@ -107,11 +113,14 @@ impl FaultInjector {
         }
     }
 
-    /// `true` when the plan schedules at least one window. The engine uses
-    /// this to keep every resilience path off the healthy hot path.
+    /// `true` when the plan schedules at least one *node-local* window.
+    /// The engine uses this to keep every resilience path off the healthy
+    /// hot path; fleet-level windows (`node-crash`/`node-slow`/
+    /// `partition`) are executed by the cluster load balancer and must
+    /// not divert a single node's code paths.
     #[must_use]
     pub fn armed(&self) -> bool {
-        !self.plan.is_empty()
+        self.plan.has_local()
     }
 
     /// Rolls one opportunity of `kind` at `now`. Draws from the RNG only
@@ -157,6 +166,14 @@ impl FaultInjector {
             EventKind::Redelivered => self.counters.redeliveries += 1,
             EventKind::Duplicated => self.counters.duplicates += 1,
             EventKind::DeadlineExceeded => self.counters.deadline_exceeded += 1,
+            // Fleet reactions are counted by the load balancer's own
+            // bookkeeping; the injector only records them in the log.
+            EventKind::NodeCrashed { .. }
+            | EventKind::NodeRestarted { .. }
+            | EventKind::NodeEjected { .. }
+            | EventKind::NodeReadmitted { .. }
+            | EventKind::RequestShed
+            | EventKind::RequestRedispatched => {}
         }
         self.log.push(now, what);
     }
@@ -235,6 +252,24 @@ mod tests {
         }
         assert_eq!(inj.counters().total_injected(), 0);
         assert!(inj.log().is_empty());
+    }
+
+    #[test]
+    fn fleet_only_plans_do_not_arm_a_node_injector() {
+        let plan = FaultPlan::from_windows(vec![
+            FaultWindow::new(FaultKind::NodeCrash, 1.0, 2.0, 0.5),
+            FaultWindow::new(FaultKind::Partition, 1.0, 2.0, 1.0),
+        ]);
+        let inj = FaultInjector::new(1, plan);
+        assert!(
+            !inj.armed(),
+            "fleet windows are the LB's business; the node engine must stay on the healthy path"
+        );
+        let mixed = FaultPlan::from_windows(vec![
+            FaultWindow::new(FaultKind::NodeCrash, 1.0, 2.0, 0.5),
+            FaultWindow::new(FaultKind::DbIoStall, 1.0, 2.0, 0.1),
+        ]);
+        assert!(FaultInjector::new(1, mixed).armed());
     }
 
     #[test]

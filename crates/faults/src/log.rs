@@ -31,6 +31,31 @@ pub enum EventKind {
     Duplicated,
     /// A request exceeded its per-request deadline.
     DeadlineExceeded,
+    /// Fleet: node `node` crash-stopped (state reset, in-flight errored).
+    NodeCrashed {
+        /// Zero-based node index in the cluster.
+        node: u32,
+    },
+    /// Fleet: node `node` warm-restarted from its last snapshot.
+    NodeRestarted {
+        /// Zero-based node index in the cluster.
+        node: u32,
+    },
+    /// Fleet: the LB ejected node `node` after consecutive probe failures.
+    NodeEjected {
+        /// Zero-based node index in the cluster.
+        node: u32,
+    },
+    /// Fleet: the LB readmitted node `node` after half-open probing.
+    NodeReadmitted {
+        /// Zero-based node index in the cluster.
+        node: u32,
+    },
+    /// Fleet: the LB shed an arriving request under overload.
+    RequestShed,
+    /// Fleet: an idempotent in-flight request was re-dispatched to a
+    /// surviving node after its original node crashed.
+    RequestRedispatched,
 }
 
 impl EventKind {
@@ -48,6 +73,14 @@ impl EventKind {
             EventKind::Redelivered => 0x105,
             EventKind::Duplicated => 0x106,
             EventKind::DeadlineExceeded => 0x107,
+            // Fleet codes live at 0x200+ with 0x40-wide per-variant node
+            // lanes (cluster sizes stay far below 64 nodes).
+            EventKind::NodeCrashed { node } => 0x200 + u64::from(node),
+            EventKind::NodeRestarted { node } => 0x240 + u64::from(node),
+            EventKind::NodeEjected { node } => 0x280 + u64::from(node),
+            EventKind::NodeReadmitted { node } => 0x2C0 + u64::from(node),
+            EventKind::RequestShed => 0x300,
+            EventKind::RequestRedispatched => 0x301,
         }
     }
 
@@ -65,6 +98,12 @@ impl EventKind {
             EventKind::Redelivered => "redelivered",
             EventKind::Duplicated => "duplicated",
             EventKind::DeadlineExceeded => "deadline",
+            EventKind::NodeCrashed { .. } => "node-crashed",
+            EventKind::NodeRestarted { .. } => "node-restarted",
+            EventKind::NodeEjected { .. } => "node-ejected",
+            EventKind::NodeReadmitted { .. } => "node-readmitted",
+            EventKind::RequestShed => "request-shed",
+            EventKind::RequestRedispatched => "request-redispatched",
         }
     }
 }
@@ -148,6 +187,12 @@ impl Persist for EventKind {
             EventKind::Redelivered => 7,
             EventKind::Duplicated => 8,
             EventKind::DeadlineExceeded => 9,
+            EventKind::NodeCrashed { .. } => 10,
+            EventKind::NodeRestarted { .. } => 11,
+            EventKind::NodeEjected { .. } => 12,
+            EventKind::NodeReadmitted { .. } => 13,
+            EventKind::RequestShed => 14,
+            EventKind::RequestRedispatched => 15,
         };
         io.word(&mut tag);
         if !io.saving() {
@@ -161,12 +206,22 @@ impl Persist for EventKind {
                 6 => EventKind::RequestFailed,
                 7 => EventKind::Redelivered,
                 8 => EventKind::Duplicated,
-                _ => EventKind::DeadlineExceeded,
+                9 => EventKind::DeadlineExceeded,
+                10 => EventKind::NodeCrashed { node: 0 },
+                11 => EventKind::NodeRestarted { node: 0 },
+                12 => EventKind::NodeEjected { node: 0 },
+                13 => EventKind::NodeReadmitted { node: 0 },
+                14 => EventKind::RequestShed,
+                _ => EventKind::RequestRedispatched,
             };
         }
         match self {
             EventKind::Injected(kind) => kind.persist(io),
             EventKind::RetryScheduled { attempt } => attempt.persist(io),
+            EventKind::NodeCrashed { node }
+            | EventKind::NodeRestarted { node }
+            | EventKind::NodeEjected { node }
+            | EventKind::NodeReadmitted { node } => node.persist(io),
             _ => {}
         }
     }
@@ -213,6 +268,32 @@ mod tests {
         c.push(SimTime::from_secs(2), EventKind::BreakerClosed);
         assert_eq!(a.digest(), c.digest());
         assert_ne!(a.digest(), FaultLog::default().digest());
+    }
+
+    #[test]
+    fn fleet_codes_are_distinct_across_variants_and_nodes() {
+        let mut digests = Vec::new();
+        for node in 0..4u32 {
+            for what in [
+                EventKind::NodeCrashed { node },
+                EventKind::NodeRestarted { node },
+                EventKind::NodeEjected { node },
+                EventKind::NodeReadmitted { node },
+            ] {
+                let mut log = FaultLog::default();
+                log.push(SimTime::ZERO, what);
+                digests.push(log.digest());
+            }
+        }
+        for what in [EventKind::RequestShed, EventKind::RequestRedispatched] {
+            let mut log = FaultLog::default();
+            log.push(SimTime::ZERO, what);
+            digests.push(log.digest());
+        }
+        let n = digests.len();
+        digests.sort_unstable();
+        digests.dedup();
+        assert_eq!(digests.len(), n, "fleet event codes must not collide");
     }
 
     #[test]

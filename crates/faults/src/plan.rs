@@ -21,17 +21,29 @@ pub enum FaultKind {
     PoolSeize,
     /// A forced full GC cycle on top of the allocation-driven schedule.
     GcStorm,
+    /// Crash-stop of one fleet node: its in-flight requests error and the
+    /// node's state is reset until the load balancer warm-restarts it.
+    NodeCrash,
+    /// Gray failure of one fleet node: the node keeps serving at a
+    /// degraded rate and intermittently fails health probes.
+    NodeSlow,
+    /// Link loss between the load balancer and one node: no dispatch, no
+    /// probe responses, but the node itself keeps running.
+    Partition,
 }
 
 impl FaultKind {
     /// Every kind, in the canonical (digest-stable) order.
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 9] = [
         FaultKind::DbLockTimeout,
         FaultKind::DbIoStall,
         FaultKind::JmsRedelivery,
         FaultKind::JmsDuplicate,
         FaultKind::PoolSeize,
         FaultKind::GcStorm,
+        FaultKind::NodeCrash,
+        FaultKind::NodeSlow,
+        FaultKind::Partition,
     ];
 
     /// Stable plan-grammar / report name.
@@ -44,7 +56,28 @@ impl FaultKind {
             FaultKind::JmsDuplicate => "jms-dup",
             FaultKind::PoolSeize => "pool-seize",
             FaultKind::GcStorm => "gc-storm",
+            FaultKind::NodeCrash => "node-crash",
+            FaultKind::NodeSlow => "node-slow",
+            FaultKind::Partition => "partition",
         }
+    }
+
+    /// `true` for fleet-level kinds, which target whole nodes and are
+    /// executed by the cluster load balancer, never by a node's own
+    /// injector. A plan containing only fleet kinds leaves a single-node
+    /// engine run untouched.
+    #[must_use]
+    pub fn is_fleet(self) -> bool {
+        matches!(
+            self,
+            FaultKind::NodeCrash | FaultKind::NodeSlow | FaultKind::Partition
+        )
+    }
+
+    /// `true` for node-local kinds handled by the engine's own injector.
+    #[must_use]
+    pub fn is_local(self) -> bool {
+        !self.is_fleet()
     }
 
     /// Index into [`FaultKind::ALL`]; also the digest code of the kind.
@@ -57,6 +90,9 @@ impl FaultKind {
             FaultKind::JmsDuplicate => 3,
             FaultKind::PoolSeize => 4,
             FaultKind::GcStorm => 5,
+            FaultKind::NodeCrash => 6,
+            FaultKind::NodeSlow => 7,
+            FaultKind::Partition => 8,
         }
     }
 
@@ -157,36 +193,45 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the offending entry for unknown kinds,
+    /// Returns a message naming the offending entry and its position in
+    /// the comma-separated list (e.g. `plan[2]: bad window
+    /// 'node-crash@9-3' (ends before it starts)`) for unknown kinds,
     /// malformed numbers, reversed windows, or rates outside `[0, 1]`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut windows = Vec::new();
-        for entry in spec.split(',') {
+        for (i, entry) in spec.split(',').enumerate() {
             let entry = entry.trim();
             if entry.is_empty() {
                 continue;
             }
             let (kind, rest) = entry
                 .split_once('@')
-                .ok_or_else(|| format!("'{entry}': expected kind@lo-hi:rate"))?;
+                .ok_or_else(|| format!("plan[{i}]: '{entry}': expected kind@lo-hi:rate"))?;
             let (span, rate) = rest
                 .split_once(':')
-                .ok_or_else(|| format!("'{entry}': expected kind@lo-hi:rate"))?;
+                .ok_or_else(|| format!("plan[{i}]: '{entry}': expected kind@lo-hi:rate"))?;
             let (lo, hi) = span
                 .split_once('-')
-                .ok_or_else(|| format!("'{entry}': expected a lo-hi window"))?;
-            let kind = FaultKind::parse(kind.trim()).map_err(|e| format!("'{entry}': {e}"))?;
-            let lo = parse_secs(lo).map_err(|e| format!("'{entry}': {e}"))?;
-            let hi = parse_secs(hi).map_err(|e| format!("'{entry}': {e}"))?;
+                .ok_or_else(|| format!("plan[{i}]: '{entry}': expected a lo-hi window"))?;
+            let kind =
+                FaultKind::parse(kind.trim()).map_err(|e| format!("plan[{i}]: '{entry}': {e}"))?;
+            let lo = parse_secs(lo).map_err(|e| format!("plan[{i}]: '{entry}': {e}"))?;
+            let hi = parse_secs(hi).map_err(|e| format!("plan[{i}]: '{entry}': {e}"))?;
             if hi < lo {
-                return Err(format!("'{entry}': window ends before it starts"));
+                return Err(format!(
+                    "plan[{i}]: bad window '{}@{}' (ends before it starts)",
+                    kind.name(),
+                    span.trim()
+                ));
             }
             let rate: f64 = rate
                 .trim()
                 .parse()
-                .map_err(|_| format!("'{entry}': bad rate '{rate}'"))?;
+                .map_err(|_| format!("plan[{i}]: '{entry}': bad rate '{rate}'"))?;
             if !(0.0..=1.0).contains(&rate) {
-                return Err(format!("'{entry}': rate must be in [0, 1], got {rate}"));
+                return Err(format!(
+                    "plan[{i}]: '{entry}': rate must be in [0, 1], got {rate}"
+                ));
             }
             windows.push(FaultWindow::new(kind, lo, hi, rate));
         }
@@ -203,6 +248,35 @@ impl FaultPlan {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.windows.is_empty()
+    }
+
+    /// `true` when at least one window schedules a node-local kind (one
+    /// the engine's own injector executes).
+    #[must_use]
+    pub fn has_local(&self) -> bool {
+        self.windows.iter().any(|w| w.kind.is_local())
+    }
+
+    /// `true` when at least one window schedules a fleet-level kind (one
+    /// the cluster load balancer executes).
+    #[must_use]
+    pub fn has_fleet(&self) -> bool {
+        self.windows.iter().any(|w| w.kind.is_fleet())
+    }
+
+    /// The plan restricted to node-local kinds — what a single node's
+    /// injector should execute. Fleet-level windows are the load
+    /// balancer's business and never reach a node engine.
+    #[must_use]
+    pub fn local_only(&self) -> FaultPlan {
+        FaultPlan {
+            windows: self
+                .windows
+                .iter()
+                .copied()
+                .filter(|w| w.kind.is_local())
+                .collect(),
+        }
     }
 
     /// The fixed-point rate of the first active window of `kind` at `now`,
@@ -275,9 +349,64 @@ mod tests {
             "db-lock@1-2:1.5",
             "db-lock@1-2:-0.1",
             "db-lock@-1-2:0.5",
+            "node-crash@9-3:0.5",
+            "node-slow@1-2:2.0",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "'{bad}' must be rejected");
         }
+    }
+
+    #[test]
+    fn parse_errors_carry_the_entry_position() {
+        let err = FaultPlan::parse("db-lock@1-2:0.5,gc-storm@3-4:0.1,node-crash@9-3:0.5")
+            .expect_err("reversed window must be rejected");
+        assert_eq!(
+            err,
+            "plan[2]: bad window 'node-crash@9-3' (ends before it starts)"
+        );
+
+        let err = FaultPlan::parse("db-lock@1-2:1.5").expect_err("rate > 1 must be rejected");
+        assert!(
+            err.starts_with("plan[0]: 'db-lock@1-2:1.5': rate must be in [0, 1]"),
+            "got: {err}"
+        );
+
+        let err = FaultPlan::parse("db-lock@1-2:0.5,bogus@1-2:0.5").expect_err("unknown kind");
+        assert!(err.starts_with("plan[1]: 'bogus@1-2:0.5':"), "got: {err}");
+    }
+
+    #[test]
+    fn fleet_and_local_kinds_are_disjoint_and_exhaustive() {
+        for kind in FaultKind::ALL {
+            assert_ne!(kind.is_fleet(), kind.is_local(), "{kind:?}");
+        }
+        let fleet: Vec<FaultKind> = FaultKind::ALL
+            .into_iter()
+            .filter(|k| k.is_fleet())
+            .collect();
+        assert_eq!(
+            fleet,
+            vec![
+                FaultKind::NodeCrash,
+                FaultKind::NodeSlow,
+                FaultKind::Partition
+            ]
+        );
+    }
+
+    #[test]
+    fn local_only_strips_fleet_windows() {
+        let plan =
+            FaultPlan::parse("db-lock@1-2:0.5,node-crash@3-4:1,partition@5-6:1").expect("parses");
+        assert!(plan.has_local() && plan.has_fleet());
+        let local = plan.local_only();
+        assert_eq!(local.windows().len(), 1);
+        assert_eq!(local.windows()[0].kind, FaultKind::DbLockTimeout);
+        assert!(local.has_local() && !local.has_fleet());
+
+        let fleet_only = FaultPlan::parse("node-slow@1-2:0.5").expect("parses");
+        assert!(!fleet_only.has_local() && fleet_only.has_fleet());
+        assert!(fleet_only.local_only().is_empty());
     }
 
     #[test]

@@ -16,11 +16,14 @@
 //! * [`SchedStats`] — scheduler-occupancy counters for the event-driven
 //!   engine scheduler (`--figure sched`): wake-ups dispatched, idle quanta
 //!   skipped, wake-heap high-water mark.
+//! * [`FleetHpm`] — per-node counter files plus fleet aggregates for
+//!   multi-node cluster runs (`--figure cluster`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod faultmon;
+mod fleet;
 mod groups;
 mod hpmstat;
 mod sched;
@@ -30,6 +33,7 @@ mod vertical;
 mod vmstat;
 
 pub use faultmon::FaultMonitor;
+pub use fleet::FleetHpm;
 pub use groups::CounterGroup;
 pub use hpmstat::{EventSeries, Hpmstat, OmniscientHpm};
 pub use sched::SchedStats;

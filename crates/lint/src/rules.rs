@@ -1,4 +1,4 @@
-//! The determinism & invariant rules, D001–D008.
+//! The determinism & invariant rules, D001–D008 and D013.
 //!
 //! Every rule is a pure function over the token stream (plus comment trivia
 //! for D004) that yields [`RuleHit`]s. Path scoping, severity, test-span
@@ -15,6 +15,7 @@
 //! | D006 | `.unwrap()` / `.expect("")` | panics without context; library paths must say what invariant broke |
 //! | D007 | `let _ = <expr>` / bare `.ok();` | silently discards a `Result`; a swallowed error turns a deterministic failure into divergent state |
 //! | D008 | `.pop()` / `.peek()` on a `BinaryHeap` binding | equal-key pop order is heap-internal; without a total ordering key (a deterministic tie-breaker), dispatch order leaks insertion history into simulation state |
+//! | D013 | `panic!` / `assert!` / `unreachable!` on the request-dispatch path | an abort turns one request's bad state into a node-wide crash; dispatch code must degrade (error, shed) instead — scoped by `lint.toml` to the LB and app-server tiers |
 
 use crate::lexer::{Lexed, TokKind, Token};
 
@@ -34,7 +35,7 @@ pub struct RuleHit {
 /// raises itself.
 pub const ALL_RULES: &[&str] = &[
     "D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008", "D009", "D010", "D011", "D012",
-    "S000", "S001",
+    "D013", "S000", "S001",
 ];
 
 /// One-line description per rule id, for `--sarif` rule metadata and docs.
@@ -66,6 +67,10 @@ pub const RULE_SUMMARIES: &[(&str, &str)] = &[
         "D012",
         "idle-predicate state mutated without a paired wake registration",
     ),
+    (
+        "D013",
+        "panic/assert/unreachable on the request-dispatch path",
+    ),
     ("S000", "malformed jas-lint suppression directive"),
     ("S001", "unreadable source file"),
 ];
@@ -91,6 +96,7 @@ pub fn check(lexed: &Lexed) -> Vec<RuleHit> {
     d006_unwrap(lexed, &mut hits);
     d007_discarded_result(lexed, &mut hits);
     d008_heap_pop_ordering(lexed, &mut hits);
+    d013_dispatch_aborts(lexed, &mut hits);
     hits.sort_by_key(|h| (h.line, h.rule));
     hits
 }
@@ -448,6 +454,45 @@ fn d008_heap_pop_ordering(lexed: &Lexed, hits: &mut Vec<RuleHit>) {
     }
 }
 
+/// D013: an aborting macro — `panic!`, `assert!`, `assert_eq!`,
+/// `assert_ne!`, `unreachable!` — in request-dispatch code.
+///
+/// On the dispatch path one request's bad state must degrade into an
+/// error (or a shed) the LB can reconcile, not abort the whole node: a
+/// node-wide crash from a single poisoned request defeats the failover
+/// machinery the fleet exists to provide. `debug_assert*` compiles out
+/// of release builds and is not matched. The rule is scoped by
+/// `lint.toml` to the LB and app-server tiers; constructor-time
+/// validation that runs before any request exists documents itself with
+/// `// jas-lint: allow(D013, reason = "…")`.
+fn d013_dispatch_aborts(lexed: &Lexed, hits: &mut Vec<RuleHit>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if !matches!(
+            t.text.as_str(),
+            "panic" | "assert" | "assert_eq" | "assert_ne" | "unreachable"
+        ) {
+            continue;
+        }
+        if !punct_at(toks, i + 1, '!') {
+            continue;
+        }
+        hits.push(RuleHit {
+            rule: "D013",
+            line: t.line,
+            message: format!(
+                "`{}!` aborts the node from the request-dispatch path; degrade the request \
+                 (error or shed) instead, or justify pre-dispatch validation with \
+                 `jas-lint: allow(D013, reason = \"…\")`",
+                t.text
+            ),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -600,5 +645,34 @@ mod tests {
     #[test]
     fn doc_examples_do_not_fire() {
         assert!(rules_hit("//! assert!(counters.cpi().unwrap() > 0.0);\nfn f() {}").is_empty());
+    }
+
+    #[test]
+    fn d013_flags_aborting_macros() {
+        assert_eq!(
+            rules_hit("fn f(q: usize) { assert!(q > 0, \"empty\"); }"),
+            [("D013", 1)]
+        );
+        assert_eq!(
+            rules_hit("fn f() { panic!(\"poisoned request\"); }"),
+            [("D013", 1)]
+        );
+        assert_eq!(
+            rules_hit("match k {\n    K::Web => 1,\n    _ => unreachable!(),\n}"),
+            [("D013", 3)]
+        );
+        assert_eq!(
+            rules_hit("assert_eq!(a, b);\nassert_ne!(c, d);"),
+            [("D013", 1), ("D013", 2)]
+        );
+    }
+
+    #[test]
+    fn d013_ignores_debug_asserts_and_plain_idents() {
+        // debug_assert* compiles out of release builds.
+        assert!(rules_hit("debug_assert!(q > 0);\ndebug_assert_eq!(a, b);").is_empty());
+        // The bare words without `!` are not macro invocations.
+        assert!(rules_hit("let h = std::panic::catch_unwind(f);").is_empty());
+        assert!(rules_hit("fn assert_invariants(&self) {}").is_empty());
     }
 }

@@ -1,0 +1,11 @@
+//! D013 fixture: an aborting macro on the request-dispatch path.
+
+pub fn dispatch(queue_len: usize) -> usize {
+    assert!(queue_len > 0, "dispatcher invoked with an empty queue");
+    queue_len - 1
+}
+
+pub fn good(queue_len: usize) -> usize {
+    debug_assert!(queue_len <= 1024, "compiled out of release builds");
+    queue_len.saturating_sub(1)
+}

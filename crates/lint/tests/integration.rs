@@ -56,6 +56,7 @@ fn every_rule_detects_its_fixture_violation() {
         ("D011", "crates/fixture/src/d011.rs", 5),
         ("D011", "crates/fixture/src/d011.rs", 16),
         ("D012", "crates/fixture/src/d012.rs", 17),
+        ("D013", "crates/fixture/src/d013.rs", 4),
         ("D002", "crates/fixture/src/host_timer.rs", 6),
         ("S000", "crates/fixture/src/suppressed.rs", 12),
         ("D006", "crates/fixture/src/suppressed.rs", 14),
@@ -120,7 +121,7 @@ fn json_output_is_exact_for_a_single_violation() {
 
 #[test]
 fn severity_config_downgrades_to_warn() {
-    let toml: String = (1..=12)
+    let toml: String = (1..=13)
         .map(|n| format!("[rules.D{n:03}]\nseverity = \"warn\"\n"))
         .collect();
     let cfg = Config::parse(&toml).expect("config parses");
@@ -143,7 +144,7 @@ fn binary_deny_exits_nonzero_on_fixtures() {
     let stdout = String::from_utf8(out.stdout).expect("utf8 output");
     for rule in [
         "D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008", "D009", "D010", "D011",
-        "D012", "S000",
+        "D012", "D013", "S000",
     ] {
         assert!(stdout.contains(rule), "JSON mentions {rule}: {stdout}");
     }

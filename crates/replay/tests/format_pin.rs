@@ -42,9 +42,10 @@ fn magic_words_match_the_spec() {
 #[test]
 fn container_version_is_pinned() {
     // Bumping this constant invalidates every committed checkpoint: do it
-    // only with a matching docs/jckpt-format.md update. Version 2 appended
-    // the event scheduler's wake heap and occupancy counters.
-    assert_eq!(JCKPT_VERSION, 2);
+    // only with a matching docs/jckpt-format.md update. Version 3 widened
+    // the fault counters for the fleet kinds, added the breaker's
+    // half-open probe spacing, and added the front-end outcome counters.
+    assert_eq!(JCKPT_VERSION, 3);
 }
 
 #[test]

@@ -201,6 +201,37 @@ impl Metrics {
     pub fn timeouts(&self) -> u64 {
         self.timeouts
     }
+
+    /// Folds another collector into this one: bin-wise completion sums,
+    /// concatenated response-time samples, summed resilience counters.
+    /// The fleet verdict over N nodes is `merge` of the per-node
+    /// collectors followed by [`Metrics::verdict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collectors were built over different intervals or
+    /// steady windows (their bins would not line up).
+    pub fn merge(&mut self, other: &Metrics) {
+        assert_eq!(self.interval, other.interval, "mismatched bin intervals");
+        assert_eq!(
+            (self.steady_start, self.steady_end),
+            (other.steady_start, other.steady_end),
+            "mismatched steady windows"
+        );
+        for (mine, theirs) in self.bins.iter_mut().zip(&other.bins) {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                *m += t;
+            }
+        }
+        for (m, t) in self.totals.iter_mut().zip(&other.totals) {
+            *m += t;
+        }
+        self.web_times.extend_from_slice(&other.web_times);
+        self.rmi_times.extend_from_slice(&other.rmi_times);
+        self.timeouts += other.timeouts;
+        self.retries += other.retries;
+        self.errors += other.errors;
+    }
 }
 // --- Checkpoint persistence ---
 
@@ -359,6 +390,39 @@ mod tests {
         let v = m.verdict();
         assert!(v.degraded);
         assert!(v.passed, "retried-but-recovered work still passes");
+    }
+
+    #[test]
+    fn merge_sums_bins_counters_and_samples() {
+        let mut a = metrics();
+        let mut b = metrics();
+        let t = SimTime::from_secs(150);
+        a.record(RequestKind::Browse, t, t + SimDuration::from_millis(100));
+        b.record(RequestKind::Browse, t, t + SimDuration::from_millis(300));
+        b.record(RequestKind::CreateVehicle, t, t + SimDuration::from_secs(1));
+        b.record_retry(t);
+        b.record_error(t);
+        a.merge(&b);
+        assert_eq!(a.completed(RequestKind::Browse), 2);
+        assert_eq!(a.completed(RequestKind::CreateVehicle), 1);
+        assert_eq!((a.retries(), a.errors()), (1, 1));
+        // Both Browse completions land in the same bin.
+        let bin5 = a.throughput_series(RequestKind::Browse)[5];
+        assert!((bin5 - 0.2).abs() < 1e-9, "got {bin5}");
+        let v = a.verdict();
+        assert!(v.web_p90 > 0.0 && v.rmi_p90 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn merge_rejects_mismatched_windows() {
+        let mut a = metrics();
+        let b = Metrics::new(
+            SimDuration::from_secs(10),
+            SimTime::from_secs(0),
+            SimTime::from_secs(100),
+        );
+        a.merge(&b);
     }
 
     #[test]

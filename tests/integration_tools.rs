@@ -181,4 +181,63 @@ fn binary_help_exits_zero_with_usage() {
     assert_eq!(code, 0, "--help is not an error");
     assert!(out.contains("USAGE"), "stdout: {out}");
     assert!(out.contains("--fault-plan"), "stdout: {out}");
+    assert!(out.contains("--nodes"), "stdout: {out}");
+    assert!(out.contains("--dispatch"), "stdout: {out}");
+}
+
+#[test]
+fn binary_rejects_reversed_fault_window_with_its_position() {
+    // The second entry is reversed; the diagnostic must name plan[1],
+    // not just "parse error".
+    let (code, _, err) = run_binary(&["--fault-plan", "db-lock@1-2:0.5,node-crash@9-3:0.5"]);
+    assert_ne!(code, 0, "reversed window must fail");
+    assert!(
+        err.contains("plan[1]: bad window 'node-crash@9-3'"),
+        "stderr: {err}"
+    );
+}
+
+#[test]
+fn binary_rejects_out_of_range_fault_rate_with_its_position() {
+    let (code, _, err) = run_binary(&["--fault-plan", "node-slow@1-2:1.5"]);
+    assert_ne!(code, 0, "rate > 1 must fail");
+    assert!(
+        err.contains("plan[0]") && err.contains("rate must be in [0, 1]"),
+        "stderr: {err}"
+    );
+}
+
+#[test]
+fn binary_rejects_bad_cluster_flags() {
+    let (code, _, err) = run_binary(&["--dispatch", "bogus"]);
+    assert_ne!(code, 0);
+    assert!(
+        err.contains("unknown dispatch policy 'bogus'"),
+        "stderr: {err}"
+    );
+
+    let (code, _, err) = run_binary(&["--nodes", "0"]);
+    assert_ne!(code, 0);
+    assert!(err.contains("--nodes"), "stderr: {err}");
+
+    let (code, _, err) = run_binary(&["--figure", "cluster"]);
+    assert_ne!(code, 0, "--figure cluster without a fleet must fail");
+    assert!(
+        err.contains("--figure cluster requires --nodes > 1"),
+        "stderr: {err}"
+    );
+
+    let (code, _, err) = run_binary(&[
+        "--nodes",
+        "2",
+        "--checkpoint-at",
+        "5",
+        "--checkpoint-out",
+        "x.jckpt",
+    ]);
+    assert_ne!(code, 0, "fleet + checkpoint must fail");
+    assert!(
+        err.contains("--nodes > 1 cannot be combined"),
+        "stderr: {err}"
+    );
 }
