@@ -20,6 +20,49 @@ use std::collections::{BTreeMap, VecDeque};
 /// from every node-local stream (the jas-faults discipline).
 const FLEET_SALT: u64 = 0x464C_4545_5430_3031; // "FLEET001"
 
+/// Reactive autoscaler tuning: epoch-driven activation/drain of warm
+/// standby nodes against JOPS-per-node and response-time-SLO thresholds.
+/// All decisions happen on the LB's sequential timeline in node-index
+/// order, so scaling inherits the fleet's determinism guarantees.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AutoscaleConfig {
+    /// Nodes kept in rotation at all times (the fleet starts with
+    /// exactly this many active; the rest are warm standbys).
+    pub min_nodes: usize,
+    /// Upper bound on active nodes (must equal the fleet size).
+    pub max_nodes: usize,
+    /// Scale up when completions per active node per second exceed this.
+    pub up_jops_per_node: f64,
+    /// Scale down when completions per active node per second fall
+    /// below this (and the SLO is comfortably met).
+    pub down_jops_per_node: f64,
+    /// Scale up when the fraction of completions breaching the response
+    /// SLO exceeds this.
+    pub slo_miss_fraction: f64,
+    /// Response-time SLO in seconds a completion is judged against
+    /// (epoch-granular upper bound: completion epoch end minus dispatch).
+    pub slo_s: f64,
+    /// Decision cadence in epochs.
+    pub evaluate_every: u64,
+    /// Epochs to wait after a scaling action before the next one.
+    pub cooldown_epochs: u64,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        AutoscaleConfig {
+            min_nodes: 1,
+            max_nodes: 2,
+            up_jops_per_node: 8.0,
+            down_jops_per_node: 2.0,
+            slo_miss_fraction: 0.10,
+            slo_s: 2.0,
+            evaluate_every: 4,
+            cooldown_epochs: 8,
+        }
+    }
+}
+
 /// Load-balancer and fleet-fault tuning.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
@@ -51,6 +94,10 @@ pub struct ClusterConfig {
     /// Backoff policy for re-dispatching idempotent in-flight work after
     /// a crash (reused from the appserver resilience layer).
     pub retry: RetryPolicy,
+    /// Reactive autoscaling; `None` keeps every node in rotation (the
+    /// legacy fixed-fleet behavior, byte-identical to builds without
+    /// the autoscaler).
+    pub autoscale: Option<AutoscaleConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -68,6 +115,7 @@ impl Default for ClusterConfig {
             seed: 0,
             plan: FaultPlan::empty(),
             retry: RetryPolicy::default(),
+            autoscale: None,
         }
     }
 }
@@ -105,6 +153,9 @@ struct NodeCtl {
     slow: bool,
     /// LB↔node link lost this epoch (no dispatch, probes fail).
     partitioned: bool,
+    /// Warm standby: out of rotation by autoscaler decision. The node
+    /// keeps running (and draining) — only new dispatch is withheld.
+    standby: bool,
     inflight: VecDeque<DispatchRecord>,
     base_completed: u64,
     base_errored: u64,
@@ -118,6 +169,7 @@ impl NodeCtl {
             fail_streak: 0,
             slow: false,
             partitioned: false,
+            standby: false,
             inflight: VecDeque::new(),
             base_completed: 0,
             base_errored: 0,
@@ -131,7 +183,7 @@ impl NodeCtl {
 
     /// In rotation for new dispatch this epoch.
     fn available(&self) -> bool {
-        self.health == Health::Up && !self.partitioned
+        self.health == Health::Up && !self.partitioned && !self.standby
     }
 }
 
@@ -164,11 +216,15 @@ pub struct FleetStats {
     pub ejections: u64,
     /// Readmissions after half-open probing.
     pub readmissions: u64,
+    /// Standby nodes brought into rotation by the autoscaler.
+    pub scale_ups: u64,
+    /// Active nodes drained back to warm standby by the autoscaler.
+    pub scale_downs: u64,
 }
 
 impl FleetStats {
     /// Report labels, aligned with [`FleetStats::values`].
-    pub const LABELS: [&'static str; 12] = [
+    pub const LABELS: [&'static str; 14] = [
         "dispatched",
         "completions",
         "errors",
@@ -181,11 +237,13 @@ impl FleetStats {
         "restarts",
         "ejections",
         "readmissions",
+        "scale-ups",
+        "scale-downs",
     ];
 
     /// Counter values, aligned with [`FleetStats::LABELS`].
     #[must_use]
-    pub fn values(&self) -> [u64; 12] {
+    pub fn values(&self) -> [u64; 14] {
         [
             self.dispatched,
             self.completions,
@@ -199,6 +257,8 @@ impl FleetStats {
             self.restarts,
             self.ejections,
             self.readmissions,
+            self.scale_ups,
+            self.scale_downs,
         ]
     }
 }
@@ -232,6 +292,18 @@ pub struct Cluster<N> {
     /// Redispatched work waiting for its backoff to elapse, keyed by due
     /// time in nanoseconds (BTreeMap: deterministic order).
     due_redispatch: BTreeMap<u64, Vec<(RequestKind, u32)>>,
+    /// The next arrival drawn but not yet dispatched. Held on the
+    /// struct (not a run-local) so [`Cluster::run`] can be called in
+    /// chunks — e.g. at scenario phase boundaries — without losing or
+    /// re-drawing an arrival: chunked runs are identical to one call.
+    pending_arrival: Option<(SimTime, RequestKind)>,
+    /// Completions observed since the last autoscale decision.
+    window_completions: u64,
+    /// Of those, completions whose epoch-granular latency upper bound
+    /// exceeded the autoscale SLO.
+    window_slo_miss: u64,
+    /// Epoch of the last scaling action (cooldown anchor).
+    last_scale_epoch: Option<u64>,
     log: FaultLog,
     stats: FleetStats,
     lb_metrics: Metrics,
@@ -253,7 +325,20 @@ impl<N: ClusterNode> Cluster<N> {
         assert_eq!(cfg.nodes, nodes.len(), "config/node-count mismatch");
         // jas-lint: allow(D013, reason = "constructor-time config validation; runs before any request exists")
         assert!(cfg.nodes > 0, "a cluster needs at least one node");
-        let ctl: Vec<NodeCtl> = (0..nodes.len()).map(|_| NodeCtl::new()).collect();
+        let mut ctl: Vec<NodeCtl> = (0..nodes.len()).map(|_| NodeCtl::new()).collect();
+        if let Some(a) = cfg.autoscale {
+            // jas-lint: allow(D013, reason = "constructor-time config validation; runs before any request exists")
+            assert!(
+                a.min_nodes >= 1 && a.min_nodes <= cfg.nodes && a.max_nodes == cfg.nodes,
+                "autoscale bounds must satisfy 1 <= min <= max == fleet size"
+            );
+            // Nodes above the floor start as warm standbys, in index
+            // order; the autoscaler activates the lowest-index standby
+            // first so the fleet shape is a pure function of decisions.
+            for (i, c) in ctl.iter_mut().enumerate() {
+                c.standby = i >= a.min_nodes;
+            }
+        }
         let rng = Rng::new(cfg.seed ^ FLEET_SALT);
         Cluster {
             cfg,
@@ -264,6 +349,10 @@ impl<N: ClusterNode> Cluster<N> {
             epoch_index: 0,
             rr_cursor: 0,
             due_redispatch: BTreeMap::new(),
+            pending_arrival: None,
+            window_completions: 0,
+            window_slo_miss: 0,
+            last_scale_epoch: None,
             log: FaultLog::default(),
             stats: FleetStats::default(),
             lb_metrics,
@@ -285,8 +374,10 @@ impl<N: ClusterNode> Cluster<N> {
         if self.epoch_index == 0 && self.clock == SimTime::ZERO {
             self.take_snapshots();
         }
-        let (gap, kind) = arrivals.next_arrival();
-        let mut next = (SimTime::ZERO + gap, kind);
+        if self.pending_arrival.is_none() {
+            let (gap, kind) = arrivals.next_arrival();
+            self.pending_arrival = Some((SimTime::ZERO + gap, kind));
+        }
         while self.clock < until {
             let t0 = self.clock;
             let t1 = t0 + self.cfg.epoch;
@@ -308,19 +399,24 @@ impl<N: ClusterNode> Cluster<N> {
                     self.dispatch_one(at, kind, attempt);
                 }
             }
-            while next.0 < t1 {
-                let (at, kind) = next;
+            while let Some((at, kind)) = self.pending_arrival {
+                if at >= t1 {
+                    break;
+                }
                 self.stats.offered += 1;
                 self.dispatch_one(at.max(t0), kind, 0);
                 let (gap, kind) = arrivals.next_arrival();
-                next = (next.0 + gap, kind);
+                self.pending_arrival = Some((at + gap, kind));
             }
             for (node, ctl) in self.nodes.iter_mut().zip(&self.ctl) {
                 if !ctl.crashed() {
                     node.run_to(t1);
                 }
             }
-            self.reconcile();
+            self.reconcile(t1);
+            if self.cfg.autoscale.is_some() {
+                self.autoscale_step(t1);
+            }
             if self.cfg.snapshot_every > 0
                 && (self.epoch_index + 1).is_multiple_of(self.cfg.snapshot_every)
             {
@@ -524,8 +620,12 @@ impl<N: ClusterNode> Cluster<N> {
     }
 
     /// Folds each node's outcome deltas since the last epoch into the
-    /// fleet accounting, retiring tracked records oldest-first.
-    fn reconcile(&mut self) {
+    /// fleet accounting, retiring tracked records oldest-first. `t1` is
+    /// the epoch end: each retired record's latency upper bound
+    /// (`t1 - dispatch`) is judged against the autoscale SLO, so the
+    /// miss fraction is epoch-granular but fully deterministic.
+    fn reconcile(&mut self, t1: SimTime) {
+        let slo_s = self.cfg.autoscale.map(|a| a.slo_s);
         for (node, ctl) in self.nodes.iter().zip(self.ctl.iter_mut()) {
             let dc = node.completed().saturating_sub(ctl.base_completed);
             let de = node.errored().saturating_sub(ctl.base_errored);
@@ -533,13 +633,81 @@ impl<N: ClusterNode> Cluster<N> {
             ctl.base_errored = node.errored();
             for _ in 0..dc {
                 debug_assert!(!ctl.inflight.is_empty(), "completion without a record");
-                ctl.inflight.pop_front();
+                if let Some(rec) = ctl.inflight.pop_front() {
+                    if let Some(slo) = slo_s {
+                        self.window_completions += 1;
+                        if t1.saturating_since(rec.at).as_secs_f64() > slo {
+                            self.window_slo_miss += 1;
+                        }
+                    }
+                }
                 self.stats.completions += 1;
             }
             for _ in 0..de {
                 debug_assert!(!ctl.inflight.is_empty(), "error without a record");
                 ctl.inflight.pop_front();
                 self.stats.errors += 1;
+            }
+        }
+    }
+
+    /// One autoscaler decision: every `evaluate_every` epochs, compare
+    /// the window's completions-per-active-node rate and SLO-miss
+    /// fraction against the thresholds and activate (lowest-index
+    /// standby) or drain (highest-index active) one node, subject to
+    /// the cooldown. Node choice is by index, never by RNG, so the
+    /// fleet shape is a pure function of deterministic inputs.
+    fn autoscale_step(&mut self, t1: SimTime) {
+        let Some(a) = self.cfg.autoscale else {
+            return;
+        };
+        let every = a.evaluate_every.max(1);
+        if !(self.epoch_index + 1).is_multiple_of(every) {
+            return;
+        }
+        let window_s = self.cfg.epoch.as_secs_f64() * every as f64;
+        let active = self.active_nodes();
+        let jops_per_node = if active == 0 || window_s <= 0.0 {
+            0.0
+        } else {
+            self.window_completions as f64 / active as f64 / window_s
+        };
+        let miss_frac = if self.window_completions == 0 {
+            0.0
+        } else {
+            self.window_slo_miss as f64 / self.window_completions as f64
+        };
+        self.window_completions = 0;
+        self.window_slo_miss = 0;
+        let cooled = self
+            .last_scale_epoch
+            .is_none_or(|e| self.epoch_index.saturating_sub(e) >= a.cooldown_epochs);
+        if !cooled {
+            return;
+        }
+        let overloaded = jops_per_node > a.up_jops_per_node || miss_frac > a.slo_miss_fraction;
+        let idle = jops_per_node < a.down_jops_per_node && miss_frac <= a.slo_miss_fraction / 2.0;
+        if overloaded && active < a.max_nodes {
+            if let Some(i) = (0..self.ctl.len()).find(|&i| self.ctl[i].standby) {
+                self.ctl[i].standby = false;
+                self.stats.scale_ups += 1;
+                self.last_scale_epoch = Some(self.epoch_index);
+                self.log
+                    .push(t1, EventKind::NodeScaledUp { node: i as u32 });
+            }
+        } else if idle && active > a.min_nodes {
+            // Drain the highest-index active, non-crashed node; it keeps
+            // running (reconciling its in-flight work) but receives no
+            // new dispatch.
+            if let Some(i) = (0..self.ctl.len())
+                .rev()
+                .find(|&i| !self.ctl[i].standby && !self.ctl[i].crashed())
+            {
+                self.ctl[i].standby = true;
+                self.stats.scale_downs += 1;
+                self.last_scale_epoch = Some(self.epoch_index);
+                self.log
+                    .push(t1, EventKind::NodeScaledDown { node: i as u32 });
             }
         }
     }
@@ -589,6 +757,13 @@ impl<N: ClusterNode> Cluster<N> {
     #[cfg(test)]
     pub(crate) fn nodes_mut_for_tests(&mut self) -> &mut [N] {
         &mut self.nodes
+    }
+
+    /// Nodes currently in rotation (not parked as warm standbys). With
+    /// autoscaling off this is the fleet size.
+    #[must_use]
+    pub fn active_nodes(&self) -> usize {
+        self.ctl.iter().filter(|c| !c.standby).count()
     }
 
     /// Records still tracked as in flight across the fleet.

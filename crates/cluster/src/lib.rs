@@ -26,7 +26,7 @@ mod lb;
 mod node;
 
 pub use dispatch::DispatchPolicy;
-pub use lb::{Cluster, ClusterConfig, ClusterVerdict, FleetStats};
+pub use lb::{AutoscaleConfig, Cluster, ClusterConfig, ClusterVerdict, FleetStats};
 pub use node::{ArrivalStream, ClusterNode};
 
 #[cfg(test)]
@@ -362,6 +362,127 @@ mod tests {
             .sum();
         assert_eq!(fleet_hpm.aggregate().get(HpmEvent::InstCompleted), total);
         assert!(total > 0);
+    }
+
+    #[test]
+    fn autoscaler_scales_up_under_load_and_down_when_idle() {
+        let autoscale = AutoscaleConfig {
+            min_nodes: 1,
+            max_nodes: 3,
+            up_jops_per_node: 50.0,
+            down_jops_per_node: 20.0,
+            slo_miss_fraction: 0.10,
+            slo_s: 10.0,
+            evaluate_every: 2,
+            cooldown_epochs: 2,
+        };
+        let mut c = fleet(
+            3,
+            ClusterConfig {
+                autoscale: Some(autoscale),
+                ..cfg(3)
+            },
+        );
+        assert_eq!(c.active_nodes(), 1, "fleet must start at the floor");
+        // Saturating load: 10ms service per node vs 2ms arrivals.
+        let mut heavy = Steady {
+            gap: SimDuration::from_millis(2),
+            kind: RequestKind::Browse,
+        };
+        c.run(&mut heavy, SimTime::from_secs(5));
+        assert_eq!(c.active_nodes(), 3, "overload must activate standbys");
+        assert_eq!(c.stats().scale_ups, 2);
+        // Near-idle load: the autoscaler should drain back to the floor.
+        let mut light = Steady {
+            gap: SimDuration::from_secs(1),
+            kind: RequestKind::Browse,
+        };
+        c.run(&mut light, SimTime::from_secs(40));
+        assert_eq!(c.active_nodes(), 1, "idle fleet must drain to the floor");
+        let s = *c.stats();
+        assert!(s.scale_downs >= 2, "{s:?}");
+        // Conservation holds across every scaling action.
+        assert_eq!(c.verdict().lost, 0);
+        // Fleet shape reconciles with the scaling counters.
+        assert_eq!(
+            c.active_nodes() as u64,
+            autoscale.min_nodes as u64 + s.scale_ups - s.scale_downs,
+        );
+    }
+
+    #[test]
+    fn standby_nodes_receive_no_dispatch() {
+        let mut c = fleet(
+            2,
+            ClusterConfig {
+                autoscale: Some(AutoscaleConfig {
+                    min_nodes: 1,
+                    max_nodes: 2,
+                    up_jops_per_node: 1.0e9, // never scale up
+                    down_jops_per_node: 0.0, // never scale down
+                    ..AutoscaleConfig::default()
+                }),
+                ..cfg(2)
+            },
+        );
+        let mut arrivals = Steady {
+            gap: SimDuration::from_millis(50),
+            kind: RequestKind::Browse,
+        };
+        c.run(&mut arrivals, SimTime::from_secs(5));
+        assert!(c.nodes()[0].completed() > 0);
+        assert_eq!(
+            c.nodes()[1].completed(),
+            0,
+            "standby node must stay out of rotation"
+        );
+        assert_eq!(c.verdict().lost, 0);
+    }
+
+    #[test]
+    fn chunked_runs_match_a_single_run() {
+        let build = || {
+            fleet(
+                3,
+                ClusterConfig {
+                    plan: FaultPlan::parse("node-crash@2-10:0.05,node-slow@0-8:0.3")
+                        .expect("parses"),
+                    seed: 42,
+                    autoscale: Some(AutoscaleConfig {
+                        min_nodes: 2,
+                        max_nodes: 3,
+                        ..AutoscaleConfig::default()
+                    }),
+                    ..cfg(3)
+                },
+            )
+        };
+        let outcome = |c: &Cluster<MockNode>| {
+            (
+                *c.stats(),
+                c.hpm_digest(),
+                c.trace_digest(),
+                c.fault_digest(),
+                c.active_nodes(),
+            )
+        };
+        let mut single = build();
+        let mut arrivals = Steady {
+            gap: SimDuration::from_millis(10),
+            kind: RequestKind::Browse,
+        };
+        single.run(&mut arrivals, SimTime::from_secs(15));
+        let mut chunked = build();
+        let mut arrivals = Steady {
+            gap: SimDuration::from_millis(10),
+            kind: RequestKind::Browse,
+        };
+        // Phase-boundary style chunking, including a boundary that is
+        // not on the epoch grid.
+        for until_ms in [2_500, 7_300, 12_000, 15_000] {
+            chunked.run(&mut arrivals, SimTime::from_millis(until_ms));
+        }
+        assert_eq!(outcome(&single), outcome(&chunked));
     }
 
     #[test]

@@ -12,10 +12,14 @@
 use jas2004::cli::{parse_args, Cli, CliOptions, FigureSelect, USAGE};
 use jas2004::{
     checkpoint_bytes, figures, reduce_divergence, report, restore_engine, run_artifacts_from,
-    run_cluster, DispatchPolicy, Engine, FaultPlan, FaultWindow, RunPlan, SutConfig,
+    run_cluster, run_cluster_with, DispatchPolicy, Engine, FaultPlan, FaultWindow, RunPlan,
+    SutConfig,
 };
+use jas_hpm::PhaseHpm;
+use jas_scenario::{ScenarioOutcome, ScenarioSpec};
+use jas_simkernel::{SimDuration, SimTime};
 use jas_workload::ReplayLog;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -62,9 +66,13 @@ fn run(options: CliOptions) -> Result<(), String> {
         witness_out,
         nodes,
         dispatch,
+        scenario_spec,
     } = options;
     if reduce {
         return run_reduce(config, plan, witness_out.as_deref());
+    }
+    if let Some(spec) = scenario_spec {
+        return run_scenario(*spec, config, plan, select, nodes, dispatch, trace_out);
     }
     if nodes > 1 {
         return run_fleet(config, plan, nodes, dispatch, select);
@@ -146,6 +154,141 @@ fn run(options: CliOptions) -> Result<(), String> {
     if let Some(text) = &art.hostprof_text {
         print!("{text}");
     }
+    Ok(())
+}
+
+/// `--scenario <file>`: run the pinned scenario and print its digest,
+/// the usual run digests, and the `SCENARIO_VERDICT` line. The run is
+/// chunked at each workload-curve phase boundary (digest-equivalent to
+/// a straight run) so per-phase HPM rows come for free.
+fn run_scenario(
+    spec: ScenarioSpec,
+    config: SutConfig,
+    plan: RunPlan,
+    select: FigureSelect,
+    nodes: usize,
+    dispatch: DispatchPolicy,
+    trace_out: Option<PathBuf>,
+) -> Result<(), String> {
+    eprintln!(
+        "running scenario '{}' (curve {}, IR{}, {} node(s)), {:.0}s steady after {:.0}s ramp-up...",
+        spec.name,
+        spec.curve.kind_name(),
+        config.ir,
+        nodes,
+        plan.steady.as_secs_f64(),
+        plan.ramp_up.as_secs_f64()
+    );
+    println!("SCENARIO_DIGEST={:#018x}", spec.digest());
+    let end_s = plan.end().as_secs_f64();
+    let mut phases = PhaseHpm::new();
+    let outcome = if nodes > 1 {
+        let art = run_cluster_with(
+            &config,
+            plan,
+            nodes,
+            dispatch,
+            spec.autoscale,
+            Some(spec.max_in_flight),
+            Some(&mut phases),
+        );
+        if matches!(select, FigureSelect::All | FigureSelect::Cluster) {
+            print!("{}", report::render_cluster(&figures::cluster_table(&art)));
+        }
+        if matches!(select, FigureSelect::Scenario) {
+            print!(
+                "{}",
+                report::render_scenario(&figures::scenario_table(
+                    &spec.name,
+                    &config.curve,
+                    &phases
+                ))
+            );
+        }
+        println!("HPM_DIGEST={:#018x}", art.hpm_digest);
+        if config.trace.enabled() {
+            println!("TRACE_DIGEST={:#018x}", art.trace_digest);
+        }
+        if !config.faults.plan.is_empty() {
+            println!("FAULT_DIGEST={:#018x}", art.fault_digest);
+        }
+        for (i, digest) in art.node_hpm_digests.iter().enumerate() {
+            println!("NODE{i}_HPM_DIGEST={digest:#018x}");
+        }
+        println!(
+            "ACTIVE_NODES={} scale_ups={} scale_downs={}",
+            art.active_nodes, art.stats.scale_ups, art.stats.scale_downs
+        );
+        let v = &art.verdict;
+        println!(
+            "CLUSTER_VERDICT={} lost={} shed={} shed_fraction={:.4}",
+            if v.lost == 0 && v.verdict.passed {
+                "pass"
+            } else {
+                "fail"
+            },
+            v.lost,
+            v.shed,
+            v.shed_fraction
+        );
+        ScenarioOutcome {
+            web_p90: v.verdict.web_p90,
+            rmi_p90: v.verdict.rmi_p90,
+            error_rate: v.verdict.error_rate,
+            shed_fraction: v.shed_fraction,
+            slo_miss: art.metrics.slo_miss_fraction(spec.slo.web_p90_s),
+            lost: v.lost,
+        }
+    } else {
+        let mut engine = Engine::new(config.clone(), plan);
+        for boundary_s in config.curve.phase_boundaries(end_s) {
+            engine.run_to(SimTime::ZERO + SimDuration::from_secs_f64(boundary_s));
+            phases.observe(boundary_s, &engine.total_counters());
+        }
+        engine.run_to_end();
+        phases.observe(end_s, &engine.total_counters());
+        let slo_miss = engine.metrics().slo_miss_fraction(spec.slo.web_p90_s);
+        let art = run_artifacts_from(config, plan, engine);
+        print_figures(&art, select);
+        if matches!(select, FigureSelect::Scenario) {
+            print!(
+                "{}",
+                report::render_scenario(&figures::scenario_table(
+                    &spec.name,
+                    &art.config.curve,
+                    &phases
+                ))
+            );
+        }
+        println!("HPM_DIGEST={:#018x}", art.hpm_digest);
+        if art.config.trace.enabled() {
+            println!(
+                "TRACE_DIGEST={:#018x} events={}",
+                art.trace_digest,
+                art.trace.len()
+            );
+        }
+        if !art.config.faults.plan.is_empty() {
+            println!(
+                "FAULT_DIGEST={:#018x} events={}",
+                art.fault_digest, art.fault_events
+            );
+        }
+        if let Some(path) = trace_out {
+            let json = jas_trace::export::to_chrome_json(art.trace.events());
+            write_file(&path, json.as_bytes())?;
+            eprintln!("trace written to {}", path.display());
+        }
+        ScenarioOutcome {
+            web_p90: art.verdict.web_p90,
+            rmi_p90: art.verdict.rmi_p90,
+            error_rate: art.verdict.error_rate,
+            shed_fraction: 0.0,
+            slo_miss,
+            lost: 0,
+        }
+    };
+    println!("{}", spec.verdict_line(&outcome));
     Ok(())
 }
 

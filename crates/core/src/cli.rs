@@ -7,6 +7,7 @@
 use crate::config::{RunPlan, ScenarioKind, SchedMode, SutConfig};
 use jas_cluster::DispatchPolicy;
 use jas_faults::FaultPlan;
+use jas_scenario::{AppKind, ScenarioSpec};
 use jas_simkernel::SimDuration;
 use jas_trace::TraceSpec;
 use std::path::PathBuf;
@@ -33,6 +34,8 @@ pub enum FigureSelect {
     /// The fleet table: per-node counter files plus aggregates
     /// (`--nodes N > 1` only).
     Cluster,
+    /// Per-phase HPM rows for a scenario run (`--scenario <file>` only).
+    Scenario,
 }
 
 /// Parsed command line.
@@ -65,6 +68,10 @@ pub struct CliOptions {
     pub nodes: usize,
     /// Front-end dispatch policy (`--nodes N > 1` only).
     pub dispatch: DispatchPolicy,
+    /// The scenario spec, when the run came from `--scenario <file>`:
+    /// carries the admission cap, autoscaler tuning, SLO, and the
+    /// `SCENARIO_DIGEST`/`SCENARIO_VERDICT` lines the binary prints.
+    pub scenario_spec: Option<Box<ScenarioSpec>>,
 }
 
 /// What the command line asked for.
@@ -107,7 +114,12 @@ OPTIONS:
                          the discrete-event scheduler, which skips
                          provably idle quanta and produces bit-identical
                          digests to `quantum`
-    --scenario <NAME>    jas | trade (default jas)
+    --scenario <SEL>     jas | trade (default jas), or a path to a
+                         scenarios/<name>.toml spec bundling workload
+                         curve, fault plan, trace, topology, and SLO;
+                         a spec run prints SCENARIO_DIGEST and
+                         SCENARIO_VERDICT lines, and later flags
+                         override spec values
     --no-large-pages     back the Java heap with 4 KB pages
     --code-large-pages   put JIT/native code on 16 MB pages
     --generational <MB>  minor collections every <MB> allocated
@@ -124,8 +136,9 @@ OPTIONS:
     --dispatch <POLICY>  round-robin | least-conn | ps-clone front-end
                          dispatch (default round-robin; N > 1 only)
     --figure <SEL>       all | 2..10 | locking | utilization | resilience |
-                         tprof | vmstat | sched | cluster (default all;
-                         cluster needs --nodes N > 1)
+                         tprof | vmstat | sched | cluster | scenario
+                         (default all; cluster needs --nodes N > 1,
+                         scenario needs --scenario <file>)
     --trace <SPEC>       record trace events: all | off | a comma list of
                          req,pool,rmi,jms,db,resil,gc,alloc,quantum,hpm;
                          prints TRACE_DIGEST after the run (default off)
@@ -205,6 +218,7 @@ where
     let mut witness_out = None;
     let mut nodes = 1usize;
     let mut dispatch = DispatchPolicy::default();
+    let mut scenario_spec: Option<Box<ScenarioSpec>> = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -249,14 +263,36 @@ where
                 i += 1;
             }
             "--scenario" => {
-                config.scenario = match value {
-                    Some("jas") => ScenarioKind::JAppServer,
-                    Some("trade") => ScenarioKind::TradeLike,
-                    Some(other) => {
-                        return Err(CliError(format!("unknown scenario '{other}' (jas|trade)")))
+                let v = value.ok_or_else(|| CliError("--scenario requires a value".into()))?;
+                match v {
+                    "jas" => config.scenario = ScenarioKind::JAppServer,
+                    "trade" => config.scenario = ScenarioKind::TradeLike,
+                    path if path.ends_with(".toml") || path.contains('/') => {
+                        let text = std::fs::read_to_string(path).map_err(|e| {
+                            CliError(format!("--scenario: cannot read '{path}': {e}"))
+                        })?;
+                        let spec = ScenarioSpec::parse(&text)
+                            .map_err(|e| CliError(format!("--scenario: {path}: {e}")))?;
+                        config.ir = spec.ir;
+                        config.scenario = match spec.app {
+                            AppKind::Jas => ScenarioKind::JAppServer,
+                            AppKind::Trade => ScenarioKind::TradeLike,
+                        };
+                        config.curve = spec.compile_curve();
+                        config.faults.plan = spec.plan();
+                        config.trace = spec.trace_spec();
+                        plan.ramp_up = SimDuration::from_secs(spec.ramp_s);
+                        plan.steady = SimDuration::from_secs(spec.steady_s);
+                        nodes = spec.nodes;
+                        dispatch = spec.dispatch;
+                        scenario_spec = Some(Box::new(spec));
                     }
-                    None => return Err(CliError("--scenario requires a value".into())),
-                };
+                    other => {
+                        return Err(CliError(format!(
+                            "unknown scenario '{other}' (jas|trade, or a path to a .toml spec)"
+                        )))
+                    }
+                }
                 i += 1;
             }
             "--no-large-pages" => config.machine.addr_map.heap_large_pages = false,
@@ -269,14 +305,21 @@ where
                 let spec = value
                     .ok_or_else(|| CliError("--fault-plan requires a value".into()))?
                     .to_string();
-                let spec = match spec.strip_prefix('@') {
-                    Some(path) => std::fs::read_to_string(path).map_err(|e| {
-                        CliError(format!("--fault-plan: cannot read '{path}': {e}"))
-                    })?,
-                    None => spec,
+                // File-sourced plans keep the path in parse errors, so
+                // `plan[i]` positions point somewhere actionable.
+                let (spec, src) = match spec.strip_prefix('@') {
+                    Some(path) => {
+                        let text = std::fs::read_to_string(path).map_err(|e| {
+                            CliError(format!("--fault-plan: cannot read '{path}': {e}"))
+                        })?;
+                        (text, Some(path.to_string()))
+                    }
+                    None => (spec.clone(), None),
                 };
-                config.faults.plan = FaultPlan::parse(spec.trim())
-                    .map_err(|e| CliError(format!("--fault-plan: {e}")))?;
+                config.faults.plan = FaultPlan::parse(spec.trim()).map_err(|e| match &src {
+                    Some(path) => CliError(format!("--fault-plan: {path}: {e}")),
+                    None => CliError(format!("--fault-plan: {e}")),
+                })?;
                 i += 1;
             }
             "--trace" => {
@@ -339,6 +382,7 @@ where
                     Some("vmstat") => FigureSelect::Vmstat,
                     Some("sched") => FigureSelect::Sched,
                     Some("cluster") => FigureSelect::Cluster,
+                    Some("scenario") => FigureSelect::Scenario,
                     Some(n) => {
                         let n: u8 = n
                             .parse()
@@ -380,6 +424,21 @@ where
     if witness_out.is_some() && !reduce {
         return Err(CliError("--witness-out requires --reduce".into()));
     }
+    if scenario_spec.is_some()
+        && (checkpoint_at.is_some()
+            || restore_from.is_some()
+            || record_out.is_some()
+            || replay_from.is_some()
+            || reduce)
+    {
+        // A scenario is a self-contained pinned artifact; the
+        // checkpoint/replay/reduce tooling runs against explicit flag
+        // configurations only.
+        return Err(CliError(
+            "--scenario <file> cannot be combined with checkpoint/record/replay/reduce flags"
+                .into(),
+        ));
+    }
     if nodes > 1
         && (checkpoint_at.is_some()
             || restore_from.is_some()
@@ -398,6 +457,11 @@ where
     }
     if select == FigureSelect::Cluster && nodes < 2 {
         return Err(CliError("--figure cluster requires --nodes > 1".into()));
+    }
+    if select == FigureSelect::Scenario && scenario_spec.is_none() {
+        return Err(CliError(
+            "--figure scenario requires --scenario <file>".into(),
+        ));
     }
     if reduce {
         if config.faults.plan.is_empty() {
@@ -429,6 +493,7 @@ where
         witness_out,
         nodes,
         dispatch,
+        scenario_spec,
     })))
 }
 
@@ -714,6 +779,99 @@ mod tests {
         assert_eq!(o.config.faults.plan.windows().len(), 3);
         assert!(o.config.faults.plan.has_fleet());
         assert!(!o.config.faults.plan.has_local());
+    }
+
+    #[test]
+    fn fault_plan_file_errors_carry_the_path_and_position() {
+        let path = std::env::temp_dir().join("jas2004-cli-bad-fault-plan-test.txt");
+        std::fs::write(&path, "db-io@1-2:0.25\nnode-crash@9-3:0.5\n").unwrap();
+        let err = parse(&["--fault-plan", &format!("@{}", path.display())]).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(
+            err.0.contains(&path.display().to_string()),
+            "file plan errors name the file: {err}"
+        );
+        assert!(err.0.contains("plan[1]"), "position survives: {err}");
+    }
+
+    fn write_scenario(name: &str, body: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("{name}.toml"));
+        std::fs::write(&path, body).unwrap();
+        path
+    }
+
+    const SCENARIO_BODY: &str = "\
+[scenario]
+name = \"cli-spec\"
+version = 1
+[run]
+ramp_s = 5
+steady_s = 30
+[workload]
+ir = 12
+curve = \"flash-crowd\"
+[workload.flash]
+start_s = 10
+ramp_s = 2
+hold_s = 4
+peak = 3
+[faults]
+plan = \"gc-storm@6-7:1\"
+[cluster]
+nodes = 3
+dispatch = \"least-conn\"
+max_in_flight = 40
+";
+
+    #[test]
+    fn scenario_file_populates_config_plan_and_topology() {
+        let path = write_scenario("jas2004-cli-spec", SCENARIO_BODY);
+        let o = parse(&["--scenario", &path.display().to_string()]).unwrap();
+        std::fs::remove_file(&path).ok();
+        let spec = o.scenario_spec.expect("spec retained");
+        assert_eq!(spec.name, "cli-spec");
+        assert_eq!(o.config.ir, 12);
+        assert!(!o.config.curve.is_flat());
+        assert_eq!(o.config.faults.plan.windows().len(), 1);
+        assert_eq!(o.plan.ramp_up.as_secs_f64(), 5.0);
+        assert_eq!(o.plan.steady.as_secs_f64(), 30.0);
+        assert_eq!(o.nodes, 3);
+        assert_eq!(o.dispatch, DispatchPolicy::LeastConn);
+        assert_eq!(spec.max_in_flight, 40);
+    }
+
+    #[test]
+    fn flags_after_a_scenario_file_override_spec_values() {
+        let path = write_scenario("jas2004-cli-spec-override", SCENARIO_BODY);
+        let o = parse(&[
+            "--scenario",
+            &path.display().to_string(),
+            "--ir",
+            "20",
+            "--nodes",
+            "1",
+        ])
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(o.config.ir, 20);
+        assert_eq!(o.nodes, 1);
+        assert!(o.scenario_spec.is_some());
+    }
+
+    #[test]
+    fn scenario_file_errors_and_combinations_are_validated() {
+        let err = |args: &[&str]| parse(args).unwrap_err().0;
+        assert!(err(&["--scenario", "/no/such/scenario.toml"]).contains("cannot read"));
+        assert!(err(&["--scenario", "weblogic"]).contains("unknown scenario"));
+        assert!(err(&["--figure", "scenario"]).contains("--scenario"));
+        let bad = write_scenario("jas2004-cli-bad-spec", "[scenario]\nname = \"x!\"\n");
+        let msg = err(&["--scenario", &bad.display().to_string()]);
+        std::fs::remove_file(&bad).ok();
+        assert!(msg.contains(&bad.display().to_string()), "{msg}");
+        let good = write_scenario("jas2004-cli-spec-combo", SCENARIO_BODY);
+        let msg = err(&["--scenario", &good.display().to_string(), "--record", "a"]);
+        std::fs::remove_file(&good).ok();
+        assert!(msg.contains("--scenario"), "{msg}");
     }
 
     #[test]

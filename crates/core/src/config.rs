@@ -7,6 +7,7 @@ use jas_faults::FaultPlan;
 use jas_jvm::JvmConfig;
 use jas_simkernel::{SimDuration, SimTime};
 use jas_trace::TraceSpec;
+use jas_workload::Curve;
 
 /// Which benchmark application the SUT runs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -95,6 +96,10 @@ pub struct SutConfig {
     pub kernel_overhead: f64,
     /// The benchmark application to run.
     pub scenario: ScenarioKind,
+    /// Workload curve: piecewise-linear multiplier on the injection
+    /// rate over sim time. The flat default is byte-identical to the
+    /// legacy constant-IR driver (same RNG draws, same digests).
+    pub curve: Curve,
     /// Host threads for the parallel (core-private) execution phase.
     /// Clamped to the simulated core count; results are bit-identical for
     /// every value — `1` runs the identical code path serially.
@@ -127,6 +132,7 @@ impl Default for SutConfig {
             alloc_multiplier: 11,
             kernel_overhead: 0.22,
             scenario: ScenarioKind::JAppServer,
+            curve: Curve::constant(),
             threads: 1,
             faults: FaultsConfig::default(),
             trace: TraceSpec::off(),

@@ -298,8 +298,18 @@ impl Engine {
         let jvm = Jvm::new(cfg.jvm);
         let mut db = Database::new(cfg.db);
         let scenario: Box<dyn Scenario> = match cfg.scenario {
-            ScenarioKind::JAppServer => Box::new(JasScenario::new(&mut db, cfg.ir, cfg.seed)),
-            ScenarioKind::TradeLike => Box::new(TradeScenario::new(&mut db, cfg.ir, cfg.seed)),
+            ScenarioKind::JAppServer => Box::new(JasScenario::with_curve(
+                &mut db,
+                cfg.ir,
+                cfg.seed,
+                cfg.curve.clone(),
+            )),
+            ScenarioKind::TradeLike => Box::new(TradeScenario::with_curve(
+                &mut db,
+                cfg.ir,
+                cfg.seed,
+                cfg.curve.clone(),
+            )),
         };
         let appserver = AppServer::new(cfg.appserver);
         let fp = FootprintConfig {

@@ -694,3 +694,54 @@ pub fn cluster_table(art: &crate::fleet::ClusterArtifacts) -> ClusterTable {
         failover_ms: art.failover_ms,
     }
 }
+
+/// One workload-curve phase of a scenario run (`--figure scenario`).
+#[derive(Clone, Debug)]
+pub struct ScenarioPhaseRow {
+    /// Phase start (sim seconds).
+    pub start_s: f64,
+    /// Phase end (sim seconds).
+    pub end_s: f64,
+    /// Curve multiplier at the phase midpoint.
+    pub multiplier: f64,
+    /// Instructions completed within the phase.
+    pub instructions: u64,
+    /// Cycles elapsed within the phase.
+    pub cycles: u64,
+    /// Cycles per instruction within the phase.
+    pub cpi: f64,
+}
+
+/// The per-phase scenario table.
+#[derive(Clone, Debug)]
+pub struct ScenarioTable {
+    /// Scenario name.
+    pub name: String,
+    /// One row per curve phase, in time order.
+    pub rows: Vec<ScenarioPhaseRow>,
+}
+
+/// Computes the per-phase table from a scenario run's phase accumulator.
+#[must_use]
+pub fn scenario_table(
+    name: &str,
+    curve: &jas_workload::Curve,
+    phases: &jas_hpm::PhaseHpm,
+) -> ScenarioTable {
+    let rows = phases
+        .rows()
+        .iter()
+        .map(|r| ScenarioPhaseRow {
+            start_s: r.start_s,
+            end_s: r.end_s,
+            multiplier: curve.multiplier_at(0.5 * (r.start_s + r.end_s)),
+            instructions: r.instructions,
+            cycles: r.cycles,
+            cpi: r.cpi(),
+        })
+        .collect();
+    ScenarioTable {
+        name: name.to_string(),
+        rows,
+    }
+}

@@ -10,11 +10,12 @@
 use crate::config::{RunPlan, SutConfig};
 use crate::engine::Engine;
 use jas_cluster::{
-    Cluster, ClusterConfig, ClusterNode, ClusterVerdict, DispatchPolicy, FleetStats,
+    AutoscaleConfig, Cluster, ClusterConfig, ClusterNode, ClusterVerdict, DispatchPolicy,
+    FleetStats,
 };
 use jas_cpu::CounterFile;
-use jas_hpm::FleetHpm;
-use jas_simkernel::{Loader, Saver, SimTime};
+use jas_hpm::{FleetHpm, PhaseHpm};
+use jas_simkernel::{Loader, Saver, SimDuration, SimTime};
 use jas_workload::{Driver, DriverConfig, Metrics, RequestKind};
 
 /// Per-node seed salt ("NODESEED"): node 0 keeps the configured seed,
@@ -144,6 +145,9 @@ pub struct ClusterArtifacts {
     /// Mean simulated crash-to-warm-restart latency in milliseconds
     /// (0 when nothing crashed).
     pub failover_ms: f64,
+    /// Nodes in rotation when the run ended (equals `nodes` unless the
+    /// autoscaler drained some back to standby).
+    pub active_nodes: usize,
 }
 
 /// Mean crash→restart latency over the LB's event log: each
@@ -192,6 +196,29 @@ pub fn run_cluster(
     nodes: usize,
     dispatch: DispatchPolicy,
 ) -> ClusterArtifacts {
+    run_cluster_with(cfg, run, nodes, dispatch, None, None, None)
+}
+
+/// [`run_cluster`] with the scenario-layer extensions: an optional
+/// reactive autoscaler, an explicit admission cap, and optional
+/// per-phase HPM attribution (the fleet is chunked at each workload
+/// curve phase boundary — chunked runs are digest-equivalent to
+/// straight runs, so this costs nothing in determinism).
+///
+/// # Panics
+///
+/// Panics if `nodes < 2` (the single-node path is the legacy engine run,
+/// not a one-node fleet).
+#[must_use]
+pub fn run_cluster_with(
+    cfg: &SutConfig,
+    run: RunPlan,
+    nodes: usize,
+    dispatch: DispatchPolicy,
+    autoscale: Option<AutoscaleConfig>,
+    max_in_flight: Option<u64>,
+    mut phases: Option<&mut PhaseHpm>,
+) -> ClusterArtifacts {
     assert!(
         nodes >= 2,
         "run_cluster needs a fleet; --nodes 1 is the legacy path"
@@ -205,6 +232,7 @@ pub fn run_cluster(
         })
         .collect();
     let lb_metrics = Metrics::new(run.throughput_bin, run.steady_start(), run.end());
+    let defaults = ClusterConfig::default();
     let cluster_cfg = ClusterConfig {
         nodes,
         dispatch,
@@ -212,12 +240,27 @@ pub fn run_cluster(
         seed: cfg.seed,
         plan: cfg.faults.plan.clone(),
         retry: cfg.faults.retry,
-        ..ClusterConfig::default()
+        autoscale,
+        max_in_flight: max_in_flight.unwrap_or(defaults.max_in_flight),
+        ..defaults
     };
     let mut cluster = Cluster::new(cluster_cfg, fleet_nodes, lb_metrics);
-    let mut arrivals = Driver::new(DriverConfig::at_ir(cfg.ir));
+    let mut arrivals = Driver::with_curve(DriverConfig::at_ir(cfg.ir), cfg.curve.clone());
+    if phases.is_some() {
+        for boundary_s in cfg.curve.phase_boundaries(run.end().as_secs_f64()) {
+            let until = SimTime::ZERO + SimDuration::from_secs_f64(boundary_s);
+            cluster.run(&mut arrivals, until);
+            if let Some(acc) = phases.as_deref_mut() {
+                acc.observe(boundary_s, &fleet_counters(&cluster));
+            }
+        }
+    }
     cluster.run(&mut arrivals, run.end());
     cluster.finish();
+    if let Some(acc) = phases {
+        acc.observe(run.end().as_secs_f64(), &fleet_counters(&cluster));
+    }
+    let active_nodes = cluster.active_nodes();
     ClusterArtifacts {
         nodes,
         dispatch,
@@ -234,5 +277,16 @@ pub fn run_cluster(
         fleet_hpm: cluster.fleet_hpm(),
         metrics: cluster.merged_metrics(),
         failover_ms: mean_failover_ms(cluster.log()),
+        active_nodes,
     }
+}
+
+/// Counter-wise sum of every node's cumulative counters, for per-phase
+/// fleet attribution.
+fn fleet_counters(cluster: &Cluster<EngineNode>) -> CounterFile {
+    let mut total = CounterFile::new();
+    for node in cluster.nodes() {
+        total.merge(&node.counters());
+    }
+    total
 }

@@ -42,8 +42,8 @@ pub use checkpoint::{checkpoint_bytes, config_fingerprint, restore_engine, valid
 pub use config::{FaultsConfig, RunPlan, ScenarioKind, SchedMode, SutConfig};
 pub use engine::Engine;
 pub use experiment::{run_artifacts_from, run_experiment, RunArtifacts};
-pub use fleet::{run_cluster, ClusterArtifacts, EngineNode};
-pub use jas_cluster::{ClusterVerdict, DispatchPolicy, FleetStats};
+pub use fleet::{run_cluster, run_cluster_with, ClusterArtifacts, EngineNode};
+pub use jas_cluster::{AutoscaleConfig, ClusterVerdict, DispatchPolicy, FleetStats};
 pub use jas_cpu::{CounterFile, HpmEvent};
 pub use jas_faults::{FaultCounters, FaultKind, FaultPlan, FaultWindow};
 pub use jas_trace::{TraceCategory, TraceEvent, TraceEventKind, TraceSpec, Tracer};

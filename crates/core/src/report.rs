@@ -2,8 +2,8 @@
 
 use crate::figures::{
     ClusterTable, Fig10Correlation, Fig2Throughput, Fig3Gc, Fig4Profile, Fig5Cpi, Fig6Branch,
-    Fig7Tlb, Fig8L1d, Fig9DataFrom, LockingTable, ResilienceTable, SchedTable, TprofTable,
-    UtilizationTable, VmstatTable,
+    Fig7Tlb, Fig8L1d, Fig9DataFrom, LockingTable, ResilienceTable, ScenarioTable, SchedTable,
+    TprofTable, UtilizationTable, VmstatTable,
 };
 use std::fmt::Write as _;
 
@@ -431,6 +431,29 @@ pub fn render_cluster(t: &ClusterTable) -> String {
     out
 }
 
+/// Renders the per-phase scenario table.
+#[must_use]
+pub fn render_scenario(t: &ScenarioTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Scenario Phases ({})", t.name);
+    let _ = writeln!(
+        out,
+        "  {:>8} {:>8} {:>6} {:>14} {:>14} {:>6}",
+        "start s", "end s", "mult", "instructions", "cycles", "cpi"
+    );
+    for row in &t.rows {
+        let _ = writeln!(
+            out,
+            "  {:>8.1} {:>8.1} {:>6.2} {:>14} {:>14} {:>6.2}",
+            row.start_s, row.end_s, row.multiplier, row.instructions, row.cycles, row.cpi
+        );
+    }
+    if t.rows.is_empty() {
+        let _ = writeln!(out, "  (no phases recorded)");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -635,5 +658,28 @@ mod tests {
         assert!(text.contains("75.0% of the timeline was free"));
         assert!(text.contains("dispatched 412"));
         assert!(text.contains("high-water 9"));
+    }
+
+    #[test]
+    fn render_scenario_lists_phases() {
+        let text = render_scenario(&ScenarioTable {
+            name: "flash-crowd".to_string(),
+            rows: vec![crate::figures::ScenarioPhaseRow {
+                start_s: 0.0,
+                end_s: 12.0,
+                multiplier: 1.0,
+                instructions: 1000,
+                cycles: 2000,
+                cpi: 2.0,
+            }],
+        });
+        assert!(text.starts_with("Scenario Phases (flash-crowd)"));
+        assert!(text.contains("12.0"));
+        assert!(text.contains("2.00"));
+        let empty = render_scenario(&ScenarioTable {
+            name: "x".to_string(),
+            rows: vec![],
+        });
+        assert!(empty.contains("no phases recorded"));
     }
 }

@@ -172,6 +172,8 @@ impl FaultInjector {
             | EventKind::NodeRestarted { .. }
             | EventKind::NodeEjected { .. }
             | EventKind::NodeReadmitted { .. }
+            | EventKind::NodeScaledUp { .. }
+            | EventKind::NodeScaledDown { .. }
             | EventKind::RequestShed
             | EventKind::RequestRedispatched => {}
         }

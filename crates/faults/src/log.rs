@@ -56,6 +56,17 @@ pub enum EventKind {
     /// Fleet: an idempotent in-flight request was re-dispatched to a
     /// surviving node after its original node crashed.
     RequestRedispatched,
+    /// Fleet: the autoscaler brought warm standby node `node` into
+    /// rotation.
+    NodeScaledUp {
+        /// Zero-based node index in the cluster.
+        node: u32,
+    },
+    /// Fleet: the autoscaler drained node `node` back to warm standby.
+    NodeScaledDown {
+        /// Zero-based node index in the cluster.
+        node: u32,
+    },
 }
 
 impl EventKind {
@@ -81,6 +92,8 @@ impl EventKind {
             EventKind::NodeReadmitted { node } => 0x2C0 + u64::from(node),
             EventKind::RequestShed => 0x300,
             EventKind::RequestRedispatched => 0x301,
+            EventKind::NodeScaledUp { node } => 0x340 + u64::from(node),
+            EventKind::NodeScaledDown { node } => 0x380 + u64::from(node),
         }
     }
 
@@ -104,6 +117,8 @@ impl EventKind {
             EventKind::NodeReadmitted { .. } => "node-readmitted",
             EventKind::RequestShed => "request-shed",
             EventKind::RequestRedispatched => "request-redispatched",
+            EventKind::NodeScaledUp { .. } => "node-scaled-up",
+            EventKind::NodeScaledDown { .. } => "node-scaled-down",
         }
     }
 }
@@ -193,6 +208,8 @@ impl Persist for EventKind {
             EventKind::NodeReadmitted { .. } => 13,
             EventKind::RequestShed => 14,
             EventKind::RequestRedispatched => 15,
+            EventKind::NodeScaledUp { .. } => 16,
+            EventKind::NodeScaledDown { .. } => 17,
         };
         io.word(&mut tag);
         if !io.saving() {
@@ -212,6 +229,8 @@ impl Persist for EventKind {
                 12 => EventKind::NodeEjected { node: 0 },
                 13 => EventKind::NodeReadmitted { node: 0 },
                 14 => EventKind::RequestShed,
+                16 => EventKind::NodeScaledUp { node: 0 },
+                17 => EventKind::NodeScaledDown { node: 0 },
                 _ => EventKind::RequestRedispatched,
             };
         }
@@ -221,7 +240,9 @@ impl Persist for EventKind {
             EventKind::NodeCrashed { node }
             | EventKind::NodeRestarted { node }
             | EventKind::NodeEjected { node }
-            | EventKind::NodeReadmitted { node } => node.persist(io),
+            | EventKind::NodeReadmitted { node }
+            | EventKind::NodeScaledUp { node }
+            | EventKind::NodeScaledDown { node } => node.persist(io),
             _ => {}
         }
     }

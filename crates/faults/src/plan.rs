@@ -186,20 +186,22 @@ impl FaultPlan {
         FaultPlan { windows }
     }
 
-    /// Parses the CLI grammar: comma-separated `kind@lo-hi:rate` entries,
-    /// where `kind` is a [`FaultKind::name`], `lo`/`hi` are seconds on the
-    /// sim clock, and `rate` is a probability (seize fraction for
-    /// `pool-seize`). Example: `db-lock@40-60:0.3,gc-storm@50-55:0.05`.
+    /// Parses the CLI grammar: `kind@lo-hi:rate` entries separated by
+    /// commas or newlines (so `@FILE` plans can list one window per
+    /// line), where `kind` is a [`FaultKind::name`], `lo`/`hi` are
+    /// seconds on the sim clock, and `rate` is a probability (seize
+    /// fraction for `pool-seize`). Example:
+    /// `db-lock@40-60:0.3,gc-storm@50-55:0.05`.
     ///
     /// # Errors
     ///
     /// Returns a message naming the offending entry and its position in
-    /// the comma-separated list (e.g. `plan[2]: bad window
+    /// the separated list (e.g. `plan[2]: bad window
     /// 'node-crash@9-3' (ends before it starts)`) for unknown kinds,
     /// malformed numbers, reversed windows, or rates outside `[0, 1]`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut windows = Vec::new();
-        for (i, entry) in spec.split(',').enumerate() {
+        for (i, entry) in spec.split([',', '\n']).enumerate() {
             let entry = entry.trim();
             if entry.is_empty() {
                 continue;
@@ -354,6 +356,21 @@ mod tests {
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "'{bad}' must be rejected");
         }
+    }
+
+    #[test]
+    fn newline_separated_file_plans_parse_with_positions() {
+        let plan = FaultPlan::parse("db-lock@40-60:0.3\ngc-storm@50-55:1\n").expect("parses");
+        assert_eq!(plan.windows().len(), 2);
+        assert_eq!(plan.windows()[1].kind, FaultKind::GcStorm);
+
+        // Positions count every separated entry, commas and newlines alike.
+        let err = FaultPlan::parse("db-lock@1-2:0.5\nnode-crash@9-3:0.5")
+            .expect_err("reversed window must be rejected");
+        assert_eq!(
+            err,
+            "plan[1]: bad window 'node-crash@9-3' (ends before it starts)"
+        );
     }
 
     #[test]

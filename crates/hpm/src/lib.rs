@@ -18,6 +18,8 @@
 //!   skipped, wake-heap high-water mark.
 //! * [`FleetHpm`] — per-node counter files plus fleet aggregates for
 //!   multi-node cluster runs (`--figure cluster`).
+//! * [`PhaseHpm`] — counter deltas between workload-curve phase
+//!   boundaries for scenario runs (`--figure scenario`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +28,7 @@ mod faultmon;
 mod fleet;
 mod groups;
 mod hpmstat;
+mod phase;
 mod sched;
 mod tprof;
 mod verbosegc;
@@ -36,6 +39,7 @@ pub use faultmon::FaultMonitor;
 pub use fleet::FleetHpm;
 pub use groups::CounterGroup;
 pub use hpmstat::{EventSeries, Hpmstat, OmniscientHpm};
+pub use phase::{PhaseHpm, PhaseRow};
 pub use sched::SchedStats;
 pub use tprof::{ComponentShare, Flatness, Tprof};
 pub use verbosegc::{GcLogEntry, GcLogSummary, VerboseGc};

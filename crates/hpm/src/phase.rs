@@ -1,0 +1,106 @@
+//! Per-phase HPM: counter deltas between workload-curve phase
+//! boundaries.
+//!
+//! A scenario's curve partitions the run into phases (the piecewise
+//! segments of the injection-rate multiplier). `--figure scenario`
+//! reports one row per phase — instructions, cycles, CPI — computed as
+//! deltas of the engine's cumulative counter file observed at each
+//! boundary. The accumulator is passive: the runner chunks the engine
+//! (`run_to` per boundary) and calls [`PhaseHpm::observe`]; chunked runs
+//! are digest-equivalent to straight runs, so phase attribution costs
+//! nothing in determinism.
+
+use jas_cpu::{CounterFile, HpmEvent};
+
+/// One phase's counter deltas.
+#[derive(Clone, Debug)]
+pub struct PhaseRow {
+    /// Phase start (sim seconds).
+    pub start_s: f64,
+    /// Phase end (sim seconds).
+    pub end_s: f64,
+    /// Instructions completed within the phase.
+    pub instructions: u64,
+    /// Cycles elapsed within the phase.
+    pub cycles: u64,
+}
+
+impl PhaseRow {
+    /// Cycles per instruction within the phase (0 when idle).
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// Accumulates per-phase counter deltas from cumulative snapshots.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseHpm {
+    rows: Vec<PhaseRow>,
+    last_at_s: f64,
+    last: CounterFile,
+}
+
+impl PhaseHpm {
+    /// An empty accumulator anchored at t=0 with zeroed counters.
+    #[must_use]
+    pub fn new() -> PhaseHpm {
+        PhaseHpm::default()
+    }
+
+    /// Records the phase ending at `at_s`, given the *cumulative*
+    /// counter file at that moment; deltas against the previous
+    /// observation become the phase's row.
+    pub fn observe(&mut self, at_s: f64, cumulative: &CounterFile) {
+        let delta = |event: HpmEvent| cumulative.get(event).saturating_sub(self.last.get(event));
+        self.rows.push(PhaseRow {
+            start_s: self.last_at_s,
+            end_s: at_s,
+            instructions: delta(HpmEvent::InstCompleted),
+            cycles: delta(HpmEvent::Cycles),
+        });
+        self.last_at_s = at_s;
+        self.last = cumulative.clone();
+    }
+
+    /// The recorded phases, in time order.
+    #[must_use]
+    pub fn rows(&self) -> &[PhaseRow] {
+        &self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_deltas_between_observations() {
+        let mut phases = PhaseHpm::new();
+        let mut counters = CounterFile::new();
+        counters.add(HpmEvent::Cycles, 100);
+        counters.add(HpmEvent::InstCompleted, 50);
+        phases.observe(10.0, &counters);
+        counters.add(HpmEvent::Cycles, 30);
+        counters.add(HpmEvent::InstCompleted, 10);
+        phases.observe(25.0, &counters);
+        let rows = phases.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!((rows[0].start_s, rows[0].end_s), (0.0, 10.0));
+        assert_eq!((rows[0].instructions, rows[0].cycles), (50, 100));
+        assert_eq!((rows[1].start_s, rows[1].end_s), (10.0, 25.0));
+        assert_eq!((rows[1].instructions, rows[1].cycles), (10, 30));
+        assert!((rows[1].cpi() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_phase_has_zero_cpi() {
+        let mut phases = PhaseHpm::new();
+        phases.observe(5.0, &CounterFile::new());
+        assert_eq!(phases.rows()[0].cpi(), 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! `scenario-validate` — lints scenario spec files the way
+//! `trace-validate` checks trace schemas.
+//!
+//! For each file on the command line: parse, validate the schema
+//! (unknown keys are hard errors), check the pinned `SCENARIO_DIGEST`
+//! against the canonical digest, and require the file stem to match the
+//! declared scenario name. Prints one `OK` line per valid spec and
+//! exits non-zero if any file fails, so CI can gate on it.
+
+use jas_scenario::ScenarioSpec;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: scenario-validate <scenario.toml>...");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = 0usize;
+    for path in &args {
+        match check(path) {
+            Ok(line) => println!("{line}"),
+            Err(e) => {
+                eprintln!("scenario-validate: {path}: {e}");
+                failed += 1;
+            }
+        }
+    }
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "scenario-validate: FAILED ({failed} of {} file(s))",
+            args.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn check(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let spec = ScenarioSpec::parse(&text)?;
+    let stem = Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or_default();
+    if stem != spec.name {
+        return Err(format!(
+            "file stem '{stem}' does not match scenario name '{}'",
+            spec.name
+        ));
+    }
+    if spec.pinned_digest.is_none() {
+        return Err(format!(
+            "missing digest pin (add `digest = \"{:#018x}\"` under [scenario])",
+            spec.digest()
+        ));
+    }
+    Ok(format!(
+        "scenario-validate: OK {} v{} digest={:#018x} curve={} nodes={} ir={}",
+        spec.name,
+        spec.version,
+        spec.digest(),
+        spec.curve.kind_name(),
+        spec.nodes,
+        spec.ir
+    ))
+}

@@ -1,0 +1,244 @@
+//! Time-varying load: a piecewise-linear arrival-rate multiplier over
+//! the sim clock.
+//!
+//! The paper's driver injects at a constant IR; real deployments see
+//! diurnal curves and flash crowds. A [`Curve`] scales the configured
+//! arrival rate as a function of sim time without touching the driver's
+//! random stream: the exponential sampler still draws *flat-rate* gaps
+//! in the same order, and the curve stretches or compresses each gap by
+//! inverting the cumulative intensity function. A flat curve is
+//! therefore byte-identical to the legacy constant-IR path — same RNG
+//! draws, same gaps, same digests.
+
+/// A piecewise-linear multiplier over sim-time seconds.
+///
+/// Between control points the multiplier interpolates linearly; before
+/// the first and after the last point it clamps flat. The empty point
+/// list is the constant curve (multiplier 1 everywhere).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Curve {
+    points: Vec<(f64, f64)>,
+}
+
+/// Gap returned once the curve has decayed to zero forever: far beyond
+/// any plausible run end, so the arrival simply never happens.
+const NEVER_S: f64 = 1.0e9;
+
+impl Curve {
+    /// The constant curve: multiplier 1 everywhere.
+    #[must_use]
+    pub fn constant() -> Curve {
+        Curve { points: Vec::new() }
+    }
+
+    /// Builds a curve from `(time_s, multiplier)` control points.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a coordinate is non-finite, a time is
+    /// negative or not strictly increasing, or a multiplier is negative.
+    pub fn from_points(points: Vec<(f64, f64)>) -> Result<Curve, String> {
+        let mut prev = -1.0;
+        for &(t, m) in &points {
+            if !t.is_finite() || !m.is_finite() {
+                return Err(format!("curve point ({t}, {m}) is not finite"));
+            }
+            if t < 0.0 {
+                return Err(format!("curve time {t} is negative"));
+            }
+            if t <= prev {
+                return Err(format!("curve times must be strictly increasing (at {t})"));
+            }
+            if m < 0.0 {
+                return Err(format!("curve multiplier {m} is negative"));
+            }
+            prev = t;
+        }
+        Ok(Curve { points })
+    }
+
+    /// The control points.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// `true` when the curve never deviates from multiplier 1 — the
+    /// driver then skips the stretch entirely and stays byte-identical
+    /// to the legacy constant-IR arrival stream.
+    #[must_use]
+    pub fn is_flat(&self) -> bool {
+        self.points.iter().all(|&(_, m)| m == 1.0)
+    }
+
+    /// The multiplier at `t` seconds (clamped flat outside the points).
+    #[must_use]
+    pub fn multiplier_at(&self, t: f64) -> f64 {
+        let (_, m0, _) = self.segment_after(t);
+        m0
+    }
+
+    /// Distinct interior phase boundaries in `(0, end_s)`: one per
+    /// control-point time, for per-phase counter reporting.
+    #[must_use]
+    pub fn phase_boundaries(&self, end_s: f64) -> Vec<f64> {
+        self.points
+            .iter()
+            .map(|&(t, _)| t)
+            .filter(|&t| t > 0.0 && t < end_s)
+            .collect()
+    }
+
+    /// The segment containing `t`: its end time (`None` for the final
+    /// clamped tail), the multiplier at `t`, and the multiplier at the
+    /// segment end.
+    fn segment_after(&self, t: f64) -> (Option<f64>, f64, f64) {
+        let pts = &self.points;
+        let Some(&(t_first, m_first)) = pts.first() else {
+            return (None, 1.0, 1.0);
+        };
+        if t < t_first {
+            return (Some(t_first), m_first, m_first);
+        }
+        for w in pts.windows(2) {
+            let (ta, ma) = w[0];
+            let (tb, mb) = w[1];
+            if t < tb {
+                let m_t = ma + (mb - ma) * (t - ta) / (tb - ta);
+                return (Some(tb), m_t, mb);
+            }
+        }
+        let (_, m_last) = pts[pts.len() - 1];
+        (None, m_last, m_last)
+    }
+
+    /// Stretches one flat-rate interarrival gap to curve time.
+    ///
+    /// `flat_gap` is the gap the exponential sampler drew for the
+    /// constant-rate process; the returned gap absorbs the same
+    /// cumulative intensity under the curve starting at `from_s`. On
+    /// the constant curve the result is exactly `flat_gap`; where the
+    /// multiplier is high the gap compresses (arrivals bunch up), where
+    /// it is low the gap dilates. A curve stuck at zero returns a gap
+    /// past any plausible run end.
+    #[must_use]
+    pub fn stretch_gap(&self, from_s: f64, flat_gap: f64) -> f64 {
+        if self.is_flat() {
+            return flat_gap;
+        }
+        let mut area = flat_gap; // flat-equivalent seconds still to absorb
+        let mut t = from_s;
+        loop {
+            let (end, m0, m1) = self.segment_after(t);
+            let Some(te) = end else {
+                // Constant tail.
+                if m0 <= 0.0 {
+                    return NEVER_S;
+                }
+                return (t - from_s) + area / m0;
+            };
+            let dt_seg = te - t;
+            let seg_area = 0.5 * (m0 + m1) * dt_seg;
+            if seg_area >= area {
+                // The arrival lands inside this segment: solve
+                // m0*dt + k*dt^2/2 = area for dt.
+                let k = (m1 - m0) / dt_seg;
+                let dt = if k.abs() < 1e-12 {
+                    if m0 <= 0.0 {
+                        dt_seg
+                    } else {
+                        area / m0
+                    }
+                } else {
+                    let disc = (m0 * m0 + 2.0 * k * area).max(0.0);
+                    (disc.sqrt() - m0) / k
+                };
+                return (t - from_s) + dt.min(dt_seg);
+            }
+            area -= seg_area;
+            t = te;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_curve_is_flat_and_identity() {
+        let c = Curve::constant();
+        assert!(c.is_flat());
+        assert_eq!(c.multiplier_at(123.0), 1.0);
+        // Bitwise identity, not just approximate equality.
+        assert_eq!(c.stretch_gap(10.0, 0.037_5), 0.037_5);
+    }
+
+    #[test]
+    fn all_unity_points_are_flat_too() {
+        let c = Curve::from_points(vec![(0.0, 1.0), (10.0, 1.0)]).expect("valid");
+        assert!(c.is_flat());
+        assert_eq!(c.stretch_gap(3.0, 0.5), 0.5);
+    }
+
+    #[test]
+    fn rejects_malformed_point_lists() {
+        assert!(Curve::from_points(vec![(0.0, 1.0), (0.0, 2.0)]).is_err());
+        assert!(Curve::from_points(vec![(5.0, 1.0), (3.0, 2.0)]).is_err());
+        assert!(Curve::from_points(vec![(-1.0, 1.0)]).is_err());
+        assert!(Curve::from_points(vec![(0.0, -0.5)]).is_err());
+        assert!(Curve::from_points(vec![(0.0, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn multiplier_interpolates_and_clamps() {
+        let c = Curve::from_points(vec![(10.0, 1.0), (20.0, 3.0)]).expect("valid");
+        assert_eq!(c.multiplier_at(0.0), 1.0); // clamp before
+        assert_eq!(c.multiplier_at(15.0), 2.0); // midpoint
+        assert_eq!(c.multiplier_at(99.0), 3.0); // clamp after
+    }
+
+    #[test]
+    fn double_rate_halves_the_gap() {
+        let c = Curve::from_points(vec![(0.0, 2.0), (1000.0, 2.0)]).expect("valid");
+        let g = c.stretch_gap(5.0, 1.0);
+        assert!((g - 0.5).abs() < 1e-12, "gap {g}");
+    }
+
+    #[test]
+    fn stretch_is_inverse_of_cumulative_intensity() {
+        // Ramp 1 -> 4 over [0, 30]: integrate the multiplier over the
+        // stretched gap and recover the flat gap.
+        let c = Curve::from_points(vec![(0.0, 1.0), (30.0, 4.0)]).expect("valid");
+        for (from, flat) in [(0.0, 2.0), (3.0, 0.7), (12.0, 5.0), (29.0, 4.0)] {
+            let g = c.stretch_gap(from, flat);
+            // Numeric integral of multiplier_at over [from, from+g].
+            let steps = 200_000;
+            let h = g / steps as f64;
+            let mut area = 0.0;
+            for s in 0..steps {
+                let t = from + (s as f64 + 0.5) * h;
+                area += c.multiplier_at(t) * h;
+            }
+            assert!(
+                (area - flat).abs() < 1e-3,
+                "from {from} flat {flat}: area {area}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_tail_pushes_arrivals_past_the_run() {
+        let c = Curve::from_points(vec![(0.0, 1.0), (10.0, 0.0)]).expect("valid");
+        let g = c.stretch_gap(10.0, 1.0);
+        assert!(g >= 1.0e9, "gap {g}");
+    }
+
+    #[test]
+    fn phase_boundaries_are_interior_point_times() {
+        let c = Curve::from_points(vec![(0.0, 1.0), (12.0, 6.0), (18.0, 6.0), (40.0, 1.0)])
+            .expect("valid");
+        assert_eq!(c.phase_boundaries(30.0), vec![12.0, 18.0]);
+        assert_eq!(Curve::constant().phase_boundaries(30.0), Vec::<f64>::new());
+    }
+}

@@ -7,6 +7,7 @@
 //! throttles on SUT load — which is exactly why an overloaded SUT fails
 //! response times instead of slowing the offered load.
 
+use crate::curve::Curve;
 use crate::requests::{injection_mix, RequestKind};
 use jas_simkernel::dist::Exponential;
 use jas_simkernel::{Rng, SimDuration};
@@ -49,33 +50,61 @@ pub struct Driver {
     rng: Rng,
     kinds: Vec<RequestKind>,
     weights: Vec<f64>,
+    curve: Curve,
+    /// Sim-time position of the last emitted arrival in seconds — the
+    /// point on the curve the next gap stretches from. Stays 0 (and
+    /// untouched) on the flat fast path.
+    cursor_s: f64,
 }
 
 impl Driver {
-    /// Creates a driver.
+    /// Creates a constant-rate driver.
     ///
     /// # Panics
     ///
     /// Panics if the configured rate is not positive.
     #[must_use]
     pub fn new(cfg: DriverConfig) -> Self {
+        Driver::with_curve(cfg, Curve::constant())
+    }
+
+    /// Creates a driver whose arrival rate is `cfg.arrival_rate()`
+    /// scaled by `curve` over sim time. The exponential sampler draws
+    /// flat-rate gaps in the same order as [`Driver::new`]; each gap is
+    /// then stretched through the curve, so a flat curve is
+    /// byte-identical to the constant-rate driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured rate is not positive.
+    #[must_use]
+    pub fn with_curve(cfg: DriverConfig, curve: Curve) -> Self {
         let mix = injection_mix();
         Driver {
             interarrival: Exponential::new(cfg.arrival_rate()),
             rng: Rng::new(cfg.seed ^ u64::from(cfg.ir)),
             kinds: mix.iter().map(|(k, _)| *k).collect(),
             weights: mix.iter().map(|(_, w)| *w).collect(),
+            curve,
+            cursor_s: 0.0,
         }
     }
 
     /// Draws the next arrival: time until it occurs and its kind.
     pub fn next_arrival(&mut self) -> (SimDuration, RequestKind) {
-        let gap = SimDuration::from_secs_f64(self.interarrival.sample(&mut self.rng));
+        let base = self.interarrival.sample(&mut self.rng);
+        let gap = if self.curve.is_flat() {
+            base
+        } else {
+            let stretched = self.curve.stretch_gap(self.cursor_s, base);
+            self.cursor_s += stretched;
+            stretched
+        };
         let idx = self
             .rng
             .pick_weighted(&self.weights)
             .expect("mix weights are positive");
-        (gap, self.kinds[idx])
+        (SimDuration::from_secs_f64(gap), self.kinds[idx])
     }
 }
 // --- Checkpoint persistence ---
@@ -83,11 +112,18 @@ impl Driver {
 use jas_simkernel::snapshot::{Persist, StateIo};
 
 impl Persist for Driver {
-    // The interarrival distribution and the kind mix are config-derived;
-    // only the RNG cursor advances during a run.
-    // jas-lint: allow(D009, reason = "interarrival, kinds and weights are the workload mix tables, pure configuration")
+    // The interarrival distribution, the kind mix, and the curve are
+    // config-derived; only the RNG cursor (and, under a non-flat curve,
+    // the curve cursor) advance during a run. The conditional is
+    // symmetric across save and restore because `is_flat` is a pure
+    // function of configuration, so flat-curve checkpoints keep the
+    // legacy byte layout.
+    // jas-lint: allow(D009, reason = "interarrival, kinds, weights and curve are workload configuration; cursor_s persists whenever a non-flat curve arms it")
     fn persist(&mut self, io: &mut dyn StateIo) {
         self.rng.persist(io);
+        if !self.curve.is_flat() {
+            self.cursor_s.persist(io);
+        }
     }
 }
 
@@ -144,5 +180,35 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_arrival(), b.next_arrival());
         }
+    }
+
+    #[test]
+    fn flat_curve_is_byte_identical_to_the_constant_driver() {
+        let cfg = DriverConfig::at_ir(20);
+        let mut flat = Driver::new(cfg);
+        let mut unity = Driver::with_curve(cfg, Curve::constant());
+        for _ in 0..1_000 {
+            assert_eq!(flat.next_arrival(), unity.next_arrival());
+        }
+    }
+
+    #[test]
+    fn curve_preserves_the_kind_sequence_and_scales_the_rate() {
+        // Same seed, same kind draws — only the gap lengths change.
+        let cfg = DriverConfig::at_ir(20);
+        let mut flat = Driver::new(cfg);
+        let spike = Curve::from_points(vec![(0.0, 2.0), (1.0e6, 2.0)]).expect("valid");
+        let mut shaped = Driver::with_curve(cfg, spike);
+        let mut flat_total = 0.0;
+        let mut shaped_total = 0.0;
+        for _ in 0..20_000 {
+            let (fg, fk) = flat.next_arrival();
+            let (sg, sk) = shaped.next_arrival();
+            assert_eq!(fk, sk);
+            flat_total += fg.as_secs_f64();
+            shaped_total += sg.as_secs_f64();
+        }
+        let ratio = flat_total / shaped_total;
+        assert!((ratio - 2.0).abs() < 0.01, "rate ratio {ratio}");
     }
 }

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod curve;
 mod domain;
 mod driver;
 mod metrics;
@@ -37,6 +38,7 @@ pub mod replay;
 mod requests;
 mod scenario;
 
+pub use curve::Curve;
 pub use domain::{InitialRows, Schema};
 pub use driver::{Driver, DriverConfig};
 pub use metrics::{Metrics, Verdict};

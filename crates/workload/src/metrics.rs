@@ -202,6 +202,25 @@ impl Metrics {
         self.timeouts
     }
 
+    /// Fraction of recorded steady-window response times (web and RMI
+    /// pooled) above `limit_s` — the per-request SLO-miss rate a
+    /// scenario's verdict line reports. Counting, not sorting, so the
+    /// value is merge-order invariant.
+    #[must_use]
+    pub fn slo_miss_fraction(&self, limit_s: f64) -> f64 {
+        let total = self.web_times.len() + self.rmi_times.len();
+        if total == 0 {
+            return 0.0;
+        }
+        let over = self
+            .web_times
+            .iter()
+            .chain(&self.rmi_times)
+            .filter(|&&rt| rt > limit_s)
+            .count();
+        over as f64 / total as f64
+    }
+
     /// Folds another collector into this one: bin-wise completion sums,
     /// concatenated response-time samples, summed resilience counters.
     /// The fleet verdict over N nodes is `merge` of the per-node

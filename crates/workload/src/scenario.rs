@@ -11,6 +11,7 @@
 //! (three web classes, one RMI class, one JMS-driven class); each scenario
 //! supplies its own business labels via [`Scenario::label`].
 
+use crate::curve::Curve;
 use crate::domain::Schema;
 use crate::driver::{Driver, DriverConfig};
 use crate::requests::{build_plan, catalog_popularity, RequestKind, PATH_LENGTH_MULTIPLIER};
@@ -57,9 +58,16 @@ impl JasScenario {
     /// Creates the scenario, populating `db` for injection rate `ir`.
     #[must_use]
     pub fn new(db: &mut Database, ir: u32, seed: u64) -> Self {
+        JasScenario::with_curve(db, ir, seed, Curve::constant())
+    }
+
+    /// Creates the scenario with a time-varying arrival-rate curve. A
+    /// flat curve is byte-identical to [`JasScenario::new`].
+    #[must_use]
+    pub fn with_curve(db: &mut Database, ir: u32, seed: u64, curve: Curve) -> Self {
         JasScenario {
             schema: Schema::create(db, ir),
-            driver: Driver::new(DriverConfig::at_ir(ir)),
+            driver: Driver::with_curve(DriverConfig::at_ir(ir), curve),
             zipf: catalog_popularity(),
             rng: Rng::new(seed ^ 0x4A53),
             fresh_key: 0,
@@ -167,9 +175,16 @@ impl TradeScenario {
     /// Creates the scenario, populating `db` for injection rate `ir`.
     #[must_use]
     pub fn new(db: &mut Database, ir: u32, seed: u64) -> Self {
+        TradeScenario::with_curve(db, ir, seed, Curve::constant())
+    }
+
+    /// Creates the scenario with a time-varying arrival-rate curve. A
+    /// flat curve is byte-identical to [`TradeScenario::new`].
+    #[must_use]
+    pub fn with_curve(db: &mut Database, ir: u32, seed: u64, curve: Curve) -> Self {
         TradeScenario {
             schema: TradeSchema::create(db, ir),
-            driver: Driver::new(DriverConfig::at_ir(ir)),
+            driver: Driver::with_curve(DriverConfig::at_ir(ir), curve),
             zipf: catalog_popularity(),
             rng: Rng::new(seed ^ 0x5452_4144),
             fresh_key: 0,
